@@ -1,0 +1,154 @@
+//! Extension — distributed OR and AND (detection / agreement primitives).
+//!
+//! The smallest possible instances of the methodology: one bit per agent.
+//! Distributed OR ("has anyone detected the event?") replaces every bit by
+//! the disjunction of the group; distributed AND is its dual.  Both are
+//! defined by a commutative associative operator, hence super-idempotent,
+//! and both use the obvious counting objective in summation form.
+
+use selfsim_core::{
+    ConsensusFunction, FnGroupStep, GroupStep, SelfSimilarSystem, SummationObjective,
+};
+use selfsim_env::{FairnessSpec, Topology};
+use selfsim_multiset::Multiset;
+
+/// The agent state: one bit.
+pub type State = bool;
+
+/// The distributed-OR function: every agent adopts the disjunction.
+pub fn or_function() -> impl selfsim_core::DistributedFunction<State> {
+    ConsensusFunction::new("or", |s: &Multiset<State>| s.iter().any(|b| *b))
+}
+
+/// The distributed-AND function: every agent adopts the conjunction.
+pub fn and_function() -> impl selfsim_core::DistributedFunction<State> {
+    ConsensusFunction::new("and", |s: &Multiset<State>| s.iter().all(|b| *b))
+}
+
+/// Objective for OR: the number of agents still holding `false`…
+/// …unless nobody holds `true`, in which case the state is already the
+/// target and the objective is uniformly zero anyway by conservation.
+pub fn or_objective() -> SummationObjective<State, impl Fn(&State) -> f64> {
+    SummationObjective::new("false-count", |b: &State| if *b { 0.0 } else { 1.0 })
+}
+
+/// Objective for AND: the number of agents still holding `true`.
+pub fn and_objective() -> SummationObjective<State, impl Fn(&State) -> f64> {
+    SummationObjective::new("true-count", |b: &State| if *b { 1.0 } else { 0.0 })
+}
+
+/// The OR group step: every member adopts the group disjunction.
+pub fn or_step() -> impl GroupStep<State> {
+    FnGroupStep::new("adopt-or", |states: &[State], _rng: &mut dyn rand::RngCore| {
+        let any = states.iter().any(|b| *b);
+        vec![any; states.len()]
+    })
+}
+
+/// The AND group step: every member adopts the group conjunction.
+pub fn and_step() -> impl GroupStep<State> {
+    FnGroupStep::new("adopt-and", |states: &[State], _rng: &mut dyn rand::RngCore| {
+        let all = states.iter().all(|b| *b);
+        vec![all; states.len()]
+    })
+}
+
+/// Builds the distributed-OR system over a connected fairness graph.
+pub fn or_system(initial: &[State], topology: Topology) -> SelfSimilarSystem<State> {
+    assert!(topology.is_connected(), "requires a connected fairness graph");
+    assert_eq!(initial.len(), topology.agent_count());
+    SelfSimilarSystem::new(
+        "boolean-or",
+        or_function(),
+        or_objective(),
+        or_step(),
+        initial.to_vec(),
+        FairnessSpec::for_graph(&topology),
+    )
+}
+
+/// Builds the distributed-AND system over a connected fairness graph.
+pub fn and_system(initial: &[State], topology: Topology) -> SelfSimilarSystem<State> {
+    assert!(topology.is_connected(), "requires a connected fairness graph");
+    assert_eq!(initial.len(), topology.agent_count());
+    SelfSimilarSystem::new(
+        "boolean-and",
+        and_function(),
+        and_objective(),
+        and_step(),
+        initial.to_vec(),
+        FairnessSpec::for_graph(&topology),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use selfsim_core::super_idempotence::{check_idempotent, check_super_idempotent};
+    use selfsim_core::{proof, DistributedFunction};
+
+    fn samples() -> Vec<Multiset<State>> {
+        vec![
+            Multiset::new(),
+            [true].into(),
+            [false].into(),
+            [true, false].into(),
+            [false, false, true].into(),
+            [false, false].into(),
+        ]
+    }
+
+    #[test]
+    fn or_and_functions_compute_the_right_consensus() {
+        assert_eq!(
+            or_function().apply(&[false, true, false].into()),
+            [true, true, true].into()
+        );
+        assert_eq!(
+            or_function().apply(&[false, false].into()),
+            [false, false].into()
+        );
+        assert_eq!(
+            and_function().apply(&[true, false].into()),
+            [false, false].into()
+        );
+        assert_eq!(
+            and_function().apply(&[true, true].into()),
+            [true, true].into()
+        );
+    }
+
+    #[test]
+    fn both_functions_are_super_idempotent() {
+        assert!(check_idempotent(&or_function(), &samples()).is_ok());
+        assert!(check_super_idempotent(&or_function(), &samples()).is_ok());
+        assert!(check_idempotent(&and_function(), &samples()).is_ok());
+        assert!(check_super_idempotent(&and_function(), &samples()).is_ok());
+    }
+
+    #[test]
+    fn or_system_passes_proof_obligations() {
+        let sys = or_system(&[false, true, false, false], Topology::star(4));
+        let mut rng = StdRng::seed_from_u64(31);
+        let report = proof::audit_system(&sys, &[], 2, &mut rng);
+        assert!(report.passed(), "{:?}", report.violations);
+        assert_eq!(sys.target(), [true, true, true, true].into());
+    }
+
+    #[test]
+    fn and_system_passes_proof_obligations() {
+        let sys = and_system(&[true, true, false, true], Topology::ring(4));
+        let mut rng = StdRng::seed_from_u64(32);
+        let report = proof::audit_system(&sys, &[], 2, &mut rng);
+        assert!(report.passed(), "{:?}", report.violations);
+        assert_eq!(sys.target(), [false, false, false, false].into());
+    }
+
+    #[test]
+    fn all_false_or_is_already_converged() {
+        let sys = or_system(&[false, false], Topology::line(2));
+        assert!(sys.is_converged(sys.initial_state()));
+    }
+}

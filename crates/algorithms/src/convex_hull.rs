@@ -1,0 +1,255 @@
+//! §4.5 (second half) — Convex hull, the super-idempotent generalisation of
+//! the circumscribing-circle problem.
+//!
+//! Each agent is a point (its *site*) and maintains a set of points `V_a`
+//! representing its current hull, initially just its own site.  The
+//! distributed function replaces every `V_a` by the convex hull of the union
+//! of all the `V_a` in the group; because "the convex hull of all the points
+//! equals the convex hull of (the hull of some of them) plus the rest"
+//! (Figure 3), this function **is** super-idempotent.
+//!
+//! * `h(S) = |A|·P − Σ_a perimeter(V_a)`, where `P` is the perimeter of the
+//!   global convex hull — per-agent term `P − perimeter(V_a)`, a
+//!   summation-form (8) objective with a finite range, hence well-founded.
+//! * `R`: groups merge hulls.  [`merge_all_step`] has every member adopt the
+//!   hull of the union (fast); [`one_learns_step`] has a single member adopt
+//!   the union — the paper's remark that `R` is easily implemented by
+//!   asynchronous message passing, since a receiver can update its hull
+//!   without the sender changing state.
+//! * `Q`: `Q_E` for any connected graph `E`.
+//!
+//! Once converged, the circumscribing circle of the original sites is
+//! recovered from any agent's hull with [`circumscribing_circle`].
+
+use selfsim_core::{
+    FnDistributedFunction, FnGroupStep, GroupStep, SelfSimilarSystem, SummationObjective,
+};
+use selfsim_env::{FairnessSpec, Topology};
+use selfsim_geometry::{convex_hull, hull_perimeter, smallest_enclosing_circle, Circle, Point};
+use selfsim_multiset::Multiset;
+
+/// The agent state: the fixed site and the agent's current hull, stored as
+/// the hull's vertices sorted lexicographically (a canonical form, so that
+/// two agents with the same hull have equal states).
+pub type State = (Point, Vec<Point>);
+
+/// Builds the canonical hull representation of a point set.
+pub fn canonical_hull(points: &[Point]) -> Vec<Point> {
+    let mut hull = convex_hull(points);
+    hull.sort();
+    hull
+}
+
+/// The initial state of an agent at `site`: `V_a = {site}`.
+pub fn initial_state(site: Point) -> State {
+    (site, vec![site])
+}
+
+/// The perimeter of an agent's current hull.
+pub fn state_perimeter(state: &State) -> f64 {
+    hull_perimeter(&convex_hull(&state.1))
+}
+
+/// The distributed function: every agent's hull becomes the hull of the
+/// union of all hull points in the group (sites unchanged).
+pub fn function() -> impl selfsim_core::DistributedFunction<State> {
+    FnDistributedFunction::new("convex-hull", |s: &Multiset<State>| {
+        if s.is_empty() {
+            return Multiset::new();
+        }
+        let all_points: Vec<Point> = s.iter().flat_map(|(_, hull)| hull.iter().copied()).collect();
+        let merged = canonical_hull(&all_points);
+        s.map(|(site, _)| (*site, merged.clone()))
+    })
+}
+
+/// The objective `h(S) = Σ_a (P − perimeter(V_a))` where `P` is the
+/// perimeter of the convex hull of all the sites (a constant of the
+/// instance).
+pub fn objective(global_perimeter: f64) -> SummationObjective<State, impl Fn(&State) -> f64> {
+    SummationObjective::new("perimeter-deficit", move |state: &State| {
+        global_perimeter - state_perimeter(state)
+    })
+}
+
+/// The "everyone adopts the merged hull" group step.
+pub fn merge_all_step() -> impl GroupStep<State> {
+    FnGroupStep::new("merge-all-hulls", |states: &[State], _rng: &mut dyn rand::RngCore| {
+        let all_points: Vec<Point> = states.iter().flat_map(|(_, h)| h.iter().copied()).collect();
+        let merged = canonical_hull(&all_points);
+        states.iter().map(|(site, _)| (*site, merged.clone())).collect()
+    })
+}
+
+/// The asymmetric step: only the first member of the group adopts the merged
+/// hull; everyone else keeps its current hull.  Models an agent updating on
+/// message receipt without the senders changing state (§4.5).
+pub fn one_learns_step() -> impl GroupStep<State> {
+    FnGroupStep::new("one-learns", |states: &[State], _rng: &mut dyn rand::RngCore| {
+        if states.is_empty() {
+            return Vec::new();
+        }
+        let all_points: Vec<Point> = states.iter().flat_map(|(_, h)| h.iter().copied()).collect();
+        let merged = canonical_hull(&all_points);
+        let mut out = states.to_vec();
+        out[0] = (out[0].0, merged);
+        out
+    })
+}
+
+/// Builds the system for the given sites over a connected fairness graph,
+/// using [`merge_all_step`].
+///
+/// # Panics
+///
+/// Panics if `topology` is not connected or the site count does not match.
+pub fn system(sites: &[Point], topology: Topology) -> SelfSimilarSystem<State> {
+    system_with_step(sites, topology, merge_all_step())
+}
+
+/// Builds the system with a caller-chosen group step (e.g.
+/// [`one_learns_step`]).
+pub fn system_with_step(
+    sites: &[Point],
+    topology: Topology,
+    step: impl GroupStep<State> + 'static,
+) -> SelfSimilarSystem<State> {
+    assert!(
+        topology.is_connected(),
+        "the convex-hull example requires a connected fairness graph"
+    );
+    assert_eq!(sites.len(), topology.agent_count());
+    let global_perimeter = hull_perimeter(&convex_hull(sites));
+    let initial: Vec<State> = sites.iter().map(|p| initial_state(*p)).collect();
+    SelfSimilarSystem::new(
+        "convex-hull",
+        function(),
+        objective(global_perimeter),
+        step,
+        initial,
+        FairnessSpec::for_graph(&topology),
+    )
+}
+
+/// Recovers the answer to the original §4.5 problem — the circumscribing
+/// circle of all the sites — from any agent's state once the system has
+/// converged.
+pub fn circumscribing_circle(state: &State) -> Circle {
+    smallest_enclosing_circle(&state.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use selfsim_core::super_idempotence::{
+        check_idempotent, check_super_idempotent, check_super_idempotent_single_element,
+    };
+    use selfsim_core::{proof, DistributedFunction, ObjectiveFunction};
+
+    fn square_sites() -> Vec<Point> {
+        vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(0.0, 4.0),
+            Point::new(2.0, 1.0), // interior site
+        ]
+    }
+
+    fn states_of(sites: &[Point]) -> Multiset<State> {
+        sites.iter().map(|p| initial_state(*p)).collect()
+    }
+
+    #[test]
+    fn f_gives_every_agent_the_global_hull() {
+        let f = function();
+        let out = f.apply(&states_of(&square_sites()));
+        let hulls: Vec<Vec<Point>> = out.iter().map(|(_, h)| h.clone()).collect();
+        assert!(hulls.iter().all(|h| h == &hulls[0]));
+        assert_eq!(hulls[0].len(), 4); // the interior site is not a vertex
+    }
+
+    #[test]
+    fn f_is_super_idempotent() {
+        let f = function();
+        let sites = square_sites();
+        let samples: Vec<Multiset<State>> = vec![
+            Multiset::new(),
+            states_of(&sites[..1]),
+            states_of(&sites[..3]),
+            states_of(&sites),
+            f.apply(&states_of(&sites[..3])),
+        ];
+        assert!(check_idempotent(&f, &samples).is_ok());
+        assert!(check_super_idempotent(&f, &samples).is_ok());
+        assert!(check_super_idempotent_single_element(
+            &f,
+            &samples,
+            &[initial_state(Point::new(9.0, -1.0)), initial_state(Point::new(1.0, 1.0))]
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn objective_is_nonnegative_and_zero_at_the_target() {
+        let sites = square_sites();
+        let p = hull_perimeter(&convex_hull(&sites));
+        let h = objective(p);
+        let initial = states_of(&sites);
+        assert!(h.eval(&initial) > 0.0);
+        let target = function().apply(&initial);
+        assert!(h.eval(&target).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_all_step_passes_proof_obligations() {
+        let sys = system(&square_sites(), Topology::ring(5));
+        let mut rng = StdRng::seed_from_u64(21);
+        let report = proof::audit_system(&sys, &[], 2, &mut rng);
+        assert!(report.passed(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn one_learns_step_refines_d() {
+        let sites = square_sites();
+        let sys = system_with_step(&sites, Topology::ring(5), one_learns_step());
+        let mut rng = StdRng::seed_from_u64(22);
+        let groups: Vec<Vec<State>> = vec![
+            vec![initial_state(sites[0]), initial_state(sites[1])],
+            vec![initial_state(sites[2]), initial_state(sites[3]), initial_state(sites[4])],
+        ];
+        let report = proof::check_r_implements_d(&sys, &groups, 2, &mut rng);
+        assert!(report.passed(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn circumscribing_circle_is_recovered_from_the_converged_state() {
+        let sites = square_sites();
+        let sys = system(&sites, Topology::complete(5));
+        let target_states: Vec<State> = sys
+            .target()
+            .iter()
+            .cloned()
+            .collect();
+        let circle = circumscribing_circle(&target_states[0]);
+        let direct = smallest_enclosing_circle(&sites);
+        assert!(circle.center.distance(direct.center) < 1e-9);
+        assert!((circle.radius - direct.radius).abs() < 1e-9);
+        for p in &sites {
+            assert!(circle.contains(*p, 1e-9));
+        }
+    }
+
+    #[test]
+    fn state_perimeter_of_initial_state_is_zero() {
+        assert_eq!(state_perimeter(&initial_state(Point::new(1.0, 2.0))), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn disconnected_topology_rejected() {
+        let _ = system(&[Point::origin(), Point::new(1.0, 0.0)], Topology::empty(2));
+    }
+}

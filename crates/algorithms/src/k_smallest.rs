@@ -1,0 +1,166 @@
+//! Extension — the `k` smallest distinct values (generalising §4.3).
+//!
+//! The paper notes that the pair trick used for the second-smallest value
+//! extends to the k-th smallest at the cost of more per-agent memory.  This
+//! module implements exactly that generalisation: each agent maintains the
+//! (at most `k`) smallest distinct values it has learned so far, initially
+//! just its own value; `f` replaces every agent's list by the `k` smallest
+//! distinct values appearing anywhere in the group.
+//!
+//! The objective counts, for every agent, the sum of its known values plus a
+//! penalty of `bound` for every still-unknown slot — the direct
+//! generalisation of the corrected objective used in
+//! [`crate::second_smallest`] — and is in summation form (8).
+
+use selfsim_core::{
+    FnDistributedFunction, FnGroupStep, GroupStep, SelfSimilarSystem, SummationObjective,
+};
+use selfsim_env::{FairnessSpec, Topology};
+use selfsim_multiset::Multiset;
+
+/// The agent state: the sorted list of (at most `k`) smallest distinct
+/// values the agent has learned.
+pub type State = Vec<i64>;
+
+/// The `k` smallest distinct values appearing in any state of the multiset.
+fn k_smallest_of(s: &Multiset<State>, k: usize) -> State {
+    let mut values: Vec<i64> = s.iter().flat_map(|list| list.iter().copied()).collect();
+    values.sort_unstable();
+    values.dedup();
+    values.truncate(k);
+    values
+}
+
+/// The distributed function for a given `k`.
+pub fn function(k: usize) -> impl selfsim_core::DistributedFunction<State> {
+    FnDistributedFunction::new(format!("{k}-smallest"), move |s: &Multiset<State>| {
+        if s.is_empty() {
+            return Multiset::new();
+        }
+        s.fill_with(k_smallest_of(s, k))
+    })
+}
+
+/// The objective: per agent, the sum of known values plus `bound` per
+/// missing slot (out of `k`).
+pub fn objective(k: usize, bound: i64) -> SummationObjective<State, impl Fn(&State) -> f64> {
+    SummationObjective::new("knowledge-deficit", move |list: &State| {
+        let known: i64 = list.iter().copied().sum();
+        let missing = k.saturating_sub(list.len()) as i64;
+        (known + missing * bound) as f64
+    })
+}
+
+/// The group step: every member adopts the group's `k` smallest distinct
+/// values.
+pub fn adopt_step(k: usize) -> impl GroupStep<State> {
+    FnGroupStep::new(
+        format!("adopt-{k}-smallest"),
+        move |states: &[State], _rng: &mut dyn rand::RngCore| {
+            let ms: Multiset<State> = states.iter().cloned().collect();
+            let best = k_smallest_of(&ms, k);
+            vec![best; states.len()]
+        },
+    )
+}
+
+/// Builds the system: each agent starts knowing only its own value.
+///
+/// # Panics
+///
+/// Panics if `k` is zero, any initial value is negative, or the fairness
+/// graph is not connected.
+pub fn system(initial_values: &[i64], k: usize, topology: Topology) -> SelfSimilarSystem<State> {
+    assert!(k >= 1, "k must be at least 1");
+    assert!(
+        initial_values.iter().all(|v| *v >= 0),
+        "the k-smallest example assumes non-negative initial values"
+    );
+    assert!(
+        topology.is_connected(),
+        "the k-smallest example requires a connected fairness graph"
+    );
+    assert_eq!(initial_values.len(), topology.agent_count());
+    let bound = initial_values.iter().copied().max().unwrap_or(0) + 1;
+    let initial: Vec<State> = initial_values.iter().map(|v| vec![*v]).collect();
+    SelfSimilarSystem::new(
+        format!("{k}-smallest"),
+        function(k),
+        objective(k, bound),
+        adopt_step(k),
+        initial,
+        FairnessSpec::for_graph(&topology),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use selfsim_core::super_idempotence::{check_idempotent, check_super_idempotent};
+    use selfsim_core::{proof, DistributedFunction, ObjectiveFunction};
+
+    fn samples() -> Vec<Multiset<State>> {
+        vec![
+            Multiset::new(),
+            [vec![4]].into(),
+            [vec![4], vec![1, 7]].into(),
+            [vec![2, 5], vec![3], vec![2]].into(),
+            [vec![1, 2, 3], vec![1, 2, 3]].into(),
+        ]
+    }
+
+    #[test]
+    fn f_collects_the_k_smallest_distinct_values() {
+        let f = function(3);
+        let out = f.apply(&[vec![4], vec![1, 7], vec![9]].into());
+        assert_eq!(out, [vec![1, 4, 7], vec![1, 4, 7], vec![1, 4, 7]].into());
+        // Fewer than k distinct values: everyone learns all of them.
+        let out = f.apply(&[vec![5], vec![5]].into());
+        assert_eq!(out, [vec![5], vec![5]].into());
+    }
+
+    #[test]
+    fn f_is_super_idempotent_for_various_k() {
+        for k in 1..=4 {
+            let f = function(k);
+            assert!(check_idempotent(&f, &samples()).is_ok(), "k = {k}");
+            assert!(check_super_idempotent(&f, &samples()).is_ok(), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn k_equals_one_degenerates_to_the_minimum() {
+        let f = function(1);
+        let out = f.apply(&[vec![3], vec![5], vec![3], vec![7]].into());
+        assert_eq!(out, [vec![3], vec![3], vec![3], vec![3]].into());
+    }
+
+    #[test]
+    fn objective_penalises_missing_knowledge() {
+        let h = objective(3, 100);
+        // One value known, two slots missing.
+        assert_eq!(h.eval(&[vec![5]].into()), 205.0);
+        // Full knowledge, no penalty.
+        assert_eq!(h.eval(&[vec![1, 2, 3]].into()), 6.0);
+    }
+
+    #[test]
+    fn system_passes_proof_obligations() {
+        let sys = system(&[9, 4, 7, 1, 5], 3, Topology::ring(5));
+        let mut rng = StdRng::seed_from_u64(33);
+        let report = proof::audit_system(&sys, &[], 2, &mut rng);
+        assert!(report.passed(), "{:?}", report.violations);
+        assert_eq!(
+            sys.target(),
+            [vec![1, 4, 5], vec![1, 4, 5], vec![1, 4, 5], vec![1, 4, 5], vec![1, 4, 5]].into()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn zero_k_is_rejected() {
+        let _ = system(&[1, 2], 0, Topology::line(2));
+    }
+}

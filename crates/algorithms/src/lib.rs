@@ -1,0 +1,42 @@
+//! The worked examples of §4 of the paper, plus extensions, packaged as
+//! ready-to-run [`selfsim_core::SelfSimilarSystem`] instances.
+//!
+//! Every module follows the same recipe and exposes the same surface:
+//!
+//! * the agent **state type** of the example;
+//! * the distributed function **`f`** to compute (and, for the two
+//!   counterexample sections, the *naive* non-super-idempotent `f` the paper
+//!   starts from);
+//! * the variant/objective function **`h`**;
+//! * at least one concrete group relation **`R`** refining `D`;
+//! * a `system(…)` constructor assembling the above with an initial state
+//!   and the fairness assumption `Q` the paper states for the example;
+//! * unit and property tests of the paper's claims: (super-)idempotence,
+//!   conservation, descent of `h`, and the proof obligations of §3.7.
+//!
+//! | module | paper § | f | fairness |
+//! |---|---|---|---|
+//! | [`minimum`] | 4.1 | all agents adopt the minimum | any connected graph |
+//! | [`maximum`] | ext. | all agents adopt the maximum | any connected graph |
+//! | [`sum`] | 4.2 | one agent holds the sum, others 0 | complete graph |
+//! | [`second_smallest`] | 4.3 | pairs (smallest, second smallest) | any connected graph |
+//! | [`sorting`] | 4.4 | values sorted by index | line graph |
+//! | [`circumscribing`] | 4.5 | smallest enclosing circle (naive, **not** super-idempotent) | — |
+//! | [`convex_hull`] | 4.5 | convex hull of all sites | any connected graph |
+//! | [`set_union`] | ext. | all agents learn the union of knowledge sets | any connected graph |
+//! | [`boolean`] | ext. | distributed OR / AND | any connected graph |
+//! | [`k_smallest`] | ext. | all agents learn the k smallest distinct values | any connected graph |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod boolean;
+pub mod circumscribing;
+pub mod convex_hull;
+pub mod k_smallest;
+pub mod maximum;
+pub mod minimum;
+pub mod second_smallest;
+pub mod set_union;
+pub mod sorting;
+pub mod sum;

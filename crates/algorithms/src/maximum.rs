@@ -1,0 +1,116 @@
+//! Extension — Maximum of a set, the mirror image of §4.1.
+//!
+//! Included to show that the methodology is insensitive to the direction of
+//! the consensus: `f` replaces every value with the *maximum*, and the
+//! objective counts how far below a fixed upper bound the values sit, so
+//! that raising values decreases `h`.
+//!
+//! The upper bound is taken from the initial values (their maximum); by the
+//! conservation law the maximum never changes, so the per-agent term
+//! `bound − x_a` is always non-negative and `h` is well-founded.
+
+use selfsim_core::{
+    ConsensusFunction, FnGroupStep, GroupStep, SelfSimilarSystem, SummationObjective,
+};
+use selfsim_env::{FairnessSpec, Topology};
+use selfsim_multiset::Multiset;
+
+/// The agent state: a single integer.
+pub type State = i64;
+
+/// The distributed function `f`: every agent adopts the maximum.
+pub fn function() -> impl selfsim_core::DistributedFunction<State> {
+    ConsensusFunction::new("max", |s: &Multiset<State>| {
+        s.max_value().copied().unwrap_or(0)
+    })
+}
+
+/// The objective `h(S) = Σ_a (bound − x_a)` for a fixed `bound ≥ max(S(0))`.
+pub fn objective(bound: State) -> SummationObjective<State, impl Fn(&State) -> f64> {
+    SummationObjective::new("distance-below-bound", move |v: &State| (bound - v) as f64)
+}
+
+/// The "adopt the group maximum" group step.
+pub fn adopt_max_step() -> impl GroupStep<State> {
+    FnGroupStep::new("adopt-max", |states: &[State], _rng: &mut dyn rand::RngCore| {
+        let m = states.iter().copied().max().unwrap_or(0);
+        vec![m; states.len()]
+    })
+}
+
+/// Builds the complete system over a connected `topology`.
+///
+/// # Panics
+///
+/// Panics if `initial` is empty or `topology` is not connected.
+pub fn system(initial: &[State], topology: Topology) -> SelfSimilarSystem<State> {
+    assert!(!initial.is_empty(), "need at least one agent");
+    assert!(
+        topology.is_connected(),
+        "the maximum example requires a connected fairness graph"
+    );
+    assert_eq!(initial.len(), topology.agent_count());
+    let bound = *initial.iter().max().expect("non-empty");
+    SelfSimilarSystem::new(
+        "maximum",
+        function(),
+        objective(bound),
+        adopt_max_step(),
+        initial.to_vec(),
+        FairnessSpec::for_graph(&topology),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use selfsim_core::super_idempotence::{check_idempotent, check_super_idempotent};
+    use selfsim_core::{proof, DistributedFunction, ObjectiveFunction};
+
+    fn samples() -> Vec<Multiset<State>> {
+        vec![
+            Multiset::new(),
+            [4].into(),
+            [3, 5].into(),
+            [3, 5, 3, 7].into(),
+            [2, 2].into(),
+        ]
+    }
+
+    #[test]
+    fn f_replaces_all_with_maximum() {
+        assert_eq!(function().apply(&[3, 5, 3, 7].into()), [7, 7, 7, 7].into());
+    }
+
+    #[test]
+    fn f_is_super_idempotent() {
+        let f = function();
+        assert!(check_idempotent(&f, &samples()).is_ok());
+        assert!(check_super_idempotent(&f, &samples()).is_ok());
+    }
+
+    #[test]
+    fn objective_decreases_as_values_rise() {
+        let h = objective(7);
+        assert_eq!(h.eval(&[3, 5, 3, 7].into()), 4.0 + 2.0 + 4.0 + 0.0);
+        assert_eq!(h.eval(&[7, 7, 7, 7].into()), 0.0);
+        assert!(h.strictly_decreases(&[3, 5].into(), &[5, 5].into()));
+    }
+
+    #[test]
+    fn system_passes_proof_obligations() {
+        let sys = system(&[3, 5, 3, 7], Topology::ring(4));
+        let mut rng = StdRng::seed_from_u64(4);
+        let report = proof::audit_system(&sys, &[], 3, &mut rng);
+        assert!(report.passed(), "{:?}", report.violations);
+        assert_eq!(sys.target(), [7, 7, 7, 7].into());
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn disconnected_topology_rejected() {
+        let _ = system(&[1, 2], Topology::empty(2));
+    }
+}

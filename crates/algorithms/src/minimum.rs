@@ -1,0 +1,213 @@
+//! §4.1 — Minimum of a set, as a consensus problem.
+//!
+//! Every agent holds one non-negative integer; the goal is for every agent
+//! to end up holding the minimum of the initial values.
+//!
+//! * `f` maps a multiset to a multiset of the same cardinality in which all
+//!   values equal the minimum: `f({3,5,3,7}) = {3,3,3,3}`.  It is defined by
+//!   a commutative associative operator, hence super-idempotent.
+//! * `h(S) = Σ_a x_a` — non-negative and integer-valued, so well-founded.
+//! * `R`: any group step that keeps the group minimum while reducing the
+//!   group sum.  [`adopt_min_step`] makes every member adopt the group
+//!   minimum (the fastest admissible move); [`partial_descent_step`] lets
+//!   every member move to a random value between the group minimum and its
+//!   current value (the paper's "any value between their current value and
+//!   the minimum of the group").
+//! * `Q`: `Q_E` for any connected graph `E`.
+
+use rand::Rng;
+
+use selfsim_core::{
+    ConsensusFunction, FnGroupStep, GroupStep, SelfSimilarSystem, SummationObjective,
+};
+use selfsim_env::{FairnessSpec, Topology};
+use selfsim_multiset::Multiset;
+
+/// The agent state: a single non-negative integer.
+pub type State = i64;
+
+/// The distributed function `f`: every agent adopts the minimum.
+pub fn function() -> impl selfsim_core::DistributedFunction<State> {
+    ConsensusFunction::new("min", |s: &Multiset<State>| {
+        s.min_value().copied().unwrap_or(0)
+    })
+}
+
+/// The objective `h(S) = Σ_a x_a` in summation form (8).
+pub fn objective() -> SummationObjective<State, impl Fn(&State) -> f64> {
+    SummationObjective::new("sum-of-values", |v: &State| *v as f64)
+}
+
+/// The "adopt the group minimum" group step: the fastest refinement of `D`.
+pub fn adopt_min_step() -> impl GroupStep<State> {
+    FnGroupStep::new("adopt-min", |states: &[State], _rng: &mut dyn rand::RngCore| {
+        let m = states.iter().copied().min().unwrap_or(0);
+        vec![m; states.len()]
+    })
+}
+
+/// A slower admissible step: every member moves to a uniformly random value
+/// between the group minimum and its current value (inclusive).  Still
+/// conserves the minimum and never increases the sum; the step only counts
+/// as a change when at least one member actually moved.
+pub fn partial_descent_step() -> impl GroupStep<State> {
+    FnGroupStep::new(
+        "partial-descent",
+        |states: &[State], rng: &mut dyn rand::RngCore| {
+            let m = states.iter().copied().min().unwrap_or(0);
+            let mut out: Vec<State> = states
+                .iter()
+                .map(|&x| if x > m { rng.gen_range(m..=x) } else { x })
+                .collect();
+            // Guarantee strict descent whenever descent is possible: if the
+            // random draws all stayed put but some member is above the
+            // minimum, pull one of them down by one.
+            if out == states {
+                if let Some(i) = out.iter().position(|&x| x > m) {
+                    out[i] -= 1;
+                }
+            }
+            out
+        },
+    )
+}
+
+/// The fairness assumption: `Q_E` for the given (connected) graph.
+pub fn fairness(topology: &Topology) -> FairnessSpec {
+    FairnessSpec::for_graph(topology)
+}
+
+/// Builds the complete system for the given initial values over `topology`
+/// (which doubles as the fairness graph), using [`adopt_min_step`].
+///
+/// # Panics
+///
+/// Panics if any initial value is negative (the paper assumes
+/// `x_a(0) ≥ 0` so that `h` is well-founded) or if `topology` is not
+/// connected.
+pub fn system(initial: &[State], topology: Topology) -> SelfSimilarSystem<State> {
+    system_with_step(initial, topology, adopt_min_step())
+}
+
+/// Builds the system with a caller-chosen group step (e.g.
+/// [`partial_descent_step`]).
+pub fn system_with_step(
+    initial: &[State],
+    topology: Topology,
+    step: impl GroupStep<State> + 'static,
+) -> SelfSimilarSystem<State> {
+    assert!(
+        initial.iter().all(|v| *v >= 0),
+        "the minimum example assumes non-negative initial values"
+    );
+    assert!(
+        topology.is_connected(),
+        "the minimum example requires a connected fairness graph"
+    );
+    assert_eq!(initial.len(), topology.agent_count());
+    SelfSimilarSystem::new(
+        "minimum",
+        function(),
+        objective(),
+        step,
+        initial.to_vec(),
+        fairness(&topology),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use selfsim_core::super_idempotence::{
+        check_idempotent, check_local_conservation_implies_global, check_super_idempotent,
+        check_super_idempotent_single_element,
+    };
+    use selfsim_core::{proof, DistributedFunction, ObjectiveFunction};
+
+    fn samples() -> Vec<Multiset<State>> {
+        vec![
+            Multiset::new(),
+            [0].into(),
+            [3, 5].into(),
+            [3, 5, 3, 7].into(),
+            [9, 9, 9].into(),
+            [1, 100, 50].into(),
+        ]
+    }
+
+    #[test]
+    fn paper_example_value() {
+        assert_eq!(function().apply(&[3, 5, 3, 7].into()), [3, 3, 3, 3].into());
+    }
+
+    #[test]
+    fn f_is_super_idempotent() {
+        let f = function();
+        assert!(check_idempotent(&f, &samples()).is_ok());
+        assert!(check_super_idempotent(&f, &samples()).is_ok());
+        assert!(
+            check_super_idempotent_single_element(&f, &samples(), &[0, 2, 6, 11]).is_ok()
+        );
+        assert!(check_local_conservation_implies_global(&f, &samples()).is_ok());
+    }
+
+    #[test]
+    fn objective_is_nonnegative_on_nonnegative_states() {
+        let h = objective();
+        for s in samples() {
+            assert!(h.eval(&s) >= 0.0);
+        }
+        assert_eq!(h.eval(&[3, 5, 3, 7].into()), 18.0);
+    }
+
+    #[test]
+    fn adopt_min_step_refines_d() {
+        let sys = system(&[3, 5, 3, 7], Topology::line(4));
+        let mut rng = StdRng::seed_from_u64(1);
+        let report = proof::audit_system(&sys, &[], 3, &mut rng);
+        assert!(report.passed(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn partial_descent_step_refines_d() {
+        let sys = system_with_step(&[3, 5, 3, 7], Topology::line(4), partial_descent_step());
+        let mut rng = StdRng::seed_from_u64(2);
+        let report = proof::audit_system(&sys, &[vec![10, 0, 4], vec![7, 7]], 10, &mut rng);
+        assert!(report.passed(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn partial_descent_makes_progress_when_possible() {
+        let step = partial_descent_step();
+        let mut rng = StdRng::seed_from_u64(3);
+        // From a non-optimal group state the step must change something
+        // (needed for the escape obligation).
+        let before = vec![5i64, 5, 5, 2];
+        let after = step.step(&before, &mut rng);
+        assert_ne!(before, after);
+        assert_eq!(after.iter().copied().min(), Some(2));
+        assert!(after.iter().sum::<i64>() < before.iter().sum::<i64>());
+    }
+
+    #[test]
+    fn target_is_all_minimum() {
+        let sys = system(&[9, 4, 7], Topology::complete(3));
+        assert_eq!(sys.target(), [4, 4, 4].into());
+        assert!(sys.is_converged(&[4, 4, 4]));
+        assert!(!sys.is_converged(&[4, 4, 7]));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_initial_values_are_rejected() {
+        let _ = system(&[3, -1], Topology::line(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn disconnected_fairness_graph_is_rejected() {
+        let _ = system(&[3, 1, 2], Topology::empty(3));
+    }
+}

@@ -1,0 +1,256 @@
+//! §4.3 — Second smallest value.
+//!
+//! The *second smallest* of a multiset is the smallest value different from
+//! the minimum (or the common value when all values are equal).  The obvious
+//! consensus function — every agent adopts the second smallest — is
+//! idempotent but **not super-idempotent** (the paper's counterexample:
+//! `X = {1,3}`, `Y = {2}`), so the self-similar strategy cannot be applied
+//! to it directly.  [`naive_function`] implements that function so the
+//! counterexample can be demonstrated mechanically.
+//!
+//! The paper's fix is to *generalise* the problem: each agent maintains a
+//! pair `(x_a, y_a)` — its current estimates of the smallest and second
+//! smallest values — initially `(x_a(0), x_a(0))`.  The generalised `f`
+//! replaces every pair by `(x, y)`, the two smallest **distinct** values
+//! appearing anywhere in the group's pairs (leaving the multiset unchanged
+//! when only one distinct value exists).  This `f` is super-idempotent.
+//!
+//! ## Deviation from the paper (documented)
+//!
+//! The paper proposes `h(S) = Σ_a (x_a + y_a)`.  That objective is not
+//! strictly decreased by every admissible group step: from
+//! `{(2,2), (5,5)}` the only `f`-conserving move towards the target is to
+//! `{(2,5), (2,5)}`, and both states have `Σ(x+y) = 14`.  We therefore use
+//! the per-agent term `x_a + y_eff(a)` where `y_eff(a) = y_a` when
+//! `y_a > x_a` and a fixed bound `B` (larger than every initial value) when
+//! `y_a = x_a` ("no second value learned yet").  This keeps the summation
+//! form (8) — so local-to-global still holds — and every group step that
+//! changes the multiset strictly decreases it.  The regression test
+//! `paper_objective_is_not_strictly_decreasing` pins down the corner case
+//! that motivates the change.
+
+use selfsim_core::{
+    ConsensusFunction, FnDistributedFunction, FnGroupStep, GroupStep, SelfSimilarSystem,
+    SummationObjective,
+};
+use selfsim_env::{FairnessSpec, Topology};
+use selfsim_multiset::Multiset;
+
+/// The generalised agent state: `(smallest seen, second smallest seen)`,
+/// with `y = x` meaning "no second distinct value known yet".
+pub type State = (i64, i64);
+
+/// The **naive**, non-super-idempotent consensus function of the original
+/// problem: every agent adopts the second smallest value of the multiset.
+///
+/// Kept for the §4.3 counterexample; do not build a system from it.
+pub fn naive_function() -> impl selfsim_core::DistributedFunction<i64> {
+    ConsensusFunction::new("second-smallest-naive", |s: &Multiset<i64>| {
+        let min = s.min_value().copied().unwrap_or(0);
+        s.iter().copied().filter(|v| *v != min).min().unwrap_or(min)
+    })
+}
+
+/// The two smallest distinct values appearing (in either slot) in a multiset
+/// of pairs; `None` if the multiset is empty, `(v, v)` if only one distinct
+/// value exists.
+fn smallest_two(s: &Multiset<State>) -> Option<(i64, i64)> {
+    let mut values: Vec<i64> = s.iter().flat_map(|(x, y)| [*x, *y]).collect();
+    values.sort_unstable();
+    values.dedup();
+    match values.as_slice() {
+        [] => None,
+        [only] => Some((*only, *only)),
+        [first, second, ..] => Some((*first, *second)),
+    }
+}
+
+/// The generalised (super-idempotent) distributed function: every pair
+/// becomes the two smallest distinct values of the group.
+pub fn function() -> impl selfsim_core::DistributedFunction<State> {
+    FnDistributedFunction::new("smallest-two", |s: &Multiset<State>| {
+        match smallest_two(s) {
+            None => Multiset::new(),
+            Some(pair) => s.fill_with(pair),
+        }
+    })
+}
+
+/// The objective in summation form: `x + y` when a second value is known,
+/// `x + bound` otherwise (see the module docs for why this deviates from the
+/// paper's `Σ(x + y)`).
+pub fn objective(bound: i64) -> SummationObjective<State, impl Fn(&State) -> f64> {
+    SummationObjective::new("sum-of-pair-knowledge", move |(x, y): &State| {
+        let y_eff = if y > x { *y } else { bound };
+        (*x + y_eff) as f64
+    })
+}
+
+/// The paper's original objective `Σ_a (x_a + y_a)`, kept so the test-suite
+/// and EXPERIMENTS.md can demonstrate its corner case.
+pub fn paper_objective() -> SummationObjective<State, impl Fn(&State) -> f64> {
+    SummationObjective::new("sum-of-pairs", |(x, y): &State| (*x + *y) as f64)
+}
+
+/// The group step: every member adopts the group's two smallest distinct
+/// values.
+pub fn adopt_step() -> impl GroupStep<State> {
+    FnGroupStep::new("adopt-smallest-two", |states: &[State], _rng: &mut dyn rand::RngCore| {
+        let ms: Multiset<State> = states.iter().copied().collect();
+        match smallest_two(&ms) {
+            None => Vec::new(),
+            Some(pair) => vec![pair; states.len()],
+        }
+    })
+}
+
+/// Builds the generalised system for the given initial *values* (each agent
+/// starts with the pair `(v, v)`), over a connected fairness graph.
+///
+/// # Panics
+///
+/// Panics if any initial value is negative or the topology is not connected.
+pub fn system(initial_values: &[i64], topology: Topology) -> SelfSimilarSystem<State> {
+    assert!(
+        initial_values.iter().all(|v| *v >= 0),
+        "the second-smallest example assumes non-negative initial values"
+    );
+    assert!(
+        topology.is_connected(),
+        "the second-smallest example requires a connected fairness graph"
+    );
+    assert_eq!(initial_values.len(), topology.agent_count());
+    let bound = initial_values.iter().copied().max().unwrap_or(0) + 1;
+    let initial: Vec<State> = initial_values.iter().map(|v| (*v, *v)).collect();
+    SelfSimilarSystem::new(
+        "second-smallest",
+        function(),
+        objective(bound),
+        adopt_step(),
+        initial,
+        FairnessSpec::for_graph(&topology),
+    )
+}
+
+/// Extracts the answer to the *original* problem (the second smallest value)
+/// from a converged generalised state.
+pub fn extract_answer(state: &[State]) -> Option<i64> {
+    state.first().map(|(x, y)| if y > x { *y } else { *x })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use selfsim_core::super_idempotence::{
+        check_idempotent, check_local_conservation_implies_global, check_super_idempotent,
+        check_super_idempotent_single_element,
+    };
+    use selfsim_core::{proof, DistributedFunction, ObjectiveFunction};
+
+    #[test]
+    fn naive_function_matches_paper_example() {
+        assert_eq!(
+            naive_function().apply(&[3, 5, 3, 7].into()),
+            [5, 5, 5, 5].into()
+        );
+        // All-equal multisets keep their common value.
+        assert_eq!(naive_function().apply(&[4, 4].into()), [4, 4].into());
+    }
+
+    #[test]
+    fn naive_function_is_idempotent_but_not_super_idempotent() {
+        // The paper's counterexample: X = {1,3}, Y = {2}.
+        let f = naive_function();
+        let x: Multiset<i64> = [1, 3].into();
+        let y: Multiset<i64> = [2].into();
+        assert!(check_idempotent(&f, &[x.clone(), y.clone(), x.union(&y)]).is_ok());
+        let fx = f.apply(&x);
+        assert_eq!(fx, [3, 3].into());
+        assert_eq!(f.apply(&fx.union(&y)), [3, 3, 3].into());
+        assert_eq!(f.apply(&x.union(&y)), [2, 2, 2].into());
+        assert!(check_super_idempotent(&f, &[x, y]).is_err());
+    }
+
+    fn pair_samples() -> Vec<Multiset<State>> {
+        vec![
+            Multiset::new(),
+            [(2, 2)].into(),
+            [(2, 5), (3, 4), (2, 7)].into(),
+            [(2, 2), (2, 2)].into(),
+            [(1, 1), (3, 3)].into(),
+            [(2, 2), (5, 5)].into(),
+            [(1, 3), (1, 3)].into(),
+        ]
+    }
+
+    #[test]
+    fn generalised_function_matches_paper_examples() {
+        let f = function();
+        assert_eq!(
+            f.apply(&[(2, 5), (3, 4), (2, 7)].into()),
+            [(2, 3), (2, 3), (2, 3)].into()
+        );
+        assert_eq!(f.apply(&[(2, 2), (2, 2)].into()), [(2, 2), (2, 2)].into());
+    }
+
+    #[test]
+    fn generalised_function_is_super_idempotent() {
+        let f = function();
+        assert!(check_idempotent(&f, &pair_samples()).is_ok());
+        assert!(check_super_idempotent(&f, &pair_samples()).is_ok());
+        assert!(check_super_idempotent_single_element(
+            &f,
+            &pair_samples(),
+            &[(0, 0), (2, 2), (1, 4), (6, 9)]
+        )
+        .is_ok());
+        assert!(check_local_conservation_implies_global(&f, &pair_samples()).is_ok());
+    }
+
+    #[test]
+    fn paper_objective_is_not_strictly_decreasing() {
+        // The corner case documented in the module docs: {(2,2),(5,5)} must
+        // move to {(2,5),(2,5)} (the group's f-image), but the paper's
+        // Σ(x+y) objective does not strictly decrease across that move.
+        let h = paper_objective();
+        let before: Multiset<State> = [(2, 2), (5, 5)].into();
+        let after: Multiset<State> = [(2, 5), (2, 5)].into();
+        assert_eq!(function().apply(&before), after);
+        assert_eq!(h.eval(&before), h.eval(&after));
+        assert!(!h.strictly_decreases(&before, &after));
+        // The corrected objective does strictly decrease.
+        let fixed = objective(6);
+        assert!(fixed.strictly_decreases(&before, &after));
+    }
+
+    #[test]
+    fn system_passes_proof_obligations() {
+        let sys = system(&[4, 9, 2, 7], Topology::ring(4));
+        let mut rng = StdRng::seed_from_u64(8);
+        let report = proof::audit_system(&sys, &[vec![(2, 2), (5, 5)], vec![(1, 4), (1, 1)]], 3, &mut rng);
+        assert!(report.passed(), "{:?}", report.violations);
+        // Target: every agent knows (2, 4).
+        assert_eq!(sys.target(), [(2, 4), (2, 4), (2, 4), (2, 4)].into());
+    }
+
+    #[test]
+    fn extract_answer_reads_the_second_smallest() {
+        assert_eq!(extract_answer(&[(2, 4), (2, 4)]), Some(4));
+        assert_eq!(extract_answer(&[(3, 3)]), Some(3)); // all values equal
+        assert_eq!(extract_answer(&[]), None);
+    }
+
+    #[test]
+    fn all_equal_initial_values_are_already_converged() {
+        let sys = system(&[5, 5, 5], Topology::line(3));
+        assert!(sys.is_converged(sys.initial_state()));
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn disconnected_topology_rejected() {
+        let _ = system(&[1, 2], Topology::empty(2));
+    }
+}

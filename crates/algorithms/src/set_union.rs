@@ -1,0 +1,123 @@
+//! Extension — knowledge dissemination: every agent learns the union of all
+//! initial knowledge sets.
+//!
+//! A direct generalisation of the consensus examples to set-valued states:
+//! `f` replaces every agent's set by the union of all sets in the group.
+//! Union is commutative and associative, so `f` is super-idempotent, and the
+//! objective counts the missing elements per agent (summation form).
+//! This is the pattern behind gossip-style membership and map
+//! dissemination protocols, and it is the backbone of the convex-hull
+//! example with "hull of" composed on top.
+
+use std::collections::BTreeSet;
+
+use selfsim_core::{
+    FnDistributedFunction, FnGroupStep, GroupStep, SelfSimilarSystem, SummationObjective,
+};
+use selfsim_env::{FairnessSpec, Topology};
+use selfsim_multiset::Multiset;
+
+/// The agent state: a finite set of items (integers for simplicity).
+pub type State = BTreeSet<i64>;
+
+/// The distributed function: every agent's set becomes the union of all sets.
+pub fn function() -> impl selfsim_core::DistributedFunction<State> {
+    FnDistributedFunction::new("set-union", |s: &Multiset<State>| {
+        if s.is_empty() {
+            return Multiset::new();
+        }
+        let union: State = s.iter().flat_map(|set| set.iter().copied()).collect();
+        s.fill_with(union)
+    })
+}
+
+/// The objective `h(S) = Σ_a (|U| − |V_a|)` where `U` is the union of all
+/// initial sets (a constant of the instance).
+pub fn objective(universe_size: usize) -> SummationObjective<State, impl Fn(&State) -> f64> {
+    SummationObjective::new("missing-items", move |set: &State| {
+        universe_size.saturating_sub(set.len()) as f64
+    })
+}
+
+/// The group step: every member adopts the union of the group's sets.
+pub fn merge_step() -> impl GroupStep<State> {
+    FnGroupStep::new("merge-sets", |states: &[State], _rng: &mut dyn rand::RngCore| {
+        let union: State = states.iter().flat_map(|s| s.iter().copied()).collect();
+        vec![union; states.len()]
+    })
+}
+
+/// Builds the system for the given initial knowledge sets over a connected
+/// fairness graph.
+pub fn system(initial: &[State], topology: Topology) -> SelfSimilarSystem<State> {
+    assert!(
+        topology.is_connected(),
+        "the set-union example requires a connected fairness graph"
+    );
+    assert_eq!(initial.len(), topology.agent_count());
+    let universe: State = initial.iter().flat_map(|s| s.iter().copied()).collect();
+    SelfSimilarSystem::new(
+        "set-union",
+        function(),
+        objective(universe.len()),
+        merge_step(),
+        initial.to_vec(),
+        FairnessSpec::for_graph(&topology),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use selfsim_core::super_idempotence::{check_idempotent, check_super_idempotent};
+    use selfsim_core::{proof, DistributedFunction, ObjectiveFunction};
+
+    fn set(items: &[i64]) -> State {
+        items.iter().copied().collect()
+    }
+
+    fn samples() -> Vec<Multiset<State>> {
+        vec![
+            Multiset::new(),
+            [set(&[1])].into(),
+            [set(&[1, 2]), set(&[3])].into(),
+            [set(&[1]), set(&[1]), set(&[2, 4])].into(),
+        ]
+    }
+
+    #[test]
+    fn f_unions_all_knowledge() {
+        let f = function();
+        let out = f.apply(&[set(&[1, 2]), set(&[3])].into());
+        assert_eq!(out, [set(&[1, 2, 3]), set(&[1, 2, 3])].into());
+    }
+
+    #[test]
+    fn f_is_super_idempotent() {
+        let f = function();
+        assert!(check_idempotent(&f, &samples()).is_ok());
+        assert!(check_super_idempotent(&f, &samples()).is_ok());
+    }
+
+    #[test]
+    fn objective_counts_missing_items() {
+        let h = objective(4);
+        assert_eq!(h.eval(&[set(&[1]), set(&[1, 2, 3, 4])].into()), 3.0);
+        assert_eq!(h.eval(&[set(&[1, 2, 3, 4])].into()), 0.0);
+    }
+
+    #[test]
+    fn system_passes_proof_obligations() {
+        let initial = vec![set(&[1, 2]), set(&[3]), set(&[2, 5])];
+        let sys = system(&initial, Topology::line(3));
+        let mut rng = StdRng::seed_from_u64(30);
+        let report = proof::audit_system(&sys, &[], 2, &mut rng);
+        assert!(report.passed(), "{:?}", report.violations);
+        assert_eq!(sys.target(), {
+            let full = set(&[1, 2, 3, 5]);
+            [full.clone(), full.clone(), full].into()
+        });
+    }
+}

@@ -1,0 +1,423 @@
+//! §4.4 — Distributed sorting.
+//!
+//! Each agent holds one `(index, value)` pair of a distributed array; the
+//! goal is for the values to end up in non-decreasing order of the indices.
+//!
+//! * `f` keeps the index set and the value multiset and re-pairs them so
+//!   that values are sorted by index: `f({(1,3),(2,5),(3,3),(4,7)}) =
+//!   {(1,3),(2,3),(3,5),(4,7)}`.  Sorting after a permutation gives the same
+//!   sorted array, so `f` is super-idempotent.
+//! * **Objective functions.**  The paper argues that the classic "number of
+//!   out-of-order pairs" objective ([`inversion_objective`]) violates the
+//!   local-to-global property, illustrated by Figure 1.
+//!   [`figure1_counterexample`] reproduces the figure's exact arrays and
+//!   groups and evaluates the objective on them; a reproduction note: under
+//!   the paper's own textual definition of the objective
+//!   (`|{(a,b) | i_a < i_b ∧ x_b ≺ x_a}|`) the computed values are
+//!   (15, 12, 20, 17) rather than the figure's printed (10, 9, 14, 15), and
+//!   both the group *and* the union improve across the figure's transition,
+//!   so the printed instance does not itself witness the violation (see
+//!   EXPERIMENTS.md).  The *qualitative* claim — objectives that are not in
+//!   summation form can break obligation (10) — is nonetheless true and is
+//!   witnessed mechanically by [`max_displacement_objective`].  The paper's
+//!   recommended objective is the squared displacement
+//!   `h(S) = Σ_a (i_a − ord(x_a))²` ([`displacement_objective`]), which is in
+//!   summation form (8) and is the one used by [`system`].
+//! * `R`: any permutation of a group's values that decreases `h`;
+//!   [`sort_group_step`] sorts the group's values along the group's indices
+//!   (every swap of an out-of-order pair decreases `h`, and so does their
+//!   composition).
+//! * `Q`: `Q_E` for the **line graph** in index order — each agent only ever
+//!   needs to meet its left and right index neighbours.
+
+use selfsim_core::{
+    FnDistributedFunction, FnGroupStep, FnObjective, GroupStep, ObjectiveFunction,
+    SelfSimilarSystem, SummationObjective,
+};
+use selfsim_env::FairnessSpec;
+use selfsim_multiset::Multiset;
+use std::collections::BTreeMap;
+
+/// The agent state: `(index, value)`.
+pub type State = (i64, i64);
+
+/// The distributed function `f`: re-pair the indices (ascending) with the
+/// values (ascending).
+pub fn function() -> impl selfsim_core::DistributedFunction<State> {
+    FnDistributedFunction::new("sort-by-index", |s: &Multiset<State>| {
+        let mut indices: Vec<i64> = s.iter().map(|(i, _)| *i).collect();
+        let mut values: Vec<i64> = s.iter().map(|(_, x)| *x).collect();
+        indices.sort_unstable();
+        values.sort_unstable();
+        indices.into_iter().zip(values).collect()
+    })
+}
+
+/// The "number of out-of-order pairs" objective — well-founded but **not**
+/// compatible with the local-to-global obligation (Figure 1).
+pub fn inversion_objective() -> FnObjective<State, impl Fn(&Multiset<State>) -> f64> {
+    FnObjective::new("inversions", |s: &Multiset<State>| {
+        let entries: Vec<State> = s.iter().copied().collect();
+        let mut count = 0usize;
+        for (k, (i_a, x_a)) in entries.iter().enumerate() {
+            for (i_b, x_b) in entries.iter().skip(k + 1) {
+                let (lo, hi) = if i_a < i_b {
+                    ((i_a, x_a), (i_b, x_b))
+                } else {
+                    ((i_b, x_b), (i_a, x_a))
+                };
+                if hi.1 < lo.1 {
+                    count += 1;
+                }
+            }
+        }
+        count as f64
+    })
+}
+
+/// The values printed inside the paper's Figure 1, in the order
+/// `(h(S_B), h(S'_B), h(S_{B∪C}), h(S'_{B∪C}))`.
+///
+/// Kept as data so the figure harness can print them next to the values
+/// computed from the textual definition of the objective (which differ —
+/// see the module documentation and EXPERIMENTS.md).
+pub const FIGURE1_REPORTED: (f64, f64, f64, f64) = (10.0, 9.0, 14.0, 15.0);
+
+/// The *maximum* displacement objective `h(S) = max_a |i_a − ord(x_a)|`
+/// (with `ord` relative to the multiset itself).
+///
+/// Well-founded, and every group-sorting step weakly improves it — but it is
+/// **not** in summation form, and it demonstrably violates the
+/// local-to-global obligation (10): a group can strictly reduce its own
+/// maximum displacement while an untouched agent elsewhere pins the union's
+/// maximum, so the union does not strictly improve.  This is the mechanical
+/// stand-in for the point Figure 1 makes.
+pub fn max_displacement_objective() -> FnObjective<State, impl Fn(&Multiset<State>) -> f64> {
+    FnObjective::new("max-displacement", |s: &Multiset<State>| {
+        let mut indices: Vec<i64> = s.iter().map(|(i, _)| *i).collect();
+        let mut values: Vec<i64> = s.iter().map(|(_, x)| *x).collect();
+        indices.sort_unstable();
+        values.sort_unstable();
+        let ord: BTreeMap<i64, i64> = values.iter().copied().zip(indices).collect();
+        s.iter()
+            .map(|(i, x)| (*i - ord.get(x).copied().unwrap_or(*i)).abs() as f64)
+            .fold(0.0, f64::max)
+    })
+}
+
+/// The squared-displacement objective of the paper:
+/// `h(S) = Σ_a (i_a − ord(x_a))²`, where `ord` maps each value to the index
+/// it must occupy in the fully sorted array.
+///
+/// `ord` is computed once from the *initial* array (indices consecutive,
+/// values distinct, per the paper's simplifying assumptions) and captured by
+/// the returned objective, giving a genuine summation-form (8) function.
+pub fn displacement_objective(
+    initial: &[State],
+) -> SummationObjective<State, impl Fn(&State) -> f64> {
+    let mut indices: Vec<i64> = initial.iter().map(|(i, _)| *i).collect();
+    let mut values: Vec<i64> = initial.iter().map(|(_, x)| *x).collect();
+    indices.sort_unstable();
+    values.sort_unstable();
+    let ord: BTreeMap<i64, i64> = values.into_iter().zip(indices).map(|(v, i)| (v, i)).collect();
+    SummationObjective::new("squared-displacement", move |(i, x): &State| {
+        let desired = ord.get(x).copied().unwrap_or(*i);
+        let d = (*i - desired) as f64;
+        d * d
+    })
+}
+
+/// The group step: sort the group's values along the group's indices (each
+/// member keeps its index, the values are redistributed in sorted order).
+pub fn sort_group_step() -> impl GroupStep<State> {
+    FnGroupStep::new("sort-group", |states: &[State], _rng: &mut dyn rand::RngCore| {
+        let mut order: Vec<usize> = (0..states.len()).collect();
+        order.sort_by_key(|&k| states[k].0);
+        let mut values: Vec<i64> = states.iter().map(|(_, x)| *x).collect();
+        values.sort_unstable();
+        let mut out = states.to_vec();
+        for (rank, &k) in order.iter().enumerate() {
+            out[k] = (states[k].0, values[rank]);
+        }
+        out
+    })
+}
+
+/// A gentler admissible step: swap a single adjacent-in-index out-of-order
+/// pair within the group (odd-even-transposition style); no change if the
+/// group is already sorted.
+pub fn swap_one_step() -> impl GroupStep<State> {
+    FnGroupStep::new("swap-one", |states: &[State], _rng: &mut dyn rand::RngCore| {
+        let mut order: Vec<usize> = (0..states.len()).collect();
+        order.sort_by_key(|&k| states[k].0);
+        let mut out = states.to_vec();
+        for w in order.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if out[a].1 > out[b].1 {
+                let (va, vb) = (out[a].1, out[b].1);
+                out[a].1 = vb;
+                out[b].1 = va;
+                break;
+            }
+        }
+        out
+    })
+}
+
+/// Builds the system for the given initial values; agent `k` holds index
+/// `k + 1` (the paper's 1-based examples) and `values[k]`.  The fairness
+/// graph is the line in index order.
+///
+/// # Panics
+///
+/// Panics if the values are not pairwise distinct (the paper's simplifying
+/// assumption for `ord`).
+pub fn system(values: &[i64]) -> SelfSimilarSystem<State> {
+    system_with_step(values, sort_group_step())
+}
+
+/// Builds the system with a caller-chosen admissible step.
+pub fn system_with_step(values: &[i64], step: impl GroupStep<State> + 'static) -> SelfSimilarSystem<State> {
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(
+        sorted.len(),
+        values.len(),
+        "the sorting example assumes pairwise-distinct values"
+    );
+    let initial: Vec<State> = values
+        .iter()
+        .enumerate()
+        .map(|(k, v)| ((k + 1) as i64, *v))
+        .collect();
+    let h = displacement_objective(&initial);
+    SelfSimilarSystem::new(
+        "sorting",
+        function(),
+        h,
+        step,
+        initial,
+        FairnessSpec::line(values.len()),
+    )
+}
+
+/// The concrete data of the paper's Figure 1: the 7-agent state
+/// `[7,5,6,4,3,2,1]`, the partition into `B = {1,3,4,5,6,7}` and `C = {2}`
+/// (1-based agent positions), and the transition to `[6,5,7,3,4,1,2]`.
+///
+/// Returns `(h(S_B), h(S'_B), h(S_{B∪C}), h(S'_{B∪C}))` for the
+/// inversion-count objective evaluated per its textual definition.  The
+/// paper's figure prints `(10, 9, 14, 15)` ([`FIGURE1_REPORTED`]); the
+/// values computed from the definition are `(15, 12, 20, 17)` — the
+/// reproduction discrepancy discussed in the module docs and EXPERIMENTS.md.
+pub fn figure1_counterexample() -> (f64, f64, f64, f64) {
+    let h = inversion_objective();
+    let full_before: Vec<State> = [7, 5, 6, 4, 3, 2, 1]
+        .iter()
+        .enumerate()
+        .map(|(k, v)| ((k + 1) as i64, *v))
+        .collect();
+    let full_after: Vec<State> = [6, 5, 7, 3, 4, 1, 2]
+        .iter()
+        .enumerate()
+        .map(|(k, v)| ((k + 1) as i64, *v))
+        .collect();
+    let b_positions = [1usize, 3, 4, 5, 6, 7];
+    let group_b_before: Multiset<State> = b_positions
+        .iter()
+        .map(|p| full_before[p - 1])
+        .collect();
+    let group_b_after: Multiset<State> = b_positions.iter().map(|p| full_after[p - 1]).collect();
+    let union_before: Multiset<State> = full_before.iter().copied().collect();
+    let union_after: Multiset<State> = full_after.iter().copied().collect();
+    (
+        h.eval(&group_b_before),
+        h.eval(&group_b_after),
+        h.eval(&union_before),
+        h.eval(&union_after),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use selfsim_core::super_idempotence::{check_idempotent, check_super_idempotent};
+    use selfsim_core::{proof, DistributedFunction, ObjectiveFunction, RelationD};
+
+    fn pairs(values: &[i64]) -> Multiset<State> {
+        values
+            .iter()
+            .enumerate()
+            .map(|(k, v)| ((k + 1) as i64, *v))
+            .collect()
+    }
+
+    #[test]
+    fn f_matches_paper_example() {
+        let f = function();
+        assert_eq!(
+            f.apply(&[(1, 3), (2, 5), (3, 3), (4, 7)].into()),
+            [(1, 3), (2, 3), (3, 5), (4, 7)].into()
+        );
+    }
+
+    #[test]
+    fn f_is_super_idempotent() {
+        let f = function();
+        let samples: Vec<Multiset<State>> = vec![
+            Multiset::new(),
+            pairs(&[3]),
+            pairs(&[5, 3]),
+            pairs(&[7, 5, 6, 4]),
+            [(10, 2), (20, 1)].into(),
+        ];
+        assert!(check_idempotent(&f, &samples).is_ok());
+        assert!(check_super_idempotent(&f, &samples).is_ok());
+    }
+
+    #[test]
+    fn figure1_computed_values_and_reported_values() {
+        // Values computed from the textual definition of the objective.
+        let (h_b_before, h_b_after, h_union_before, h_union_after) = figure1_counterexample();
+        assert_eq!(h_b_before, 15.0);
+        assert_eq!(h_b_after, 12.0);
+        assert_eq!(h_union_before, 20.0);
+        assert_eq!(h_union_after, 17.0);
+        // The figure's printed values differ — the documented discrepancy.
+        assert_ne!(
+            (h_b_before, h_b_after, h_union_before, h_union_after),
+            FIGURE1_REPORTED
+        );
+        // On the figure's own transition the group improves (as the paper
+        // says) but the union improves too, so this instance does not
+        // witness a violation under the textual definition.
+        assert!(h_b_after < h_b_before);
+        assert!(h_union_after < h_union_before);
+    }
+
+    #[test]
+    fn figure1_transition_is_a_d_step_for_the_group() {
+        let d = RelationD::new(function(), inversion_objective());
+        let full_before: Vec<State> = [7, 5, 6, 4, 3, 2, 1]
+            .iter()
+            .enumerate()
+            .map(|(k, v)| ((k + 1) as i64, *v))
+            .collect();
+        let full_after: Vec<State> = [6, 5, 7, 3, 4, 1, 2]
+            .iter()
+            .enumerate()
+            .map(|(k, v)| ((k + 1) as i64, *v))
+            .collect();
+        let b_positions = [1usize, 3, 4, 5, 6, 7];
+        let b_before: Multiset<State> = b_positions.iter().map(|p| full_before[p - 1]).collect();
+        let b_after: Multiset<State> = b_positions.iter().map(|p| full_after[p - 1]).collect();
+        let c: Multiset<State> = [full_before[1]].into();
+        assert!(d.relates(&b_before, &b_after));
+        assert!(d.relates(&c, &c));
+    }
+
+    #[test]
+    fn max_displacement_objective_violates_local_to_global() {
+        // The mechanical witness of Figure 1's point: a non-summation-form
+        // objective for which a strict group improvement plus an idle group
+        // is NOT a strict improvement of the union — violating obligation
+        // (10) / property (7).
+        let d = RelationD::new(function(), max_displacement_objective());
+        // Group B: indices 1, 2 holding values 2, 1 (one inversion).
+        let b_before: Multiset<State> = [(1, 2), (2, 1)].into();
+        let b_after: Multiset<State> = [(1, 1), (2, 2)].into();
+        // Group C: index 9 holding value 3 and index 3 holding value 9 —
+        // idle, with a large displacement that pins the union's maximum.
+        let c: Multiset<State> = [(3, 9), (9, 3)].into();
+        assert!(d.relates(&b_before, &b_after)); // strict group improvement
+        assert!(d.relates(&c, &c)); // C idles
+        let union_before = b_before.union(&c);
+        let union_after = b_after.union(&c);
+        // The union changed but its objective did not strictly decrease.
+        assert_ne!(union_before, union_after);
+        assert!(!d.relates(&union_before, &union_after));
+        // The summation-form squared-displacement objective accepts the same
+        // union transition, as the theory promises.
+        let initial: Vec<State> = vec![(1, 2), (2, 1), (3, 9), (9, 3)];
+        let fixed = RelationD::new(function(), displacement_objective(&initial));
+        assert!(fixed.relates(&union_before, &union_after));
+    }
+
+    #[test]
+    fn displacement_objective_accepts_the_same_figure1_group_transition_globally() {
+        // With the squared-displacement objective the same *group* move is
+        // still an improvement and the union cannot get worse while C idles
+        // (summation form).
+        let initial: Vec<State> = [7, 5, 6, 4, 3, 2, 1]
+            .iter()
+            .enumerate()
+            .map(|(k, v)| ((k + 1) as i64, *v))
+            .collect();
+        let h = displacement_objective(&initial);
+        let full_after: Vec<State> = [6, 5, 7, 3, 4, 1, 2]
+            .iter()
+            .enumerate()
+            .map(|(k, v)| ((k + 1) as i64, *v))
+            .collect();
+        let before: Multiset<State> = initial.iter().copied().collect();
+        let after: Multiset<State> = full_after.iter().copied().collect();
+        assert!(h.eval(&after) < h.eval(&before));
+    }
+
+    #[test]
+    fn sort_group_step_sorts_values_along_indices() {
+        let step = sort_group_step();
+        let mut rng = StdRng::seed_from_u64(10);
+        let group = vec![(4i64, 1i64), (2, 9), (7, 5)];
+        let after = step.step(&group, &mut rng);
+        // Indices stay with their positions; values are redistributed sorted
+        // by index: index 2 gets 1, index 4 gets 5, index 7 gets 9.
+        assert_eq!(after, vec![(4, 5), (2, 1), (7, 9)]);
+    }
+
+    #[test]
+    fn swap_one_step_fixes_one_inversion_at_a_time() {
+        let step = swap_one_step();
+        let mut rng = StdRng::seed_from_u64(11);
+        let group = vec![(1i64, 9i64), (2, 3), (3, 5)];
+        let after = step.step(&group, &mut rng);
+        assert_eq!(after, vec![(1, 3), (2, 9), (3, 5)]);
+        // Already sorted groups are untouched.
+        let sorted = vec![(1i64, 1i64), (2, 2)];
+        assert_eq!(step.step(&sorted, &mut rng), sorted);
+    }
+
+    #[test]
+    fn system_passes_proof_obligations() {
+        let sys = system(&[7, 5, 6, 4, 3, 2, 1]);
+        let mut rng = StdRng::seed_from_u64(12);
+        let report = proof::audit_system(&sys, &[], 2, &mut rng);
+        assert!(report.passed(), "{:?}", report.violations);
+        assert_eq!(
+            sys.target(),
+            pairs(&[1, 2, 3, 4, 5, 6, 7])
+        );
+    }
+
+    #[test]
+    fn swap_one_system_passes_r_implements_d() {
+        let sys = system_with_step(&[4, 3, 2, 1], swap_one_step());
+        let mut rng = StdRng::seed_from_u64(13);
+        let groups: Vec<Vec<State>> = vec![
+            vec![(1, 4), (2, 3)],
+            vec![(2, 3), (3, 2), (4, 1)],
+            vec![(1, 1), (2, 2)],
+        ];
+        let report = proof::check_r_implements_d(&sys, &groups, 2, &mut rng);
+        assert!(report.passed(), "{:?}", report.violations);
+    }
+
+    #[test]
+    #[should_panic(expected = "pairwise-distinct")]
+    fn duplicate_values_are_rejected() {
+        let _ = system(&[3, 3, 1]);
+    }
+}

@@ -1,0 +1,227 @@
+//! §4.2 — Sum of a set: a non-consensus example.
+//!
+//! The sum cannot be computed as a plain consensus (replacing every value by
+//! the sum changes the sum — the consensus-shaped `f` is not idempotent).
+//! The paper instead requires *one* agent to end up holding the total while
+//! every other agent holds zero:
+//!
+//! * `f({3,5,3,7}) = {18,0,0,0}` — defined through a commutative associative
+//!   operator, hence super-idempotent;
+//! * `h(S) = (Σ_a x_a)² − Σ_a x_a²` — non-negative (for non-negative values)
+//!   and integer-valued, zero exactly when at most one value is non-zero;
+//! * `R` concentrates value: a group moves all of its mass onto one member
+//!   (other admissible strategies merely push values apart);
+//! * `Q`: the **complete graph** — zero-valued agents carry no information,
+//!   so the eventual sum-holder must be able to meet every other agent
+//!   directly, which is why the weakest value-independent fairness
+//!   assumption is `Q_E` with `E` complete.
+
+use selfsim_core::{
+    FnDistributedFunction, FnGroupStep, FnObjective, GroupStep, SelfSimilarSystem,
+};
+use selfsim_env::{FairnessSpec, Topology};
+use selfsim_multiset::Multiset;
+
+/// The agent state: a single non-negative integer.
+pub type State = i64;
+
+/// The distributed function `f`: the sum with multiplicity 1, zero with
+/// multiplicity `N − 1`.
+pub fn function() -> impl selfsim_core::DistributedFunction<State> {
+    FnDistributedFunction::new("sum-concentration", |s: &Multiset<State>| {
+        if s.is_empty() {
+            return Multiset::new();
+        }
+        let total: State = s.iter().copied().sum();
+        let mut out = Multiset::new();
+        out.insert(total);
+        out.insert_n(0, s.len() - 1);
+        out
+    })
+}
+
+/// The objective `h(S) = (Σx)² − Σx²`, which shrinks as values spread apart
+/// and is zero exactly when at most one value is non-zero.
+pub fn objective() -> FnObjective<State, impl Fn(&Multiset<State>) -> f64> {
+    FnObjective::new("square-spread", |s: &Multiset<State>| {
+        let total: f64 = s.fold(0.0, |acc, v| acc + *v as f64);
+        let squares: f64 = s.fold(0.0, |acc, v| acc + (*v as f64) * (*v as f64));
+        total * total - squares
+    })
+}
+
+/// The "concentrate on one member" group step: the whole group's mass moves
+/// onto a single member (the one holding the current maximum, breaking ties
+/// by position), everyone else drops to zero.
+pub fn concentrate_step() -> impl GroupStep<State> {
+    FnGroupStep::new("concentrate", |states: &[State], _rng: &mut dyn rand::RngCore| {
+        let total: State = states.iter().copied().sum();
+        let keeper = states
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, v)| (**v, std::cmp::Reverse(*i)))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let mut out = vec![0; states.len()];
+        out[keeper] = total;
+        out
+    })
+}
+
+/// A gentler admissible step: the two extreme members of the group move one
+/// unit of mass from the smaller non-zero holder to the larger one.  Slower,
+/// but demonstrates that `R` is a *class* of algorithms.
+pub fn trickle_step() -> impl GroupStep<State> {
+    FnGroupStep::new("trickle", |states: &[State], _rng: &mut dyn rand::RngCore| {
+        let mut out = states.to_vec();
+        // Find the smallest non-zero holder and the largest holder.
+        let donor = out
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| **v > 0)
+            .min_by_key(|(i, v)| (**v, *i))
+            .map(|(i, _)| i);
+        let recipient = out
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, v)| (**v, *i))
+            .map(|(i, _)| i);
+        if let (Some(d), Some(r)) = (donor, recipient) {
+            if d != r && out[d] > 0 {
+                out[d] -= 1;
+                out[r] += 1;
+            }
+        }
+        out
+    })
+}
+
+/// The fairness assumption: the complete graph over all agents.
+pub fn fairness(agent_count: usize) -> FairnessSpec {
+    FairnessSpec::complete(agent_count)
+}
+
+/// Builds the complete system with the [`concentrate_step`] strategy.
+///
+/// # Panics
+///
+/// Panics if any initial value is negative.  The supplied `topology` is used
+/// as the fairness graph and **must be complete**, per §4.2.
+pub fn system(initial: &[State], topology: Topology) -> SelfSimilarSystem<State> {
+    system_with_step(initial, topology, concentrate_step())
+}
+
+/// Builds the system with a caller-chosen admissible step.
+pub fn system_with_step(
+    initial: &[State],
+    topology: Topology,
+    step: impl GroupStep<State> + 'static,
+) -> SelfSimilarSystem<State> {
+    assert!(
+        initial.iter().all(|v| *v >= 0),
+        "the sum example assumes non-negative initial values"
+    );
+    assert_eq!(initial.len(), topology.agent_count());
+    let spec = FairnessSpec::for_graph(&topology);
+    assert!(
+        spec.is_complete(),
+        "the sum example requires the complete fairness graph (§4.2)"
+    );
+    SelfSimilarSystem::new("sum", function(), objective(), step, initial.to_vec(), spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use selfsim_core::super_idempotence::{check_idempotent, check_super_idempotent};
+    use selfsim_core::{proof, DistributedFunction, ObjectiveFunction};
+
+    fn samples() -> Vec<Multiset<State>> {
+        vec![
+            Multiset::new(),
+            [5].into(),
+            [3, 5].into(),
+            [3, 5, 3, 7].into(),
+            [0, 0, 4].into(),
+            [18, 0, 0, 0].into(),
+        ]
+    }
+
+    #[test]
+    fn paper_example_value() {
+        assert_eq!(
+            function().apply(&[3, 5, 3, 7].into()),
+            [18, 0, 0, 0].into()
+        );
+    }
+
+    #[test]
+    fn f_is_idempotent_and_super_idempotent() {
+        let f = function();
+        assert!(check_idempotent(&f, &samples()).is_ok());
+        assert!(check_super_idempotent(&f, &samples()).is_ok());
+    }
+
+    #[test]
+    fn naive_consensus_sum_would_not_be_idempotent() {
+        // The observation that motivates §4.2: replacing every value by the
+        // group sum is not idempotent.
+        let naive = selfsim_core::ConsensusFunction::new("sum-consensus", |s: &Multiset<State>| {
+            s.iter().copied().sum()
+        });
+        assert!(check_idempotent(&naive, &samples()).is_err());
+    }
+
+    #[test]
+    fn objective_is_zero_exactly_on_concentrated_states() {
+        let h = objective();
+        assert_eq!(h.eval(&[18, 0, 0, 0].into()), 0.0);
+        assert_eq!(h.eval(&[3, 5, 3, 7].into()), 232.0);
+        assert!(h.eval(&[1, 1].into()) > 0.0);
+    }
+
+    #[test]
+    fn concentrate_step_refines_d_and_escapes() {
+        let sys = system(&[3, 5, 3, 7], Topology::complete(4));
+        let mut rng = StdRng::seed_from_u64(5);
+        let report = proof::audit_system(&sys, &[vec![0, 0, 9], vec![2, 2]], 3, &mut rng);
+        assert!(report.passed(), "{:?}", report.violations);
+        assert_eq!(sys.target(), [18, 0, 0, 0].into());
+    }
+
+    #[test]
+    fn trickle_step_refines_d() {
+        let sys = system_with_step(&[3, 5], Topology::complete(2), trickle_step());
+        let mut rng = StdRng::seed_from_u64(6);
+        let report = proof::check_r_implements_d(
+            &sys,
+            &[vec![3, 5], vec![0, 7], vec![2, 2, 2], vec![1, 0]],
+            4,
+            &mut rng,
+        );
+        assert!(report.passed(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn concentrate_keeps_group_sum() {
+        let step = concentrate_step();
+        let mut rng = StdRng::seed_from_u64(7);
+        let after = step.step(&[3, 5, 3, 7], &mut rng);
+        assert_eq!(after.iter().sum::<i64>(), 18);
+        assert_eq!(after.iter().filter(|v| **v != 0).count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "complete fairness graph")]
+    fn non_complete_topology_is_rejected() {
+        let _ = system(&[1, 2, 3], Topology::line(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_values_are_rejected() {
+        let _ = system(&[1, -2], Topology::complete(2));
+    }
+}

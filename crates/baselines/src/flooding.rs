@@ -1,0 +1,141 @@
+//! The flooding / full-information baseline.
+
+use std::collections::BTreeSet;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use selfsim_env::Environment;
+use selfsim_trace::RunMetrics;
+
+/// A flooding aggregator: every agent keeps the set of `(agent, value)`
+/// pairs it has heard of (initially just its own) and, every round,
+/// re-broadcasts its whole knowledge to every neighbour it can currently
+/// reach.  The run converges when *every* agent has heard from every other
+/// agent, at which point each agent can compute the aggregate locally.
+///
+/// Flooding is robust to churn (knowledge spreads through whatever links
+/// exist) but pays for it in message volume: each agent repeatedly sends its
+/// entire knowledge set.  Experiment E7 compares its message cost against
+/// the self-similar algorithms under identical environments.
+pub struct FloodingAggregator {
+    values: Vec<i64>,
+    max_rounds: usize,
+}
+
+impl FloodingAggregator {
+    /// Creates the baseline for the given initial values.
+    pub fn new(values: Vec<i64>, max_rounds: usize) -> Self {
+        FloodingAggregator { values, max_rounds }
+    }
+
+    /// Runs the baseline under `environment`, aggregating with `fold`.
+    /// Returns the metrics and the aggregate (if every agent heard from
+    /// everyone within the budget).
+    pub fn run<E: Environment + ?Sized>(
+        &self,
+        environment: &mut E,
+        seed: u64,
+        mut fold: impl FnMut(i64, i64) -> i64,
+    ) -> (RunMetrics, Option<i64>) {
+        let n = self.values.len();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut metrics = RunMetrics::new("flooding-baseline", environment.name(), n);
+        // knowledge[a] = set of agent indices whose value agent a knows.
+        let mut knowledge: Vec<BTreeSet<usize>> = (0..n).map(|i| BTreeSet::from([i])).collect();
+        let mut result = None;
+
+        for round in 0..self.max_rounds {
+            let env_state = environment.step(&mut rng);
+            metrics.rounds_executed = round + 1;
+            let before = knowledge.clone();
+            for edge in env_state.enabled_edges() {
+                let (a, b) = (edge.lo().index(), edge.hi().index());
+                if !env_state.can_communicate(edge.lo(), edge.hi()) {
+                    continue;
+                }
+                // Each endpoint sends its whole knowledge set to the other;
+                // message cost is proportional to the entries sent.
+                metrics.messages += before[a].len() + before[b].len();
+                metrics.group_steps += 1;
+                let merged: BTreeSet<usize> = before[a].union(&before[b]).copied().collect();
+                if merged != knowledge[a] || merged != knowledge[b] {
+                    metrics.effective_group_steps += 1;
+                }
+                knowledge[a].extend(merged.iter().copied());
+                knowledge[b].extend(merged.iter().copied());
+            }
+            if knowledge.iter().all(|k| k.len() == n) {
+                let aggregate = self
+                    .values
+                    .iter()
+                    .copied()
+                    .reduce(&mut fold)
+                    .expect("at least one agent");
+                result = Some(aggregate);
+                metrics.rounds_to_convergence = Some(round + 1);
+                break;
+            }
+        }
+        (metrics, result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfsim_env::{AdversarialEnv, RandomChurnEnv, StaticEnv, Topology};
+
+    #[test]
+    fn flooding_converges_in_diameter_rounds_on_a_static_line() {
+        let topo = Topology::line(5);
+        let mut env = StaticEnv::new(topo);
+        let baseline = FloodingAggregator::new(vec![9, 4, 7, 1, 5], 100);
+        let (metrics, result) = baseline.run(&mut env, 1, i64::min);
+        assert_eq!(result, Some(1));
+        // Knowledge spreads one hop per round: the line of 5 has diameter 4.
+        assert_eq!(metrics.rounds_to_convergence, Some(4));
+    }
+
+    #[test]
+    fn flooding_survives_churn() {
+        let topo = Topology::ring(6);
+        let mut env = RandomChurnEnv::new(topo, 0.4, 1.0);
+        let baseline = FloodingAggregator::new(vec![6, 5, 4, 3, 2, 1], 2_000);
+        let (metrics, result) = baseline.run(&mut env, 7, i64::min);
+        assert_eq!(result, Some(1));
+        assert!(metrics.converged());
+    }
+
+    #[test]
+    fn flooding_converges_under_the_adversary_unlike_the_snapshot() {
+        let topo = Topology::complete(4);
+        let mut env = AdversarialEnv::new(topo, 0);
+        let baseline = FloodingAggregator::new(vec![4, 3, 2, 1], 500);
+        let (metrics, result) = baseline.run(&mut env, 3, i64::min);
+        assert_eq!(result, Some(1));
+        assert!(metrics.converged());
+    }
+
+    #[test]
+    fn flooding_messages_grow_with_knowledge_size() {
+        let topo = Topology::complete(6);
+        let mut env = StaticEnv::new(topo.clone());
+        let flooding = FloodingAggregator::new(vec![1, 2, 3, 4, 5, 6], 100);
+        let (metrics, _) = flooding.run(&mut env, 5, i64::min);
+        // Full flooding on a complete graph: at least one entry per edge per
+        // round, typically far more.
+        assert!(metrics.messages > topo.edge_count());
+    }
+
+    #[test]
+    fn impossible_environment_exhausts_budget() {
+        let topo = Topology::line(3);
+        let mut env = RandomChurnEnv::new(topo, 0.0, 0.0);
+        let baseline = FloodingAggregator::new(vec![3, 2, 1], 50);
+        let (metrics, result) = baseline.run(&mut env, 9, i64::min);
+        assert_eq!(result, None);
+        assert!(!metrics.converged());
+        assert_eq!(metrics.rounds_executed, 50);
+    }
+}

@@ -1,0 +1,29 @@
+//! Baseline aggregation strategies the paper contrasts with (§5): repeated
+//! global snapshots and flooding.
+//!
+//! The paper's related-work section argues that classical approaches —
+//! "repeated global snapshots or group communication protocols" — work well
+//! in static systems but are inefficient in dynamic ones, because they need
+//! the *whole* system (or at least a coordinator-to-everyone path) to be up
+//! at once, whereas a self-similar algorithm makes progress inside whatever
+//! fragments the environment happens to connect.  These baselines make that
+//! comparison quantitative (experiment E7):
+//!
+//! * [`SnapshotAggregator`] — a fixed coordinator repeatedly tries to read
+//!   every agent's value; a round succeeds only when the coordinator can
+//!   reach all agents in that round's environment state.
+//! * [`FloodingAggregator`] — every agent re-broadcasts everything it knows
+//!   to its currently-reachable neighbours; an agent terminates when it has
+//!   heard from everyone.
+//!
+//! Both compute the same aggregate (parameterised by a fold function) so the
+//! results can be cross-checked against the self-similar systems.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod flooding;
+mod snapshot;
+
+pub use flooding::FloodingAggregator;
+pub use snapshot::SnapshotAggregator;

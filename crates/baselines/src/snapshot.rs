@@ -1,0 +1,123 @@
+//! The repeated-global-snapshot baseline.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use selfsim_env::{AgentId, Environment};
+use selfsim_trace::RunMetrics;
+
+/// A coordinator-based aggregator: agent 0 repeatedly attempts to take a
+/// global snapshot of all values.  A snapshot attempt in a given round
+/// succeeds only if the coordinator can reach every agent through currently
+/// enabled edges and enabled agents (i.e. the whole system is in one group
+/// containing everyone).
+///
+/// This models the "repeated global snapshots" strategy of §5 at the level
+/// of abstraction of this reproduction: it is exactly as powerful as the
+/// environment allows a centralised protocol to be, and it fails to make
+/// *any* progress in rounds where the system is partitioned — which is the
+/// behaviour the self-similar algorithms are designed to avoid.
+pub struct SnapshotAggregator {
+    values: Vec<i64>,
+    max_rounds: usize,
+}
+
+impl SnapshotAggregator {
+    /// Creates the baseline for the given initial values.
+    pub fn new(values: Vec<i64>, max_rounds: usize) -> Self {
+        SnapshotAggregator { values, max_rounds }
+    }
+
+    /// Runs the baseline under `environment`, aggregating with `fold`
+    /// (e.g. `min`, `+`).  Returns the metrics and the aggregate (if a
+    /// snapshot ever succeeded).
+    pub fn run<E: Environment + ?Sized>(
+        &self,
+        environment: &mut E,
+        seed: u64,
+        mut fold: impl FnMut(i64, i64) -> i64,
+    ) -> (RunMetrics, Option<i64>) {
+        let n = self.values.len();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut metrics = RunMetrics::new("snapshot-baseline", environment.name(), n);
+        let coordinator = AgentId(0);
+        let mut result = None;
+
+        for round in 0..self.max_rounds {
+            let env_state = environment.step(&mut rng);
+            metrics.rounds_executed = round + 1;
+            // One request per agent per attempt, whether or not it succeeds —
+            // the coordinator cannot know in advance that the system is
+            // partitioned.
+            metrics.messages += n.saturating_sub(1);
+            let groups = env_state.groups();
+            let coordinator_group = groups.iter().find(|g| g.contains(&coordinator));
+            let all_reachable = coordinator_group.map(|g| g.len() == n).unwrap_or(false);
+            metrics.group_steps += 1;
+            if all_reachable {
+                metrics.effective_group_steps += 1;
+                let aggregate = self
+                    .values
+                    .iter()
+                    .copied()
+                    .reduce(&mut fold)
+                    .expect("at least one agent");
+                result = Some(aggregate);
+                metrics.rounds_to_convergence = Some(round + 1);
+                break;
+            }
+        }
+        (metrics, result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfsim_env::{AdversarialEnv, PeriodicPartitionEnv, StaticEnv, Topology};
+
+    #[test]
+    fn snapshot_succeeds_immediately_on_a_static_network() {
+        let topo = Topology::complete(5);
+        let mut env = StaticEnv::new(topo);
+        let baseline = SnapshotAggregator::new(vec![9, 4, 7, 1, 5], 100);
+        let (metrics, result) = baseline.run(&mut env, 1, i64::min);
+        assert_eq!(result, Some(1));
+        assert_eq!(metrics.rounds_to_convergence, Some(1));
+        assert_eq!(metrics.messages, 4);
+    }
+
+    #[test]
+    fn snapshot_waits_for_a_merge_round_under_partitions() {
+        let topo = Topology::complete(6);
+        let mut env = PeriodicPartitionEnv::new(topo, 2, 5);
+        let baseline = SnapshotAggregator::new(vec![6, 5, 4, 3, 2, 1], 100);
+        let (metrics, result) = baseline.run(&mut env, 2, i64::min);
+        assert_eq!(result, Some(1));
+        // The partition only merges every 5th round.
+        assert_eq!(metrics.rounds_to_convergence, Some(5));
+    }
+
+    #[test]
+    fn snapshot_never_succeeds_under_the_single_edge_adversary() {
+        let topo = Topology::complete(4);
+        let mut env = AdversarialEnv::new(topo, 0);
+        let baseline = SnapshotAggregator::new(vec![4, 3, 2, 1], 200);
+        let (metrics, result) = baseline.run(&mut env, 3, i64::min);
+        // The adversary never enables more than one edge at a time, so a
+        // global snapshot is impossible — yet the self-similar algorithm
+        // converges under the same environment (see the runtime tests).
+        assert_eq!(result, None);
+        assert!(!metrics.converged());
+        assert_eq!(metrics.rounds_executed, 200);
+    }
+
+    #[test]
+    fn snapshot_computes_other_aggregates() {
+        let topo = Topology::complete(3);
+        let mut env = StaticEnv::new(topo);
+        let baseline = SnapshotAggregator::new(vec![1, 2, 3], 10);
+        let (_, sum) = baseline.run(&mut env, 4, |a, b| a + b);
+        assert_eq!(sum, Some(6));
+    }
+}

@@ -1,0 +1,105 @@
+//! Criterion benchmarks for the quantitative extension experiments: the
+//! scaling, churn, baseline and sorting sweeps of EXPERIMENTS.md, timed on
+//! reduced parameter grids so `cargo bench` stays fast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use selfsim_algorithms::{minimum, sorting};
+use selfsim_baselines::{FloodingAggregator, SnapshotAggregator};
+use selfsim_env::{RandomChurnEnv, StaticEnv, Topology};
+use selfsim_runtime::{SyncConfig, SyncSimulator};
+
+fn values_for(n: usize) -> Vec<i64> {
+    (0..n).map(|i| ((i as i64 * 37 + 11) % 199) + 1).collect()
+}
+
+/// E4 — full simulated run of min-consensus vs. number of agents.
+fn e4_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4/minimum-static-ring");
+    for &n in &[8usize, 16, 32, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let sys = minimum::system(&values_for(n), Topology::ring(n));
+            b.iter(|| {
+                let mut env = StaticEnv::new(Topology::ring(n));
+                let report = SyncSimulator::with_seed(1).run(&sys, &mut env);
+                black_box(report.rounds_to_convergence())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// E5 — full simulated run of min-consensus vs. churn probability.
+fn e5_churn(c: &mut Criterion) {
+    let n = 32;
+    let mut group = c.benchmark_group("e5/minimum-churn-ring32");
+    for &p in &[0.2f64, 0.5, 1.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            let sys = minimum::system(&values_for(n), Topology::ring(n));
+            b.iter(|| {
+                let mut env = RandomChurnEnv::new(Topology::ring(n), p, 1.0);
+                let report = SyncSimulator::with_seed(2).run(&sys, &mut env);
+                black_box(report.rounds_to_convergence())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// E7 — the three strategies (self-similar, snapshot, flooding) under churn.
+fn e7_baselines(c: &mut Criterion) {
+    let n = 16;
+    let values = values_for(n);
+    let p = 0.5;
+    let mut group = c.benchmark_group("e7/strategies-complete16-churn0.5");
+    group.bench_function("self-similar", |b| {
+        let sys = minimum::system(&values, Topology::complete(n));
+        b.iter(|| {
+            let mut env = RandomChurnEnv::new(Topology::complete(n), p, 1.0);
+            black_box(SyncSimulator::with_seed(3).run(&sys, &mut env).converged())
+        })
+    });
+    group.bench_function("snapshot", |b| {
+        b.iter(|| {
+            let mut env = RandomChurnEnv::new(Topology::complete(n), p, 1.0);
+            black_box(SnapshotAggregator::new(values.clone(), 20_000).run(&mut env, 3, i64::min))
+        })
+    });
+    group.bench_function("flooding", |b| {
+        b.iter(|| {
+            let mut env = RandomChurnEnv::new(Topology::complete(n), p, 1.0);
+            black_box(FloodingAggregator::new(values.clone(), 20_000).run(&mut env, 3, i64::min))
+        })
+    });
+    group.finish();
+}
+
+/// E9 — sorting runs on a churning line, by size.
+fn e9_sorting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9/sorting-churning-line");
+    for &n in &[8usize, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let values: Vec<i64> = (1..=n as i64).rev().collect();
+            let sys = sorting::system(&values);
+            b.iter(|| {
+                let mut env = RandomChurnEnv::new(Topology::line(n), 0.5, 1.0);
+                let report = SyncSimulator::new(SyncConfig {
+                    max_rounds: 500_000,
+                    seed: 4,
+                    ..SyncConfig::default()
+                })
+                .run(&sys, &mut env);
+                black_box(report.rounds_to_convergence())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = experiments;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = e4_scaling, e5_churn, e7_baselines, e9_sorting
+}
+criterion_main!(experiments);

@@ -1,0 +1,68 @@
+//! Criterion benchmarks mirroring the paper's figures: each bench times the
+//! computation that regenerates one figure, so regressions in the figure
+//! pipeline (objective evaluation, enclosing circles, hull merging) are
+//! caught alongside the correctness tests.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use selfsim_algorithms::{circumscribing, convex_hull, sorting};
+use selfsim_core::DistributedFunction;
+use selfsim_geometry::Point;
+use selfsim_multiset::Multiset;
+
+/// Figure 1: evaluating both sorting objectives on the figure's arrays.
+fn fig1_sorting_objectives(c: &mut Criterion) {
+    c.bench_function("fig1/counterexample-evaluation", |b| {
+        b.iter(|| black_box(sorting::figure1_counterexample()))
+    });
+
+    let initial: Vec<(i64, i64)> = [7i64, 5, 6, 4, 3, 2, 1]
+        .iter()
+        .enumerate()
+        .map(|(k, v)| ((k + 1) as i64, *v))
+        .collect();
+    let multiset: Multiset<(i64, i64)> = initial.iter().copied().collect();
+    let inversions = sorting::inversion_objective();
+    let displacement = sorting::displacement_objective(&initial);
+    c.bench_function("fig1/inversion-objective", |b| {
+        use selfsim_core::ObjectiveFunction;
+        b.iter(|| black_box(inversions.eval(&multiset)))
+    });
+    c.bench_function("fig1/squared-displacement-objective", |b| {
+        use selfsim_core::ObjectiveFunction;
+        b.iter(|| black_box(displacement.eval(&multiset)))
+    });
+}
+
+/// Figure 2: the circumscribing-circle counterexample (non-super-idempotence).
+fn fig2_circle_superidempotence(c: &mut Criterion) {
+    c.bench_function("fig2/circumscribing-counterexample", |b| {
+        b.iter(|| black_box(circumscribing::figure2_counterexample()))
+    });
+}
+
+/// Figure 3: super-idempotence of the convex-hull function on a point cloud.
+fn fig3_hull_superidempotence(c: &mut Criterion) {
+    let sites: Vec<Point> = (0..40)
+        .map(|i| Point::new(((i * 13) % 60) as f64, ((i * 29) % 60) as f64))
+        .collect();
+    let states: Multiset<convex_hull::State> =
+        sites.iter().map(|p| convex_hull::initial_state(*p)).collect();
+    let extra = convex_hull::initial_state(Point::new(100.0, 7.0));
+    let f = convex_hull::function();
+    c.bench_function("fig3/hull-single-element-criterion", |b| {
+        b.iter(|| {
+            let direct = f.apply(&states.union(&Multiset::singleton(extra.clone())));
+            let via = f.apply(&f.apply(&states).union(&Multiset::singleton(extra.clone())));
+            black_box(direct == via)
+        })
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = fig1_sorting_objectives, fig2_circle_superidempotence, fig3_hull_superidempotence
+}
+criterion_main!(figures);

@@ -1,0 +1,1 @@
+//! Benchmark harness support (see benches/ and src/bin/).

@@ -1,0 +1,266 @@
+//! Variant (objective) functions `h` and the local-to-global improvement
+//! property of §3.5.
+
+use selfsim_multiset::Multiset;
+
+use crate::DistributedFunction;
+
+/// Tolerance used when comparing objective values: a step "strictly
+/// decreases" `h` when it decreases by more than `EPSILON`.
+///
+/// Integer-valued objectives (all of the paper's examples except the convex
+/// hull) decrease by at least 1, so the tolerance only matters for the
+/// floating-point perimeter objective of §4.5.
+pub const EPSILON: f64 = 1e-9;
+
+/// A variant function `h` over multisets of agent states.
+///
+/// The range must be well-founded for the algorithms to terminate; in this
+/// implementation objectives are real-valued but **must be bounded below by
+/// zero** and every non-trivial group step must decrease them by more than
+/// [`EPSILON`], which gives the same finite-descent guarantee for the
+/// integer objectives of the paper and a physically meaningful one for the
+/// perimeter objective.
+pub trait ObjectiveFunction<S: Ord + Clone> {
+    /// Evaluates the objective on a multiset of agent states.
+    fn eval(&self, states: &Multiset<S>) -> f64;
+
+    /// A short name used in reports and error messages.
+    fn name(&self) -> &str {
+        "h"
+    }
+
+    /// Returns `true` if going from `before` to `after` strictly decreases
+    /// the objective (by more than [`EPSILON`]).
+    fn strictly_decreases(&self, before: &Multiset<S>, after: &Multiset<S>) -> bool {
+        self.eval(after) < self.eval(before) - EPSILON
+    }
+}
+
+impl<S: Ord + Clone, H: ObjectiveFunction<S> + ?Sized> ObjectiveFunction<S> for &H {
+    fn eval(&self, states: &Multiset<S>) -> f64 {
+        (**self).eval(states)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// An objective defined by an arbitrary closure over the whole multiset.
+///
+/// Needed for objectives that are *not* in summation form — e.g. the
+/// `(Σx)² − Σx²` objective of the sum example (§4.2) and the
+/// "number of out-of-order pairs" objective that Figure 1 shows to violate
+/// the local-to-global property.
+pub struct FnObjective<S, H> {
+    name: String,
+    func: H,
+    _marker: std::marker::PhantomData<fn(&S)>,
+}
+
+impl<S, H> FnObjective<S, H>
+where
+    S: Ord + Clone,
+    H: Fn(&Multiset<S>) -> f64,
+{
+    /// Wraps `func` as an [`ObjectiveFunction`] named `name`.
+    pub fn new(name: impl Into<String>, func: H) -> Self {
+        FnObjective {
+            name: name.into(),
+            func,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<S, H> ObjectiveFunction<S> for FnObjective<S, H>
+where
+    S: Ord + Clone,
+    H: Fn(&Multiset<S>) -> f64,
+{
+    fn eval(&self, states: &Multiset<S>) -> f64 {
+        (self.func)(states)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// An objective in the paper's **summation form** (8):
+/// `h(S_B) = Σ_{a ∈ B} h_a(S_a)`.
+///
+/// The lemma of §3.5 shows that, for a super-idempotent `f`, an objective of
+/// this form automatically satisfies the local-to-global improvement
+/// property (7), so relation `D` composes across disjoint groups.  All of
+/// the paper's examples except the sum use a summation-form objective.
+pub struct SummationObjective<S, G> {
+    name: String,
+    per_agent: G,
+    _marker: std::marker::PhantomData<fn(&S)>,
+}
+
+impl<S, G> SummationObjective<S, G>
+where
+    S: Ord + Clone,
+    G: Fn(&S) -> f64,
+{
+    /// Creates a summation-form objective from a per-agent term.
+    pub fn new(name: impl Into<String>, per_agent: G) -> Self {
+        SummationObjective {
+            name: name.into(),
+            per_agent,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Evaluates the per-agent term on one agent state.
+    pub fn per_agent(&self, state: &S) -> f64 {
+        (self.per_agent)(state)
+    }
+}
+
+impl<S, G> ObjectiveFunction<S> for SummationObjective<S, G>
+where
+    S: Ord + Clone,
+    G: Fn(&S) -> f64,
+{
+    fn eval(&self, states: &Multiset<S>) -> f64 {
+        states.fold(0.0, |acc, v| acc + (self.per_agent)(v))
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Checks the local-to-global improvement property (7) on sample data.
+///
+/// For every pair of "before" multisets `X, Y` and every pair of "after"
+/// multisets `X', Y'` drawn from `transitions` (each entry is a
+/// before/after pair that conserves `f`), verifies:
+///
+/// * if `h(X') < h(X)` and `Y' = Y`, then `h(X' ⊎ Y') < h(X ⊎ Y)`;
+/// * if `h(X') < h(X)` and `h(Y') < h(Y)`, then `h(X' ⊎ Y') < h(X ⊎ Y)`.
+///
+/// Returns the first violating quadruple, if any.  Figure 1 of the paper is
+/// exactly such a violation for the "out-of-order pairs" objective.
+#[allow(clippy::type_complexity)]
+pub fn check_local_to_global_improvement<S: Ord + Clone>(
+    f: &impl DistributedFunction<S>,
+    h: &impl ObjectiveFunction<S>,
+    transitions: &[(Multiset<S>, Multiset<S>)],
+) -> Result<(), (Multiset<S>, Multiset<S>, Multiset<S>, Multiset<S>)> {
+    for (x, x_prime) in transitions {
+        if !f.conserves(x, x_prime) {
+            continue;
+        }
+        let x_improves = h.strictly_decreases(x, x_prime);
+        if !x_improves {
+            continue;
+        }
+        for (y, y_prime) in transitions {
+            if !f.conserves(y, y_prime) {
+                continue;
+            }
+            let y_unchanged = y == y_prime;
+            let y_improves = h.strictly_decreases(y, y_prime);
+            if !(y_unchanged || y_improves) {
+                continue;
+            }
+            let before = x.union(y);
+            let after = x_prime.union(y_prime);
+            if !h.strictly_decreases(&before, &after) {
+                return Err((x.clone(), x_prime.clone(), y.clone(), y_prime.clone()));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ConsensusFunction;
+
+    fn min_f() -> ConsensusFunction<i64, impl Fn(&Multiset<i64>) -> i64> {
+        ConsensusFunction::new("min", |s: &Multiset<i64>| {
+            s.min_value().copied().unwrap_or(0)
+        })
+    }
+
+    #[test]
+    fn summation_objective_sums_per_agent_terms() {
+        let h = SummationObjective::new("sum", |v: &i64| *v as f64);
+        assert_eq!(h.eval(&[3, 5, 3, 7].into()), 18.0);
+        assert_eq!(h.eval(&Multiset::new()), 0.0);
+        assert_eq!(h.per_agent(&4), 4.0);
+        assert_eq!(h.name(), "sum");
+    }
+
+    #[test]
+    fn strictly_decreases_uses_epsilon() {
+        let h = SummationObjective::new("sum", |v: &i64| *v as f64);
+        let a: Multiset<i64> = [5, 5].into();
+        let b: Multiset<i64> = [5, 4].into();
+        assert!(h.strictly_decreases(&a, &b));
+        assert!(!h.strictly_decreases(&a, &a));
+        assert!(!h.strictly_decreases(&b, &a));
+    }
+
+    #[test]
+    fn fn_objective_wraps_whole_multiset_functions() {
+        // The sum example's objective: (Σx)² − Σx².
+        let h = FnObjective::new("spread", |s: &Multiset<i64>| {
+            let total: f64 = s.fold(0.0, |acc, v| acc + *v as f64);
+            let squares: f64 = s.fold(0.0, |acc, v| acc + (*v as f64) * (*v as f64));
+            total * total - squares
+        });
+        let x: Multiset<i64> = [3, 5, 3, 7].into();
+        // (18)² − (9 + 25 + 9 + 49) = 324 − 92 = 232
+        assert_eq!(h.eval(&x), 232.0);
+        // The optimum {18, 0, 0, 0} has objective 0.
+        assert_eq!(h.eval(&[18, 0, 0, 0].into()), 0.0);
+        assert_eq!(h.name(), "spread");
+    }
+
+    #[test]
+    fn summation_form_satisfies_local_to_global() {
+        let f = min_f();
+        let h = SummationObjective::new("sum", |v: &i64| *v as f64);
+        // Group transitions that conserve the minimum while decreasing the sum.
+        let transitions: Vec<(Multiset<i64>, Multiset<i64>)> = vec![
+            ([3, 5].into(), [3, 3].into()),
+            ([3, 5, 7].into(), [3, 4, 5].into()),
+            ([2, 9].into(), [2, 2].into()),
+            ([4, 4].into(), [4, 4].into()), // no-op
+            ([1, 6, 6].into(), [1, 1, 6].into()),
+        ];
+        assert!(check_local_to_global_improvement(&f, &h, &transitions).is_ok());
+    }
+
+    #[test]
+    fn non_summation_objective_can_violate_local_to_global() {
+        // A deliberately pathological objective: the *maximum* value held by
+        // any agent.  A group can decrease its own maximum while the union's
+        // maximum (held by the other group) stays put, so the union does not
+        // strictly improve.
+        let f = min_f();
+        let h = FnObjective::new("max", |s: &Multiset<i64>| {
+            s.max_value().copied().unwrap_or(0) as f64
+        });
+        let transitions: Vec<(Multiset<i64>, Multiset<i64>)> = vec![
+            ([3, 5].into(), [3, 4].into()), // improves: max 5 -> 4
+            ([2, 9].into(), [2, 9].into()), // unchanged, max 9 dominates the union
+        ];
+        assert!(check_local_to_global_improvement(&f, &h, &transitions).is_err());
+    }
+
+    #[test]
+    fn reference_objective_delegates() {
+        let h = SummationObjective::new("sum", |v: &i64| *v as f64);
+        let href: &SummationObjective<_, _> = &h;
+        assert_eq!(href.eval(&[1, 2].into()), 3.0);
+        assert_eq!(href.name(), "sum");
+    }
+}

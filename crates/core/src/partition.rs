@@ -1,0 +1,195 @@
+//! Partitions of agent index sets.
+//!
+//! The transition relation of the paper quantifies over *partitions* `π` of
+//! the agent set: in one agent transition, every group of the partition takes
+//! a (possibly trivial) collaborative step.  The exhaustive proof-obligation
+//! checkers enumerate all partitions of small agent sets; the simulators use
+//! random partitions as an additional stress source.
+
+use rand::Rng;
+
+/// The Bell number `B(n)`: how many partitions an `n`-element set has.
+///
+/// Used by tests to confirm [`all_partitions`] is exhaustive.  Computed with
+/// the Bell triangle; `n` must be small (the value overflows `u64` around
+/// `n = 25`, far beyond what exhaustive checking can visit anyway).
+pub fn bell_number(n: usize) -> u64 {
+    if n == 0 {
+        return 1;
+    }
+    let mut row: Vec<u64> = vec![1];
+    for _ in 1..=n {
+        let mut next = Vec::with_capacity(row.len() + 1);
+        next.push(*row.last().expect("row is never empty"));
+        for &value in &row {
+            let prev = *next.last().expect("next starts non-empty");
+            next.push(prev + value);
+        }
+        row = next;
+    }
+    row[0]
+}
+
+/// Enumerates every partition of the index set `{0, 1, …, n-1}`.
+///
+/// Each partition is a list of blocks; each block is a sorted list of
+/// indices; blocks are ordered by their smallest element.  The number of
+/// partitions is the Bell number `B(n)`, so keep `n ≤ 10` or so.
+pub fn all_partitions(n: usize) -> Vec<Vec<Vec<usize>>> {
+    let mut results = Vec::new();
+    let mut current: Vec<Vec<usize>> = Vec::new();
+    fn recurse(next: usize, n: usize, current: &mut Vec<Vec<usize>>, out: &mut Vec<Vec<Vec<usize>>>) {
+        if next == n {
+            out.push(current.clone());
+            return;
+        }
+        // Put `next` into each existing block…
+        for i in 0..current.len() {
+            current[i].push(next);
+            recurse(next + 1, n, current, out);
+            current[i].pop();
+        }
+        // …or into a new block of its own.
+        current.push(vec![next]);
+        recurse(next + 1, n, current, out);
+        current.pop();
+    }
+    recurse(0, n, &mut current, &mut results);
+    results
+}
+
+/// Enumerates every way of splitting `{0, …, n-1}` into an ordered pair of
+/// disjoint sets `(B, C)` with `B ∪ C` equal to the whole set and `B`
+/// non-empty (C may be empty).
+///
+/// This is the shape quantified over by the local-to-global proof obligation
+/// (10): two disjoint groups stepping concurrently.
+pub fn split_in_two(n: usize) -> Vec<(Vec<usize>, Vec<usize>)> {
+    let mut out = Vec::new();
+    if n == 0 {
+        return out;
+    }
+    for mask in 1u64..(1u64 << n) {
+        let mut b = Vec::new();
+        let mut c = Vec::new();
+        for i in 0..n {
+            if mask & (1 << i) != 0 {
+                b.push(i);
+            } else {
+                c.push(i);
+            }
+        }
+        out.push((b, c));
+    }
+    out
+}
+
+/// Draws a uniformly random partition of `{0, …, n-1}` using the Chinese
+/// restaurant construction (not exactly uniform over partitions, but it
+/// produces a healthy variety of block sizes, which is what the randomised
+/// checkers need).
+pub fn random_partition(n: usize, rng: &mut impl Rng) -> Vec<Vec<usize>> {
+    let mut blocks: Vec<Vec<usize>> = Vec::new();
+    for i in 0..n {
+        // Join an existing block with probability proportional to its size,
+        // or open a new block.
+        let total = i + 1;
+        let choice = rng.gen_range(0..total);
+        let mut running = 0usize;
+        let mut placed = false;
+        for block in blocks.iter_mut() {
+            running += block.len();
+            if choice < running {
+                block.push(i);
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            blocks.push(vec![i]);
+        }
+    }
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn bell_numbers_match_known_values() {
+        let expected = [1u64, 1, 2, 5, 15, 52, 203, 877, 4140];
+        for (n, &b) in expected.iter().enumerate() {
+            assert_eq!(bell_number(n), b, "B({n})");
+        }
+    }
+
+    #[test]
+    fn all_partitions_counts_match_bell_numbers() {
+        for n in 0..=7 {
+            assert_eq!(all_partitions(n).len() as u64, bell_number(n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn all_partitions_blocks_cover_exactly_the_index_set() {
+        for partition in all_partitions(5) {
+            let mut seen = BTreeSet::new();
+            for block in &partition {
+                assert!(!block.is_empty());
+                for &i in block {
+                    assert!(seen.insert(i), "index {i} appears twice");
+                }
+            }
+            assert_eq!(seen, (0..5).collect());
+        }
+    }
+
+    #[test]
+    fn partitions_of_zero_and_one() {
+        assert_eq!(all_partitions(0), vec![Vec::<Vec<usize>>::new()]);
+        assert_eq!(all_partitions(1), vec![vec![vec![0]]]);
+    }
+
+    #[test]
+    fn split_in_two_enumerates_all_nonempty_b() {
+        let splits = split_in_two(3);
+        assert_eq!(splits.len(), 7); // 2^3 - 1
+        for (b, c) in &splits {
+            assert!(!b.is_empty());
+            let all: BTreeSet<usize> = b.iter().chain(c.iter()).copied().collect();
+            assert_eq!(all, (0..3).collect());
+            let overlap: Vec<_> = b.iter().filter(|i| c.contains(i)).collect();
+            assert!(overlap.is_empty());
+        }
+        assert!(split_in_two(0).is_empty());
+    }
+
+    #[test]
+    fn random_partition_covers_index_set() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for n in [0usize, 1, 4, 9] {
+            let partition = random_partition(n, &mut rng);
+            let mut seen = BTreeSet::new();
+            for block in &partition {
+                assert!(!block.is_empty());
+                for &i in block {
+                    assert!(seen.insert(i));
+                }
+            }
+            assert_eq!(seen.len(), n);
+        }
+    }
+
+    #[test]
+    fn random_partition_produces_varied_block_counts() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let counts: BTreeSet<usize> = (0..50)
+            .map(|_| random_partition(6, &mut rng).len())
+            .collect();
+        assert!(counts.len() > 1, "partitions all had the same block count");
+    }
+}

@@ -1,0 +1,309 @@
+//! The complete description of a self-similar algorithm instance.
+
+use selfsim_env::{AgentId, FairnessSpec};
+use selfsim_multiset::Multiset;
+
+use crate::{DistributedFunction, GroupStep, ObjectiveFunction, RelationD};
+
+/// The positional state of the whole agent set: `state[i]` is the state of
+/// `AgentId(i)`.
+///
+/// The paper's multiset view is recovered with [`SelfSimilarSystem::multiset`];
+/// the positional form is what the environment-driven simulators need in
+/// order to write group-step results back to the right agents.
+pub type SystemState<S> = Vec<S>;
+
+/// A self-similar algorithm instance: the distributed function `f` to
+/// compute, the variant `h`, the group algorithm `R`, the initial states,
+/// and the fairness assumption `Q` under which convergence is claimed.
+///
+/// The components are stored as boxed trait objects so that algorithm
+/// constructors (in `selfsim-algorithms`) can build instances from closures
+/// without leaking unnameable types, and so that simulators and experiment
+/// harnesses can treat all algorithms uniformly.
+pub struct SelfSimilarSystem<S: Ord + Clone> {
+    name: String,
+    f: Box<dyn DistributedFunction<S>>,
+    h: Box<dyn ObjectiveFunction<S>>,
+    step: Box<dyn GroupStep<S>>,
+    initial: SystemState<S>,
+    fairness: FairnessSpec,
+}
+
+impl<S: Ord + Clone + std::fmt::Debug> SelfSimilarSystem<S> {
+    /// Packages an algorithm instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fairness spec's agent count does not match the number
+    /// of initial states.
+    pub fn new(
+        name: impl Into<String>,
+        f: impl DistributedFunction<S> + 'static,
+        h: impl ObjectiveFunction<S> + 'static,
+        step: impl GroupStep<S> + 'static,
+        initial: SystemState<S>,
+        fairness: FairnessSpec,
+    ) -> Self {
+        assert_eq!(
+            fairness.agent_count(),
+            initial.len(),
+            "fairness spec is over {} agents but there are {} initial states",
+            fairness.agent_count(),
+            initial.len()
+        );
+        SelfSimilarSystem {
+            name: name.into(),
+            f: Box::new(f),
+            h: Box::new(h),
+            step: Box::new(step),
+            initial,
+            fairness,
+        }
+    }
+
+    /// The instance's name (e.g. `"minimum"`, `"sorting"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of agents.
+    pub fn agent_count(&self) -> usize {
+        self.initial.len()
+    }
+
+    /// The initial positional state `S(0)`.
+    pub fn initial_state(&self) -> &SystemState<S> {
+        &self.initial
+    }
+
+    /// The fairness assumption `Q` under which the instance is claimed to
+    /// converge.
+    pub fn fairness(&self) -> &FairnessSpec {
+        &self.fairness
+    }
+
+    /// The distributed function `f`.
+    pub fn function(&self) -> &dyn DistributedFunction<S> {
+        self.f.as_ref()
+    }
+
+    /// The objective `h`.
+    pub fn objective(&self) -> &dyn ObjectiveFunction<S> {
+        self.h.as_ref()
+    }
+
+    /// The group algorithm `R`.
+    pub fn group_step(&self) -> &dyn GroupStep<S> {
+        self.step.as_ref()
+    }
+
+    /// The relation `D` induced by `f` and `h`.
+    pub fn relation(&self) -> RelationD<&dyn DistributedFunction<S>, &dyn ObjectiveFunction<S>> {
+        RelationD::new(self.f.as_ref(), self.h.as_ref())
+    }
+
+    /// The multiset view of a positional state.
+    pub fn multiset(&self, state: &[S]) -> Multiset<S> {
+        state.iter().cloned().collect()
+    }
+
+    /// The target multiset `S* = f(S(0))` — the conserved quantity of the
+    /// conservation law and the state the system must reach and maintain.
+    pub fn target(&self) -> Multiset<S> {
+        self.f.apply(&self.multiset(&self.initial))
+    }
+
+    /// Returns `true` if `state` is optimal: its multiset equals the target
+    /// `f(S(0))` (equivalently, by the conservation law, `S = f(S)`).
+    pub fn is_converged(&self, state: &[S]) -> bool {
+        self.multiset(state) == self.target()
+    }
+
+    /// Returns `true` if the conservation law `f(S) = f(S(0))` holds in
+    /// `state` — the key invariant of §3.2; every reachable state must
+    /// satisfy it.
+    pub fn conservation_law_holds(&self, state: &[S]) -> bool {
+        self.f.apply(&self.multiset(state)) == self.target()
+    }
+
+    /// The global objective value `h(S)` of a positional state.
+    pub fn global_objective(&self, state: &[S]) -> f64 {
+        self.h.eval(&self.multiset(state))
+    }
+
+    /// Applies one collaborative step of `R` to the members of `group`
+    /// (given as agent ids), writing the results back into `state`.
+    ///
+    /// Returns `true` if the group's multiset of states changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group step returns a different number of states than
+    /// the group has members, or if a group member index is out of range.
+    pub fn apply_group_step(
+        &self,
+        state: &mut SystemState<S>,
+        group: &[AgentId],
+        rng: &mut dyn rand::RngCore,
+    ) -> bool {
+        if group.is_empty() {
+            return false;
+        }
+        let before: Vec<S> = group
+            .iter()
+            .map(|a| {
+                state
+                    .get(a.index())
+                    .unwrap_or_else(|| panic!("agent {a} out of range"))
+                    .clone()
+            })
+            .collect();
+        let after = self.step.step(&before, rng);
+        assert_eq!(
+            before.len(),
+            after.len(),
+            "group step `{}` changed the group size",
+            self.step.name()
+        );
+        let changed = {
+            let before_ms: Multiset<S> = before.iter().cloned().collect();
+            let after_ms: Multiset<S> = after.iter().cloned().collect();
+            before_ms != after_ms
+        };
+        for (agent, new_state) in group.iter().zip(after) {
+            state[agent.index()] = new_state;
+        }
+        changed
+    }
+
+    /// Applies one full *agent transition* of the paper: every group of the
+    /// partition `groups` takes one collaborative step (disabled agents are
+    /// simply not members of any group and keep their state).
+    ///
+    /// Returns the number of groups whose state changed.
+    pub fn apply_partition_step(
+        &self,
+        state: &mut SystemState<S>,
+        groups: &[Vec<AgentId>],
+        rng: &mut dyn rand::RngCore,
+    ) -> usize {
+        let mut changed = 0;
+        for group in groups {
+            if self.apply_group_step(state, group, rng) {
+                changed += 1;
+            }
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ConsensusFunction, FnGroupStep, SummationObjective};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use selfsim_env::Topology;
+
+    fn min_system(initial: Vec<i64>) -> SelfSimilarSystem<i64> {
+        let n = initial.len();
+        SelfSimilarSystem::new(
+            "minimum",
+            ConsensusFunction::new("min", |s: &Multiset<i64>| {
+                s.min_value().copied().unwrap_or(0)
+            }),
+            SummationObjective::new("sum", |v: &i64| *v as f64),
+            FnGroupStep::new("adopt-min", |states: &[i64], _rng: &mut dyn rand::RngCore| {
+                let m = states.iter().copied().min().unwrap_or(0);
+                vec![m; states.len()]
+            }),
+            initial,
+            FairnessSpec::for_graph(&Topology::line(n)),
+        )
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn target_is_f_of_initial_state() {
+        let sys = min_system(vec![3, 5, 3, 7]);
+        assert_eq!(sys.target(), [3, 3, 3, 3].into());
+        assert_eq!(sys.agent_count(), 4);
+        assert_eq!(sys.name(), "minimum");
+    }
+
+    #[test]
+    fn convergence_and_conservation_checks() {
+        let sys = min_system(vec![3, 5, 3, 7]);
+        assert!(!sys.is_converged(&[3, 5, 3, 7]));
+        assert!(sys.conservation_law_holds(&[3, 5, 3, 7]));
+        assert!(sys.is_converged(&[3, 3, 3, 3]));
+        assert!(sys.conservation_law_holds(&[3, 3, 3, 3]));
+        // A state with the minimum lost violates the conservation law.
+        assert!(!sys.conservation_law_holds(&[4, 5, 4, 7]));
+        assert_eq!(sys.global_objective(&[3, 5, 3, 7]), 18.0);
+    }
+
+    #[test]
+    fn apply_group_step_updates_only_group_members() {
+        let sys = min_system(vec![9, 5, 3, 7]);
+        let mut state = sys.initial_state().clone();
+        let changed = sys.apply_group_step(&mut state, &[AgentId(0), AgentId(1)], &mut rng());
+        assert!(changed);
+        assert_eq!(state, vec![5, 5, 3, 7]);
+        // A singleton group can only idle under this R.
+        let changed = sys.apply_group_step(&mut state, &[AgentId(3)], &mut rng());
+        assert!(!changed);
+        assert_eq!(state, vec![5, 5, 3, 7]);
+        // Empty groups are no-ops.
+        assert!(!sys.apply_group_step(&mut state, &[], &mut rng()));
+    }
+
+    #[test]
+    fn apply_partition_step_steps_every_group() {
+        let sys = min_system(vec![9, 5, 3, 7]);
+        let mut state = sys.initial_state().clone();
+        let groups = vec![vec![AgentId(0), AgentId(1)], vec![AgentId(2), AgentId(3)]];
+        let changed = sys.apply_partition_step(&mut state, &groups, &mut rng());
+        assert_eq!(changed, 2);
+        assert_eq!(state, vec![5, 5, 3, 3]);
+        // One more whole-system step converges.
+        let all = vec![vec![AgentId(0), AgentId(1), AgentId(2), AgentId(3)]];
+        sys.apply_partition_step(&mut state, &all, &mut rng());
+        assert!(sys.is_converged(&state));
+    }
+
+    #[test]
+    fn relation_is_exposed() {
+        let sys = min_system(vec![4, 2]);
+        let d = sys.relation();
+        assert!(d.relates(&[4, 2].into(), &[2, 2].into()));
+        assert!(!d.relates(&[4, 2].into(), &[4, 4].into()));
+    }
+
+    #[test]
+    #[should_panic(expected = "fairness spec is over")]
+    fn mismatched_fairness_spec_is_rejected() {
+        let _ = SelfSimilarSystem::new(
+            "broken",
+            ConsensusFunction::new("min", |s: &Multiset<i64>| {
+                s.min_value().copied().unwrap_or(0)
+            }),
+            SummationObjective::new("sum", |v: &i64| *v as f64),
+            crate::IdentityStep,
+            vec![1, 2, 3],
+            FairnessSpec::for_graph(&Topology::line(5)),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_group_member_panics() {
+        let sys = min_system(vec![1, 2]);
+        let mut state = sys.initial_state().clone();
+        sys.apply_group_step(&mut state, &[AgentId(7)], &mut rng());
+    }
+}

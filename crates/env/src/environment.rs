@@ -1,0 +1,602 @@
+//! Environment processes: generators of environment-state sequences.
+//!
+//! The paper places *no* constraints on individual environment transitions;
+//! only the fairness assumption `□◇Q` restricts infinite behaviours.  Each
+//! implementation below is one point in that design space, from a fully
+//! benign static network to a minimally fair adversary.  All of them are
+//! deterministic given the caller-supplied RNG, so simulations are
+//! reproducible.
+
+use std::collections::BTreeSet;
+
+use rand::Rng;
+
+use crate::{AgentId, Edge, EnvState, Topology};
+
+/// An environment process: at every system step it produces the next
+/// environment state `G`.
+///
+/// Implementations may use the supplied RNG (probabilistic churn) or ignore
+/// it (deterministic schedules such as the adversary).  The topology is the
+/// set of edges that can ever be enabled; the environment never enables an
+/// edge outside it.
+pub trait Environment {
+    /// The underlying communication graph.
+    fn topology(&self) -> &Topology;
+
+    /// Produces the environment state for the next step.
+    fn step(&mut self, rng: &mut dyn rand::RngCore) -> EnvState;
+
+    /// A short human-readable name used in experiment reports.
+    fn name(&self) -> &'static str {
+        "environment"
+    }
+}
+
+/// A benign, static environment: every topology edge is always available and
+/// every agent is always enabled.
+///
+/// Under this environment a self-similar algorithm behaves like a classical
+/// distributed algorithm on a fixed network; it is the "efficient when
+/// conditions permit" end of the paper's spectrum.
+#[derive(Clone, Debug)]
+pub struct StaticEnv {
+    topology: Topology,
+}
+
+impl StaticEnv {
+    /// Creates a static environment over `topology`.
+    pub fn new(topology: Topology) -> Self {
+        StaticEnv { topology }
+    }
+}
+
+impl Environment for StaticEnv {
+    fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    fn step(&mut self, _rng: &mut dyn rand::RngCore) -> EnvState {
+        EnvState::fully_enabled(&self.topology)
+    }
+
+    fn name(&self) -> &'static str {
+        "static"
+    }
+}
+
+/// Independent random churn: at each step every topology edge is available
+/// with probability `p_edge` and every agent is enabled with probability
+/// `p_agent`, independently of everything else.
+///
+/// With any `p_edge, p_agent > 0` every fairness predicate `Q_e` holds
+/// infinitely often with probability 1, so assumption (2) is satisfied
+/// almost surely.
+#[derive(Clone, Debug)]
+pub struct RandomChurnEnv {
+    topology: Topology,
+    p_edge: f64,
+    p_agent: f64,
+}
+
+impl RandomChurnEnv {
+    /// Creates a churn environment; probabilities are clamped to `[0, 1]`.
+    pub fn new(topology: Topology, p_edge: f64, p_agent: f64) -> Self {
+        RandomChurnEnv {
+            topology,
+            p_edge: p_edge.clamp(0.0, 1.0),
+            p_agent: p_agent.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The per-step probability that an edge is available.
+    pub fn edge_probability(&self) -> f64 {
+        self.p_edge
+    }
+
+    /// The per-step probability that an agent is enabled.
+    pub fn agent_probability(&self) -> f64 {
+        self.p_agent
+    }
+}
+
+impl Environment for RandomChurnEnv {
+    fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    fn step(&mut self, rng: &mut dyn rand::RngCore) -> EnvState {
+        let edges: Vec<Edge> = self
+            .topology
+            .edges()
+            .iter()
+            .copied()
+            .filter(|_| rng.gen_bool(self.p_edge))
+            .collect();
+        let agents: Vec<AgentId> = self
+            .topology
+            .agents()
+            .filter(|_| rng.gen_bool(self.p_agent))
+            .collect();
+        EnvState::new(self.topology.agent_count(), edges, agents)
+    }
+
+    fn name(&self) -> &'static str {
+        "random-churn"
+    }
+}
+
+/// Markov on/off links: each edge is an independent two-state Markov chain
+/// (`down → up` with probability `p_up`, `up → down` with probability
+/// `p_down`).  Models wireless links with correlated-in-time outages, which
+/// independent churn does not capture.
+#[derive(Clone, Debug)]
+pub struct MarkovLinkEnv {
+    topology: Topology,
+    p_up: f64,
+    p_down: f64,
+    up: BTreeSet<Edge>,
+}
+
+impl MarkovLinkEnv {
+    /// Creates a Markov link environment with all links initially up.
+    pub fn new(topology: Topology, p_up: f64, p_down: f64) -> Self {
+        let up = topology.edges().clone();
+        MarkovLinkEnv {
+            topology,
+            p_up: p_up.clamp(0.0, 1.0),
+            p_down: p_down.clamp(0.0, 1.0),
+            up,
+        }
+    }
+
+    /// Creates a Markov link environment with all links initially down.
+    pub fn new_all_down(topology: Topology, p_up: f64, p_down: f64) -> Self {
+        MarkovLinkEnv {
+            up: BTreeSet::new(),
+            ..Self::new(topology, p_up, p_down)
+        }
+    }
+}
+
+impl Environment for MarkovLinkEnv {
+    fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    fn step(&mut self, rng: &mut dyn rand::RngCore) -> EnvState {
+        let mut next_up = BTreeSet::new();
+        for e in self.topology.edges() {
+            let currently_up = self.up.contains(e);
+            let up_next = if currently_up {
+                !rng.gen_bool(self.p_down)
+            } else {
+                rng.gen_bool(self.p_up)
+            };
+            if up_next {
+                next_up.insert(*e);
+            }
+        }
+        self.up = next_up;
+        EnvState::new(
+            self.topology.agent_count(),
+            self.up.iter().copied(),
+            self.topology.agents(),
+        )
+    }
+
+    fn name(&self) -> &'static str {
+        "markov-links"
+    }
+}
+
+/// Periodic partitions: the agent set is split into `blocks` contiguous
+/// blocks; during a partitioned phase only intra-block topology edges are
+/// available.  Every `period` steps one *merge* step occurs in which all
+/// topology edges are available, which is what makes every `Q_e` recur.
+///
+/// Models a network that is split most of the time (e.g. teams out of radio
+/// range) with occasional global connectivity.
+#[derive(Clone, Debug)]
+pub struct PeriodicPartitionEnv {
+    topology: Topology,
+    blocks: usize,
+    period: usize,
+    tick: usize,
+}
+
+impl PeriodicPartitionEnv {
+    /// Creates a periodic-partition environment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is zero or `period` is zero.
+    pub fn new(topology: Topology, blocks: usize, period: usize) -> Self {
+        assert!(blocks > 0, "need at least one block");
+        assert!(period > 0, "period must be positive");
+        PeriodicPartitionEnv {
+            topology,
+            blocks,
+            period,
+            tick: 0,
+        }
+    }
+
+    fn block_of(&self, agent: AgentId) -> usize {
+        let n = self.topology.agent_count();
+        let block_size = n.div_ceil(self.blocks);
+        agent.index() / block_size.max(1)
+    }
+}
+
+impl Environment for PeriodicPartitionEnv {
+    fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    fn step(&mut self, _rng: &mut dyn rand::RngCore) -> EnvState {
+        let merge_step = self.tick % self.period == self.period - 1;
+        self.tick += 1;
+        let edges: Vec<Edge> = if merge_step {
+            self.topology.edges().iter().copied().collect()
+        } else {
+            self.topology
+                .edges()
+                .iter()
+                .copied()
+                .filter(|e| self.block_of(e.lo()) == self.block_of(e.hi()))
+                .collect()
+        };
+        EnvState::new(
+            self.topology.agent_count(),
+            edges,
+            self.topology.agents(),
+        )
+    }
+
+    fn name(&self) -> &'static str {
+        "periodic-partition"
+    }
+}
+
+/// Crash/restart faults: each agent is an independent two-state Markov chain
+/// (`down → up` with probability `p_restart`, `up → down` with probability
+/// `p_crash`).  All topology edges between two *up* agents are available.
+///
+/// A crashed agent is *disabled* in the paper's sense: it takes no steps and
+/// its state is preserved until it restarts (battery exhaustion and
+/// recharge, in the paper's motivating scenario).
+#[derive(Clone, Debug)]
+pub struct CrashRestartEnv {
+    topology: Topology,
+    p_crash: f64,
+    p_restart: f64,
+    up: BTreeSet<AgentId>,
+}
+
+impl CrashRestartEnv {
+    /// Creates a crash/restart environment with all agents initially up.
+    pub fn new(topology: Topology, p_crash: f64, p_restart: f64) -> Self {
+        let up = topology.agents().collect();
+        CrashRestartEnv {
+            topology,
+            p_crash: p_crash.clamp(0.0, 1.0),
+            p_restart: p_restart.clamp(0.0, 1.0),
+            up,
+        }
+    }
+
+    /// The set of currently running agents.
+    pub fn up_agents(&self) -> &BTreeSet<AgentId> {
+        &self.up
+    }
+}
+
+impl Environment for CrashRestartEnv {
+    fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    fn step(&mut self, rng: &mut dyn rand::RngCore) -> EnvState {
+        let mut next_up = BTreeSet::new();
+        for a in self.topology.agents() {
+            let currently_up = self.up.contains(&a);
+            let up_next = if currently_up {
+                !rng.gen_bool(self.p_crash)
+            } else {
+                rng.gen_bool(self.p_restart)
+            };
+            if up_next {
+                next_up.insert(a);
+            }
+        }
+        self.up = next_up;
+        let edges: Vec<Edge> = self
+            .topology
+            .edges()
+            .iter()
+            .copied()
+            .filter(|e| self.up.contains(&e.lo()) && self.up.contains(&e.hi()))
+            .collect();
+        EnvState::new(
+            self.topology.agent_count(),
+            edges,
+            self.up.iter().copied(),
+        )
+    }
+
+    fn name(&self) -> &'static str {
+        "crash-restart"
+    }
+}
+
+/// A minimally fair adversary: it keeps the system as disconnected as it can
+/// while still satisfying `□◇Q_e` for every topology edge.
+///
+/// Concretely it cycles through the topology edges and, every
+/// `silence + 1` steps, enables exactly one edge (and only its two
+/// endpoints); in the intervening `silence` steps nothing is enabled at all.
+/// This is the slowest environment against which the paper's algorithms must
+/// still converge, and is the worst case used in the adaptivity experiments.
+#[derive(Clone, Debug)]
+pub struct AdversarialEnv {
+    topology: Topology,
+    edge_order: Vec<Edge>,
+    silence: usize,
+    tick: usize,
+}
+
+impl AdversarialEnv {
+    /// Creates an adversary over `topology` that stays silent for `silence`
+    /// steps between consecutive single-edge activations.
+    pub fn new(topology: Topology, silence: usize) -> Self {
+        let edge_order: Vec<Edge> = topology.edges().iter().copied().collect();
+        AdversarialEnv {
+            topology,
+            edge_order,
+            silence,
+            tick: 0,
+        }
+    }
+}
+
+impl Environment for AdversarialEnv {
+    fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    fn step(&mut self, _rng: &mut dyn rand::RngCore) -> EnvState {
+        let n = self.topology.agent_count();
+        let cycle = self.silence + 1;
+        let tick = self.tick;
+        self.tick += 1;
+        if self.edge_order.is_empty() || tick % cycle != 0 {
+            return EnvState::fully_disabled(n);
+        }
+        let which = (tick / cycle) % self.edge_order.len();
+        let edge = self.edge_order[which];
+        EnvState::new(n, [edge], [edge.lo(), edge.hi()])
+    }
+
+    fn name(&self) -> &'static str {
+        "adversarial"
+    }
+}
+
+/// The conjunction of two environments over the same topology: an edge or
+/// agent is enabled only when both components enable it.
+///
+/// Useful to combine orthogonal failure modes, e.g. link churn *and* agent
+/// crashes.  Note that the composition may violate a fairness assumption
+/// that each component satisfies individually; the experiment harness always
+/// re-checks `□◇Q` on the generated trace.
+pub struct ComposedEnv<E1, E2> {
+    first: E1,
+    second: E2,
+}
+
+impl<E1: Environment, E2: Environment> ComposedEnv<E1, E2> {
+    /// Composes two environments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two environments disagree on the number of agents.
+    pub fn new(first: E1, second: E2) -> Self {
+        assert_eq!(
+            first.topology().agent_count(),
+            second.topology().agent_count(),
+            "composed environments must have the same agent count"
+        );
+        ComposedEnv { first, second }
+    }
+}
+
+impl<E1: Environment, E2: Environment> Environment for ComposedEnv<E1, E2> {
+    fn topology(&self) -> &Topology {
+        self.first.topology()
+    }
+
+    fn step(&mut self, rng: &mut dyn rand::RngCore) -> EnvState {
+        let a = self.first.step(rng);
+        let b = self.second.step(rng);
+        a.intersect(&b)
+    }
+
+    fn name(&self) -> &'static str {
+        "composed"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn static_env_is_always_fully_enabled() {
+        let mut env = StaticEnv::new(Topology::ring(5));
+        let mut r = rng();
+        for _ in 0..10 {
+            let s = env.step(&mut r);
+            assert!(s.is_fully_connected());
+            assert_eq!(s.enabled_edges().len(), 5);
+        }
+        assert_eq!(env.name(), "static");
+    }
+
+    #[test]
+    fn zero_probability_churn_disables_everything() {
+        let mut env = RandomChurnEnv::new(Topology::complete(4), 0.0, 0.0);
+        let s = env.step(&mut rng());
+        assert!(s.enabled_edges().is_empty());
+        assert!(s.enabled_agents().is_empty());
+    }
+
+    #[test]
+    fn full_probability_churn_enables_everything() {
+        let mut env = RandomChurnEnv::new(Topology::complete(4), 1.0, 1.0);
+        let s = env.step(&mut rng());
+        assert_eq!(s.enabled_edges().len(), 6);
+        assert_eq!(s.enabled_agents().len(), 4);
+    }
+
+    #[test]
+    fn churn_probabilities_are_clamped() {
+        let env = RandomChurnEnv::new(Topology::line(3), 7.0, -2.0);
+        assert_eq!(env.edge_probability(), 1.0);
+        assert_eq!(env.agent_probability(), 0.0);
+    }
+
+    #[test]
+    fn churn_eventually_enables_every_edge() {
+        let topo = Topology::line(5);
+        let mut env = RandomChurnEnv::new(topo.clone(), 0.3, 1.0);
+        let mut r = rng();
+        let mut seen: BTreeSet<Edge> = BTreeSet::new();
+        for _ in 0..200 {
+            let s = env.step(&mut r);
+            seen.extend(s.enabled_edges().iter().copied());
+        }
+        assert_eq!(&seen, topo.edges());
+    }
+
+    #[test]
+    fn markov_links_start_up_and_stay_up_with_zero_down_probability() {
+        let mut env = MarkovLinkEnv::new(Topology::ring(4), 0.5, 0.0);
+        let mut r = rng();
+        for _ in 0..5 {
+            let s = env.step(&mut r);
+            assert_eq!(s.enabled_edges().len(), 4);
+        }
+    }
+
+    #[test]
+    fn markov_links_all_down_never_recover_with_zero_up_probability() {
+        let mut env = MarkovLinkEnv::new_all_down(Topology::ring(4), 0.0, 0.3);
+        let mut r = rng();
+        for _ in 0..5 {
+            let s = env.step(&mut r);
+            assert!(s.enabled_edges().is_empty());
+        }
+    }
+
+    #[test]
+    fn periodic_partition_merges_every_period() {
+        let topo = Topology::complete(6);
+        let mut env = PeriodicPartitionEnv::new(topo, 2, 4);
+        let mut r = rng();
+        let mut merged_steps = Vec::new();
+        for step in 0..8 {
+            let s = env.step(&mut r);
+            if s.is_fully_connected() {
+                merged_steps.push(step);
+            } else {
+                // During partitioned phases there are exactly two groups.
+                assert_eq!(s.groups().len(), 2);
+            }
+        }
+        assert_eq!(merged_steps, vec![3, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn periodic_partition_rejects_zero_period() {
+        let _ = PeriodicPartitionEnv::new(Topology::line(2), 1, 0);
+    }
+
+    #[test]
+    fn crash_restart_disables_crashed_agents() {
+        let mut env = CrashRestartEnv::new(Topology::complete(5), 1.0, 0.0);
+        let mut r = rng();
+        let s = env.step(&mut r);
+        // Everyone crashes immediately and never restarts.
+        assert!(s.enabled_agents().is_empty());
+        assert!(env.up_agents().is_empty());
+        let s2 = env.step(&mut r);
+        assert!(s2.enabled_agents().is_empty());
+    }
+
+    #[test]
+    fn crash_free_environment_keeps_all_agents_up() {
+        let mut env = CrashRestartEnv::new(Topology::complete(5), 0.0, 1.0);
+        let s = env.step(&mut rng());
+        assert_eq!(s.enabled_agents().len(), 5);
+        assert!(s.is_fully_connected());
+    }
+
+    #[test]
+    fn adversary_enables_one_edge_per_cycle() {
+        let topo = Topology::line(4); // edges 0-1, 1-2, 2-3
+        let mut env = AdversarialEnv::new(topo.clone(), 2);
+        let mut r = rng();
+        let mut active_edges = Vec::new();
+        for _ in 0..9 {
+            let s = env.step(&mut r);
+            assert!(s.enabled_edges().len() <= 1);
+            if let Some(e) = s.enabled_edges().iter().next() {
+                // Only the endpoints of the active edge are enabled.
+                assert_eq!(s.enabled_agents().len(), 2);
+                active_edges.push(*e);
+            } else {
+                assert!(s.enabled_agents().is_empty());
+            }
+        }
+        // Over 9 steps with silence 2 (cycle length 3) we see 3 activations,
+        // one per topology edge, in order.
+        assert_eq!(active_edges.len(), 3);
+        let expected: Vec<Edge> = topo.edges().iter().copied().collect();
+        assert_eq!(active_edges, expected);
+    }
+
+    #[test]
+    fn adversary_over_edgeless_topology_is_always_silent() {
+        let mut env = AdversarialEnv::new(Topology::empty(3), 0);
+        let s = env.step(&mut rng());
+        assert!(s.enabled_edges().is_empty());
+    }
+
+    #[test]
+    fn composed_env_intersects_components() {
+        let topo = Topology::complete(4);
+        let churn = RandomChurnEnv::new(topo.clone(), 1.0, 1.0);
+        let crash = CrashRestartEnv::new(topo.clone(), 1.0, 0.0); // everyone down
+        let mut env = ComposedEnv::new(churn, crash);
+        let s = env.step(&mut rng());
+        assert!(s.enabled_agents().is_empty());
+        assert_eq!(env.name(), "composed");
+        assert_eq!(env.topology().agent_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "same agent count")]
+    fn composed_env_rejects_mismatched_sizes() {
+        let a = StaticEnv::new(Topology::line(3));
+        let b = StaticEnv::new(Topology::line(4));
+        let _ = ComposedEnv::new(a, b);
+    }
+}

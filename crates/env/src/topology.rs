@@ -1,0 +1,443 @@
+//! Agents, communication edges and the underlying topology graph.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an agent (process) in the fixed agent set `A`.
+///
+/// The paper keeps agent identities out of the *algorithms* (self-similar
+/// computations are identity-agnostic) but the *infrastructure* — topology,
+/// environment, simulators — still needs to address individual agents.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+)]
+pub struct AgentId(pub usize);
+
+impl AgentId {
+    /// The numeric index of the agent.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for AgentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// An undirected communication edge between two distinct agents.
+///
+/// Edges are stored in normalised form (smaller endpoint first) so that
+/// `Edge::new(a, b) == Edge::new(b, a)`.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+)]
+pub struct Edge {
+    lo: AgentId,
+    hi: AgentId,
+}
+
+impl Edge {
+    /// Creates the (normalised) edge between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`; self-loops carry no communication meaning in the
+    /// model (an agent can always "communicate" with itself).
+    pub fn new(a: AgentId, b: AgentId) -> Self {
+        assert_ne!(a, b, "self-loop edges are not allowed");
+        if a < b {
+            Edge { lo: a, hi: b }
+        } else {
+            Edge { lo: b, hi: a }
+        }
+    }
+
+    /// The endpoint with the smaller id.
+    pub fn lo(&self) -> AgentId {
+        self.lo
+    }
+
+    /// The endpoint with the larger id.
+    pub fn hi(&self) -> AgentId {
+        self.hi
+    }
+
+    /// Both endpoints, smaller id first.
+    pub fn endpoints(&self) -> (AgentId, AgentId) {
+        (self.lo, self.hi)
+    }
+
+    /// Returns `true` if `agent` is one of the endpoints.
+    pub fn touches(&self, agent: AgentId) -> bool {
+        self.lo == agent || self.hi == agent
+    }
+
+    /// Given one endpoint, returns the other; `None` if `agent` is not an
+    /// endpoint.
+    pub fn other(&self, agent: AgentId) -> Option<AgentId> {
+        if agent == self.lo {
+            Some(self.hi)
+        } else if agent == self.hi {
+            Some(self.lo)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}—{}", self.lo, self.hi)
+    }
+}
+
+/// The communication graph `(A, E)`: a fixed set of `n` agents
+/// (`AgentId(0) .. AgentId(n-1)`) and a set of undirected edges.
+///
+/// The topology is the *potential* connectivity; at any instant the
+/// environment enables some subset of its edges (see
+/// [`EnvState`](crate::EnvState)).  The fairness sets `Q_E` of the paper's
+/// examples are defined over topology edges.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Topology {
+    n: usize,
+    edges: BTreeSet<Edge>,
+}
+
+impl Topology {
+    /// Creates a topology with `n` agents and no edges.
+    pub fn empty(n: usize) -> Self {
+        Topology {
+            n,
+            edges: BTreeSet::new(),
+        }
+    }
+
+    /// Creates a topology from an explicit edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any edge endpoint is out of range.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut topo = Topology::empty(n);
+        for (a, b) in edges {
+            topo.add_edge(AgentId(a), AgentId(b));
+        }
+        topo
+    }
+
+    /// The complete graph on `n` agents (every pair may communicate).
+    ///
+    /// This is the fairness graph required by the *sum* example (§4.2).
+    pub fn complete(n: usize) -> Self {
+        let mut topo = Topology::empty(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                topo.add_edge(AgentId(i), AgentId(j));
+            }
+        }
+        topo
+    }
+
+    /// The line (path) graph `0 — 1 — … — n-1`.
+    ///
+    /// This is the fairness graph used by the *sorting* example (§4.4):
+    /// each agent need only communicate with its index neighbours.
+    pub fn line(n: usize) -> Self {
+        let mut topo = Topology::empty(n);
+        for i in 1..n {
+            topo.add_edge(AgentId(i - 1), AgentId(i));
+        }
+        topo
+    }
+
+    /// The ring (cycle) graph on `n` agents.
+    pub fn ring(n: usize) -> Self {
+        let mut topo = Topology::line(n);
+        if n > 2 {
+            topo.add_edge(AgentId(n - 1), AgentId(0));
+        }
+        topo
+    }
+
+    /// The star graph with agent 0 at the centre.
+    pub fn star(n: usize) -> Self {
+        let mut topo = Topology::empty(n);
+        for i in 1..n {
+            topo.add_edge(AgentId(0), AgentId(i));
+        }
+        topo
+    }
+
+    /// A `rows × cols` grid graph.
+    pub fn grid(rows: usize, cols: usize) -> Self {
+        let n = rows * cols;
+        let mut topo = Topology::empty(n);
+        let id = |r: usize, c: usize| AgentId(r * cols + c);
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    topo.add_edge(id(r, c), id(r, c + 1));
+                }
+                if r + 1 < rows {
+                    topo.add_edge(id(r, c), id(r + 1, c));
+                }
+            }
+        }
+        topo
+    }
+
+    /// An Erdős–Rényi `G(n, p)` random graph, re-sampled until connected
+    /// (so it can serve as a fairness graph for the consensus examples).
+    pub fn random_connected(n: usize, p: f64, rng: &mut impl Rng) -> Self {
+        assert!(n > 0, "need at least one agent");
+        loop {
+            let mut topo = Topology::empty(n);
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                        topo.add_edge(AgentId(i), AgentId(j));
+                    }
+                }
+            }
+            if topo.is_connected() {
+                return topo;
+            }
+            // Guarantee termination for tiny p by falling back to a ring
+            // after an unlucky streak is unlikely but possible; add one
+            // random spanning structure instead of looping forever.
+            if p < 2.0 * (n as f64).ln() / (n as f64) {
+                for i in 1..n {
+                    let j = rng.gen_range(0..i);
+                    topo.add_edge(AgentId(i), AgentId(j));
+                }
+                return topo;
+            }
+        }
+    }
+
+    /// Number of agents.
+    pub fn agent_count(&self) -> usize {
+        self.n
+    }
+
+    /// Iterates over all agent ids.
+    pub fn agents(&self) -> impl Iterator<Item = AgentId> {
+        (0..self.n).map(AgentId)
+    }
+
+    /// The edge set.
+    pub fn edges(&self) -> &BTreeSet<Edge> {
+        &self.edges
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds an (undirected) edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range or the edge is a self-loop.
+    pub fn add_edge(&mut self, a: AgentId, b: AgentId) {
+        assert!(
+            a.0 < self.n && b.0 < self.n,
+            "edge endpoint out of range: {a}, {b} with n = {}",
+            self.n
+        );
+        self.edges.insert(Edge::new(a, b));
+    }
+
+    /// Returns `true` if the edge `{a, b}` is in the topology.
+    pub fn has_edge(&self, a: AgentId, b: AgentId) -> bool {
+        a != b && self.edges.contains(&Edge::new(a, b))
+    }
+
+    /// The neighbours of `agent` in the topology.
+    pub fn neighbors(&self, agent: AgentId) -> Vec<AgentId> {
+        self.edges
+            .iter()
+            .filter_map(|e| e.other(agent))
+            .collect()
+    }
+
+    /// Returns `true` if the graph is connected (or has at most one agent).
+    pub fn is_connected(&self) -> bool {
+        connected_components(self.n, &self.edges, |_| true).len() <= 1
+    }
+
+    /// The connected components of the topology.
+    pub fn components(&self) -> Vec<Vec<AgentId>> {
+        connected_components(self.n, &self.edges, |_| true)
+    }
+}
+
+/// Computes the connected components of the subgraph of the `n`-agent graph
+/// with edge set `edges`, restricted to the agents accepted by `include`.
+///
+/// Agents excluded by `include` do not appear in any component.
+pub(crate) fn connected_components(
+    n: usize,
+    edges: &BTreeSet<Edge>,
+    include: impl Fn(AgentId) -> bool,
+) -> Vec<Vec<AgentId>> {
+    let mut adjacency: BTreeMap<AgentId, Vec<AgentId>> = BTreeMap::new();
+    for e in edges {
+        let (a, b) = e.endpoints();
+        if include(a) && include(b) {
+            adjacency.entry(a).or_default().push(b);
+            adjacency.entry(b).or_default().push(a);
+        }
+    }
+    let mut visited: BTreeSet<AgentId> = BTreeSet::new();
+    let mut components = Vec::new();
+    for i in 0..n {
+        let start = AgentId(i);
+        if !include(start) || visited.contains(&start) {
+            continue;
+        }
+        let mut component = Vec::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(start);
+        visited.insert(start);
+        while let Some(a) = queue.pop_front() {
+            component.push(a);
+            if let Some(neigh) = adjacency.get(&a) {
+                for &b in neigh {
+                    if visited.insert(b) {
+                        queue.push_back(b);
+                    }
+                }
+            }
+        }
+        component.sort();
+        components.push(component);
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn edge_is_normalised_and_symmetric() {
+        let e1 = Edge::new(AgentId(3), AgentId(1));
+        let e2 = Edge::new(AgentId(1), AgentId(3));
+        assert_eq!(e1, e2);
+        assert_eq!(e1.lo(), AgentId(1));
+        assert_eq!(e1.hi(), AgentId(3));
+        assert_eq!(e1.other(AgentId(1)), Some(AgentId(3)));
+        assert_eq!(e1.other(AgentId(3)), Some(AgentId(1)));
+        assert_eq!(e1.other(AgentId(7)), None);
+        assert!(e1.touches(AgentId(1)));
+        assert!(!e1.touches(AgentId(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_edges_panic() {
+        let _ = Edge::new(AgentId(2), AgentId(2));
+    }
+
+    #[test]
+    fn complete_graph_edge_count() {
+        let t = Topology::complete(5);
+        assert_eq!(t.agent_count(), 5);
+        assert_eq!(t.edge_count(), 10);
+        assert!(t.is_connected());
+        assert!(t.has_edge(AgentId(0), AgentId(4)));
+    }
+
+    #[test]
+    fn line_graph_structure() {
+        let t = Topology::line(4);
+        assert_eq!(t.edge_count(), 3);
+        assert!(t.has_edge(AgentId(0), AgentId(1)));
+        assert!(!t.has_edge(AgentId(0), AgentId(2)));
+        assert!(t.is_connected());
+        assert_eq!(t.neighbors(AgentId(1)), vec![AgentId(0), AgentId(2)]);
+        assert_eq!(t.neighbors(AgentId(0)), vec![AgentId(1)]);
+    }
+
+    #[test]
+    fn ring_graph_structure() {
+        let t = Topology::ring(5);
+        assert_eq!(t.edge_count(), 5);
+        assert!(t.has_edge(AgentId(4), AgentId(0)));
+        let tiny = Topology::ring(2);
+        assert_eq!(tiny.edge_count(), 1);
+    }
+
+    #[test]
+    fn star_graph_structure() {
+        let t = Topology::star(5);
+        assert_eq!(t.edge_count(), 4);
+        assert_eq!(t.neighbors(AgentId(0)).len(), 4);
+        assert_eq!(t.neighbors(AgentId(3)), vec![AgentId(0)]);
+    }
+
+    #[test]
+    fn grid_graph_structure() {
+        let t = Topology::grid(2, 3);
+        assert_eq!(t.agent_count(), 6);
+        // 2 rows × 2 horizontal edges + 3 vertical edges
+        assert_eq!(t.edge_count(), 2 * 2 + 3);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn empty_graph_components_are_singletons() {
+        let t = Topology::empty(3);
+        assert!(!t.is_connected());
+        let comps = t.components();
+        assert_eq!(comps.len(), 3);
+        assert!(comps.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let t = Topology::from_edges(5, [(0, 1), (1, 2), (3, 4)]);
+        let comps = t.components();
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![AgentId(0), AgentId(1), AgentId(2)]);
+        assert_eq!(comps[1], vec![AgentId(3), AgentId(4)]);
+    }
+
+    #[test]
+    fn random_connected_is_connected() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for &p in &[0.05, 0.3, 0.9] {
+            let t = Topology::random_connected(12, p, &mut rng);
+            assert!(t.is_connected(), "p = {p}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut t = Topology::empty(2);
+        t.add_edge(AgentId(0), AgentId(5));
+    }
+
+    #[test]
+    fn single_agent_topology_is_connected() {
+        let t = Topology::empty(1);
+        assert!(t.is_connected());
+        assert_eq!(t.components(), vec![vec![AgentId(0)]]);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(AgentId(3).to_string(), "a3");
+        assert_eq!(Edge::new(AgentId(1), AgentId(0)).to_string(), "a0—a1");
+    }
+}

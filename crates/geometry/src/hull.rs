@@ -1,0 +1,221 @@
+//! Convex hulls via Andrew's monotone chain.
+
+use crate::Point;
+
+/// Computes the convex hull of `points` using Andrew's monotone-chain
+/// algorithm.
+///
+/// The hull is returned as its vertices in counter-clockwise order starting
+/// from the lexicographically smallest point.  Collinear points on hull
+/// edges are *not* included, so the output is the minimal vertex set.
+/// Degenerate inputs are handled: fewer than three distinct points (or all
+/// collinear points) return the distinct extreme points.
+///
+/// The convex hull is the super-idempotent generalisation the paper uses for
+/// the circumscribing-circle problem (Figure 3): the hull of
+/// `hull(X) ∪ Y` equals the hull of `X ∪ Y`.
+pub fn convex_hull(points: &[Point]) -> Vec<Point> {
+    let mut pts: Vec<Point> = points.to_vec();
+    pts.sort();
+    pts.dedup();
+    let n = pts.len();
+    if n <= 2 {
+        return pts;
+    }
+
+    let mut hull: Vec<Point> = Vec::with_capacity(2 * n);
+    // Lower hull.
+    for &p in &pts {
+        while hull.len() >= 2
+            && Point::cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for &p in pts.iter().rev().skip(1) {
+        while hull.len() >= lower_len
+            && Point::cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    hull.pop(); // the first point is repeated at the end
+    if hull.is_empty() {
+        // All points collinear: the monotone chain with strict turns can
+        // collapse; fall back to the two extreme points.
+        return vec![pts[0], pts[n - 1]];
+    }
+    hull
+}
+
+/// The perimeter of the polygon whose vertices are `hull`, in order.
+///
+/// A hull of zero or one points has perimeter 0; a hull of two points is a
+/// degenerate polygon whose perimeter is twice the segment length (going
+/// there and back), which keeps the objective function of §4.5 strictly
+/// monotone as degenerate hulls grow into real ones.
+pub fn hull_perimeter(hull: &[Point]) -> f64 {
+    match hull.len() {
+        0 | 1 => 0.0,
+        2 => 2.0 * hull[0].distance(hull[1]),
+        n => {
+            let mut total = 0.0;
+            for i in 0..n {
+                total += hull[i].distance(hull[(i + 1) % n]);
+            }
+            total
+        }
+    }
+}
+
+/// Returns `true` if point `p` lies inside or on the convex polygon `hull`
+/// (vertices in counter-clockwise order), within tolerance `eps`.
+pub fn hull_contains(hull: &[Point], p: Point, eps: f64) -> bool {
+    match hull.len() {
+        0 => false,
+        1 => hull[0].distance(p) <= eps,
+        2 => {
+            // Distance from p to the segment hull[0]..hull[1].
+            segment_distance(hull[0], hull[1], p) <= eps
+        }
+        n => {
+            for i in 0..n {
+                let a = hull[i];
+                let b = hull[(i + 1) % n];
+                if Point::cross(a, b, p) < -eps * a.distance(b).max(1.0) {
+                    return false;
+                }
+            }
+            true
+        }
+    }
+}
+
+fn segment_distance(a: Point, b: Point, p: Point) -> f64 {
+    let len2 = a.distance_squared(b);
+    if len2 == 0.0 {
+        return a.distance(p);
+    }
+    let t = ((p.x - a.x) * (b.x - a.x) + (p.y - a.y) * (b.y - a.y)) / len2;
+    let t = t.clamp(0.0, 1.0);
+    let proj = Point::new(a.x + t * (b.x - a.x), a.y + t * (b.y - a.y));
+    proj.distance(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square() -> Vec<Point> {
+        vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+        ]
+    }
+
+    #[test]
+    fn hull_of_square_with_interior_points() {
+        let mut pts = square();
+        pts.push(Point::new(0.5, 0.5));
+        pts.push(Point::new(0.25, 0.75));
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+        for corner in square() {
+            assert!(hull.contains(&corner));
+        }
+    }
+
+    #[test]
+    fn hull_drops_collinear_edge_points() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(1.0, 0.0), // on the bottom edge
+            Point::new(1.0, 1.0),
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 3);
+        assert!(!hull.contains(&Point::new(1.0, 0.0)));
+    }
+
+    #[test]
+    fn hull_of_degenerate_inputs() {
+        assert!(convex_hull(&[]).is_empty());
+        let single = convex_hull(&[Point::new(1.0, 1.0)]);
+        assert_eq!(single, vec![Point::new(1.0, 1.0)]);
+        let dup = convex_hull(&[Point::new(1.0, 1.0), Point::new(1.0, 1.0)]);
+        assert_eq!(dup.len(), 1);
+        let collinear = convex_hull(&[
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 2.0),
+        ]);
+        assert_eq!(collinear.len(), 2);
+        assert!(collinear.contains(&Point::new(0.0, 0.0)));
+        assert!(collinear.contains(&Point::new(2.0, 2.0)));
+    }
+
+    #[test]
+    fn hull_is_idempotent() {
+        let mut pts = square();
+        pts.push(Point::new(0.3, 0.7));
+        let h1 = convex_hull(&pts);
+        let h2 = convex_hull(&h1);
+        let mut a = h1.clone();
+        let mut b = h2.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn perimeter_of_unit_square_is_four() {
+        let hull = convex_hull(&square());
+        assert!((hull_perimeter(&hull) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perimeter_of_degenerate_hulls() {
+        assert_eq!(hull_perimeter(&[]), 0.0);
+        assert_eq!(hull_perimeter(&[Point::new(3.0, 4.0)]), 0.0);
+        let seg = [Point::new(0.0, 0.0), Point::new(3.0, 4.0)];
+        assert_eq!(hull_perimeter(&seg), 10.0);
+    }
+
+    #[test]
+    fn containment_for_square() {
+        let hull = convex_hull(&square());
+        assert!(hull_contains(&hull, Point::new(0.5, 0.5), 1e-9));
+        assert!(hull_contains(&hull, Point::new(0.0, 0.0), 1e-9));
+        assert!(hull_contains(&hull, Point::new(1.0, 0.5), 1e-9));
+        assert!(!hull_contains(&hull, Point::new(1.5, 0.5), 1e-9));
+        assert!(!hull_contains(&hull, Point::new(-0.1, 0.5), 1e-9));
+    }
+
+    #[test]
+    fn containment_for_degenerate_hulls() {
+        assert!(!hull_contains(&[], Point::origin(), 1e-9));
+        assert!(hull_contains(&[Point::new(1.0, 1.0)], Point::new(1.0, 1.0), 1e-9));
+        assert!(!hull_contains(&[Point::new(1.0, 1.0)], Point::new(2.0, 1.0), 1e-9));
+        let seg = [Point::new(0.0, 0.0), Point::new(2.0, 0.0)];
+        assert!(hull_contains(&seg, Point::new(1.0, 0.0), 1e-9));
+        assert!(!hull_contains(&seg, Point::new(1.0, 0.5), 1e-9));
+    }
+
+    #[test]
+    fn hull_growth_increases_perimeter() {
+        // Adding an outside point strictly increases the hull perimeter —
+        // the monotonicity the objective function of §4.5 relies on.
+        let base = convex_hull(&square());
+        let mut extended = square();
+        extended.push(Point::new(3.0, 0.5));
+        let bigger = convex_hull(&extended);
+        assert!(hull_perimeter(&bigger) > hull_perimeter(&base));
+    }
+}

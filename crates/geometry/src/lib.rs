@@ -1,0 +1,49 @@
+//! 2-D computational geometry for the circumscribing-circle example.
+//!
+//! Section 4.5 of Chandy & Charpentier (ICDCS 2007) uses two geometric
+//! constructions:
+//!
+//! * the **smallest enclosing circle** (circumscribing circle) of a set of
+//!   points/circles — the function the agents are asked to compute, which
+//!   turns out *not* to be super-idempotent (the paper's Figure 2);
+//! * the **convex hull** of a set of points — the generalised problem that
+//!   *is* super-idempotent (Figure 3) and from which the circumscribing
+//!   circle is recovered at the end.
+//!
+//! This crate implements both from scratch: Andrew's monotone-chain convex
+//! hull, Welzl's smallest-enclosing-circle algorithm (with a deterministic
+//! seeded shuffle so runs are reproducible), hull perimeters, and the point
+//! and circle containment predicates the algorithms need.
+//!
+//! Coordinates are `f64` wrapped in a total order ([`Point`] implements
+//! `Ord` via `f64::total_cmp`) so points can live inside the framework's
+//! ordered multisets and `BTreeSet`s.
+//!
+//! # Example
+//!
+//! ```
+//! use selfsim_geometry::{convex_hull, smallest_enclosing_circle, Point};
+//!
+//! let pts = vec![
+//!     Point::new(0.0, 0.0),
+//!     Point::new(4.0, 0.0),
+//!     Point::new(4.0, 3.0),
+//!     Point::new(2.0, 1.0), // interior
+//! ];
+//! let hull = convex_hull(&pts);
+//! assert_eq!(hull.len(), 3);
+//!
+//! let c = smallest_enclosing_circle(&pts);
+//! assert!(pts.iter().all(|p| c.contains(*p, 1e-9)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod circle;
+mod hull;
+mod point;
+
+pub use circle::{enclosing_circle_of_circles, smallest_enclosing_circle, Circle};
+pub use hull::{convex_hull, hull_contains, hull_perimeter};
+pub use point::Point;

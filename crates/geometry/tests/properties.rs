@@ -1,0 +1,116 @@
+//! Property-based tests of the geometric primitives.
+//!
+//! These pin down exactly the geometric facts the paper's §4.5 argument
+//! relies on: hulls contain their points, hulling is idempotent, hulling is
+//! super-idempotent in the `hull(hull(X) ∪ Y) = hull(X ∪ Y)` sense, and the
+//! smallest enclosing circle encloses everything it is asked to enclose.
+
+use proptest::prelude::*;
+use selfsim_geometry::{convex_hull, hull_contains, hull_perimeter, smallest_enclosing_circle, Point};
+
+fn point_strategy() -> impl Strategy<Value = Point> {
+    // Small integer-valued coordinates avoid floating-point corner cases
+    // while still producing plenty of interior/collinear/duplicate layouts.
+    (-20i32..20, -20i32..20).prop_map(|(x, y)| Point::new(x as f64, y as f64))
+}
+
+fn points_strategy(max: usize) -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::vec(point_strategy(), 0..max)
+}
+
+proptest! {
+    #[test]
+    fn hull_vertices_are_input_points(pts in points_strategy(30)) {
+        let hull = convex_hull(&pts);
+        for v in &hull {
+            prop_assert!(pts.contains(v));
+        }
+    }
+
+    #[test]
+    fn hull_contains_every_input_point(pts in points_strategy(30)) {
+        let hull = convex_hull(&pts);
+        for p in &pts {
+            prop_assert!(hull_contains(&hull, *p, 1e-6), "{p} not in hull {hull:?}");
+        }
+    }
+
+    #[test]
+    fn hull_is_idempotent(pts in points_strategy(30)) {
+        let h1 = convex_hull(&pts);
+        let mut h2 = convex_hull(&h1);
+        let mut h1s = h1.clone();
+        h1s.sort();
+        h2.sort();
+        prop_assert_eq!(h1s, h2);
+    }
+
+    #[test]
+    fn hull_is_super_idempotent(xs in points_strategy(20), ys in points_strategy(20)) {
+        // hull(X ∪ Y) == hull(hull(X) ∪ Y): the exact property of Figure 3.
+        let mut all: Vec<Point> = xs.clone();
+        all.extend(ys.iter().copied());
+        let direct = {
+            let mut h = convex_hull(&all);
+            h.sort();
+            h
+        };
+        let mut via_hull: Vec<Point> = convex_hull(&xs);
+        via_hull.extend(ys.iter().copied());
+        let indirect = {
+            let mut h = convex_hull(&via_hull);
+            h.sort();
+            h
+        };
+        prop_assert_eq!(direct, indirect);
+    }
+
+    #[test]
+    fn adding_points_never_shrinks_hull_perimeter(
+        xs in points_strategy(20),
+        extra in point_strategy(),
+    ) {
+        let before = hull_perimeter(&convex_hull(&xs));
+        let mut bigger = xs.clone();
+        bigger.push(extra);
+        let after = hull_perimeter(&convex_hull(&bigger));
+        prop_assert!(after + 1e-9 >= before, "perimeter shrank: {before} -> {after}");
+    }
+
+    #[test]
+    fn enclosing_circle_contains_all_points(pts in points_strategy(30)) {
+        prop_assume!(!pts.is_empty());
+        let c = smallest_enclosing_circle(&pts);
+        for p in &pts {
+            prop_assert!(c.contains(*p, 1e-6));
+        }
+    }
+
+    #[test]
+    fn enclosing_circle_radius_at_most_half_diameter_bound(pts in points_strategy(30)) {
+        prop_assume!(pts.len() >= 2);
+        let c = smallest_enclosing_circle(&pts);
+        // The radius can never exceed the diameter of the point set, and is
+        // at least half the largest pairwise distance.
+        let mut max_d: f64 = 0.0;
+        for a in &pts {
+            for b in &pts {
+                max_d = max_d.max(a.distance(*b));
+            }
+        }
+        prop_assert!(c.radius <= max_d + 1e-6);
+        prop_assert!(c.radius + 1e-6 >= max_d / 2.0);
+    }
+
+    #[test]
+    fn enclosing_circle_of_hull_equals_circle_of_points(pts in points_strategy(30)) {
+        prop_assume!(!pts.is_empty());
+        // The circumscribing circle only depends on the convex hull — the
+        // fact that lets the paper recover the circle from the hull at the
+        // end of the computation.
+        let direct = smallest_enclosing_circle(&pts);
+        let via_hull = smallest_enclosing_circle(&convex_hull(&pts));
+        prop_assert!(direct.center.distance(via_hull.center) < 1e-6);
+        prop_assert!((direct.radius - via_hull.radius).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,80 @@
+//! Free-standing helpers over [`Multiset`] used throughout the workspace.
+
+use crate::Multiset;
+
+/// Applies `g` to every element of `set`, preserving multiplicities (modulo
+/// collisions of `g`'s outputs, which merge).
+pub fn map<T: Ord, U: Ord>(set: &Multiset<T>, g: impl FnMut(&T) -> U) -> Multiset<U> {
+    set.map(g)
+}
+
+/// Sums `g(v)` over all elements of `set`, counting multiplicity.
+///
+/// This is the building block for the paper's *summation form* (8) of
+/// objective functions: `h(S_B) = Σ_{a ∈ B} h_a(S_a)`.
+pub fn sum_by<T: Ord>(set: &Multiset<T>, mut g: impl FnMut(&T) -> i128) -> i128 {
+    set.fold(0i128, |acc, v| acc + g(v))
+}
+
+/// The minimum of `g(v)` over the multiset, or `None` if empty.
+pub fn min<T: Ord, K: Ord>(set: &Multiset<T>, mut g: impl FnMut(&T) -> K) -> Option<K> {
+    set.iter().map(|v| g(v)).min()
+}
+
+/// The maximum of `g(v)` over the multiset, or `None` if empty.
+pub fn max<T: Ord, K: Ord>(set: &Multiset<T>, mut g: impl FnMut(&T) -> K) -> Option<K> {
+    set.iter().map(|v| g(v)).max()
+}
+
+/// Splits a multiset into the sub-multiset satisfying `pred` and the rest.
+pub fn partition_by<T: Ord + Clone>(
+    set: &Multiset<T>,
+    mut pred: impl FnMut(&T) -> bool,
+) -> (Multiset<T>, Multiset<T>) {
+    let mut yes = Multiset::new();
+    let mut no = Multiset::new();
+    for (v, c) in set.iter_counts() {
+        if pred(v) {
+            yes.insert_n(v.clone(), c);
+        } else {
+            no.insert_n(v.clone(), c);
+        }
+    }
+    (yes, no)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_by_counts_multiplicity() {
+        let x: Multiset<i64> = [3, 5, 3, 7].into();
+        assert_eq!(sum_by(&x, |v| *v as i128), 18);
+    }
+
+    #[test]
+    fn min_max_by_key() {
+        let x: Multiset<i64> = [3, 5, 3, 7].into();
+        assert_eq!(min(&x, |v| -v), Some(-7));
+        assert_eq!(max(&x, |v| -v), Some(-3));
+        let e: Multiset<i64> = Multiset::new();
+        assert_eq!(min(&e, |v| *v), None);
+    }
+
+    #[test]
+    fn partition_splits_and_preserves_cardinality() {
+        let x: Multiset<i64> = [1, 2, 3, 4, 4].into();
+        let (even, odd) = partition_by(&x, |v| v % 2 == 0);
+        assert_eq!(even.to_vec(), vec![2, 4, 4]);
+        assert_eq!(odd.to_vec(), vec![1, 3]);
+        assert_eq!(even.len() + odd.len(), x.len());
+        assert_eq!(even.union(&odd), x);
+    }
+
+    #[test]
+    fn map_helper_matches_method() {
+        let x: Multiset<i64> = [1, 2, 3].into();
+        assert_eq!(map(&x, |v| v * 2), x.map(|v| v * 2));
+    }
+}

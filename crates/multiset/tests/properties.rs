@@ -1,0 +1,107 @@
+//! Property-based tests of the multiset algebra.
+//!
+//! The framework relies on the bag-algebra identities stated implicitly in
+//! the paper (`S_{B∪C} = S_B ⊎ S_C`, associativity/commutativity of `⊎`);
+//! these tests pin them down.
+
+use proptest::prelude::*;
+use selfsim_multiset::Multiset;
+
+fn multiset_strategy() -> impl Strategy<Value = Multiset<i32>> {
+    proptest::collection::vec(-50i32..50, 0..40).prop_map(|v| v.into_iter().collect())
+}
+
+proptest! {
+    #[test]
+    fn union_is_commutative(x in multiset_strategy(), y in multiset_strategy()) {
+        prop_assert_eq!(x.union(&y), y.union(&x));
+    }
+
+    #[test]
+    fn union_is_associative(
+        x in multiset_strategy(),
+        y in multiset_strategy(),
+        z in multiset_strategy(),
+    ) {
+        prop_assert_eq!(x.union(&y).union(&z), x.union(&y.union(&z)));
+    }
+
+    #[test]
+    fn empty_is_union_identity(x in multiset_strategy()) {
+        let empty = Multiset::new();
+        prop_assert_eq!(x.union(&empty), x.clone());
+        prop_assert_eq!(empty.union(&x), x);
+    }
+
+    #[test]
+    fn union_cardinality_adds(x in multiset_strategy(), y in multiset_strategy()) {
+        prop_assert_eq!(x.union(&y).len(), x.len() + y.len());
+    }
+
+    #[test]
+    fn difference_then_union_recovers_superset(
+        x in multiset_strategy(),
+        y in multiset_strategy(),
+    ) {
+        // (x ⊎ y) ∖ y == x
+        let u = x.union(&y);
+        prop_assert_eq!(u.difference(&y), x);
+    }
+
+    #[test]
+    fn intersection_is_subset_of_both(x in multiset_strategy(), y in multiset_strategy()) {
+        let i = x.intersection(&y);
+        prop_assert!(i.is_subset(&x));
+        prop_assert!(i.is_subset(&y));
+    }
+
+    #[test]
+    fn inclusion_exclusion_on_cardinality(x in multiset_strategy(), y in multiset_strategy()) {
+        // |x ∩ y| + |x ∖ y| == |x|
+        prop_assert_eq!(x.intersection(&y).len() + x.difference(&y).len(), x.len());
+    }
+
+    #[test]
+    fn to_vec_is_sorted_and_has_right_len(x in multiset_strategy()) {
+        let v = x.to_vec();
+        prop_assert_eq!(v.len(), x.len());
+        prop_assert!(v.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn count_sums_to_len(x in multiset_strategy()) {
+        let total: usize = x.iter_counts().map(|(_, c)| c).sum();
+        prop_assert_eq!(total, x.len());
+    }
+
+    #[test]
+    fn from_iter_is_order_insensitive(mut v in proptest::collection::vec(-50i32..50, 0..30)) {
+        let a: Multiset<i32> = v.iter().copied().collect();
+        v.reverse();
+        let b: Multiset<i32> = v.into_iter().collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn insert_then_remove_is_identity(x in multiset_strategy(), v in -50i32..50) {
+        let mut y = x.clone();
+        y.insert(v);
+        prop_assert!(y.remove(&v));
+        prop_assert_eq!(y, x);
+    }
+
+    #[test]
+    fn map_identity_is_identity(x in multiset_strategy()) {
+        prop_assert_eq!(x.map(|v| *v), x);
+    }
+
+    #[test]
+    fn fill_with_preserves_len(x in multiset_strategy(), v in -50i32..50) {
+        let y = x.fill_with(v);
+        prop_assert_eq!(y.len(), x.len());
+        if !x.is_empty() {
+            prop_assert_eq!(y.distinct_len(), 1);
+            prop_assert_eq!(y.count(&v), x.len());
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! The discrete-event, message-passing simulator.
+
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use selfsim_core::SelfSimilarSystem;
+use selfsim_env::{AgentId, Environment};
+use selfsim_temporal::Trace;
+use selfsim_trace::RunMetrics;
+
+use crate::SimulationReport;
+
+/// Configuration of an [`AsyncSimulator`] run.
+#[derive(Clone, Debug)]
+pub struct AsyncConfig {
+    /// Maximum virtual time (number of ticks) before giving up.
+    pub max_ticks: usize,
+    /// Probability that an enabled edge initiates an interaction at a tick.
+    pub interaction_rate: f64,
+    /// Message latency is drawn uniformly from `1..=max_latency` ticks.
+    pub max_latency: usize,
+    /// Probability that an in-flight message is lost.
+    pub drop_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Record the full state trace in the report.
+    pub record_traces: bool,
+}
+
+impl Default for AsyncConfig {
+    fn default() -> Self {
+        AsyncConfig {
+            max_ticks: 50_000,
+            interaction_rate: 0.5,
+            max_latency: 3,
+            drop_rate: 0.0,
+            seed: 0,
+            record_traces: false,
+        }
+    }
+}
+
+/// A pending rendezvous request: when delivered (and if the edge is still
+/// usable), the two endpoint agents execute one pairwise step of `R`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct PendingInteraction {
+    deliver_at: usize,
+    initiator: AgentId,
+    responder: AgentId,
+    sequence: usize,
+}
+
+impl Ord for PendingInteraction {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest delivery pops first,
+        // breaking ties by sequence number for determinism.
+        other
+            .deliver_at
+            .cmp(&self.deliver_at)
+            .then_with(|| other.sequence.cmp(&self.sequence))
+    }
+}
+
+impl PartialOrd for PendingInteraction {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The asynchronous, message-passing realisation of the group relation `R`.
+///
+/// At every virtual-time tick the environment produces a new state; each
+/// currently usable edge initiates, with probability `interaction_rate`, a
+/// *rendezvous request* that is delivered after a random latency (or dropped
+/// with probability `drop_rate`).  When a request is delivered and the edge
+/// is usable at delivery time, the two endpoints execute one two-agent step
+/// of `R` on their *current* states.
+///
+/// This realises the observation at the end of §4.5 that relation `R` "can
+/// be easily implemented by asynchronous message passing": every delivered
+/// message triggers a small-group optimisation step; nothing requires global
+/// rounds.  Because each interaction is still a step of `R`, the
+/// conservation law and the descent of `h` are preserved verbatim.
+pub struct AsyncSimulator {
+    config: AsyncConfig,
+}
+
+impl AsyncSimulator {
+    /// Creates a simulator with the given configuration.
+    pub fn new(config: AsyncConfig) -> Self {
+        AsyncSimulator { config }
+    }
+
+    /// Creates a simulator with default configuration and the given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        AsyncSimulator {
+            config: AsyncConfig {
+                seed,
+                ..AsyncConfig::default()
+            },
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AsyncConfig {
+        &self.config
+    }
+
+    /// Runs `system` under `environment` until convergence or the tick
+    /// budget is exhausted.
+    pub fn run<S, E>(&self, system: &SelfSimilarSystem<S>, environment: &mut E) -> SimulationReport<S>
+    where
+        S: Ord + Clone + std::fmt::Debug,
+        E: Environment + ?Sized,
+    {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut state = system.initial_state().clone();
+        let mut metrics = RunMetrics::new(
+            system.name(),
+            format!("async/{}", environment.name()),
+            system.agent_count(),
+        );
+        let mut env_trace = Trace::new();
+        let mut state_trace = Vec::new();
+        metrics
+            .objective_trajectory
+            .push(system.global_objective(&state));
+        if self.config.record_traces {
+            state_trace.push(system.multiset(&state));
+        }
+
+        let mut pending: BinaryHeap<PendingInteraction> = BinaryHeap::new();
+        let mut sequence = 0usize;
+        let mut converged_at = None;
+
+        for tick in 0..self.config.max_ticks {
+            let env_state = environment.step(&mut rng);
+            if self.config.record_traces {
+                env_trace.push(env_state.clone());
+            }
+
+            // New rendezvous requests from currently usable edges.
+            for edge in env_state.enabled_edges() {
+                if !env_state.can_communicate(edge.lo(), edge.hi()) {
+                    continue;
+                }
+                if !rng.gen_bool(self.config.interaction_rate) {
+                    continue;
+                }
+                metrics.messages += 1;
+                if rng.gen_bool(self.config.drop_rate) {
+                    continue; // lost in flight
+                }
+                let latency = rng.gen_range(1..=self.config.max_latency.max(1));
+                pending.push(PendingInteraction {
+                    deliver_at: tick + latency,
+                    initiator: edge.lo(),
+                    responder: edge.hi(),
+                    sequence,
+                });
+                sequence += 1;
+            }
+
+            // Deliveries due at this tick.
+            while pending
+                .peek()
+                .is_some_and(|p| p.deliver_at <= tick)
+            {
+                let p = pending.pop().expect("peeked");
+                // The rendezvous only happens if the pair can still
+                // communicate when the message arrives.
+                if !env_state.can_communicate(p.initiator, p.responder) {
+                    continue;
+                }
+                metrics.group_steps += 1;
+                let group = [p.initiator, p.responder];
+                if system.apply_group_step(&mut state, &group, &mut rng) {
+                    metrics.effective_group_steps += 1;
+                }
+            }
+
+            metrics.rounds_executed = tick + 1;
+            metrics
+                .objective_trajectory
+                .push(system.global_objective(&state));
+            if self.config.record_traces {
+                state_trace.push(system.multiset(&state));
+            }
+
+            if system.is_converged(&state) {
+                converged_at = Some(tick + 1);
+                break;
+            }
+        }
+
+        metrics.rounds_to_convergence = converged_at;
+        SimulationReport {
+            metrics,
+            final_state: state,
+            env_trace,
+            state_trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfsim_algorithms::minimum;
+    use selfsim_env::{RandomChurnEnv, StaticEnv, Topology};
+
+    #[test]
+    fn minimum_converges_asynchronously() {
+        let topo = Topology::ring(6);
+        let sys = minimum::system(&[9, 2, 7, 5, 8, 4], topo.clone());
+        let mut env = StaticEnv::new(topo);
+        let report = AsyncSimulator::with_seed(5).run(&sys, &mut env);
+        assert!(report.converged());
+        assert_eq!(report.final_state, vec![2; 6]);
+        assert!(report.metrics.objective_is_monotone(1e-9));
+    }
+
+    #[test]
+    fn message_drops_slow_convergence_but_do_not_break_it() {
+        let topo = Topology::ring(6);
+        let sys = minimum::system(&[9, 2, 7, 5, 8, 4], topo.clone());
+        let run = |drop_rate: f64| {
+            let mut env = StaticEnv::new(Topology::ring(6));
+            AsyncSimulator::new(AsyncConfig {
+                drop_rate,
+                seed: 2,
+                ..AsyncConfig::default()
+            })
+            .run(&sys, &mut env)
+        };
+        let clean = run(0.0);
+        let lossy = run(0.8);
+        assert!(clean.converged());
+        assert!(lossy.converged());
+        assert!(
+            lossy.rounds_to_convergence().unwrap() >= clean.rounds_to_convergence().unwrap(),
+            "losing 80% of messages should not speed things up"
+        );
+    }
+
+    #[test]
+    fn async_under_churn_still_converges_and_conserves() {
+        let topo = Topology::complete(5);
+        let sys = minimum::system(&[5, 4, 3, 2, 11], topo.clone());
+        let mut env = RandomChurnEnv::new(topo, 0.3, 0.8);
+        let config = AsyncConfig {
+            seed: 9,
+            record_traces: true,
+            ..AsyncConfig::default()
+        };
+        let report = AsyncSimulator::new(config).run(&sys, &mut env);
+        assert!(report.converged());
+        for ms in &report.state_trace {
+            assert_eq!(sys.function().apply(ms), sys.target());
+        }
+    }
+
+    #[test]
+    fn impossible_environment_exhausts_budget() {
+        let topo = Topology::line(3);
+        let sys = minimum::system(&[3, 2, 1], topo.clone());
+        let mut env = RandomChurnEnv::new(topo, 0.0, 0.0);
+        let report = AsyncSimulator::new(AsyncConfig {
+            max_ticks: 100,
+            ..AsyncConfig::default()
+        })
+        .run(&sys, &mut env);
+        assert!(!report.converged());
+        assert_eq!(report.metrics.rounds_executed, 100);
+    }
+
+    #[test]
+    fn determinism_with_same_seed() {
+        let topo = Topology::ring(5);
+        let sys = minimum::system(&[7, 3, 9, 1, 5], topo.clone());
+        let run = || {
+            let mut env = RandomChurnEnv::new(Topology::ring(5), 0.6, 1.0);
+            AsyncSimulator::with_seed(4).run(&sys, &mut env)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.rounds_to_convergence(), b.rounds_to_convergence());
+        assert_eq!(a.metrics.messages, b.metrics.messages);
+    }
+}

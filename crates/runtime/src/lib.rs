@@ -1,0 +1,36 @@
+//! Simulators that execute self-similar algorithms under dynamic environments.
+//!
+//! The transition system of Chandy & Charpentier (ICDCS 2007) alternates
+//! environment transitions (arbitrary) with agent transitions (every group
+//! of a partition takes one collaborative step).  This crate provides two
+//! executable realisations of that system:
+//!
+//! * [`SyncSimulator`] — the direct, round-based realisation: at every round
+//!   the environment produces a new [`selfsim_env::EnvState`], the induced
+//!   partition (connected components of the enabled subgraph) is computed,
+//!   and every group executes one step of the algorithm's group relation
+//!   `R`.  This is the semantics used for all correctness claims and most
+//!   experiments.
+//! * [`AsyncSimulator`] — a discrete-event, message-passing realisation in
+//!   the spirit of the remark at the end of §4.5: agents interact pairwise
+//!   when a (possibly delayed, possibly dropped) message is delivered over a
+//!   currently-enabled edge, rather than in lockstep rounds.  Group steps
+//!   are still steps of `R` restricted to the two endpoints, so all
+//!   invariants carry over; what changes is *when* interactions happen.
+//!
+//! Both simulators are deterministic given a seed, record
+//! [`selfsim_trace::RunMetrics`], optionally keep the full environment and
+//! agent-state traces for auditing (conservation law, `□◇Q`, LTL specs),
+//! and detect convergence (the state reaching — and then staying at — the
+//! target `f(S(0))`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod async_sim;
+mod report;
+mod sync;
+
+pub use async_sim::{AsyncConfig, AsyncSimulator};
+pub use report::SimulationReport;
+pub use sync::{SyncConfig, SyncSimulator};

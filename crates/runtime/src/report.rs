@@ -1,0 +1,35 @@
+//! The result of one simulated run.
+
+use selfsim_env::EnvState;
+use selfsim_multiset::Multiset;
+use selfsim_temporal::Trace;
+use selfsim_trace::RunMetrics;
+
+/// Everything a simulator records about one run: the measurements, the final
+/// positional state, and (when tracing is enabled) the full environment and
+/// agent-state histories used by the auditing tests.
+#[derive(Clone, Debug)]
+pub struct SimulationReport<S: Ord + Clone> {
+    /// Quantitative measurements of the run.
+    pub metrics: RunMetrics,
+    /// The positional agent state at the end of the run.
+    pub final_state: Vec<S>,
+    /// The sequence of environment states, one per round (empty unless
+    /// tracing was requested).
+    pub env_trace: Trace<EnvState>,
+    /// The multiset of agent states after every round, starting with the
+    /// initial state (empty unless tracing was requested).
+    pub state_trace: Vec<Multiset<S>>,
+}
+
+impl<S: Ord + Clone> SimulationReport<S> {
+    /// `true` when the run reached the target state within its budget.
+    pub fn converged(&self) -> bool {
+        self.metrics.converged()
+    }
+
+    /// Rounds until convergence (`None` if the budget ran out first).
+    pub fn rounds_to_convergence(&self) -> Option<usize> {
+        self.metrics.rounds_to_convergence
+    }
+}

@@ -1,0 +1,311 @@
+//! The round-based (synchronous) simulator.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use selfsim_core::SelfSimilarSystem;
+use selfsim_env::Environment;
+use selfsim_temporal::Trace;
+use selfsim_trace::RunMetrics;
+
+use crate::SimulationReport;
+
+/// Configuration of a [`SyncSimulator`] run.
+#[derive(Clone, Debug)]
+pub struct SyncConfig {
+    /// Maximum number of rounds before giving up.
+    pub max_rounds: usize,
+    /// Number of extra rounds to execute *after* convergence is first
+    /// detected, to exercise (and let the tests audit) the stability claim
+    /// `stable (S = f(S))`.
+    pub cooldown_rounds: usize,
+    /// RNG seed; every run with the same seed, system and environment is
+    /// identical.
+    pub seed: u64,
+    /// When `true`, the full environment and agent-state traces are kept in
+    /// the report (needed by the auditing tests; costs memory on long runs).
+    pub record_traces: bool,
+}
+
+impl Default for SyncConfig {
+    fn default() -> Self {
+        SyncConfig {
+            max_rounds: 10_000,
+            cooldown_rounds: 0,
+            seed: 0,
+            record_traces: false,
+        }
+    }
+}
+
+impl SyncConfig {
+    /// A config with tracing enabled — what the correctness tests use.
+    pub fn traced(seed: u64, max_rounds: usize) -> Self {
+        SyncConfig {
+            max_rounds,
+            cooldown_rounds: 0,
+            seed,
+            record_traces: true,
+        }
+    }
+}
+
+/// The synchronous, round-based realisation of the paper's transition
+/// system.
+///
+/// Each round performs one environment transition followed by one agent
+/// transition: the environment produces the next [`selfsim_env::EnvState`],
+/// the partition of agents into communicating groups is read off the
+/// connected components, and every group executes one step of `R`.
+/// Disabled agents belong to no group and keep their state, which is the
+/// paper's "a disabled process executes no actions and does not change
+/// state".
+pub struct SyncSimulator {
+    config: SyncConfig,
+}
+
+impl SyncSimulator {
+    /// Creates a simulator with the given configuration.
+    pub fn new(config: SyncConfig) -> Self {
+        SyncSimulator { config }
+    }
+
+    /// Creates a simulator with default configuration and the given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        SyncSimulator {
+            config: SyncConfig {
+                seed,
+                ..SyncConfig::default()
+            },
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SyncConfig {
+        &self.config
+    }
+
+    /// Runs `system` under `environment` until it converges (plus the
+    /// configured cooldown) or the round budget is exhausted.
+    pub fn run<S, E>(&self, system: &SelfSimilarSystem<S>, environment: &mut E) -> SimulationReport<S>
+    where
+        S: Ord + Clone + std::fmt::Debug,
+        E: Environment + ?Sized,
+    {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut state = system.initial_state().clone();
+        let mut metrics = RunMetrics::new(
+            system.name(),
+            environment.name(),
+            system.agent_count(),
+        );
+        let mut env_trace = Trace::new();
+        let mut state_trace = Vec::new();
+
+        metrics
+            .objective_trajectory
+            .push(system.global_objective(&state));
+        if self.config.record_traces {
+            state_trace.push(system.multiset(&state));
+        }
+
+        let mut converged_at: Option<usize> = None;
+        let mut cooldown_left = self.config.cooldown_rounds;
+
+        for round in 0..self.config.max_rounds {
+            let env_state = environment.step(&mut rng);
+            let groups = env_state.groups();
+            if self.config.record_traces {
+                env_trace.push(env_state.clone());
+            }
+
+            let mut round_messages = 0usize;
+            let mut changed_groups = 0usize;
+            for group in &groups {
+                metrics.group_steps += 1;
+                // A k-agent collaborative step costs k messages in this
+                // accounting (each member contributes its state once).
+                round_messages += group.len();
+                if system.apply_group_step(&mut state, group, &mut rng) {
+                    changed_groups += 1;
+                }
+            }
+            metrics.effective_group_steps += changed_groups;
+            metrics.messages += round_messages;
+            metrics.rounds_executed = round + 1;
+            metrics
+                .objective_trajectory
+                .push(system.global_objective(&state));
+            if self.config.record_traces {
+                state_trace.push(system.multiset(&state));
+            }
+
+            if system.is_converged(&state) {
+                if converged_at.is_none() {
+                    converged_at = Some(round + 1);
+                }
+                if cooldown_left == 0 {
+                    break;
+                }
+                cooldown_left -= 1;
+            } else {
+                // If a later round leaves the target state the algorithm is
+                // broken; reset so the reported number is honest.
+                converged_at = None;
+                cooldown_left = self.config.cooldown_rounds;
+            }
+        }
+
+        metrics.rounds_to_convergence = converged_at;
+        SimulationReport {
+            metrics,
+            final_state: state,
+            env_trace,
+            state_trace,
+        }
+    }
+
+    /// Runs the same system/environment pair over several seeds, returning
+    /// one report per seed.  Environments are re-created per run via the
+    /// `make_env` closure so that their internal state does not leak across
+    /// runs.
+    pub fn run_many<S, E>(
+        &self,
+        system: &SelfSimilarSystem<S>,
+        mut make_env: impl FnMut() -> E,
+        seeds: impl IntoIterator<Item = u64>,
+    ) -> Vec<SimulationReport<S>>
+    where
+        S: Ord + Clone + std::fmt::Debug,
+        E: Environment,
+    {
+        seeds
+            .into_iter()
+            .map(|seed| {
+                let sim = SyncSimulator::new(SyncConfig {
+                    seed,
+                    ..self.config.clone()
+                });
+                let mut env = make_env();
+                sim.run(system, &mut env)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfsim_algorithms::minimum;
+    use selfsim_env::{AdversarialEnv, RandomChurnEnv, StaticEnv, Topology};
+
+    #[test]
+    fn minimum_converges_under_static_environment() {
+        let sys = minimum::system(&[9, 4, 7, 1, 5], Topology::line(5));
+        let mut env = StaticEnv::new(Topology::line(5));
+        let report = SyncSimulator::with_seed(1).run(&sys, &mut env);
+        assert!(report.converged());
+        assert_eq!(report.final_state, vec![1, 1, 1, 1, 1]);
+        // On a line of 5 agents, the minimum needs a handful of rounds to
+        // sweep across; it must be at least 1 and at most the diameter.
+        let rounds = report.rounds_to_convergence().unwrap();
+        assert!(rounds >= 1 && rounds <= 5, "rounds = {rounds}");
+    }
+
+    #[test]
+    fn minimum_converges_under_churn_and_conserves_objective_monotonicity() {
+        let topo = Topology::ring(8);
+        let sys = minimum::system(&[9, 4, 7, 1, 5, 14, 3, 8], topo.clone());
+        let mut env = RandomChurnEnv::new(topo, 0.4, 0.9);
+        let config = SyncConfig::traced(7, 5_000);
+        let report = SyncSimulator::new(config).run(&sys, &mut env);
+        assert!(report.converged());
+        assert!(report.metrics.objective_is_monotone(1e-9));
+        // Conservation law holds at every recorded point.
+        for ms in &report.state_trace {
+            assert_eq!(sys.function().apply(ms), sys.target());
+        }
+    }
+
+    #[test]
+    fn minimum_converges_even_under_the_adversary() {
+        let topo = Topology::line(4);
+        let sys = minimum::system(&[4, 3, 2, 1], topo.clone());
+        let mut env = AdversarialEnv::new(topo, 3);
+        let report = SyncSimulator::with_seed(3).run(&sys, &mut env);
+        assert!(report.converged());
+        // The adversary activates one edge every 4 rounds, so convergence is
+        // necessarily much slower than under the static environment.
+        assert!(report.rounds_to_convergence().unwrap() > 4);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_no_convergence() {
+        let topo = Topology::line(4);
+        let sys = minimum::system(&[4, 3, 2, 1], topo.clone());
+        // An environment that never enables anything.
+        let mut env = RandomChurnEnv::new(topo, 0.0, 0.0);
+        let config = SyncConfig {
+            max_rounds: 50,
+            ..SyncConfig::default()
+        };
+        let report = SyncSimulator::new(config).run(&sys, &mut env);
+        assert!(!report.converged());
+        assert_eq!(report.metrics.rounds_executed, 50);
+        assert_eq!(report.final_state, vec![4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn cooldown_keeps_running_after_convergence_and_state_stays_put() {
+        let topo = Topology::complete(3);
+        let sys = minimum::system(&[5, 2, 9], topo.clone());
+        let mut env = StaticEnv::new(topo);
+        let config = SyncConfig {
+            cooldown_rounds: 10,
+            record_traces: true,
+            ..SyncConfig::default()
+        };
+        let report = SyncSimulator::new(config).run(&sys, &mut env);
+        assert!(report.converged());
+        assert!(report.metrics.rounds_executed > report.rounds_to_convergence().unwrap());
+        // Stability: once the target is reached the trace never leaves it.
+        let target = sys.target();
+        let first = report
+            .state_trace
+            .iter()
+            .position(|ms| *ms == target)
+            .unwrap();
+        assert!(report.state_trace[first..].iter().all(|ms| *ms == target));
+    }
+
+    #[test]
+    fn run_many_produces_one_report_per_seed() {
+        let topo = Topology::ring(6);
+        let sys = minimum::system(&[6, 5, 4, 3, 2, 1], topo.clone());
+        let reports = SyncSimulator::new(SyncConfig::default()).run_many(
+            &sys,
+            || RandomChurnEnv::new(Topology::ring(6), 0.5, 1.0),
+            0..5,
+        );
+        assert_eq!(reports.len(), 5);
+        assert!(reports.iter().all(|r| r.converged()));
+    }
+
+    #[test]
+    fn same_seed_is_deterministic() {
+        let topo = Topology::ring(6);
+        let sys = minimum::system(&[6, 5, 4, 3, 2, 1], topo.clone());
+        let run = |seed| {
+            let mut env = RandomChurnEnv::new(Topology::ring(6), 0.5, 1.0);
+            SyncSimulator::with_seed(seed).run(&sys, &mut env)
+        };
+        let a = run(11);
+        let b = run(11);
+        assert_eq!(a.rounds_to_convergence(), b.rounds_to_convergence());
+        assert_eq!(a.metrics.messages, b.metrics.messages);
+        assert_eq!(a.final_state, b.final_state);
+        let c = run(12);
+        // Different seeds are allowed to differ (and normally do).
+        let _ = c;
+    }
+}

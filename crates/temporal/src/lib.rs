@@ -1,0 +1,49 @@
+//! Finite-trace linear temporal logic for checking dynamic-system computations.
+//!
+//! The specification language of Chandy & Charpentier (ICDCS 2007) is
+//! linear-time temporal logic: the problem statement (3) is
+//! `(S = S(0)) ⇒ ◇□(S = f(S(0)))`, the derived specification is
+//! `stable (S = f(S))` together with `(S = S) ⇝ (S = f(S))`, the environment
+//! assumption (2) is `□◇Q` for every `Q` in the fairness set, and the escape
+//! postulate (1) relates `□◇Q` to `◇(S ≠ S)`.
+//!
+//! Real model checking of the full (infinite-trace) logic is out of scope;
+//! instead this crate provides an *executable* checker over **finite recorded
+//! traces** produced by the simulators, with two complementary semantics:
+//!
+//! * **bounded semantics** — `□ P` means "P holds in every recorded state",
+//!   `◇ P` means "P holds in some recorded state".  Sound for safety
+//!   properties (the conservation law, `R ⇒ D`), and for liveness properties
+//!   it reports what actually happened in the run.
+//! * **recurrence semantics for `□◇`** — [`Formula::always_eventually`]
+//!   checks that from every position there is a later position satisfying the
+//!   predicate, up to a caller-specified tolerance tail at the very end of
+//!   the finite trace.  This is the pragmatic reading used to validate that a
+//!   generated environment satisfied its fairness assumption during a run.
+//!
+//! The API is deliberately small and composable: formulas are built from
+//! closures over the trace's state type, so the simulators and the algorithm
+//! crates can state their obligations without any string/AST layer.
+//!
+//! # Example
+//!
+//! ```
+//! use selfsim_temporal::{Formula, Trace};
+//!
+//! // A counter that increases then stays at 3.
+//! let trace = Trace::from_states(vec![0, 1, 2, 3, 3, 3]);
+//! let reaches_three = Formula::eventually(Formula::atom("x = 3", |s: &i32| *s == 3));
+//! assert!(reaches_three.holds(&trace));
+//!
+//! let stable_three = Formula::stable(|s: &i32| *s == 3);
+//! assert!(stable_three.holds(&trace));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod formula;
+mod trace;
+
+pub use formula::{Formula, Verdict};
+pub use trace::Trace;

@@ -1,0 +1,221 @@
+//! Recorded computations as finite sequences of states.
+
+use std::fmt;
+
+/// A finite recorded computation: a sequence of system states.
+///
+/// The simulators append one state per transition (environment transitions
+/// and agent transitions alike), so a trace of length `n` corresponds to a
+/// computation prefix with `n - 1` transitions.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Trace<S> {
+    states: Vec<S>,
+}
+
+impl<S> Trace<S> {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace { states: Vec::new() }
+    }
+
+    /// Creates a trace from an explicit list of states.
+    pub fn from_states(states: Vec<S>) -> Self {
+        Trace { states }
+    }
+
+    /// Appends a state at the end of the trace.
+    pub fn push(&mut self, state: S) {
+        self.states.push(state);
+    }
+
+    /// Number of recorded states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Returns `true` if no state has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The state at position `i`, if recorded.
+    pub fn get(&self, i: usize) -> Option<&S> {
+        self.states.get(i)
+    }
+
+    /// The first recorded state, if any.
+    pub fn first(&self) -> Option<&S> {
+        self.states.first()
+    }
+
+    /// The last recorded state, if any.
+    pub fn last(&self) -> Option<&S> {
+        self.states.last()
+    }
+
+    /// Iterates over the recorded states in order.
+    pub fn iter(&self) -> std::slice::Iter<'_, S> {
+        self.states.iter()
+    }
+
+    /// Iterates over consecutive pairs `(states[i], states[i+1])`, i.e. over
+    /// the transitions of the computation.
+    pub fn transitions(&self) -> impl Iterator<Item = (&S, &S)> {
+        self.states.windows(2).map(|w| (&w[0], &w[1]))
+    }
+
+    /// The slice of all recorded states.
+    pub fn states(&self) -> &[S] {
+        &self.states
+    }
+
+    /// A sub-trace starting at position `from` (suffix semantics).
+    pub fn suffix(&self, from: usize) -> Trace<S>
+    where
+        S: Clone,
+    {
+        Trace {
+            states: self.states.get(from..).unwrap_or(&[]).to_vec(),
+        }
+    }
+
+    /// Maps every state through `g`, producing a trace over a projected
+    /// state space (e.g. projecting the agent multiset out of `(G, S)`).
+    pub fn map<T>(&self, g: impl FnMut(&S) -> T) -> Trace<T> {
+        Trace {
+            states: self.states.iter().map(g).collect(),
+        }
+    }
+
+    /// Index of the first state satisfying `pred`, if any.
+    pub fn position(&self, mut pred: impl FnMut(&S) -> bool) -> Option<usize> {
+        self.states.iter().position(|s| pred(s))
+    }
+
+    /// Index of the first state from which `pred` holds in *every* later
+    /// state (the convergence point), if such a position exists.
+    pub fn stabilization_point(&self, mut pred: impl FnMut(&S) -> bool) -> Option<usize> {
+        if self.states.is_empty() {
+            return None;
+        }
+        // Scan backwards for the longest suffix on which pred holds.
+        let mut idx = self.states.len();
+        for (i, s) in self.states.iter().enumerate().rev() {
+            if pred(s) {
+                idx = i;
+            } else {
+                break;
+            }
+        }
+        if idx < self.states.len() {
+            Some(idx)
+        } else {
+            None
+        }
+    }
+}
+
+impl<S> Default for Trace<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: fmt::Debug> fmt::Debug for Trace<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.states.iter()).finish()
+    }
+}
+
+impl<S> FromIterator<S> for Trace<S> {
+    fn from_iter<I: IntoIterator<Item = S>>(iter: I) -> Self {
+        Trace {
+            states: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<S> IntoIterator for Trace<S> {
+    type Item = S;
+    type IntoIter = std::vec::IntoIter<S>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.states.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_len() {
+        let mut t = Trace::new();
+        assert!(t.is_empty());
+        t.push(1);
+        t.push(2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.first(), Some(&1));
+        assert_eq!(t.last(), Some(&2));
+    }
+
+    #[test]
+    fn transitions_are_consecutive_pairs() {
+        let t = Trace::from_states(vec![1, 2, 3]);
+        let pairs: Vec<(i32, i32)> = t.transitions().map(|(a, b)| (*a, *b)).collect();
+        assert_eq!(pairs, vec![(1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn transitions_of_short_traces_are_empty() {
+        let t: Trace<i32> = Trace::from_states(vec![7]);
+        assert_eq!(t.transitions().count(), 0);
+        let e: Trace<i32> = Trace::new();
+        assert_eq!(e.transitions().count(), 0);
+    }
+
+    #[test]
+    fn suffix_drops_prefix() {
+        let t = Trace::from_states(vec![1, 2, 3, 4]);
+        assert_eq!(t.suffix(2).states(), &[3, 4]);
+        assert_eq!(t.suffix(9).states(), &[] as &[i32]);
+    }
+
+    #[test]
+    fn map_projects_states() {
+        let t = Trace::from_states(vec![(1, 'a'), (2, 'b')]);
+        let p = t.map(|(n, _)| *n);
+        assert_eq!(p.states(), &[1, 2]);
+    }
+
+    #[test]
+    fn position_finds_first_match() {
+        let t = Trace::from_states(vec![5, 4, 3, 3]);
+        assert_eq!(t.position(|s| *s == 3), Some(2));
+        assert_eq!(t.position(|s| *s == 9), None);
+    }
+
+    #[test]
+    fn stabilization_point_is_start_of_stable_suffix() {
+        let t = Trace::from_states(vec![5, 3, 4, 3, 3, 3]);
+        assert_eq!(t.stabilization_point(|s| *s == 3), Some(3));
+        assert_eq!(t.stabilization_point(|s| *s == 9), None);
+        // A trace ending in a non-matching state never stabilised.
+        let t2 = Trace::from_states(vec![3, 3, 4]);
+        assert_eq!(t2.stabilization_point(|s| *s == 3), None);
+    }
+
+    #[test]
+    fn stabilization_point_whole_trace() {
+        let t = Trace::from_states(vec![3, 3]);
+        assert_eq!(t.stabilization_point(|s| *s == 3), Some(0));
+    }
+
+    #[test]
+    fn from_iterator_and_into_iterator() {
+        let t: Trace<i32> = (0..4).collect();
+        assert_eq!(t.len(), 4);
+        let v: Vec<i32> = t.into_iter().collect();
+        assert_eq!(v, vec![0, 1, 2, 3]);
+    }
+}

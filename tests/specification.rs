@@ -1,0 +1,120 @@
+//! Integration tests of the paper's temporal specification and proof
+//! obligations, checked on actual recorded executions.
+//!
+//! Specification (4)–(5): `stable (S = f(S))` and `(S = S) ⇝ (S = f(S))`.
+//! Conservation law: `□ (f(S) = f(S(0)))`.
+//! Environment assumption (2): `□◇ Q_e` for every fairness edge.
+
+use self_similar::algorithms::{minimum, sorting};
+use self_similar::core::proof;
+use self_similar::env::{PeriodicPartitionEnv, RandomChurnEnv, Topology};
+use self_similar::multiset::Multiset;
+use self_similar::runtime::{SyncConfig, SyncSimulator};
+use self_similar::temporal::{Formula, Trace};
+
+#[test]
+fn recorded_runs_satisfy_the_ltl_specification() {
+    let values = [9i64, 4, 7, 1, 5, 14, 3, 8];
+    let topology = Topology::ring(values.len());
+    let system = minimum::system(&values, topology.clone());
+    let target = system.target();
+
+    let mut env = RandomChurnEnv::new(topology, 0.4, 0.9);
+    let report = SyncSimulator::new(SyncConfig {
+        max_rounds: 100_000,
+        cooldown_rounds: 30,
+        seed: 1,
+        record_traces: true,
+    })
+    .run(&system, &mut env);
+    assert!(report.converged());
+
+    let trace: Trace<Multiset<i64>> = report.state_trace.iter().cloned().collect();
+
+    // (3): ◇□ (S = f(S(0))).
+    let t1 = target.clone();
+    let spec3 = Formula::eventually_always(Formula::atom("S = S*", move |s: &Multiset<i64>| *s == t1));
+    assert!(spec3.holds(&trace), "{}", spec3.check(&trace));
+
+    // (4): stable (S = f(S)) — once the target is reached it is never left.
+    let t2 = target.clone();
+    let spec4 = Formula::stable(move |s: &Multiset<i64>| *s == t2);
+    assert!(spec4.holds(&trace));
+
+    // (5): (S = S(0)) ⇝ (S = f(S(0))).
+    let s0: Multiset<i64> = values.iter().copied().collect();
+    let t3 = target.clone();
+    let spec5 = Formula::leads_to(
+        Formula::atom("S = S(0)", move |s: &Multiset<i64>| *s == s0),
+        Formula::atom("S = S*", move |s: &Multiset<i64>| *s == t3),
+    );
+    assert!(spec5.holds(&trace));
+
+    // Conservation law: □ (f(S) = f(S(0))).
+    let f = minimum::function();
+    let t4 = target.clone();
+    let conservation = Formula::always(Formula::atom("f(S) = S*", move |s: &Multiset<i64>| {
+        use self_similar::core::DistributedFunction;
+        f.apply(s) == t4
+    }));
+    assert!(conservation.holds(&trace));
+
+    // Environment assumption (2): every fairness edge recurs (with a
+    // tolerance window at the tail of the finite trace).
+    let tolerance = report.env_trace.len() / 4;
+    assert!(system.fairness().trace_satisfies(&report.env_trace, tolerance));
+}
+
+#[test]
+fn every_worked_example_passes_the_three_proof_obligations() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    use rand::SeedableRng;
+
+    let systems: Vec<Box<dyn Fn() -> proof::AuditReport>> = vec![
+        Box::new(|| {
+            let sys = minimum::system(&[3, 5, 3, 7], Topology::line(4));
+            proof::audit_system(&sys, &[], 3, &mut rand::rngs::StdRng::seed_from_u64(1))
+        }),
+        Box::new(|| {
+            let sys = self_similar::algorithms::maximum::system(&[3, 5, 3, 7], Topology::ring(4));
+            proof::audit_system(&sys, &[], 3, &mut rand::rngs::StdRng::seed_from_u64(2))
+        }),
+        Box::new(|| {
+            let sys = self_similar::algorithms::sum::system(&[3, 5, 3, 7], Topology::complete(4));
+            proof::audit_system(&sys, &[], 3, &mut rand::rngs::StdRng::seed_from_u64(3))
+        }),
+        Box::new(|| {
+            let sys = self_similar::algorithms::second_smallest::system(&[3, 5, 3, 7], Topology::line(4));
+            proof::audit_system(&sys, &[], 3, &mut rand::rngs::StdRng::seed_from_u64(4))
+        }),
+        Box::new(|| {
+            let sys = sorting::system(&[7, 5, 6, 4, 3, 2, 1]);
+            proof::audit_system(&sys, &[], 2, &mut rand::rngs::StdRng::seed_from_u64(5))
+        }),
+    ];
+    for (i, audit) in systems.iter().enumerate() {
+        let report = audit();
+        assert!(report.passed(), "system #{i}: {:?}", report.violations);
+        assert!(report.checks_run > 0);
+    }
+    let _ = &mut rng;
+}
+
+#[test]
+fn sorting_trace_invariants_hold_under_partitions() {
+    let values: Vec<i64> = vec![10, 2, 8, 4, 6, 1, 9, 3];
+    let system = sorting::system(&values);
+    let topology = Topology::line(values.len());
+    let mut env = PeriodicPartitionEnv::new(topology, 2, 4);
+    let report = SyncSimulator::new(SyncConfig {
+        max_rounds: 100_000,
+        seed: 8,
+        record_traces: true,
+        ..SyncConfig::default()
+    })
+    .run(&system, &mut env);
+    assert!(report.converged());
+    let relation = system.relation();
+    let audit = proof::check_trace_invariants(&relation, &report.state_trace);
+    assert!(audit.passed(), "{:?}", audit.violations);
+}
