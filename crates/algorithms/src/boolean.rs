@@ -39,23 +39,32 @@ pub fn and_objective() -> SummationObjective<State, impl Fn(&State) -> f64> {
 
 /// The OR group step: every member adopts the group disjunction.
 pub fn or_step() -> impl GroupStep<State> {
-    FnGroupStep::new("adopt-or", |states: &[State], _rng: &mut dyn rand::RngCore| {
-        let any = states.iter().any(|b| *b);
-        vec![any; states.len()]
-    })
+    FnGroupStep::new(
+        "adopt-or",
+        |states: &[State], _rng: &mut dyn rand::RngCore| {
+            let any = states.iter().any(|b| *b);
+            vec![any; states.len()]
+        },
+    )
 }
 
 /// The AND group step: every member adopts the group conjunction.
 pub fn and_step() -> impl GroupStep<State> {
-    FnGroupStep::new("adopt-and", |states: &[State], _rng: &mut dyn rand::RngCore| {
-        let all = states.iter().all(|b| *b);
-        vec![all; states.len()]
-    })
+    FnGroupStep::new(
+        "adopt-and",
+        |states: &[State], _rng: &mut dyn rand::RngCore| {
+            let all = states.iter().all(|b| *b);
+            vec![all; states.len()]
+        },
+    )
 }
 
 /// Builds the distributed-OR system over a connected fairness graph.
 pub fn or_system(initial: &[State], topology: Topology) -> SelfSimilarSystem<State> {
-    assert!(topology.is_connected(), "requires a connected fairness graph");
+    assert!(
+        topology.is_connected(),
+        "requires a connected fairness graph"
+    );
     assert_eq!(initial.len(), topology.agent_count());
     SelfSimilarSystem::new(
         "boolean-or",
@@ -69,7 +78,10 @@ pub fn or_system(initial: &[State], topology: Topology) -> SelfSimilarSystem<Sta
 
 /// Builds the distributed-AND system over a connected fairness graph.
 pub fn and_system(initial: &[State], topology: Topology) -> SelfSimilarSystem<State> {
-    assert!(topology.is_connected(), "requires a connected fairness graph");
+    assert!(
+        topology.is_connected(),
+        "requires a connected fairness graph"
+    );
     assert_eq!(initial.len(), topology.agent_count());
     SelfSimilarSystem::new(
         "boolean-and",

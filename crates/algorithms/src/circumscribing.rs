@@ -94,11 +94,13 @@ pub fn figure2_counterexample() -> (f64, f64) {
     let c: Multiset<State> = Multiset::singleton(initial_state(c_site));
 
     let direct = selfsim_core::DistributedFunction::apply(&f, &b.union(&c));
-    let via_f = selfsim_core::DistributedFunction::apply(&f, &selfsim_core::DistributedFunction::apply(&f, &b).union(&c));
+    let via_f = selfsim_core::DistributedFunction::apply(
+        &f,
+        &selfsim_core::DistributedFunction::apply(&f, &b).union(&c),
+    );
 
-    let radius_of = |ms: &Multiset<State>| -> f64 {
-        estimate_of(ms.iter().next().expect("non-empty")).radius
-    };
+    let radius_of =
+        |ms: &Multiset<State>| -> f64 { estimate_of(ms.iter().next().expect("non-empty")).radius };
     (radius_of(&direct), radius_of(&via_f))
 }
 
@@ -144,7 +146,8 @@ mod tests {
         let first = estimates[0];
         assert!(estimates
             .iter()
-            .all(|c| c.center.distance(first.center) < 1e-6 && (c.radius - first.radius).abs() < 1e-6));
+            .all(|c| c.center.distance(first.center) < 1e-6
+                && (c.radius - first.radius).abs() < 1e-6));
         // Every site is inside the common estimate.
         for p in sample_sites() {
             assert!(first.contains(p, 1e-5));
@@ -156,7 +159,10 @@ mod tests {
         let f = naive_function();
         let samples: Vec<Multiset<State>> = vec![
             sample_sites().iter().map(|p| initial_state(*p)).collect(),
-            sample_sites()[..2].iter().map(|p| initial_state(*p)).collect(),
+            sample_sites()[..2]
+                .iter()
+                .map(|p| initial_state(*p))
+                .collect(),
         ];
         assert!(check_idempotent(&f, &samples).is_ok());
     }

@@ -57,7 +57,10 @@ pub fn function() -> impl selfsim_core::DistributedFunction<State> {
         if s.is_empty() {
             return Multiset::new();
         }
-        let all_points: Vec<Point> = s.iter().flat_map(|(_, hull)| hull.iter().copied()).collect();
+        let all_points: Vec<Point> = s
+            .iter()
+            .flat_map(|(_, hull)| hull.iter().copied())
+            .collect();
         let merged = canonical_hull(&all_points);
         s.map(|(site, _)| (*site, merged.clone()))
     })
@@ -74,27 +77,38 @@ pub fn objective(global_perimeter: f64) -> SummationObjective<State, impl Fn(&St
 
 /// The "everyone adopts the merged hull" group step.
 pub fn merge_all_step() -> impl GroupStep<State> {
-    FnGroupStep::new("merge-all-hulls", |states: &[State], _rng: &mut dyn rand::RngCore| {
-        let all_points: Vec<Point> = states.iter().flat_map(|(_, h)| h.iter().copied()).collect();
-        let merged = canonical_hull(&all_points);
-        states.iter().map(|(site, _)| (*site, merged.clone())).collect()
-    })
+    FnGroupStep::new(
+        "merge-all-hulls",
+        |states: &[State], _rng: &mut dyn rand::RngCore| {
+            let all_points: Vec<Point> =
+                states.iter().flat_map(|(_, h)| h.iter().copied()).collect();
+            let merged = canonical_hull(&all_points);
+            states
+                .iter()
+                .map(|(site, _)| (*site, merged.clone()))
+                .collect()
+        },
+    )
 }
 
 /// The asymmetric step: only the first member of the group adopts the merged
 /// hull; everyone else keeps its current hull.  Models an agent updating on
 /// message receipt without the senders changing state (§4.5).
 pub fn one_learns_step() -> impl GroupStep<State> {
-    FnGroupStep::new("one-learns", |states: &[State], _rng: &mut dyn rand::RngCore| {
-        if states.is_empty() {
-            return Vec::new();
-        }
-        let all_points: Vec<Point> = states.iter().flat_map(|(_, h)| h.iter().copied()).collect();
-        let merged = canonical_hull(&all_points);
-        let mut out = states.to_vec();
-        out[0] = (out[0].0, merged);
-        out
-    })
+    FnGroupStep::new(
+        "one-learns",
+        |states: &[State], _rng: &mut dyn rand::RngCore| {
+            if states.is_empty() {
+                return Vec::new();
+            }
+            let all_points: Vec<Point> =
+                states.iter().flat_map(|(_, h)| h.iter().copied()).collect();
+            let merged = canonical_hull(&all_points);
+            let mut out = states.to_vec();
+            out[0] = (out[0].0, merged);
+            out
+        },
+    )
 }
 
 /// Builds the system for the given sites over a connected fairness graph,
@@ -187,7 +201,10 @@ mod tests {
         assert!(check_super_idempotent_single_element(
             &f,
             &samples,
-            &[initial_state(Point::new(9.0, -1.0)), initial_state(Point::new(1.0, 1.0))]
+            &[
+                initial_state(Point::new(9.0, -1.0)),
+                initial_state(Point::new(1.0, 1.0))
+            ]
         )
         .is_ok());
     }
@@ -218,7 +235,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(22);
         let groups: Vec<Vec<State>> = vec![
             vec![initial_state(sites[0]), initial_state(sites[1])],
-            vec![initial_state(sites[2]), initial_state(sites[3]), initial_state(sites[4])],
+            vec![
+                initial_state(sites[2]),
+                initial_state(sites[3]),
+                initial_state(sites[4]),
+            ],
         ];
         let report = proof::check_r_implements_d(&sys, &groups, 2, &mut rng);
         assert!(report.passed(), "{:?}", report.violations);
@@ -228,11 +249,7 @@ mod tests {
     fn circumscribing_circle_is_recovered_from_the_converged_state() {
         let sites = square_sites();
         let sys = system(&sites, Topology::complete(5));
-        let target_states: Vec<State> = sys
-            .target()
-            .iter()
-            .cloned()
-            .collect();
+        let target_states: Vec<State> = sys.target().iter().cloned().collect();
         let circle = circumscribing_circle(&target_states[0]);
         let direct = smallest_enclosing_circle(&sites);
         assert!(circle.center.distance(direct.center) < 1e-9);

@@ -154,7 +154,14 @@ mod tests {
         assert!(report.passed(), "{:?}", report.violations);
         assert_eq!(
             sys.target(),
-            [vec![1, 4, 5], vec![1, 4, 5], vec![1, 4, 5], vec![1, 4, 5], vec![1, 4, 5]].into()
+            [
+                vec![1, 4, 5],
+                vec![1, 4, 5],
+                vec![1, 4, 5],
+                vec![1, 4, 5],
+                vec![1, 4, 5]
+            ]
+            .into()
         );
     }
 

@@ -32,10 +32,13 @@ pub fn objective(bound: State) -> SummationObjective<State, impl Fn(&State) -> f
 
 /// The "adopt the group maximum" group step.
 pub fn adopt_max_step() -> impl GroupStep<State> {
-    FnGroupStep::new("adopt-max", |states: &[State], _rng: &mut dyn rand::RngCore| {
-        let m = states.iter().copied().max().unwrap_or(0);
-        vec![m; states.len()]
-    })
+    FnGroupStep::new(
+        "adopt-max",
+        |states: &[State], _rng: &mut dyn rand::RngCore| {
+            let m = states.iter().copied().max().unwrap_or(0);
+            vec![m; states.len()]
+        },
+    )
 }
 
 /// Builds the complete system over a connected `topology`.

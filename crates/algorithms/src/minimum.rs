@@ -40,10 +40,13 @@ pub fn objective() -> SummationObjective<State, impl Fn(&State) -> f64> {
 
 /// The "adopt the group minimum" group step: the fastest refinement of `D`.
 pub fn adopt_min_step() -> impl GroupStep<State> {
-    FnGroupStep::new("adopt-min", |states: &[State], _rng: &mut dyn rand::RngCore| {
-        let m = states.iter().copied().min().unwrap_or(0);
-        vec![m; states.len()]
-    })
+    FnGroupStep::new(
+        "adopt-min",
+        |states: &[State], _rng: &mut dyn rand::RngCore| {
+            let m = states.iter().copied().min().unwrap_or(0);
+            vec![m; states.len()]
+        },
+    )
 }
 
 /// A slower admissible step: every member moves to a uniformly random value
@@ -147,9 +150,7 @@ mod tests {
         let f = function();
         assert!(check_idempotent(&f, &samples()).is_ok());
         assert!(check_super_idempotent(&f, &samples()).is_ok());
-        assert!(
-            check_super_idempotent_single_element(&f, &samples(), &[0, 2, 6, 11]).is_ok()
-        );
+        assert!(check_super_idempotent_single_element(&f, &samples(), &[0, 2, 6, 11]).is_ok());
         assert!(check_local_conservation_implies_global(&f, &samples()).is_ok());
     }
 

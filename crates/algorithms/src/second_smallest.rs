@@ -95,13 +95,16 @@ pub fn paper_objective() -> SummationObjective<State, impl Fn(&State) -> f64> {
 /// The group step: every member adopts the group's two smallest distinct
 /// values.
 pub fn adopt_step() -> impl GroupStep<State> {
-    FnGroupStep::new("adopt-smallest-two", |states: &[State], _rng: &mut dyn rand::RngCore| {
-        let ms: Multiset<State> = states.iter().copied().collect();
-        match smallest_two(&ms) {
-            None => Vec::new(),
-            Some(pair) => vec![pair; states.len()],
-        }
-    })
+    FnGroupStep::new(
+        "adopt-smallest-two",
+        |states: &[State], _rng: &mut dyn rand::RngCore| {
+            let ms: Multiset<State> = states.iter().copied().collect();
+            match smallest_two(&ms) {
+                None => Vec::new(),
+                Some(pair) => vec![pair; states.len()],
+            }
+        },
+    )
 }
 
 /// Builds the generalised system for the given initial *values* (each agent
@@ -229,7 +232,12 @@ mod tests {
     fn system_passes_proof_obligations() {
         let sys = system(&[4, 9, 2, 7], Topology::ring(4));
         let mut rng = StdRng::seed_from_u64(8);
-        let report = proof::audit_system(&sys, &[vec![(2, 2), (5, 5)], vec![(1, 4), (1, 1)]], 3, &mut rng);
+        let report = proof::audit_system(
+            &sys,
+            &[vec![(2, 2), (5, 5)], vec![(1, 4), (1, 1)]],
+            3,
+            &mut rng,
+        );
         assert!(report.passed(), "{:?}", report.violations);
         // Target: every agent knows (2, 4).
         assert_eq!(sys.target(), [(2, 4), (2, 4), (2, 4), (2, 4)].into());

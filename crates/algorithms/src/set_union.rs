@@ -41,10 +41,13 @@ pub fn objective(universe_size: usize) -> SummationObjective<State, impl Fn(&Sta
 
 /// The group step: every member adopts the union of the group's sets.
 pub fn merge_step() -> impl GroupStep<State> {
-    FnGroupStep::new("merge-sets", |states: &[State], _rng: &mut dyn rand::RngCore| {
-        let union: State = states.iter().flat_map(|s| s.iter().copied()).collect();
-        vec![union; states.len()]
-    })
+    FnGroupStep::new(
+        "merge-sets",
+        |states: &[State], _rng: &mut dyn rand::RngCore| {
+            let union: State = states.iter().flat_map(|s| s.iter().copied()).collect();
+            vec![union; states.len()]
+        },
+    )
 }
 
 /// Builds the system for the given initial knowledge sets over a connected

@@ -119,7 +119,7 @@ pub fn displacement_objective(
     let mut values: Vec<i64> = initial.iter().map(|(_, x)| *x).collect();
     indices.sort_unstable();
     values.sort_unstable();
-    let ord: BTreeMap<i64, i64> = values.into_iter().zip(indices).map(|(v, i)| (v, i)).collect();
+    let ord: BTreeMap<i64, i64> = values.into_iter().zip(indices).collect();
     SummationObjective::new("squared-displacement", move |(i, x): &State| {
         let desired = ord.get(x).copied().unwrap_or(*i);
         let d = (*i - desired) as f64;
@@ -130,38 +130,44 @@ pub fn displacement_objective(
 /// The group step: sort the group's values along the group's indices (each
 /// member keeps its index, the values are redistributed in sorted order).
 pub fn sort_group_step() -> impl GroupStep<State> {
-    FnGroupStep::new("sort-group", |states: &[State], _rng: &mut dyn rand::RngCore| {
-        let mut order: Vec<usize> = (0..states.len()).collect();
-        order.sort_by_key(|&k| states[k].0);
-        let mut values: Vec<i64> = states.iter().map(|(_, x)| *x).collect();
-        values.sort_unstable();
-        let mut out = states.to_vec();
-        for (rank, &k) in order.iter().enumerate() {
-            out[k] = (states[k].0, values[rank]);
-        }
-        out
-    })
+    FnGroupStep::new(
+        "sort-group",
+        |states: &[State], _rng: &mut dyn rand::RngCore| {
+            let mut order: Vec<usize> = (0..states.len()).collect();
+            order.sort_by_key(|&k| states[k].0);
+            let mut values: Vec<i64> = states.iter().map(|(_, x)| *x).collect();
+            values.sort_unstable();
+            let mut out = states.to_vec();
+            for (rank, &k) in order.iter().enumerate() {
+                out[k] = (states[k].0, values[rank]);
+            }
+            out
+        },
+    )
 }
 
 /// A gentler admissible step: swap a single adjacent-in-index out-of-order
 /// pair within the group (odd-even-transposition style); no change if the
 /// group is already sorted.
 pub fn swap_one_step() -> impl GroupStep<State> {
-    FnGroupStep::new("swap-one", |states: &[State], _rng: &mut dyn rand::RngCore| {
-        let mut order: Vec<usize> = (0..states.len()).collect();
-        order.sort_by_key(|&k| states[k].0);
-        let mut out = states.to_vec();
-        for w in order.windows(2) {
-            let (a, b) = (w[0], w[1]);
-            if out[a].1 > out[b].1 {
-                let (va, vb) = (out[a].1, out[b].1);
-                out[a].1 = vb;
-                out[b].1 = va;
-                break;
+    FnGroupStep::new(
+        "swap-one",
+        |states: &[State], _rng: &mut dyn rand::RngCore| {
+            let mut order: Vec<usize> = (0..states.len()).collect();
+            order.sort_by_key(|&k| states[k].0);
+            let mut out = states.to_vec();
+            for w in order.windows(2) {
+                let (a, b) = (w[0], w[1]);
+                if out[a].1 > out[b].1 {
+                    let (va, vb) = (out[a].1, out[b].1);
+                    out[a].1 = vb;
+                    out[b].1 = va;
+                    break;
+                }
             }
-        }
-        out
-    })
+            out
+        },
+    )
 }
 
 /// Builds the system for the given initial values; agent `k` holds index
@@ -177,7 +183,10 @@ pub fn system(values: &[i64]) -> SelfSimilarSystem<State> {
 }
 
 /// Builds the system with a caller-chosen admissible step.
-pub fn system_with_step(values: &[i64], step: impl GroupStep<State> + 'static) -> SelfSimilarSystem<State> {
+pub fn system_with_step(
+    values: &[i64],
+    step: impl GroupStep<State> + 'static,
+) -> SelfSimilarSystem<State> {
     let mut sorted = values.to_vec();
     sorted.sort_unstable();
     sorted.dedup();
@@ -224,10 +233,7 @@ pub fn figure1_counterexample() -> (f64, f64, f64, f64) {
         .map(|(k, v)| ((k + 1) as i64, *v))
         .collect();
     let b_positions = [1usize, 3, 4, 5, 6, 7];
-    let group_b_before: Multiset<State> = b_positions
-        .iter()
-        .map(|p| full_before[p - 1])
-        .collect();
+    let group_b_before: Multiset<State> = b_positions.iter().map(|p| full_before[p - 1]).collect();
     let group_b_after: Multiset<State> = b_positions.iter().map(|p| full_after[p - 1]).collect();
     let union_before: Multiset<State> = full_before.iter().copied().collect();
     let union_after: Multiset<State> = full_after.iter().copied().collect();
@@ -396,10 +402,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(12);
         let report = proof::audit_system(&sys, &[], 2, &mut rng);
         assert!(report.passed(), "{:?}", report.violations);
-        assert_eq!(
-            sys.target(),
-            pairs(&[1, 2, 3, 4, 5, 6, 7])
-        );
+        assert_eq!(sys.target(), pairs(&[1, 2, 3, 4, 5, 6, 7]));
     }
 
     #[test]

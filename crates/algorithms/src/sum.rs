@@ -16,9 +16,7 @@
 //!   directly, which is why the weakest value-independent fairness
 //!   assumption is `Q_E` with `E` complete.
 
-use selfsim_core::{
-    FnDistributedFunction, FnGroupStep, FnObjective, GroupStep, SelfSimilarSystem,
-};
+use selfsim_core::{FnDistributedFunction, FnGroupStep, FnObjective, GroupStep, SelfSimilarSystem};
 use selfsim_env::{FairnessSpec, Topology};
 use selfsim_multiset::Multiset;
 
@@ -54,46 +52,52 @@ pub fn objective() -> FnObjective<State, impl Fn(&Multiset<State>) -> f64> {
 /// onto a single member (the one holding the current maximum, breaking ties
 /// by position), everyone else drops to zero.
 pub fn concentrate_step() -> impl GroupStep<State> {
-    FnGroupStep::new("concentrate", |states: &[State], _rng: &mut dyn rand::RngCore| {
-        let total: State = states.iter().copied().sum();
-        let keeper = states
-            .iter()
-            .enumerate()
-            .max_by_key(|(i, v)| (**v, std::cmp::Reverse(*i)))
-            .map(|(i, _)| i)
-            .unwrap_or(0);
-        let mut out = vec![0; states.len()];
-        out[keeper] = total;
-        out
-    })
+    FnGroupStep::new(
+        "concentrate",
+        |states: &[State], _rng: &mut dyn rand::RngCore| {
+            let total: State = states.iter().copied().sum();
+            let keeper = states
+                .iter()
+                .enumerate()
+                .max_by_key(|(i, v)| (**v, std::cmp::Reverse(*i)))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            let mut out = vec![0; states.len()];
+            out[keeper] = total;
+            out
+        },
+    )
 }
 
 /// A gentler admissible step: the two extreme members of the group move one
 /// unit of mass from the smaller non-zero holder to the larger one.  Slower,
 /// but demonstrates that `R` is a *class* of algorithms.
 pub fn trickle_step() -> impl GroupStep<State> {
-    FnGroupStep::new("trickle", |states: &[State], _rng: &mut dyn rand::RngCore| {
-        let mut out = states.to_vec();
-        // Find the smallest non-zero holder and the largest holder.
-        let donor = out
-            .iter()
-            .enumerate()
-            .filter(|(_, v)| **v > 0)
-            .min_by_key(|(i, v)| (**v, *i))
-            .map(|(i, _)| i);
-        let recipient = out
-            .iter()
-            .enumerate()
-            .max_by_key(|(i, v)| (**v, *i))
-            .map(|(i, _)| i);
-        if let (Some(d), Some(r)) = (donor, recipient) {
-            if d != r && out[d] > 0 {
-                out[d] -= 1;
-                out[r] += 1;
+    FnGroupStep::new(
+        "trickle",
+        |states: &[State], _rng: &mut dyn rand::RngCore| {
+            let mut out = states.to_vec();
+            // Find the smallest non-zero holder and the largest holder.
+            let donor = out
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| **v > 0)
+                .min_by_key(|(i, v)| (**v, *i))
+                .map(|(i, _)| i);
+            let recipient = out
+                .iter()
+                .enumerate()
+                .max_by_key(|(i, v)| (**v, *i))
+                .map(|(i, _)| i);
+            if let (Some(d), Some(r)) = (donor, recipient) {
+                if d != r && out[d] > 0 {
+                    out[d] -= 1;
+                    out[r] += 1;
+                }
             }
-        }
-        out
-    })
+            out
+        },
+    )
 }
 
 /// The fairness assumption: the complete graph over all agents.
@@ -151,10 +155,7 @@ mod tests {
 
     #[test]
     fn paper_example_value() {
-        assert_eq!(
-            function().apply(&[3, 5, 3, 7].into()),
-            [18, 0, 0, 0].into()
-        );
+        assert_eq!(function().apply(&[3, 5, 3, 7].into()), [18, 0, 0, 0].into());
     }
 
     #[test]

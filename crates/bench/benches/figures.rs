@@ -47,8 +47,10 @@ fn fig3_hull_superidempotence(c: &mut Criterion) {
     let sites: Vec<Point> = (0..40)
         .map(|i| Point::new(((i * 13) % 60) as f64, ((i * 29) % 60) as f64))
         .collect();
-    let states: Multiset<convex_hull::State> =
-        sites.iter().map(|p| convex_hull::initial_state(*p)).collect();
+    let states: Multiset<convex_hull::State> = sites
+        .iter()
+        .map(|p| convex_hull::initial_state(*p))
+        .collect();
     let extra = convex_hull::initial_state(Point::new(100.0, 7.0));
     let f = convex_hull::function();
     c.bench_function("fig3/hull-single-element-criterion", |b| {

@@ -24,10 +24,26 @@ fn figure1() {
         "Figure 1: S=[7,5,6,4,3,2,1], B={1,3,4,5,6,7}, C={2}, S'=[6,5,7,3,4,1,2]",
         &["quantity", "paper (printed)", "computed (textual def.)"],
     );
-    table.add_row(vec!["h(S_B)".into(), format!("{}", reported.0), format!("{b_before}")]);
-    table.add_row(vec!["h(S'_B)".into(), format!("{}", reported.1), format!("{b_after}")]);
-    table.add_row(vec!["h(S_B∪C)".into(), format!("{}", reported.2), format!("{u_before}")]);
-    table.add_row(vec!["h(S'_B∪C)".into(), format!("{}", reported.3), format!("{u_after}")]);
+    table.add_row(vec![
+        "h(S_B)".into(),
+        format!("{}", reported.0),
+        format!("{b_before}"),
+    ]);
+    table.add_row(vec![
+        "h(S'_B)".into(),
+        format!("{}", reported.1),
+        format!("{b_after}"),
+    ]);
+    table.add_row(vec![
+        "h(S_B∪C)".into(),
+        format!("{}", reported.2),
+        format!("{u_before}"),
+    ]);
+    table.add_row(vec![
+        "h(S'_B∪C)".into(),
+        format!("{}", reported.3),
+        format!("{u_after}"),
+    ]);
     println!("{table}");
     println!(
         "reproduction note: under the textual definition |{{(a,b) | i_a<i_b ∧ x_b ≺ x_a}}| the\n\
@@ -77,8 +93,14 @@ fn figure2() {
         "Figure 2: B = three triangle vertices, C = one outside point",
         &["quantity", "radius"],
     );
-    table.add_row(vec!["f(S_B ∪ S_C)   (direct)".into(), format!("{direct:.6}")]);
-    table.add_row(vec!["f(f(S_B) ∪ S_C) (via f)".into(), format!("{via_f:.6}")]);
+    table.add_row(vec![
+        "f(S_B ∪ S_C)   (direct)".into(),
+        format!("{direct:.6}"),
+    ]);
+    table.add_row(vec![
+        "f(f(S_B) ∪ S_C) (via f)".into(),
+        format!("{via_f:.6}"),
+    ]);
     table.add_row(vec![
         "difference".into(),
         format!("{:.6}", (via_f - direct).abs()),
@@ -99,10 +121,17 @@ fn figure3() {
     for _ in 0..200 {
         let n = rng.gen_range(1..=10);
         let sites: Vec<Point> = (0..n)
-            .map(|_| Point::new(rng.gen_range(-10..=10) as f64, rng.gen_range(-10..=10) as f64))
+            .map(|_| {
+                Point::new(
+                    rng.gen_range(-10..=10) as f64,
+                    rng.gen_range(-10..=10) as f64,
+                )
+            })
             .collect();
-        let sample: Multiset<convex_hull::State> =
-            sites.iter().map(|p| convex_hull::initial_state(*p)).collect();
+        let sample: Multiset<convex_hull::State> = sites
+            .iter()
+            .map(|p| convex_hull::initial_state(*p))
+            .collect();
         let extra = convex_hull::initial_state(Point::new(
             rng.gen_range(-10..=10) as f64,
             rng.gen_range(-10..=10) as f64,

@@ -1,0 +1,214 @@
+//! Streaming aggregation of trial records into per-scenario summaries.
+
+use std::collections::BTreeMap;
+
+use selfsim_trace::Summary;
+use serde::{Deserialize, Serialize};
+
+use crate::trial::TrialRecord;
+
+/// Folds [`TrialRecord`]s into per-scenario statistics as they arrive.
+///
+/// Only per-trial scalars are retained (a few words per trial); the
+/// per-round objective trajectories never reach the aggregator, so memory
+/// is independent of the round budget.  Grouping is by
+/// [`Scenario::name`](crate::Scenario::name), and [`Aggregator::summaries`]
+/// reuses [`selfsim_trace::Summary`] so campaign statistics are computed by
+/// the same code as every other experiment in the workspace.
+#[derive(Debug, Default)]
+pub struct Aggregator {
+    cells: BTreeMap<String, Cell>,
+}
+
+#[derive(Debug, Default)]
+struct Cell {
+    algorithm: String,
+    topology: String,
+    environment: String,
+    agents: usize,
+    trials: u64,
+    converged: u64,
+    rounds: Vec<usize>,
+    messages: Vec<f64>,
+    effectiveness: Vec<f64>,
+    all_monotone: bool,
+}
+
+/// The aggregated statistics of one scenario cell.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSummary {
+    /// Scenario name (the grouping key).
+    pub scenario: String,
+    /// Algorithm label.
+    pub algorithm: String,
+    /// Topology-family label.
+    pub topology: String,
+    /// Environment-model label.
+    pub environment: String,
+    /// Number of agents.
+    pub agents: usize,
+    /// Trials observed.
+    pub trials: u64,
+    /// Trials that converged.
+    pub converged: u64,
+    /// `converged / trials` (0 for an empty cell).
+    pub convergence_rate: f64,
+    /// Statistics of rounds-to-convergence over the *converged* trials.
+    pub rounds: Summary,
+    /// Statistics of message counts over all trials.
+    pub messages: Summary,
+    /// Statistics of step effectiveness (changed / attempted) over all
+    /// trials.
+    pub effectiveness: Summary,
+    /// Whether the objective descended monotonically in every trial.
+    pub all_monotone: bool,
+}
+
+impl Aggregator {
+    /// An empty aggregator.
+    pub fn new() -> Self {
+        Aggregator::default()
+    }
+
+    /// Folds one record into its scenario's cell.
+    pub fn observe(&mut self, record: &TrialRecord) {
+        let cell = self
+            .cells
+            .entry(record.scenario.clone())
+            .or_insert_with(|| Cell {
+                algorithm: record.algorithm.clone(),
+                topology: record.topology.clone(),
+                environment: record.environment.clone(),
+                agents: record.agents,
+                all_monotone: true,
+                ..Cell::default()
+            });
+        cell.trials += 1;
+        if record.converged {
+            cell.converged += 1;
+            if let Some(r) = record.rounds_to_convergence {
+                cell.rounds.push(r);
+            }
+        }
+        cell.messages.push(record.messages as f64);
+        let effectiveness = if record.group_steps == 0 {
+            0.0
+        } else {
+            record.effective_group_steps as f64 / record.group_steps as f64
+        };
+        cell.effectiveness.push(effectiveness);
+        cell.all_monotone &= record.objective_monotone;
+    }
+
+    /// Number of scenario cells observed so far.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Total records folded so far.
+    pub fn trial_count(&self) -> u64 {
+        self.cells.values().map(|c| c.trials).sum()
+    }
+
+    /// Closes the aggregation: one summary per scenario, sorted by scenario
+    /// name (deterministic regardless of observation order).
+    pub fn summaries(&self) -> Vec<ScenarioSummary> {
+        self.cells
+            .iter()
+            .map(|(name, cell)| ScenarioSummary {
+                scenario: name.clone(),
+                algorithm: cell.algorithm.clone(),
+                topology: cell.topology.clone(),
+                environment: cell.environment.clone(),
+                agents: cell.agents,
+                trials: cell.trials,
+                converged: cell.converged,
+                convergence_rate: if cell.trials == 0 {
+                    0.0
+                } else {
+                    cell.converged as f64 / cell.trials as f64
+                },
+                rounds: Summary::of_counts(&cell.rounds),
+                messages: Summary::of(&cell.messages),
+                effectiveness: Summary::of(&cell.effectiveness),
+                all_monotone: cell.all_monotone,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(scenario: &str, trial: u64, rounds: Option<usize>, messages: usize) -> TrialRecord {
+        TrialRecord {
+            scenario: scenario.into(),
+            algorithm: "minimum".into(),
+            topology: "ring".into(),
+            environment: "static".into(),
+            agents: 8,
+            trial,
+            seed: trial,
+            converged: rounds.is_some(),
+            rounds_to_convergence: rounds,
+            rounds_executed: rounds.unwrap_or(100),
+            group_steps: 10,
+            effective_group_steps: 5,
+            messages,
+            initial_objective: 100.0,
+            final_objective: 10.0,
+            objective_monotone: true,
+        }
+    }
+
+    #[test]
+    fn groups_by_scenario_and_counts_convergence() {
+        let mut agg = Aggregator::new();
+        agg.observe(&record("a", 0, Some(4), 40));
+        agg.observe(&record("a", 1, Some(6), 60));
+        agg.observe(&record("a", 2, None, 100));
+        agg.observe(&record("b", 0, Some(2), 10));
+        assert_eq!(agg.cell_count(), 2);
+        assert_eq!(agg.trial_count(), 4);
+
+        let summaries = agg.summaries();
+        assert_eq!(summaries.len(), 2);
+        let a = &summaries[0];
+        assert_eq!(a.scenario, "a");
+        assert_eq!(a.trials, 3);
+        assert_eq!(a.converged, 2);
+        assert!((a.convergence_rate - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(a.rounds.count, 2);
+        assert_eq!(a.rounds.mean, 5.0);
+        assert_eq!(a.messages.count, 3);
+    }
+
+    #[test]
+    fn summaries_are_order_independent() {
+        let records = [
+            record("a", 0, Some(4), 40),
+            record("b", 0, Some(2), 10),
+            record("a", 1, Some(6), 60),
+        ];
+        let mut forward = Aggregator::new();
+        let mut backward = Aggregator::new();
+        for r in &records {
+            forward.observe(r);
+        }
+        for r in records.iter().rev() {
+            backward.observe(r);
+        }
+        assert_eq!(forward.summaries(), backward.summaries());
+    }
+
+    #[test]
+    fn monotone_flag_is_an_and() {
+        let mut agg = Aggregator::new();
+        agg.observe(&record("a", 0, Some(4), 40));
+        let mut bad = record("a", 1, Some(5), 50);
+        bad.objective_monotone = false;
+        agg.observe(&bad);
+        assert!(!agg.summaries()[0].all_monotone);
+    }
+}

@@ -1,0 +1,271 @@
+//! The `campaign` CLI: run a scenario sweep in parallel and emit
+//! JSON-lines records plus a markdown summary table.
+//!
+//! ```text
+//! cargo run --release --bin campaign -- --trials 100
+//! cargo run --release --bin campaign -- \
+//!     --algorithms minimum,sorting --envs static,churn,adversary \
+//!     --topologies ring,complete --sizes 8,16 --trials 200 \
+//!     --seed 42 --threads 8 --out runs.jsonl --summary-out summary.jsonl
+//! ```
+//!
+//! `--trials` is the *total* trial budget: it is divided evenly (rounding
+//! up) over the expanded scenario grid, so the flag scales the whole sweep
+//! rather than multiplying it.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use selfsim_campaign::{emit, AlgorithmKind, Campaign, EnvModel, ScenarioGrid, TopologyFamily};
+
+struct Args {
+    algorithms: Vec<AlgorithmKind>,
+    topologies: Vec<TopologyFamily>,
+    envs: Vec<EnvModel>,
+    sizes: Vec<usize>,
+    trials: u64,
+    max_rounds: usize,
+    seed: u64,
+    threads: usize,
+    out: Option<String>,
+    summary_out: Option<String>,
+    quiet: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            algorithms: vec![
+                AlgorithmKind::Minimum,
+                AlgorithmKind::SecondSmallest,
+                AlgorithmKind::Sum,
+                AlgorithmKind::Sorting,
+            ],
+            topologies: vec![
+                TopologyFamily::Ring,
+                TopologyFamily::Complete,
+                TopologyFamily::Random { p: 0.3 },
+            ],
+            envs: vec![
+                EnvModel::Static,
+                EnvModel::RandomChurn {
+                    p_edge: 0.5,
+                    p_agent: 0.9,
+                },
+                EnvModel::MarkovLink {
+                    p_up: 0.3,
+                    p_down: 0.3,
+                },
+                EnvModel::PeriodicPartition {
+                    blocks: 3,
+                    period: 8,
+                },
+                EnvModel::CrashRestart {
+                    p_crash: 0.05,
+                    p_restart: 0.5,
+                },
+                EnvModel::Adversarial { silence: 1 },
+            ],
+            sizes: vec![12],
+            trials: 100,
+            max_rounds: 200_000,
+            seed: 0,
+            threads: 0,
+            out: None,
+            summary_out: None,
+            quiet: false,
+        }
+    }
+}
+
+const USAGE: &str = "\
+campaign — run a parallel experiment sweep over self-similar algorithms
+
+OPTIONS
+    --algorithms a,b,..   minimum|maximum|sum|sorting|second-smallest|convex-hull
+    --topologies t,..     ring|line|grid|complete|star|random
+    --envs e,..           static|churn|markov|partition|crash|adversary|churn+crash
+    --sizes n,..          agents per system (default 12)
+    --trials N            total trial budget, split over scenarios (default 100)
+    --max-rounds N        per-trial round budget (default 200000)
+    --seed S              campaign master seed (default 0)
+    --threads T           worker threads, 0 = all CPUs (default 0)
+    --out PATH            write per-trial records as JSON-lines
+    --summary-out PATH    write per-scenario summaries as JSON-lines
+    --quiet               suppress progress output
+    --help                this text
+";
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} expects a value"))
+        };
+        match flag.as_str() {
+            "--algorithms" => {
+                args.algorithms = parse_list(&value("--algorithms")?, |s| {
+                    AlgorithmKind::parse(s).ok_or_else(|| format!("unknown algorithm `{s}`"))
+                })?;
+            }
+            "--topologies" => {
+                args.topologies = parse_list(&value("--topologies")?, |s| {
+                    TopologyFamily::parse(s).ok_or_else(|| format!("unknown topology `{s}`"))
+                })?;
+            }
+            "--envs" => {
+                args.envs = parse_list(&value("--envs")?, |s| {
+                    EnvModel::parse(s).ok_or_else(|| format!("unknown environment `{s}`"))
+                })?;
+            }
+            "--sizes" => {
+                args.sizes = parse_list(&value("--sizes")?, |s| {
+                    s.parse::<usize>()
+                        .map_err(|e| format!("bad size `{s}`: {e}"))
+                })?;
+            }
+            "--trials" => {
+                args.trials = value("--trials")?
+                    .parse()
+                    .map_err(|e| format!("bad --trials: {e}"))?;
+            }
+            "--max-rounds" => {
+                args.max_rounds = value("--max-rounds")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-rounds: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+            }
+            "--out" => args.out = Some(value("--out")?),
+            "--summary-out" => args.summary_out = Some(value("--summary-out")?),
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.trials == 0 {
+        return Err("--trials must be positive".into());
+    }
+    if let Some(n) = args.sizes.iter().find(|&&n| n < 2) {
+        return Err(format!("--sizes values must be at least 2, got {n}"));
+    }
+    Ok(args)
+}
+
+fn parse_list<T>(csv: &str, parse: impl Fn(&str) -> Result<T, String>) -> Result<Vec<T>, String> {
+    csv.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(parse)
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(message) => {
+            if message.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {message}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let scenarios = ScenarioGrid::new()
+        .algorithms(args.algorithms.iter().copied())
+        .topologies(args.topologies.iter().copied())
+        .envs(args.envs.iter().copied())
+        .sizes(args.sizes.iter().copied())
+        .max_rounds(args.max_rounds)
+        .trials(1) // replaced below by the budget split
+        .expand();
+    if scenarios.is_empty() {
+        eprintln!("error: the scenario grid is empty");
+        return ExitCode::from(2);
+    }
+    let per_scenario = args.trials.div_ceil(scenarios.len() as u64);
+    let scenarios: Vec<_> = scenarios
+        .into_iter()
+        .map(|mut s| {
+            s.trials = per_scenario;
+            s
+        })
+        .collect();
+
+    let campaign = Campaign::new(scenarios)
+        .seed(args.seed)
+        .threads(args.threads);
+    let total = campaign.trial_count();
+    if !args.quiet {
+        eprintln!(
+            "campaign: {} scenarios × {} trials = {} trials (seed {}, {} threads)",
+            campaign.scenarios().len(),
+            per_scenario,
+            total,
+            args.seed,
+            if args.threads == 0 {
+                std::thread::available_parallelism().map_or(1, |n| n.get())
+            } else {
+                args.threads
+            },
+        );
+    }
+
+    let started = std::time::Instant::now();
+    let result = if args.quiet {
+        campaign.run()
+    } else {
+        campaign.run_with_progress(|done, total| {
+            if done % 25 == 0 || done == total {
+                eprintln!("  {done}/{total} trials");
+            }
+        })
+    };
+    let elapsed = started.elapsed();
+
+    if let Some(path) = &args.out {
+        if let Err(e) = write_file(path, |w| emit::write_jsonl(w, &result.records)) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &args.summary_out {
+        if let Err(e) = write_file(path, |w| emit::write_summary_jsonl(w, &result.summaries)) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    println!("{}", emit::markdown_summary(&result.summaries));
+    let converged: u64 = result.summaries.iter().map(|s| s.converged).sum();
+    println!(
+        "{total} trials, {converged} converged ({:.1}%), {:.2}s wall clock",
+        100.0 * converged as f64 / total as f64,
+        elapsed.as_secs_f64(),
+    );
+    ExitCode::SUCCESS
+}
+
+fn write_file(
+    path: &str,
+    write: impl FnOnce(&mut std::io::BufWriter<std::fs::File>) -> std::io::Result<()>,
+) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut writer = std::io::BufWriter::new(file);
+    write(&mut writer)?;
+    writer.flush()
+}

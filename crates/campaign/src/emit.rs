@@ -1,0 +1,154 @@
+//! Emitters: JSON-lines for machines, markdown tables for humans.
+//!
+//! Both formats are byte-deterministic for a given campaign result: records
+//! are emitted in trial order, summaries in scenario-name order, and all
+//! numbers use stable formatting.
+
+use std::io::Write;
+
+use crate::aggregate::ScenarioSummary;
+use crate::trial::TrialRecord;
+
+/// Writes one JSON object per trial record, one per line.
+pub fn write_jsonl<W: Write>(mut out: W, records: &[TrialRecord]) -> std::io::Result<()> {
+    for record in records {
+        let line = serde_json::to_string(record)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        out.write_all(line.as_bytes())?;
+        out.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Renders the per-scenario summaries as one JSON object per line.
+pub fn write_summary_jsonl<W: Write>(
+    mut out: W,
+    summaries: &[ScenarioSummary],
+) -> std::io::Result<()> {
+    for summary in summaries {
+        let line = serde_json::to_string(summary)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        out.write_all(line.as_bytes())?;
+        out.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Renders the per-scenario summaries as a GitHub-flavoured markdown table.
+pub fn markdown_summary(summaries: &[ScenarioSummary]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "| scenario | trials | converged | mean rounds | p95 rounds | mean msgs | effectiveness | monotone |\n",
+    );
+    out.push_str("|---|---:|---:|---:|---:|---:|---:|:---:|\n");
+    for s in summaries {
+        out.push_str(&format!(
+            "| {} | {} | {}/{} | {} | {} | {:.0} | {:.2} | {} |\n",
+            s.scenario,
+            s.trials,
+            s.converged,
+            s.trials,
+            format_rounds(s.converged, s.rounds.mean),
+            format_rounds(s.converged, s.rounds.p95),
+            s.messages.mean,
+            s.effectiveness.mean,
+            if s.all_monotone { "yes" } else { "NO" },
+        ));
+    }
+    out
+}
+
+/// `—` when nothing converged (a zero would read as "instant").
+fn format_rounds(converged: u64, value: f64) -> String {
+    if converged == 0 {
+        "—".to_string()
+    } else {
+        format!("{value:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfsim_trace::Summary;
+
+    fn sample_summary(name: &str, converged: u64) -> ScenarioSummary {
+        ScenarioSummary {
+            scenario: name.into(),
+            algorithm: "minimum".into(),
+            topology: "ring".into(),
+            environment: "static".into(),
+            agents: 8,
+            trials: 5,
+            converged,
+            convergence_rate: converged as f64 / 5.0,
+            rounds: Summary::of_counts(&[3, 4, 5]),
+            messages: Summary::of(&[100.0, 120.0]),
+            effectiveness: Summary::of(&[0.5, 0.6]),
+            all_monotone: true,
+        }
+    }
+
+    fn sample_record() -> TrialRecord {
+        TrialRecord {
+            scenario: "minimum/ring/static/n=8".into(),
+            algorithm: "minimum".into(),
+            topology: "ring".into(),
+            environment: "static".into(),
+            agents: 8,
+            trial: 0,
+            seed: 42,
+            converged: true,
+            rounds_to_convergence: Some(4),
+            rounds_executed: 4,
+            group_steps: 4,
+            effective_group_steps: 3,
+            messages: 32,
+            initial_objective: 100.0,
+            final_objective: 8.0,
+            objective_monotone: true,
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips_records() {
+        let mut buffer = Vec::new();
+        write_jsonl(&mut buffer, &[sample_record(), sample_record()]).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            let back: TrialRecord = serde_json::from_str(line).unwrap();
+            assert_eq!(back, sample_record());
+        }
+    }
+
+    #[test]
+    fn jsonl_is_byte_deterministic() {
+        let records = [sample_record()];
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        write_jsonl(&mut a, &records).unwrap();
+        write_jsonl(&mut b, &records).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn summary_jsonl_round_trips() {
+        let mut buffer = Vec::new();
+        write_summary_jsonl(&mut buffer, &[sample_summary("a", 5)]).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        let back: ScenarioSummary = serde_json::from_str(text.trim()).unwrap();
+        assert_eq!(back, sample_summary("a", 5));
+    }
+
+    #[test]
+    fn markdown_has_header_and_one_row_per_summary() {
+        let md = markdown_summary(&[sample_summary("a", 5), sample_summary("b", 0)]);
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("| scenario |"));
+        assert!(lines[2].contains("| a |"));
+        // A never-converging cell shows an em dash, not 0.0 rounds.
+        assert!(lines[3].contains("—"));
+    }
+}

@@ -1,0 +1,51 @@
+//! A declarative, parallel experiment-campaign engine for self-similar
+//! algorithms.
+//!
+//! The paper's thesis — one algorithm, any environment — is only convincing
+//! when the same algorithm is shown converging across *many* adversarial
+//! environments, topologies and scales.  This crate turns that scenario
+//! sweep into a first-class object:
+//!
+//! * [`Scenario`] / [`ScenarioGrid`] — a declarative spec of algorithm ×
+//!   topology family × environment model × size × trials, with builder and
+//!   cartesian grid expansion;
+//! * [`Campaign`] — a runner that executes all trials on a worker pool with
+//!   *derived* per-trial seeds, so results are identical no matter how many
+//!   threads run them;
+//! * [`Aggregator`] — streaming per-scenario statistics (via
+//!   [`selfsim_trace::Summary`]) that never retain per-round trajectories;
+//! * [`emit`] — byte-deterministic JSON-lines and markdown emitters, used
+//!   by the `campaign` CLI binary.
+//!
+//! # Example
+//!
+//! ```
+//! use selfsim_campaign::{AlgorithmKind, Campaign, EnvModel, ScenarioGrid, TopologyFamily};
+//!
+//! let scenarios = ScenarioGrid::new()
+//!     .algorithms([AlgorithmKind::Minimum, AlgorithmKind::Sorting])
+//!     .topologies([TopologyFamily::Ring])
+//!     .envs([EnvModel::Static, EnvModel::RandomChurn { p_edge: 0.5, p_agent: 0.9 }])
+//!     .sizes([8])
+//!     .trials(5)
+//!     .expand();
+//! let result = Campaign::new(scenarios).seed(42).run();
+//! assert!(result.records.iter().all(|r| r.converged));
+//! println!("{}", selfsim_campaign::emit::markdown_summary(&result.summaries));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aggregate;
+pub mod emit;
+mod runner;
+mod scenario;
+mod trial;
+
+pub use aggregate::{Aggregator, ScenarioSummary};
+pub use runner::{Campaign, CampaignConfig, CampaignResult};
+pub use scenario::{
+    grid_dims, AlgorithmKind, EnvModel, Scenario, ScenarioBuilder, ScenarioGrid, TopologyFamily,
+};
+pub use trial::{run_trial, TrialRecord};

@@ -1,0 +1,268 @@
+//! The parallel campaign runner.
+//!
+//! Determinism is the design constraint: a campaign's output must be
+//! byte-identical for a given `(scenarios, campaign seed)` pair no matter
+//! how many worker threads run it.  Three mechanisms provide this:
+//!
+//! 1. every trial's seed is *derived* (SplitMix64 over the campaign seed,
+//!    the scenario name and the trial index), never drawn from a shared
+//!    RNG;
+//! 2. workers claim trials from an atomic counter but write results into
+//!    the trial's own pre-allocated slot, so completion order is
+//!    irrelevant;
+//! 3. aggregation and emission happen after the barrier, in trial order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::aggregate::{Aggregator, ScenarioSummary};
+use crate::scenario::Scenario;
+use crate::trial::{run_trial, TrialRecord};
+
+/// Configuration of a campaign run.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignConfig {
+    /// The master seed every per-trial seed is derived from.
+    pub seed: u64,
+    /// Worker threads; `0` means one per available CPU.
+    pub threads: usize,
+}
+
+/// A set of scenarios plus run configuration — the executable form of an
+/// experiment campaign.
+#[derive(Clone, Debug)]
+pub struct Campaign {
+    scenarios: Vec<Scenario>,
+    config: CampaignConfig,
+}
+
+/// Everything a finished campaign produced: per-trial records in
+/// deterministic (scenario-major, trial-minor) order plus the closed
+/// aggregation.
+#[derive(Clone, Debug)]
+pub struct CampaignResult {
+    /// One record per trial, in scenario-major order.
+    pub records: Vec<TrialRecord>,
+    /// Per-scenario summaries, sorted by scenario name.
+    pub summaries: Vec<ScenarioSummary>,
+}
+
+impl Campaign {
+    /// Creates a campaign over `scenarios` with default configuration.
+    pub fn new(scenarios: Vec<Scenario>) -> Self {
+        Campaign {
+            scenarios,
+            config: CampaignConfig::default(),
+        }
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the worker-thread count (`0` = one per CPU).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// The scenarios of this campaign.
+    pub fn scenarios(&self) -> &[Scenario] {
+        &self.scenarios
+    }
+
+    /// Total number of trials the campaign will run.
+    pub fn trial_count(&self) -> u64 {
+        self.scenarios.iter().map(|s| s.trials).sum()
+    }
+
+    /// The seed trial `trial` of `scenario` will run with.
+    ///
+    /// Mixes the campaign seed, a hash of the scenario name and the trial
+    /// index through SplitMix64, so every trial in the campaign gets an
+    /// independent, schedule-free seed.
+    pub fn trial_seed(&self, scenario: &Scenario, trial: u64) -> u64 {
+        self.seed_for(fnv1a(scenario.name().as_bytes()), trial)
+    }
+
+    fn seed_for(&self, scenario_hash: u64, trial: u64) -> u64 {
+        splitmix64(
+            self.config
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(scenario_hash)
+                .wrapping_add(splitmix64(trial)),
+        )
+    }
+
+    /// Runs every trial of every scenario, in parallel, and returns the
+    /// deterministically ordered results.
+    pub fn run(&self) -> CampaignResult {
+        self.run_with_progress(|_, _| {})
+    }
+
+    /// Like [`Campaign::run`], with a callback `(done, total)` invoked after
+    /// every finished trial (from worker threads; keep it cheap).
+    pub fn run_with_progress(&self, progress: impl Fn(u64, u64) + Sync) -> CampaignResult {
+        // The flat, deterministic job list: scenario-major, trial-minor.
+        let jobs: Vec<(usize, u64, u64)> = self
+            .scenarios
+            .iter()
+            .enumerate()
+            .flat_map(|(idx, scenario)| {
+                // Hash the scenario name once per scenario, not per trial.
+                let scenario_hash = fnv1a(scenario.name().as_bytes());
+                (0..scenario.trials)
+                    .map(move |trial| (idx, trial, self.seed_for(scenario_hash, trial)))
+            })
+            .collect();
+        let total = jobs.len() as u64;
+
+        let threads = if self.config.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.config.threads
+        }
+        .min(jobs.len().max(1));
+
+        let next = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<TrialRecord>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(scenario_idx, trial, seed)) = jobs.get(i) else {
+                        break;
+                    };
+                    let record = run_trial(&self.scenarios[scenario_idx], trial, seed);
+                    *slots[i].lock().expect("slot lock") = Some(record);
+                    let finished = done.fetch_add(1, Ordering::Relaxed) as u64 + 1;
+                    progress(finished, total);
+                });
+            }
+        });
+
+        let records: Vec<TrialRecord> = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("slot lock")
+                    .expect("every claimed job writes its slot")
+            })
+            .collect();
+
+        let mut aggregator = Aggregator::new();
+        for record in &records {
+            aggregator.observe(record);
+        }
+        CampaignResult {
+            summaries: aggregator.summaries(),
+            records,
+        }
+    }
+}
+
+/// SplitMix64 — the standard 64-bit seed mixer.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over bytes, for hashing scenario names into the seed mix.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    bytes.iter().fold(0xCBF2_9CE4_8422_2325u64, |h, &b| {
+        (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{AlgorithmKind, EnvModel, ScenarioGrid, TopologyFamily};
+
+    fn small_campaign() -> Campaign {
+        let scenarios = ScenarioGrid::new()
+            .algorithms([AlgorithmKind::Minimum, AlgorithmKind::Maximum])
+            .topologies([TopologyFamily::Ring])
+            .envs([
+                EnvModel::Static,
+                EnvModel::RandomChurn {
+                    p_edge: 0.5,
+                    p_agent: 0.9,
+                },
+            ])
+            .sizes([6])
+            .trials(3)
+            .max_rounds(50_000)
+            .expand();
+        Campaign::new(scenarios).seed(7)
+    }
+
+    #[test]
+    fn runs_every_trial_once_in_order() {
+        let campaign = small_campaign();
+        let result = campaign.run();
+        assert_eq!(result.records.len(), campaign.trial_count() as usize);
+        // Scenario-major, trial-minor ordering.
+        let expected: Vec<(String, u64)> = campaign
+            .scenarios()
+            .iter()
+            .flat_map(|s| (0..s.trials).map(move |t| (s.name(), t)))
+            .collect();
+        let actual: Vec<(String, u64)> = result
+            .records
+            .iter()
+            .map(|r| (r.scenario.clone(), r.trial))
+            .collect();
+        assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let sequential = small_campaign().threads(1).run();
+        let parallel = small_campaign().threads(4).run();
+        assert_eq!(sequential.records, parallel.records);
+        assert_eq!(sequential.summaries, parallel.summaries);
+    }
+
+    #[test]
+    fn campaign_seed_changes_trials() {
+        let a = small_campaign().seed(1).run();
+        let b = small_campaign().seed(2).run();
+        assert_ne!(
+            a.records.iter().map(|r| r.seed).collect::<Vec<_>>(),
+            b.records.iter().map(|r| r.seed).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn trial_seeds_are_distinct_across_scenarios_and_trials() {
+        let campaign = small_campaign();
+        let mut seeds = std::collections::BTreeSet::new();
+        for scenario in campaign.scenarios() {
+            for trial in 0..scenario.trials {
+                assert!(seeds.insert(campaign.trial_seed(scenario, trial)));
+            }
+        }
+    }
+
+    #[test]
+    fn progress_reaches_total() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let campaign = small_campaign().threads(2);
+        let max_done = AtomicU64::new(0);
+        let result = campaign.run_with_progress(|done, total| {
+            assert!(done <= total);
+            max_done.fetch_max(done, Ordering::Relaxed);
+        });
+        assert_eq!(max_done.load(Ordering::Relaxed), campaign.trial_count());
+        assert_eq!(result.summaries.len(), campaign.scenarios().len());
+    }
+}

@@ -1,0 +1,595 @@
+//! Declarative scenario specifications and grid expansion.
+//!
+//! A [`Scenario`] names one *cell* of an experiment campaign: an algorithm,
+//! a topology family, an environment model, a system size and a number of
+//! trials.  Scenarios are plain data — building the actual
+//! [`SelfSimilarSystem`](selfsim_core::SelfSimilarSystem) and
+//! [`Environment`](selfsim_env::Environment) instances happens per trial in
+//! the runner, so scenarios can be freely sent across threads and expanded
+//! into grids.
+
+use rand::Rng;
+use selfsim_env::{
+    AdversarialEnv, ComposedEnv, CrashRestartEnv, Environment, MarkovLinkEnv, PeriodicPartitionEnv,
+    RandomChurnEnv, StaticEnv, Topology,
+};
+
+/// The algorithm dimension of a scenario: which worked example of the paper
+/// to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AlgorithmKind {
+    /// §4.1 — every agent adopts the minimum.
+    Minimum,
+    /// Extension — every agent adopts the maximum.
+    Maximum,
+    /// §4.2 — one agent concentrates the sum, the others go to zero.
+    Sum,
+    /// §4.4 — values sort themselves along a line (topology is forced to
+    /// [`TopologyFamily::Line`]).
+    Sorting,
+    /// §4.3 — every agent learns the pair (smallest, second smallest).
+    SecondSmallest,
+    /// §4.5 — every agent learns the convex hull of all sites.
+    ConvexHull,
+}
+
+impl AlgorithmKind {
+    /// Short stable label used in scenario names and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AlgorithmKind::Minimum => "minimum",
+            AlgorithmKind::Maximum => "maximum",
+            AlgorithmKind::Sum => "sum",
+            AlgorithmKind::Sorting => "sorting",
+            AlgorithmKind::SecondSmallest => "second-smallest",
+            AlgorithmKind::ConvexHull => "convex-hull",
+        }
+    }
+
+    /// Parses a label produced by [`AlgorithmKind::label`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "minimum" => Some(AlgorithmKind::Minimum),
+            "maximum" => Some(AlgorithmKind::Maximum),
+            "sum" => Some(AlgorithmKind::Sum),
+            "sorting" => Some(AlgorithmKind::Sorting),
+            "second-smallest" => Some(AlgorithmKind::SecondSmallest),
+            "convex-hull" => Some(AlgorithmKind::ConvexHull),
+            _ => None,
+        }
+    }
+
+    /// All supported algorithms.
+    pub fn all() -> &'static [AlgorithmKind] {
+        &[
+            AlgorithmKind::Minimum,
+            AlgorithmKind::Maximum,
+            AlgorithmKind::Sum,
+            AlgorithmKind::Sorting,
+            AlgorithmKind::SecondSmallest,
+            AlgorithmKind::ConvexHull,
+        ]
+    }
+
+    /// `true` when the algorithm's fairness argument fixes the topology:
+    /// sorting needs the line graph (§4.4) and sum the complete graph
+    /// (§4.2 — with pairwise interactions, zero-valued agents cannot relay
+    /// mass, so every pair must eventually share an edge).
+    pub fn forced_topology(&self) -> Option<TopologyFamily> {
+        match self {
+            AlgorithmKind::Sorting => Some(TopologyFamily::Line),
+            AlgorithmKind::Sum => Some(TopologyFamily::Complete),
+            _ => None,
+        }
+    }
+}
+
+/// The topology dimension: a family of communication graphs parameterised by
+/// the system size.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TopologyFamily {
+    /// Cycle on `n` agents.
+    Ring,
+    /// Path on `n` agents.
+    Line,
+    /// Near-square grid (largest divisor split of `n`).
+    Grid,
+    /// Complete graph on `n` agents.
+    Complete,
+    /// Star with agent 0 at the centre.
+    Star,
+    /// Connected Erdős–Rényi graph with edge probability `p`, re-sampled
+    /// per trial from the trial's seed.
+    Random {
+        /// Edge probability.
+        p: f64,
+    },
+}
+
+impl TopologyFamily {
+    /// Short stable label used in scenario names and reports.
+    pub fn label(&self) -> String {
+        match self {
+            TopologyFamily::Ring => "ring".into(),
+            TopologyFamily::Line => "line".into(),
+            TopologyFamily::Grid => "grid".into(),
+            TopologyFamily::Complete => "complete".into(),
+            TopologyFamily::Star => "star".into(),
+            TopologyFamily::Random { p } => format!("random(p={p})"),
+        }
+    }
+
+    /// Parses a label produced by [`TopologyFamily::label`] (random accepts
+    /// plain `random` with `p = 0.3`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "ring" => Some(TopologyFamily::Ring),
+            "line" => Some(TopologyFamily::Line),
+            "grid" => Some(TopologyFamily::Grid),
+            "complete" => Some(TopologyFamily::Complete),
+            "star" => Some(TopologyFamily::Star),
+            "random" => Some(TopologyFamily::Random { p: 0.3 }),
+            _ => None,
+        }
+    }
+
+    /// Materialises the graph for `n` agents, drawing any randomness from
+    /// `rng` (so random families are deterministic per trial).
+    pub fn build(&self, n: usize, rng: &mut impl Rng) -> Topology {
+        match self {
+            TopologyFamily::Ring => Topology::ring(n),
+            TopologyFamily::Line => Topology::line(n),
+            TopologyFamily::Grid => {
+                let (rows, cols) = grid_dims(n);
+                Topology::grid(rows, cols)
+            }
+            TopologyFamily::Complete => Topology::complete(n),
+            TopologyFamily::Star => Topology::star(n),
+            TopologyFamily::Random { p } => Topology::random_connected(n, *p, rng),
+        }
+    }
+}
+
+/// Splits `n` into the most-square `rows × cols` factorisation (`rows ≤
+/// cols`, `rows * cols == n`); primes degenerate to a line.
+pub fn grid_dims(n: usize) -> (usize, usize) {
+    assert!(n > 0, "need at least one agent");
+    let mut rows = 1;
+    let mut d = 1;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            rows = d;
+        }
+        d += 1;
+    }
+    (rows, n / rows)
+}
+
+/// The environment dimension: which adversary the algorithm runs against.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EnvModel {
+    /// Fully benign: every edge available, every agent enabled.
+    Static,
+    /// Independent per-round churn.
+    RandomChurn {
+        /// Probability an edge is available each round.
+        p_edge: f64,
+        /// Probability an agent is enabled each round.
+        p_agent: f64,
+    },
+    /// Two-state Markov on/off links.
+    MarkovLink {
+        /// down → up probability.
+        p_up: f64,
+        /// up → down probability.
+        p_down: f64,
+    },
+    /// Periodic partition into blocks with periodic global merges.
+    PeriodicPartition {
+        /// Number of contiguous blocks.
+        blocks: usize,
+        /// Rounds per merge.
+        period: usize,
+    },
+    /// Agent crash/restart faults.
+    CrashRestart {
+        /// up → down probability.
+        p_crash: f64,
+        /// down → up probability.
+        p_restart: f64,
+    },
+    /// Minimally fair adversary: one edge every `silence + 1` rounds.
+    Adversarial {
+        /// Silent rounds between activations.
+        silence: usize,
+    },
+    /// Link churn composed with crash/restart faults.
+    ChurnPlusCrash {
+        /// Probability an edge is available each round.
+        p_edge: f64,
+        /// up → down probability.
+        p_crash: f64,
+        /// down → up probability.
+        p_restart: f64,
+    },
+}
+
+impl EnvModel {
+    /// Short stable label used in scenario names and reports.
+    pub fn label(&self) -> String {
+        match self {
+            EnvModel::Static => "static".into(),
+            EnvModel::RandomChurn { p_edge, p_agent } => format!("churn(e={p_edge},a={p_agent})"),
+            EnvModel::MarkovLink { p_up, p_down } => format!("markov(up={p_up},down={p_down})"),
+            EnvModel::PeriodicPartition { blocks, period } => {
+                format!("partition(b={blocks},t={period})")
+            }
+            EnvModel::CrashRestart { p_crash, p_restart } => {
+                format!("crash(c={p_crash},r={p_restart})")
+            }
+            EnvModel::Adversarial { silence } => format!("adversary(s={silence})"),
+            EnvModel::ChurnPlusCrash {
+                p_edge,
+                p_crash,
+                p_restart,
+            } => format!("churn+crash(e={p_edge},c={p_crash},r={p_restart})"),
+        }
+    }
+
+    /// Parses a bare model name into its default parameterisation.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "static" => Some(EnvModel::Static),
+            "churn" => Some(EnvModel::RandomChurn {
+                p_edge: 0.5,
+                p_agent: 0.9,
+            }),
+            "markov" => Some(EnvModel::MarkovLink {
+                p_up: 0.3,
+                p_down: 0.3,
+            }),
+            "partition" => Some(EnvModel::PeriodicPartition {
+                blocks: 3,
+                period: 8,
+            }),
+            "crash" => Some(EnvModel::CrashRestart {
+                p_crash: 0.05,
+                p_restart: 0.5,
+            }),
+            "adversary" => Some(EnvModel::Adversarial { silence: 1 }),
+            "churn+crash" => Some(EnvModel::ChurnPlusCrash {
+                p_edge: 0.6,
+                p_crash: 0.05,
+                p_restart: 0.5,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Materialises the environment process over `topology`.
+    pub fn build(&self, topology: Topology) -> Box<dyn Environment> {
+        match *self {
+            EnvModel::Static => Box::new(StaticEnv::new(topology)),
+            EnvModel::RandomChurn { p_edge, p_agent } => {
+                Box::new(RandomChurnEnv::new(topology, p_edge, p_agent))
+            }
+            EnvModel::MarkovLink { p_up, p_down } => {
+                Box::new(MarkovLinkEnv::new(topology, p_up, p_down))
+            }
+            EnvModel::PeriodicPartition { blocks, period } => {
+                Box::new(PeriodicPartitionEnv::new(topology, blocks, period))
+            }
+            EnvModel::CrashRestart { p_crash, p_restart } => {
+                Box::new(CrashRestartEnv::new(topology, p_crash, p_restart))
+            }
+            EnvModel::Adversarial { silence } => Box::new(AdversarialEnv::new(topology, silence)),
+            EnvModel::ChurnPlusCrash {
+                p_edge,
+                p_crash,
+                p_restart,
+            } => Box::new(ComposedEnv::new(
+                RandomChurnEnv::new(topology.clone(), p_edge, 1.0),
+                CrashRestartEnv::new(topology, p_crash, p_restart),
+            )),
+        }
+    }
+}
+
+/// One cell of a campaign: every field needed to reproduce its trials.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// The algorithm to run.
+    pub algorithm: AlgorithmKind,
+    /// The communication-graph family.
+    pub topology: TopologyFamily,
+    /// The adversary model.
+    pub env: EnvModel,
+    /// Number of agents.
+    pub n: usize,
+    /// Number of independent trials (distinct derived seeds).
+    pub trials: u64,
+    /// Round budget per trial.
+    pub max_rounds: usize,
+}
+
+impl Scenario {
+    /// Starts a builder with the given algorithm.
+    pub fn builder(algorithm: AlgorithmKind) -> ScenarioBuilder {
+        ScenarioBuilder {
+            scenario: Scenario {
+                algorithm,
+                topology: algorithm.forced_topology().unwrap_or(TopologyFamily::Ring),
+                env: EnvModel::Static,
+                n: 16,
+                trials: 10,
+                max_rounds: 200_000,
+            },
+        }
+    }
+
+    /// The stable, human-readable identity of this cell; used as the
+    /// grouping key by the aggregator and in every emitted record.
+    pub fn name(&self) -> String {
+        format!(
+            "{}/{}/{}/n={}",
+            self.algorithm.label(),
+            self.topology.label(),
+            self.env.label(),
+            self.n
+        )
+    }
+}
+
+/// Fluent construction of a single [`Scenario`].
+#[derive(Clone, Debug)]
+pub struct ScenarioBuilder {
+    scenario: Scenario,
+}
+
+impl ScenarioBuilder {
+    /// Sets the topology family (ignored — forced — for sorting).
+    pub fn topology(mut self, family: TopologyFamily) -> Self {
+        self.scenario.topology = self.scenario.algorithm.forced_topology().unwrap_or(family);
+        self
+    }
+
+    /// Sets the environment model.
+    pub fn env(mut self, model: EnvModel) -> Self {
+        self.scenario.env = model;
+        self
+    }
+
+    /// Sets the number of agents.
+    pub fn agents(mut self, n: usize) -> Self {
+        assert!(n >= 2, "campaign scenarios need at least two agents");
+        self.scenario.n = n;
+        self
+    }
+
+    /// Sets the number of trials.
+    pub fn trials(mut self, trials: u64) -> Self {
+        self.scenario.trials = trials;
+        self
+    }
+
+    /// Sets the per-trial round budget.
+    pub fn max_rounds(mut self, max_rounds: usize) -> Self {
+        self.scenario.max_rounds = max_rounds;
+        self
+    }
+
+    /// Finishes the scenario.
+    pub fn build(self) -> Scenario {
+        self.scenario
+    }
+}
+
+/// Cartesian-product expansion of scenario dimensions — the "sweep" half of
+/// the declarative API.
+///
+/// Algorithms with a forced topology (sorting) contribute one scenario per
+/// environment/size instead of one per topology, so the grid never contains
+/// unsatisfiable cells.
+#[derive(Clone, Debug)]
+pub struct ScenarioGrid {
+    algorithms: Vec<AlgorithmKind>,
+    topologies: Vec<TopologyFamily>,
+    envs: Vec<EnvModel>,
+    sizes: Vec<usize>,
+    trials: u64,
+    max_rounds: usize,
+}
+
+impl Default for ScenarioGrid {
+    fn default() -> Self {
+        ScenarioGrid::new()
+    }
+}
+
+impl ScenarioGrid {
+    /// An empty grid with 10 trials and a 200k-round budget per cell.
+    pub fn new() -> Self {
+        ScenarioGrid {
+            algorithms: Vec::new(),
+            topologies: Vec::new(),
+            envs: Vec::new(),
+            sizes: Vec::new(),
+            trials: 10,
+            max_rounds: 200_000,
+        }
+    }
+
+    /// Adds algorithms to the sweep.
+    pub fn algorithms(mut self, algorithms: impl IntoIterator<Item = AlgorithmKind>) -> Self {
+        self.algorithms.extend(algorithms);
+        self
+    }
+
+    /// Adds topology families to the sweep.
+    pub fn topologies(mut self, topologies: impl IntoIterator<Item = TopologyFamily>) -> Self {
+        self.topologies.extend(topologies);
+        self
+    }
+
+    /// Adds environment models to the sweep.
+    pub fn envs(mut self, envs: impl IntoIterator<Item = EnvModel>) -> Self {
+        self.envs.extend(envs);
+        self
+    }
+
+    /// Adds system sizes to the sweep.
+    pub fn sizes(mut self, sizes: impl IntoIterator<Item = usize>) -> Self {
+        self.sizes.extend(sizes);
+        self
+    }
+
+    /// Sets trials per cell.
+    pub fn trials(mut self, trials: u64) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Sets the per-trial round budget.
+    pub fn max_rounds(mut self, max_rounds: usize) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Expands the grid into concrete scenarios (deduplicated by name, in
+    /// deterministic algorithm-major order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any size is below two agents — the same invariant
+    /// [`ScenarioBuilder::agents`] enforces (a "campaign" over zero or one
+    /// agent would report meaningless instant convergence).
+    pub fn expand(&self) -> Vec<Scenario> {
+        if let Some(&n) = self.sizes.iter().find(|&&n| n < 2) {
+            panic!("campaign scenarios need at least two agents, got size {n}");
+        }
+        let mut out: Vec<Scenario> = Vec::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for &algorithm in &self.algorithms {
+            let topologies: Vec<TopologyFamily> = match algorithm.forced_topology() {
+                Some(forced) => vec![forced],
+                None => self.topologies.clone(),
+            };
+            for &topology in &topologies {
+                for &env in &self.envs {
+                    for &n in &self.sizes {
+                        let scenario = Scenario {
+                            algorithm,
+                            topology,
+                            env,
+                            n,
+                            trials: self.trials,
+                            max_rounds: self.max_rounds,
+                        };
+                        if seen.insert(scenario.name()) {
+                            out.push(scenario);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn grid_dims_factorises() {
+        assert_eq!(grid_dims(12), (3, 4));
+        assert_eq!(grid_dims(16), (4, 4));
+        assert_eq!(grid_dims(7), (1, 7)); // prime → line
+        assert_eq!(grid_dims(1), (1, 1));
+    }
+
+    #[test]
+    fn topology_families_have_right_size() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for family in [
+            TopologyFamily::Ring,
+            TopologyFamily::Line,
+            TopologyFamily::Grid,
+            TopologyFamily::Complete,
+            TopologyFamily::Star,
+            TopologyFamily::Random { p: 0.4 },
+        ] {
+            let topo = family.build(12, &mut rng);
+            assert_eq!(topo.agent_count(), 12, "{}", family.label());
+            assert!(topo.is_connected(), "{}", family.label());
+        }
+    }
+
+    #[test]
+    fn random_topology_is_seed_deterministic() {
+        let family = TopologyFamily::Random { p: 0.3 };
+        let a = family.build(10, &mut StdRng::seed_from_u64(9));
+        let b = family.build(10, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scenario_names_are_stable_keys() {
+        let s = Scenario::builder(AlgorithmKind::Minimum)
+            .topology(TopologyFamily::Ring)
+            .env(EnvModel::RandomChurn {
+                p_edge: 0.5,
+                p_agent: 0.9,
+            })
+            .agents(8)
+            .build();
+        assert_eq!(s.name(), "minimum/ring/churn(e=0.5,a=0.9)/n=8");
+    }
+
+    #[test]
+    fn sorting_topology_is_forced_to_line() {
+        let s = Scenario::builder(AlgorithmKind::Sorting)
+            .topology(TopologyFamily::Complete)
+            .build();
+        assert_eq!(s.topology, TopologyFamily::Line);
+    }
+
+    #[test]
+    fn grid_expansion_covers_product_and_dedups_sorting() {
+        let scenarios = ScenarioGrid::new()
+            .algorithms([AlgorithmKind::Minimum, AlgorithmKind::Sorting])
+            .topologies([TopologyFamily::Ring, TopologyFamily::Complete])
+            .envs([EnvModel::Static, EnvModel::Adversarial { silence: 1 }])
+            .sizes([8, 12])
+            .expand();
+        // minimum: 2 topologies × 2 envs × 2 sizes = 8; sorting: line only
+        // × 2 envs × 2 sizes = 4.
+        assert_eq!(scenarios.len(), 12);
+        let names: std::collections::BTreeSet<String> =
+            scenarios.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), 12, "names are unique");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two agents")]
+    fn grid_expansion_rejects_degenerate_sizes() {
+        let _ = ScenarioGrid::new()
+            .algorithms([AlgorithmKind::Minimum])
+            .topologies([TopologyFamily::Ring])
+            .envs([EnvModel::Static])
+            .sizes([8, 1])
+            .expand();
+    }
+
+    #[test]
+    fn labels_parse_back() {
+        for kind in AlgorithmKind::all() {
+            assert_eq!(AlgorithmKind::parse(kind.label()), Some(*kind));
+        }
+        assert_eq!(TopologyFamily::parse("grid"), Some(TopologyFamily::Grid));
+        assert!(EnvModel::parse("churn").is_some());
+        assert!(EnvModel::parse("nonsense").is_none());
+    }
+}

@@ -1,0 +1,241 @@
+//! Per-trial execution and the flat record it produces.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use selfsim_core::SelfSimilarSystem;
+use selfsim_geometry::Point;
+use selfsim_runtime::{SyncConfig, SyncSimulator};
+use selfsim_trace::RunMetrics;
+
+use crate::scenario::{AlgorithmKind, Scenario};
+
+/// The flat, trajectory-free result of one trial — what the campaign emits
+/// as one JSON line and what the aggregator folds.
+///
+/// This is [`RunMetrics`] minus the per-round objective trajectory (which
+/// grows with the round budget and would defeat streaming aggregation), plus
+/// the scenario coordinates and two scalar digests of the trajectory.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TrialRecord {
+    /// The scenario cell this trial belongs to ([`Scenario::name`]).
+    pub scenario: String,
+    /// Algorithm label.
+    pub algorithm: String,
+    /// Topology-family label.
+    pub topology: String,
+    /// Environment-model label.
+    pub environment: String,
+    /// Number of agents.
+    pub agents: usize,
+    /// Trial index within the scenario.
+    pub trial: u64,
+    /// The derived seed the trial ran with.
+    pub seed: u64,
+    /// Whether the trial reached (and held) the target state.
+    pub converged: bool,
+    /// Rounds to convergence (`None` when the budget ran out first).
+    pub rounds_to_convergence: Option<usize>,
+    /// Total rounds executed.
+    pub rounds_executed: usize,
+    /// Group steps attempted.
+    pub group_steps: usize,
+    /// Group steps that changed state.
+    pub effective_group_steps: usize,
+    /// Messages exchanged.
+    pub messages: usize,
+    /// `h(S(0))`.
+    pub initial_objective: f64,
+    /// `h` of the final state.
+    pub final_objective: f64,
+    /// Whether the objective trajectory never increased (the global
+    /// manifestation of every group step being an improvement).
+    pub objective_monotone: bool,
+}
+
+impl TrialRecord {
+    /// Flattens a run's metrics into a record for `scenario`'s cell.
+    pub fn from_metrics(scenario: &Scenario, trial: u64, seed: u64, m: &RunMetrics) -> Self {
+        TrialRecord {
+            scenario: scenario.name(),
+            algorithm: scenario.algorithm.label().to_string(),
+            topology: scenario.topology.label(),
+            environment: scenario.env.label(),
+            agents: scenario.n,
+            trial,
+            seed,
+            converged: m.converged(),
+            rounds_to_convergence: m.rounds_to_convergence,
+            rounds_executed: m.rounds_executed,
+            group_steps: m.group_steps,
+            effective_group_steps: m.effective_group_steps,
+            messages: m.messages,
+            initial_objective: m.initial_objective().unwrap_or(0.0),
+            final_objective: m.final_objective().unwrap_or(0.0),
+            objective_monotone: m.objective_is_monotone(1e-9),
+        }
+    }
+}
+
+/// Runs one trial of `scenario` with the given derived seed.
+///
+/// Everything random about the trial — the initial values, a random
+/// topology's edges, the environment's choices and any randomness in the
+/// group steps — is derived from `seed` alone, so a trial is reproducible
+/// in isolation regardless of which thread runs it or what ran before.
+pub fn run_trial(scenario: &Scenario, trial: u64, seed: u64) -> TrialRecord {
+    // Setup (initial values, random topologies) draws from its own stream so
+    // that the simulation stream matches a direct `SyncSimulator` run with
+    // the same seed.
+    let mut setup_rng = StdRng::seed_from_u64(seed ^ 0xD1FF_E7ED_05E7_u64);
+    let topology = scenario.topology.build(scenario.n, &mut setup_rng);
+
+    let metrics = match scenario.algorithm {
+        AlgorithmKind::Minimum => {
+            let values = int_values(scenario.n, &mut setup_rng);
+            let sys = selfsim_algorithms::minimum::system(&values, topology.clone());
+            simulate(&sys, scenario, topology, seed)
+        }
+        AlgorithmKind::Maximum => {
+            let values = int_values(scenario.n, &mut setup_rng);
+            let sys = selfsim_algorithms::maximum::system(&values, topology.clone());
+            simulate(&sys, scenario, topology, seed)
+        }
+        AlgorithmKind::Sum => {
+            let values = int_values(scenario.n, &mut setup_rng);
+            let sys = selfsim_algorithms::sum::system(&values, topology.clone());
+            simulate(&sys, scenario, topology, seed)
+        }
+        AlgorithmKind::Sorting => {
+            let values = int_values(scenario.n, &mut setup_rng);
+            let sys = selfsim_algorithms::sorting::system(&values);
+            simulate(&sys, scenario, topology, seed)
+        }
+        AlgorithmKind::SecondSmallest => {
+            let values = int_values(scenario.n, &mut setup_rng);
+            let sys = selfsim_algorithms::second_smallest::system(&values, topology.clone());
+            simulate(&sys, scenario, topology, seed)
+        }
+        AlgorithmKind::ConvexHull => {
+            let sites = point_values(scenario.n, &mut setup_rng);
+            let sys = selfsim_algorithms::convex_hull::system(&sites, topology.clone());
+            simulate(&sys, scenario, topology, seed)
+        }
+    };
+
+    TrialRecord::from_metrics(scenario, trial, seed, &metrics)
+}
+
+fn simulate<S: Ord + Clone + std::fmt::Debug>(
+    system: &SelfSimilarSystem<S>,
+    scenario: &Scenario,
+    topology: selfsim_env::Topology,
+    seed: u64,
+) -> RunMetrics {
+    let mut env = scenario.env.build(topology);
+    let config = SyncConfig {
+        max_rounds: scenario.max_rounds,
+        cooldown_rounds: 0,
+        seed,
+        record_traces: false,
+    };
+    let report = SyncSimulator::new(config).run(system, env.as_mut());
+    report.metrics
+}
+
+/// Positive, pairwise-distinct integer initial values (the sum example
+/// requires non-negative values, sorting requires distinct ones).
+fn int_values(n: usize, rng: &mut impl Rng) -> Vec<i64> {
+    assert!(n <= 4096, "value pool supports up to 4096 agents");
+    let mut seen = std::collections::BTreeSet::new();
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let v = rng.gen_range(1..=9999);
+        if seen.insert(v) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Integer-grid sites for the geometric example.
+fn point_values(n: usize, rng: &mut impl Rng) -> Vec<Point> {
+    (0..n)
+        .map(|_| {
+            Point::new(
+                rng.gen_range(-50i64..=50) as f64,
+                rng.gen_range(-50i64..=50) as f64,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{EnvModel, TopologyFamily};
+
+    fn tiny(algorithm: AlgorithmKind, env: EnvModel) -> Scenario {
+        Scenario::builder(algorithm)
+            .topology(TopologyFamily::Ring)
+            .env(env)
+            .agents(6)
+            .max_rounds(50_000)
+            .build()
+    }
+
+    #[test]
+    fn every_algorithm_converges_under_static_env() {
+        for &algorithm in AlgorithmKind::all() {
+            let scenario = tiny(algorithm, EnvModel::Static);
+            let record = run_trial(&scenario, 0, 42);
+            assert!(record.converged, "{} did not converge", scenario.name());
+            assert!(record.objective_monotone, "{}", scenario.name());
+        }
+    }
+
+    #[test]
+    fn trials_are_seed_deterministic() {
+        let scenario = tiny(
+            AlgorithmKind::Minimum,
+            EnvModel::RandomChurn {
+                p_edge: 0.5,
+                p_agent: 0.9,
+            },
+        );
+        let a = run_trial(&scenario, 3, 777);
+        let b = run_trial(&scenario, 3, 777);
+        assert_eq!(a, b);
+        let c = run_trial(&scenario, 3, 778);
+        assert_eq!(a.scenario, c.scenario);
+    }
+
+    #[test]
+    fn random_topology_trials_converge() {
+        let scenario = Scenario::builder(AlgorithmKind::Minimum)
+            .topology(TopologyFamily::Random { p: 0.3 })
+            .env(EnvModel::MarkovLink {
+                p_up: 0.4,
+                p_down: 0.4,
+            })
+            .agents(10)
+            .max_rounds(100_000)
+            .build();
+        for trial in 0..3u64 {
+            let record = run_trial(&scenario, trial, 1000 + trial);
+            assert!(record.converged, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn record_carries_scenario_coordinates() {
+        let scenario = tiny(AlgorithmKind::Sum, EnvModel::Static);
+        let record = run_trial(&scenario, 5, 99);
+        assert_eq!(record.agents, 6);
+        assert_eq!(record.trial, 5);
+        assert_eq!(record.seed, 99);
+        assert_eq!(record.algorithm, "sum");
+        assert_eq!(record.scenario, scenario.name());
+    }
+}

@@ -145,7 +145,7 @@ where
 ///
 /// Returns the first violating quadruple, if any.  Figure 1 of the paper is
 /// exactly such a violation for the "out-of-order pairs" objective.
-#[allow(clippy::type_complexity)]
+#[allow(clippy::type_complexity, clippy::result_large_err)]
 pub fn check_local_to_global_improvement<S: Ord + Clone>(
     f: &impl DistributedFunction<S>,
     h: &impl ObjectiveFunction<S>,

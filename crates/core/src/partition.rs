@@ -38,7 +38,12 @@ pub fn bell_number(n: usize) -> u64 {
 pub fn all_partitions(n: usize) -> Vec<Vec<Vec<usize>>> {
     let mut results = Vec::new();
     let mut current: Vec<Vec<usize>> = Vec::new();
-    fn recurse(next: usize, n: usize, current: &mut Vec<Vec<usize>>, out: &mut Vec<Vec<Vec<usize>>>) {
+    fn recurse(
+        next: usize,
+        n: usize,
+        current: &mut Vec<Vec<usize>>,
+        out: &mut Vec<Vec<Vec<usize>>>,
+    ) {
         if next == n {
             out.push(current.clone());
             return;

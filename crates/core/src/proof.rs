@@ -235,8 +235,9 @@ pub fn check_fairness_shape(fairness: &FairnessSpec, requires_complete: bool) ->
     if requires_complete && !fairness.is_complete() {
         report.violations.push(Violation {
             obligation: "escape",
-            description: "algorithm requires a complete fairness graph but the spec is not complete"
-                .to_string(),
+            description:
+                "algorithm requires a complete fairness graph but the spec is not complete"
+                    .to_string(),
         });
     } else if !fairness.is_connected() {
         report.violations.push(Violation {
@@ -281,7 +282,12 @@ where
     let mut report = AuditReport::default();
     report.merge(check_r_implements_d(system, &groups, trials, rng));
     report.merge(check_local_to_global(system, &groups, rng));
-    report.merge(check_escape(system, &[initial.clone()], trials.max(4), rng));
+    report.merge(check_escape(
+        system,
+        std::slice::from_ref(initial),
+        trials.max(4),
+        rng,
+    ));
     report
 }
 
@@ -347,10 +353,13 @@ mod tests {
                 s.min_value().copied().unwrap_or(0)
             }),
             SummationObjective::new("sum", |v: &i64| *v as f64),
-            FnGroupStep::new("adopt-min", |states: &[i64], _rng: &mut dyn rand::RngCore| {
-                let m = states.iter().copied().min().unwrap_or(0);
-                vec![m; states.len()]
-            }),
+            FnGroupStep::new(
+                "adopt-min",
+                |states: &[i64], _rng: &mut dyn rand::RngCore| {
+                    let m = states.iter().copied().min().unwrap_or(0);
+                    vec![m; states.len()]
+                },
+            ),
             initial,
             FairnessSpec::for_graph(&Topology::line(n)),
         )
@@ -365,10 +374,13 @@ mod tests {
                 s.min_value().copied().unwrap_or(0)
             }),
             SummationObjective::new("sum", |v: &i64| *v as f64),
-            FnGroupStep::new("adopt-max", |states: &[i64], _rng: &mut dyn rand::RngCore| {
-                let m = states.iter().copied().max().unwrap_or(0);
-                vec![m; states.len()]
-            }),
+            FnGroupStep::new(
+                "adopt-max",
+                |states: &[i64], _rng: &mut dyn rand::RngCore| {
+                    let m = states.iter().copied().max().unwrap_or(0);
+                    vec![m; states.len()]
+                },
+            ),
             initial,
             FairnessSpec::for_graph(&Topology::line(n)),
         )
@@ -432,8 +444,13 @@ mod tests {
         assert!(check_fairness_shape(&FairnessSpec::complete(4), true).passed());
         assert!(!check_fairness_shape(&FairnessSpec::line(4), true).passed());
         assert!(check_fairness_shape(&FairnessSpec::line(4), false).passed());
-        let sparse =
-            FairnessSpec::for_edges(4, [selfsim_env::Edge::new(selfsim_env::AgentId(0), selfsim_env::AgentId(1))]);
+        let sparse = FairnessSpec::for_edges(
+            4,
+            [selfsim_env::Edge::new(
+                selfsim_env::AgentId(0),
+                selfsim_env::AgentId(1),
+            )],
+        );
         assert!(!check_fairness_shape(&sparse, false).passed());
     }
 

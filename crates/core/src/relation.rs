@@ -95,6 +95,7 @@ mod tests {
     use super::*;
     use crate::{ConsensusFunction, SummationObjective};
 
+    #[allow(clippy::type_complexity)]
     fn min_relation() -> RelationD<
         ConsensusFunction<i64, impl Fn(&Multiset<i64>) -> i64>,
         SummationObjective<i64, impl Fn(&i64) -> f64>,

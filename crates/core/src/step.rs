@@ -173,10 +173,13 @@ mod tests {
 
     /// All agents adopt the group minimum in one step.
     fn min_step() -> FnGroupStep<i64, impl Fn(&[i64], &mut dyn rand::RngCore) -> Vec<i64>> {
-        FnGroupStep::new("adopt-min", |states: &[i64], _rng: &mut dyn rand::RngCore| {
-            let m = states.iter().copied().min().unwrap_or(0);
-            vec![m; states.len()]
-        })
+        FnGroupStep::new(
+            "adopt-min",
+            |states: &[i64], _rng: &mut dyn rand::RngCore| {
+                let m = states.iter().copied().min().unwrap_or(0);
+                vec![m; states.len()]
+            },
+        )
     }
 
     #[test]
@@ -209,10 +212,13 @@ mod tests {
     fn checked_step_rejects_non_conserving_algorithm() {
         // A buggy algorithm that adopts the *maximum* — it fails to conserve
         // the minimum.
-        let buggy = FnGroupStep::new("adopt-max", |states: &[i64], _rng: &mut dyn rand::RngCore| {
-            let m = states.iter().copied().max().unwrap_or(0);
-            vec![m; states.len()]
-        });
+        let buggy = FnGroupStep::new(
+            "adopt-max",
+            |states: &[i64], _rng: &mut dyn rand::RngCore| {
+                let m = states.iter().copied().max().unwrap_or(0);
+                vec![m; states.len()]
+            },
+        );
         let checked = CheckedGroupStep::new(buggy, min_f(), sum_h());
         let _ = checked.step(&[5, 3, 9], &mut rng());
     }
@@ -237,9 +243,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "changed the number of agents")]
     fn checked_step_rejects_cardinality_changes() {
-        let buggy = FnGroupStep::new("drop-one", |states: &[i64], _rng: &mut dyn rand::RngCore| {
-            states[1..].to_vec()
-        });
+        let buggy = FnGroupStep::new(
+            "drop-one",
+            |states: &[i64], _rng: &mut dyn rand::RngCore| states[1..].to_vec(),
+        );
         let checked = CheckedGroupStep::new(buggy, min_f(), sum_h());
         let _ = checked.step(&[5, 3], &mut rng());
     }

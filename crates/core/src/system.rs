@@ -214,10 +214,13 @@ mod tests {
                 s.min_value().copied().unwrap_or(0)
             }),
             SummationObjective::new("sum", |v: &i64| *v as f64),
-            FnGroupStep::new("adopt-min", |states: &[i64], _rng: &mut dyn rand::RngCore| {
-                let m = states.iter().copied().min().unwrap_or(0);
-                vec![m; states.len()]
-            }),
+            FnGroupStep::new(
+                "adopt-min",
+                |states: &[i64], _rng: &mut dyn rand::RngCore| {
+                    let m = states.iter().copied().min().unwrap_or(0);
+                    vec![m; states.len()]
+                },
+            ),
             initial,
             FairnessSpec::for_graph(&Topology::line(n)),
         )

@@ -247,11 +247,7 @@ impl Environment for PeriodicPartitionEnv {
                 .filter(|e| self.block_of(e.lo()) == self.block_of(e.hi()))
                 .collect()
         };
-        EnvState::new(
-            self.topology.agent_count(),
-            edges,
-            self.topology.agents(),
-        )
+        EnvState::new(self.topology.agent_count(), edges, self.topology.agents())
     }
 
     fn name(&self) -> &'static str {
@@ -318,11 +314,7 @@ impl Environment for CrashRestartEnv {
             .copied()
             .filter(|e| self.up.contains(&e.lo()) && self.up.contains(&e.hi()))
             .collect();
-        EnvState::new(
-            self.topology.agent_count(),
-            edges,
-            self.up.iter().copied(),
-        )
+        EnvState::new(self.topology.agent_count(), edges, self.up.iter().copied())
     }
 
     fn name(&self) -> &'static str {
@@ -370,7 +362,7 @@ impl Environment for AdversarialEnv {
         let cycle = self.silence + 1;
         let tick = self.tick;
         self.tick += 1;
-        if self.edge_order.is_empty() || tick % cycle != 0 {
+        if self.edge_order.is_empty() || !tick.is_multiple_of(cycle) {
             return EnvState::fully_disabled(n);
         }
         let which = (tick / cycle) % self.edge_order.len();

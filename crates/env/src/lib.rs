@@ -48,8 +48,8 @@ mod state;
 mod topology;
 
 pub use environment::{
-    AdversarialEnv, ComposedEnv, CrashRestartEnv, Environment, MarkovLinkEnv,
-    PeriodicPartitionEnv, RandomChurnEnv, StaticEnv,
+    AdversarialEnv, ComposedEnv, CrashRestartEnv, Environment, MarkovLinkEnv, PeriodicPartitionEnv,
+    RandomChurnEnv, StaticEnv,
 };
 pub use fairness::FairnessSpec;
 pub use state::EnvState;

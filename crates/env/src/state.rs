@@ -197,7 +197,10 @@ mod tests {
     fn missing_edge_partitions_the_line() {
         let s = EnvState::new(
             4,
-            [Edge::new(AgentId(0), AgentId(1)), Edge::new(AgentId(2), AgentId(3))],
+            [
+                Edge::new(AgentId(0), AgentId(1)),
+                Edge::new(AgentId(2), AgentId(3)),
+            ],
             (0..4).map(AgentId),
         );
         let groups = s.groups();
@@ -219,11 +222,8 @@ mod tests {
     fn intersect_is_pointwise_and() {
         let topo = topo4();
         let all = EnvState::fully_enabled(&topo);
-        let only_edge01 = EnvState::new(
-            4,
-            [Edge::new(AgentId(0), AgentId(1))],
-            (0..4).map(AgentId),
-        );
+        let only_edge01 =
+            EnvState::new(4, [Edge::new(AgentId(0), AgentId(1))], (0..4).map(AgentId));
         let both = all.intersect(&only_edge01);
         assert_eq!(both.enabled_edges().len(), 1);
         assert_eq!(both.enabled_agents().len(), 4);

@@ -11,9 +11,7 @@ use serde::{Deserialize, Serialize};
 /// The paper keeps agent identities out of the *algorithms* (self-similar
 /// computations are identity-agnostic) but the *infrastructure* — topology,
 /// environment, simulators — still needs to address individual agents.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct AgentId(pub usize);
 
 impl AgentId {
@@ -33,9 +31,7 @@ impl fmt::Display for AgentId {
 ///
 /// Edges are stored in normalised form (smaller endpoint first) so that
 /// `Edge::new(a, b) == Edge::new(b, a)`.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct Edge {
     lo: AgentId,
     hi: AgentId,
@@ -262,10 +258,7 @@ impl Topology {
 
     /// The neighbours of `agent` in the topology.
     pub fn neighbors(&self, agent: AgentId) -> Vec<AgentId> {
-        self.edges
-            .iter()
-            .filter_map(|e| e.other(agent))
-            .collect()
+        self.edges.iter().filter_map(|e| e.other(agent)).collect()
     }
 
     /// Returns `true` if the graph is connected (or has at most one agent).

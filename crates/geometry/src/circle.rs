@@ -151,7 +151,12 @@ pub fn enclosing_circle_of_circles(circles: &[Circle]) -> Circle {
     // Start from the bounding box of the centres and shrink around the best
     // grid point; the objective is convex, so this converges to the optimum.
     let (mut min_x, mut max_x, mut min_y, mut max_y) = circles.iter().fold(
-        (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY),
+        (
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        ),
         |(lx, hx, ly, hy), c| {
             (
                 lx.min(c.center.x - c.radius),
@@ -287,7 +292,9 @@ mod tests {
             Point::new(3.0, 3.0),
         ];
         let c = smallest_enclosing_circle(&pts);
-        assert!((c.radius - Point::new(0.0, 0.0).distance(Point::new(3.0, 3.0)) / 2.0).abs() < 1e-9);
+        assert!(
+            (c.radius - Point::new(0.0, 0.0).distance(Point::new(3.0, 3.0)) / 2.0).abs() < 1e-9
+        );
     }
 
     #[test]
@@ -365,7 +372,11 @@ mod circle_of_circles_tests {
         let c = Circle::new(Point::origin(), 1.0);
         let p = Circle::point(Point::new(5.0, 0.0));
         let result = enclosing_circle_of_circles(&[c, p]);
-        assert!((result.radius - 3.0).abs() < 1e-6, "radius = {}", result.radius);
+        assert!(
+            (result.radius - 3.0).abs() < 1e-6,
+            "radius = {}",
+            result.radius
+        );
         assert!(result.center.distance(Point::new(2.0, 0.0)) < 1e-5);
     }
 

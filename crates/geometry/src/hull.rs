@@ -26,8 +26,7 @@ pub fn convex_hull(points: &[Point]) -> Vec<Point> {
     let mut hull: Vec<Point> = Vec::with_capacity(2 * n);
     // Lower hull.
     for &p in &pts {
-        while hull.len() >= 2
-            && Point::cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
+        while hull.len() >= 2 && Point::cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
         {
             hull.pop();
         }
@@ -201,8 +200,16 @@ mod tests {
     #[test]
     fn containment_for_degenerate_hulls() {
         assert!(!hull_contains(&[], Point::origin(), 1e-9));
-        assert!(hull_contains(&[Point::new(1.0, 1.0)], Point::new(1.0, 1.0), 1e-9));
-        assert!(!hull_contains(&[Point::new(1.0, 1.0)], Point::new(2.0, 1.0), 1e-9));
+        assert!(hull_contains(
+            &[Point::new(1.0, 1.0)],
+            Point::new(1.0, 1.0),
+            1e-9
+        ));
+        assert!(!hull_contains(
+            &[Point::new(1.0, 1.0)],
+            Point::new(2.0, 1.0),
+            1e-9
+        ));
         let seg = [Point::new(0.0, 0.0), Point::new(2.0, 0.0)];
         assert!(hull_contains(&seg, Point::new(1.0, 0.0), 1e-9));
         assert!(!hull_contains(&seg, Point::new(1.0, 0.5), 1e-9));

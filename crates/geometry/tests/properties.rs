@@ -6,7 +6,9 @@
 //! smallest enclosing circle encloses everything it is asked to enclose.
 
 use proptest::prelude::*;
-use selfsim_geometry::{convex_hull, hull_contains, hull_perimeter, smallest_enclosing_circle, Point};
+use selfsim_geometry::{
+    convex_hull, hull_contains, hull_perimeter, smallest_enclosing_circle, Point,
+};
 
 fn point_strategy() -> impl Strategy<Value = Point> {
     // Small integer-valued coordinates avoid floating-point corner cases

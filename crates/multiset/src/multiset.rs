@@ -539,4 +539,3 @@ mod tests {
         assert_eq!(x, back);
     }
 }
-

@@ -17,13 +17,13 @@ pub fn sum_by<T: Ord>(set: &Multiset<T>, mut g: impl FnMut(&T) -> i128) -> i128 
 }
 
 /// The minimum of `g(v)` over the multiset, or `None` if empty.
-pub fn min<T: Ord, K: Ord>(set: &Multiset<T>, mut g: impl FnMut(&T) -> K) -> Option<K> {
-    set.iter().map(|v| g(v)).min()
+pub fn min<T: Ord, K: Ord>(set: &Multiset<T>, g: impl FnMut(&T) -> K) -> Option<K> {
+    set.iter().map(g).min()
 }
 
 /// The maximum of `g(v)` over the multiset, or `None` if empty.
-pub fn max<T: Ord, K: Ord>(set: &Multiset<T>, mut g: impl FnMut(&T) -> K) -> Option<K> {
-    set.iter().map(|v| g(v)).max()
+pub fn max<T: Ord, K: Ord>(set: &Multiset<T>, g: impl FnMut(&T) -> K) -> Option<K> {
+    set.iter().map(g).max()
 }
 
 /// Splits a multiset into the sub-multiset satisfying `pred` and the rest.

@@ -110,7 +110,11 @@ impl AsyncSimulator {
 
     /// Runs `system` under `environment` until convergence or the tick
     /// budget is exhausted.
-    pub fn run<S, E>(&self, system: &SelfSimilarSystem<S>, environment: &mut E) -> SimulationReport<S>
+    pub fn run<S, E>(
+        &self,
+        system: &SelfSimilarSystem<S>,
+        environment: &mut E,
+    ) -> SimulationReport<S>
     where
         S: Ord + Clone + std::fmt::Debug,
         E: Environment + ?Sized,
@@ -164,10 +168,7 @@ impl AsyncSimulator {
             }
 
             // Deliveries due at this tick.
-            while pending
-                .peek()
-                .is_some_and(|p| p.deliver_at <= tick)
-            {
+            while pending.peek().is_some_and(|p| p.deliver_at <= tick) {
                 let p = pending.pop().expect("peeked");
                 // The rendezvous only happens if the pair can still
                 // communicate when the message arrives.

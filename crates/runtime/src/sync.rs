@@ -87,18 +87,18 @@ impl SyncSimulator {
 
     /// Runs `system` under `environment` until it converges (plus the
     /// configured cooldown) or the round budget is exhausted.
-    pub fn run<S, E>(&self, system: &SelfSimilarSystem<S>, environment: &mut E) -> SimulationReport<S>
+    pub fn run<S, E>(
+        &self,
+        system: &SelfSimilarSystem<S>,
+        environment: &mut E,
+    ) -> SimulationReport<S>
     where
         S: Ord + Clone + std::fmt::Debug,
         E: Environment + ?Sized,
     {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut state = system.initial_state().clone();
-        let mut metrics = RunMetrics::new(
-            system.name(),
-            environment.name(),
-            system.agent_count(),
-        );
+        let mut metrics = RunMetrics::new(system.name(), environment.name(), system.agent_count());
         let mut env_trace = Trace::new();
         let mut state_trace = Vec::new();
 
@@ -209,7 +209,7 @@ mod tests {
         // On a line of 5 agents, the minimum needs a handful of rounds to
         // sweep across; it must be at least 1 and at most the diameter.
         let rounds = report.rounds_to_convergence().unwrap();
-        assert!(rounds >= 1 && rounds <= 5, "rounds = {rounds}");
+        assert!((1..=5).contains(&rounds), "rounds = {rounds}");
     }
 
     #[test]

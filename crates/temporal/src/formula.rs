@@ -147,10 +147,7 @@ impl<S> Formula<S> {
     /// `stable P` — once `P` holds it holds forever: `□(P ⇒ □P)`.
     pub fn stable(pred: impl Fn(&S) -> bool + 'static) -> Self {
         let atom = Formula::atom("stable-predicate", pred);
-        Formula::always(Formula::implies(
-            atom.clone(),
-            Formula::always(atom),
-        ))
+        Formula::always(Formula::implies(atom.clone(), Formula::always(atom)))
     }
 
     /// Convenience: `◇□ φ` — eventually forever (the shape of the paper's
@@ -239,8 +236,9 @@ impl<S> Formula<S> {
                     if !found {
                         return Verdict::Violated {
                             position: i,
-                            reason: "always-eventually: inner formula never recurs after this position"
-                                .to_string(),
+                            reason:
+                                "always-eventually: inner formula never recurs after this position"
+                                    .to_string(),
                         };
                     }
                 }
@@ -409,7 +407,7 @@ mod tests {
             }
             Verdict::Holds => panic!("expected violation"),
         }
-        assert_eq!(format!("{}", Formula::always(ge(2)).check(&t)).contains("violated"), true);
+        assert!(format!("{}", Formula::always(ge(2)).check(&t)).contains("violated"));
     }
 
     #[test]

@@ -88,8 +88,8 @@ impl<S> Trace<S> {
     }
 
     /// Index of the first state satisfying `pred`, if any.
-    pub fn position(&self, mut pred: impl FnMut(&S) -> bool) -> Option<usize> {
-        self.states.iter().position(|s| pred(s))
+    pub fn position(&self, pred: impl FnMut(&S) -> bool) -> Option<usize> {
+        self.states.iter().position(pred)
     }
 
     /// Index of the first state from which `pred` holds in *every* later

@@ -35,7 +35,11 @@ pub struct RunMetrics {
 
 impl RunMetrics {
     /// Creates an empty record for an algorithm/environment pair.
-    pub fn new(algorithm: impl Into<String>, environment: impl Into<String>, agents: usize) -> Self {
+    pub fn new(
+        algorithm: impl Into<String>,
+        environment: impl Into<String>,
+        agents: usize,
+    ) -> Self {
         RunMetrics {
             algorithm: algorithm.into(),
             environment: environment.into(),

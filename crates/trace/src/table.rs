@@ -65,7 +65,9 @@ impl Table {
         };
         out.push_str(&render_row(&self.header, &widths));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&render_row(row, &widths));
@@ -115,7 +117,11 @@ mod tests {
     fn sample() -> Table {
         let mut t = Table::new("convergence", &["n", "rounds", "note"]);
         t.add_row(vec!["4".into(), "3".into(), "fast".into()]);
-        t.add_row(vec!["128".into(), "17".into(), "slower, as expected".into()]);
+        t.add_row(vec![
+            "128".into(),
+            "17".into(),
+            "slower, as expected".into(),
+        ]);
         t
     }
 

@@ -38,7 +38,10 @@ fn main() {
         Box::new(AdversarialEnv::new(topology.clone(), 4)),
     ];
 
-    println!("{:<18} {:>10} {:>12} {:>10}", "environment", "rounds", "group steps", "messages");
+    println!(
+        "{:<18} {:>10} {:>12} {:>10}",
+        "environment", "rounds", "group steps", "messages"
+    );
     for env in environments.iter_mut() {
         let report = simulator.run(&system, env.as_mut());
         let rounds = report
@@ -47,10 +50,7 @@ fn main() {
             .unwrap_or_else(|| "did not converge".to_string());
         println!(
             "{:<18} {:>10} {:>12} {:>10}",
-            report.metrics.environment,
-            rounds,
-            report.metrics.group_steps,
-            report.metrics.messages
+            report.metrics.environment, rounds, report.metrics.group_steps, report.metrics.messages
         );
         assert_eq!(report.final_state, vec![1; values.len()]);
     }

@@ -55,9 +55,7 @@ fn main() {
     }
     println!(
         "group steps: {} ({} of them changed state), messages: {}",
-        report.metrics.group_steps,
-        report.metrics.effective_group_steps,
-        report.metrics.messages
+        report.metrics.group_steps, report.metrics.effective_group_steps, report.metrics.messages
     );
     assert_eq!(report.final_state, vec![expected; rows * cols]);
 
@@ -74,7 +72,9 @@ fn main() {
 
     // Validate the fairness assumption on the recorded environment trace:
     // every grid link must have been usable (both endpoints up) recurrently.
-    let violations = system.fairness().check_trace(&report.env_trace, report.env_trace.len() / 4);
+    let violations = system
+        .fairness()
+        .check_trace(&report.env_trace, report.env_trace.len() / 4);
     println!(
         "fairness check: {} of {} edges violated the recurrence assumption",
         violations.len(),

@@ -11,7 +11,9 @@ use self_similar::runtime::{SyncConfig, SyncSimulator};
 
 const VALUES: [i64; 6] = [6, 5, 4, 3, 2, 1];
 
-fn self_similar_rounds(env_builder: impl Fn() -> Box<dyn self_similar::env::Environment>) -> Option<usize> {
+fn self_similar_rounds(
+    env_builder: impl Fn() -> Box<dyn self_similar::env::Environment>,
+) -> Option<usize> {
     let topology = Topology::complete(VALUES.len());
     let system = minimum::system(&VALUES, topology);
     let mut env = env_builder();
@@ -30,13 +32,19 @@ fn all_three_strategies_agree_on_a_static_network() {
     let rounds = self_similar_rounds(|| Box::new(StaticEnv::new(Topology::complete(VALUES.len()))));
     assert_eq!(rounds, Some(1));
 
-    let (snap_metrics, snap) =
-        SnapshotAggregator::new(VALUES.to_vec(), 100).run(&mut StaticEnv::new(topology.clone()), 1, i64::min);
+    let (snap_metrics, snap) = SnapshotAggregator::new(VALUES.to_vec(), 100).run(
+        &mut StaticEnv::new(topology.clone()),
+        1,
+        i64::min,
+    );
     assert_eq!(snap, Some(1));
     assert_eq!(snap_metrics.rounds_to_convergence, Some(1));
 
-    let (flood_metrics, flood) =
-        FloodingAggregator::new(VALUES.to_vec(), 100).run(&mut StaticEnv::new(topology), 1, i64::min);
+    let (flood_metrics, flood) = FloodingAggregator::new(VALUES.to_vec(), 100).run(
+        &mut StaticEnv::new(topology),
+        1,
+        i64::min,
+    );
     assert_eq!(flood, Some(1));
     assert!(flood_metrics.converged());
 }
@@ -53,7 +61,10 @@ fn snapshot_fails_under_the_adversary_while_self_similar_succeeds() {
 
     let mut env = AdversarialEnv::new(Topology::complete(VALUES.len()), 0);
     let (_, snap) = SnapshotAggregator::new(VALUES.to_vec(), 5_000).run(&mut env, 1, i64::min);
-    assert_eq!(snap, None, "a global snapshot is impossible under the adversary");
+    assert_eq!(
+        snap, None,
+        "a global snapshot is impossible under the adversary"
+    );
 }
 
 #[test]
@@ -72,10 +83,13 @@ fn self_similar_beats_snapshot_under_periodic_partitions() {
         ..SyncConfig::default()
     })
     .run(&system, &mut env);
-    let ss = ss_report.rounds_to_convergence().expect("self-similar converges");
+    let ss = ss_report
+        .rounds_to_convergence()
+        .expect("self-similar converges");
 
     let mut env = PeriodicPartitionEnv::new(topology, blocks, period);
-    let (snap_metrics, snap) = SnapshotAggregator::new(VALUES.to_vec(), 1_000).run(&mut env, 1, i64::min);
+    let (snap_metrics, snap) =
+        SnapshotAggregator::new(VALUES.to_vec(), 1_000).run(&mut env, 1, i64::min);
     assert_eq!(snap, Some(1));
     let snapshot_rounds = snap_metrics.rounds_to_convergence.unwrap();
     assert!(
@@ -107,7 +121,8 @@ fn flooding_converges_under_partitions_but_costs_more_messages() {
     assert!(ss_report.converged());
 
     let mut env = PeriodicPartitionEnv::new(topology, 2, 6);
-    let (flood_metrics, flood) = FloodingAggregator::new(VALUES.to_vec(), 5_000).run(&mut env, 2, i64::min);
+    let (flood_metrics, flood) =
+        FloodingAggregator::new(VALUES.to_vec(), 5_000).run(&mut env, 2, i64::min);
     assert_eq!(flood, Some(1));
     // Flooding sends whole knowledge sets along every live edge each round.
     assert!(flood_metrics.messages > ss_report.metrics.messages / 2);

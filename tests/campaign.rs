@@ -1,0 +1,95 @@
+//! Integration test of the campaign engine: a small but real sweep
+//! (4 environment models × 2 algorithms × 5 seeds) must fully converge, and
+//! its aggregated output must be *byte-identical* across repeated runs and
+//! across thread counts — the determinism-under-parallelism contract.
+
+use selfsim_campaign::{
+    emit, AlgorithmKind, Campaign, CampaignResult, EnvModel, ScenarioGrid, TopologyFamily,
+};
+
+const TRIALS: u64 = 5;
+
+fn sweep() -> Vec<selfsim_campaign::Scenario> {
+    ScenarioGrid::new()
+        .algorithms([AlgorithmKind::Minimum, AlgorithmKind::Sorting])
+        .topologies([TopologyFamily::Ring])
+        .envs([
+            EnvModel::Static,
+            EnvModel::RandomChurn {
+                p_edge: 0.5,
+                p_agent: 0.9,
+            },
+            EnvModel::MarkovLink {
+                p_up: 0.3,
+                p_down: 0.3,
+            },
+            EnvModel::PeriodicPartition {
+                blocks: 3,
+                period: 8,
+            },
+        ])
+        .sizes([8])
+        .trials(TRIALS)
+        .max_rounds(200_000)
+        .expand()
+}
+
+/// Serialises everything a campaign emits (per-trial JSONL, per-scenario
+/// JSONL, markdown table) into one byte buffer.
+fn emitted_bytes(result: &CampaignResult) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    emit::write_jsonl(&mut bytes, &result.records).expect("records emit");
+    emit::write_summary_jsonl(&mut bytes, &result.summaries).expect("summaries emit");
+    bytes.extend_from_slice(emit::markdown_summary(&result.summaries).as_bytes());
+    bytes
+}
+
+#[test]
+fn small_campaign_fully_converges() {
+    let scenarios = sweep();
+    // 2 algorithms × 4 environments × 1 topology × 1 size.
+    assert_eq!(scenarios.len(), 8);
+    let campaign = Campaign::new(scenarios).seed(2026);
+    assert_eq!(campaign.trial_count(), 8 * TRIALS);
+
+    let result = campaign.run();
+    assert_eq!(result.records.len(), 8 * TRIALS as usize);
+    for record in &result.records {
+        assert!(
+            record.converged,
+            "trial {} of {} (seed {}) did not converge",
+            record.trial, record.scenario, record.seed
+        );
+        assert!(
+            record.objective_monotone,
+            "objective increased in {} trial {}",
+            record.scenario, record.trial
+        );
+    }
+    for summary in &result.summaries {
+        assert_eq!(summary.trials, TRIALS);
+        assert_eq!(summary.converged, TRIALS);
+        assert_eq!(summary.convergence_rate, 1.0);
+        assert!(summary.rounds.mean >= 1.0);
+    }
+}
+
+#[test]
+fn rerunning_with_same_seed_is_byte_identical_under_parallelism() {
+    let first = Campaign::new(sweep()).seed(7).threads(4).run();
+    let second = Campaign::new(sweep()).seed(7).threads(4).run();
+    assert_eq!(emitted_bytes(&first), emitted_bytes(&second));
+
+    // Determinism must not depend on the worker count either.
+    let sequential = Campaign::new(sweep()).seed(7).threads(1).run();
+    assert_eq!(emitted_bytes(&first), emitted_bytes(&sequential));
+}
+
+#[test]
+fn different_campaign_seeds_give_different_trials() {
+    let a = Campaign::new(sweep()).seed(1).run();
+    let b = Campaign::new(sweep()).seed(2).run();
+    let seeds_a: Vec<u64> = a.records.iter().map(|r| r.seed).collect();
+    let seeds_b: Vec<u64> = b.records.iter().map(|r| r.seed).collect();
+    assert_ne!(seeds_a, seeds_b);
+}

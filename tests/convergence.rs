@@ -2,7 +2,9 @@
 //! right answer under every environment family, and satisfies the paper's
 //! temporal specification along the way.
 
-use self_similar::algorithms::{boolean, convex_hull, k_smallest, maximum, minimum, second_smallest, set_union, sorting, sum};
+use self_similar::algorithms::{
+    boolean, convex_hull, k_smallest, maximum, minimum, second_smallest, set_union, sorting, sum,
+};
 use self_similar::core::SelfSimilarSystem;
 use self_similar::env::{
     AdversarialEnv, CrashRestartEnv, Environment, MarkovLinkEnv, PeriodicPartitionEnv,
@@ -43,7 +45,11 @@ fn minimum_converges_under_every_environment_family() {
     for (i, mut env) in environments(&topology).into_iter().enumerate() {
         let report = run(&system, env.as_mut(), 100 + i as u64);
         assert!(report.converged(), "environment #{i} did not converge");
-        assert_eq!(report.final_state, vec![1; values.len()], "environment #{i}");
+        assert_eq!(
+            report.final_state,
+            vec![1; values.len()],
+            "environment #{i}"
+        );
         assert!(report.metrics.objective_is_monotone(1e-9));
     }
 }
@@ -83,7 +89,10 @@ fn second_smallest_pairs_converge_and_answer_matches_the_naive_definition() {
     let report = run(&system, &mut env, 17);
     assert!(report.converged());
     // The paper's definition: smallest value different from the minimum.
-    assert_eq!(second_smallest::extract_answer(&report.final_state), Some(5));
+    assert_eq!(
+        second_smallest::extract_answer(&report.final_state),
+        Some(5)
+    );
     assert!(report.final_state.iter().all(|p| *p == (4, 5)));
 }
 

@@ -33,7 +33,8 @@ fn recorded_runs_satisfy_the_ltl_specification() {
 
     // (3): ◇□ (S = f(S(0))).
     let t1 = target.clone();
-    let spec3 = Formula::eventually_always(Formula::atom("S = S*", move |s: &Multiset<i64>| *s == t1));
+    let spec3 =
+        Formula::eventually_always(Formula::atom("S = S*", move |s: &Multiset<i64>| *s == t1));
     assert!(spec3.holds(&trace), "{}", spec3.check(&trace));
 
     // (4): stable (S = f(S)) — once the target is reached it is never left.
@@ -62,7 +63,9 @@ fn recorded_runs_satisfy_the_ltl_specification() {
     // Environment assumption (2): every fairness edge recurs (with a
     // tolerance window at the tail of the finite trace).
     let tolerance = report.env_trace.len() / 4;
-    assert!(system.fairness().trace_satisfies(&report.env_trace, tolerance));
+    assert!(system
+        .fairness()
+        .trace_satisfies(&report.env_trace, tolerance));
 }
 
 #[test]
@@ -84,7 +87,8 @@ fn every_worked_example_passes_the_three_proof_obligations() {
             proof::audit_system(&sys, &[], 3, &mut rand::rngs::StdRng::seed_from_u64(3))
         }),
         Box::new(|| {
-            let sys = self_similar::algorithms::second_smallest::system(&[3, 5, 3, 7], Topology::line(4));
+            let sys =
+                self_similar::algorithms::second_smallest::system(&[3, 5, 3, 7], Topology::line(4));
             proof::audit_system(&sys, &[], 3, &mut rand::rngs::StdRng::seed_from_u64(4))
         }),
         Box::new(|| {

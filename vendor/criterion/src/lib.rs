@@ -1,0 +1,180 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Compiles the workspace's benchmark sources unchanged and, when run via
+//! `cargo bench`, executes each benchmark closure a small fixed number of
+//! times and prints the mean wall time.  No statistics, plots or HTML
+//! reports — this exists so benches build and give a rough signal offline.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Iterations per benchmark (tiny: this is a smoke harness, not a
+/// statistics engine).
+const ITERS: u32 = 3;
+
+/// The benchmark manager.
+pub struct Criterion {
+    _sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Upstream-compatible builder: ignored.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Upstream-compatible builder: ignored.
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Upstream-compatible builder: ignored.
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Upstream-compatible builder: ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        run_one(&id.into(), &mut f);
+    }
+
+    /// Called by `criterion_main!` after all groups ran.
+    pub fn final_summary(&self) {}
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark of the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        run_one(&format!("{}/{}", self.name, id.into()), &mut f);
+    }
+
+    /// Runs one parameterised benchmark of the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let label = format!("{}/{}", self.name, id.0);
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher, input);
+        report(&label, &bencher);
+    }
+
+    /// Upstream-compatible: ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier of one parameterised benchmark case.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id naming a function/parameter pair.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Passed to benchmark closures; runs the measured routine.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Measures `routine` over a fixed number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += ITERS;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, f: &mut F) {
+    let mut bencher = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut bencher);
+    report(label, &bencher);
+}
+
+fn report(label: &str, bencher: &Bencher) {
+    if bencher.iters == 0 {
+        println!("bench {label}: no iterations");
+    } else {
+        let per_iter = bencher.elapsed / bencher.iters;
+        println!("bench {label}: {per_iter:?}/iter ({} iters)", bencher.iters);
+    }
+}
+
+/// Declares benchmark groups (both upstream syntaxes).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

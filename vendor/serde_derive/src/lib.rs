@@ -1,0 +1,316 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for
+//! *structs* (named-field, tuple and unit) with ordinary type parameters,
+//! generating impls of the value-model traits of the companion `serde`
+//! stand-in.  Written against the bare `proc_macro` API because `syn` and
+//! `quote` are not available offline.
+//!
+//! Unsupported (panics with a clear message): enums, unions, lifetimes,
+//! const generics, `where` clauses and `#[serde(...)]` attributes — none of
+//! which the workspace uses.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct TypeParam {
+    name: String,
+    bounds: String,
+}
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct StructDef {
+    name: String,
+    params: Vec<TypeParam>,
+    fields: Fields,
+}
+
+/// Derives `serde::Serialize` for a struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse_struct(input);
+    let body = match &def.fields {
+        Fields::Named(names) => {
+            let entries: Vec<String> = names
+                .iter()
+                .map(|n| {
+                    format!(
+                        "(::std::string::String::from(\"{n}\"), \
+                         ::serde::Serialize::to_value(&self.{n}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", entries.join(", "))
+        }
+        Fields::Unit => "::serde::Value::Null".to_string(),
+    };
+    let (impl_generics, ty_generics) = generics_for(&def, "::serde::Serialize");
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(warnings, clippy::all)]\n\
+         impl{impl_generics} ::serde::Serialize for {}{ty_generics} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}",
+        def.name
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` for a struct.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse_struct(input);
+    let body = match &def.fields {
+        Fields::Named(names) => {
+            let fields: Vec<String> = names
+                .iter()
+                .map(|n| {
+                    format!(
+                        "{n}: ::serde::Deserialize::from_value(\
+                             v.get_field(\"{n}\").ok_or_else(|| ::serde::Error(\
+                                 ::std::string::String::from(\"missing field `{n}`\")))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({} {{ {} }})",
+                def.name,
+                fields.join(", ")
+            )
+        }
+        Fields::Tuple(1) => format!(
+            "::std::result::Result::Ok({}(::serde::Deserialize::from_value(v)?))",
+            def.name
+        ),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(items.get({i}).ok_or_else(|| \
+                         ::serde::Error(::std::string::String::from(\"missing tuple item {i}\")))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let items = v.as_array().ok_or_else(|| ::serde::Error(\
+                     ::std::string::String::from(\"expected array\")))?;\n\
+                 ::std::result::Result::Ok({}({}))",
+                def.name,
+                items.join(", ")
+            )
+        }
+        Fields::Unit => format!("::std::result::Result::Ok({})", def.name),
+    };
+    let (impl_generics, ty_generics) = generics_for(&def, "::serde::Deserialize");
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(warnings, clippy::all)]\n\
+         impl{impl_generics} ::serde::Deserialize for {}{ty_generics} {{\n\
+             fn from_value(v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}",
+        def.name
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+/// Renders `impl<...>` and `Name<...>` generic argument lists, adding
+/// `extra_bound` to every type parameter.
+fn generics_for(def: &StructDef, extra_bound: &str) -> (String, String) {
+    if def.params.is_empty() {
+        return (String::new(), String::new());
+    }
+    let impl_params: Vec<String> = def
+        .params
+        .iter()
+        .map(|p| {
+            if p.bounds.is_empty() {
+                format!("{}: {extra_bound}", p.name)
+            } else {
+                format!("{}: {} + {extra_bound}", p.name, p.bounds)
+            }
+        })
+        .collect();
+    let ty_params: Vec<String> = def.params.iter().map(|p| p.name.clone()).collect();
+    (
+        format!("<{}>", impl_params.join(", ")),
+        format!("<{}>", ty_params.join(", ")),
+    )
+}
+
+fn parse_struct(input: TokenStream) -> StructDef {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes_and_visibility(&tokens, &mut i);
+
+    match &tokens[i] {
+        TokenTree::Ident(kw) if kw.to_string() == "struct" => i += 1,
+        other => panic!(
+            "serde stand-in derive only supports structs, found `{other}` \
+             (enums need a manual impl)"
+        ),
+    }
+    let name = match &tokens[i] {
+        TokenTree::Ident(ident) => {
+            i += 1;
+            ident.to_string()
+        }
+        other => panic!("expected struct name, found `{other}`"),
+    };
+
+    let mut params = Vec::new();
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        i += 1;
+        let mut depth = 1usize;
+        let mut generic_tokens = Vec::new();
+        while depth > 0 {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    depth += 1;
+                    generic_tokens.push(tokens[i].clone());
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth > 0 {
+                        generic_tokens.push(tokens[i].clone());
+                    }
+                }
+                t => generic_tokens.push(t.clone()),
+            }
+            i += 1;
+        }
+        params = parse_type_params(&generic_tokens);
+    }
+
+    let fields = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Fields::Named(parse_named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Fields::Tuple(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+        Some(TokenTree::Ident(kw)) if kw.to_string() == "where" => {
+            panic!("serde stand-in derive does not support `where` clauses")
+        }
+        other => panic!("unexpected token after struct header: {other:?}"),
+    };
+
+    StructDef {
+        name,
+        params,
+        fields,
+    }
+}
+
+fn skip_attributes_and_visibility(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1; // [...]
+                }
+            }
+            Some(TokenTree::Ident(kw)) if kw.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1; // (crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits `tokens` on commas at angle-bracket depth zero.
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut depth = 0isize;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                current.push(t.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                current.push(t.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if !current.is_empty() {
+                    chunks.push(std::mem::take(&mut current));
+                }
+            }
+            _ => current.push(t.clone()),
+        }
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+fn parse_type_params(tokens: &[TokenTree]) -> Vec<TypeParam> {
+    split_top_level_commas(tokens)
+        .into_iter()
+        .map(|chunk| {
+            let name = match chunk.first() {
+                Some(TokenTree::Ident(ident)) => ident.to_string(),
+                other => panic!(
+                    "serde stand-in derive only supports plain type parameters, found {other:?}"
+                ),
+            };
+            let bounds = match chunk.get(1) {
+                Some(TokenTree::Punct(p)) if p.as_char() == ':' => chunk[2..]
+                    .iter()
+                    .map(|t| t.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" "),
+                None => String::new(),
+                other => panic!("unexpected token in type parameter: {other:?}"),
+            };
+            TypeParam { name, bounds }
+        })
+        .collect()
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    split_top_level_commas(&tokens)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attributes_and_visibility(&chunk, &mut i);
+            match chunk.get(i) {
+                Some(TokenTree::Ident(ident)) => ident.to_string(),
+                other => panic!("expected field name, found {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    split_top_level_commas(&tokens).len()
+}
