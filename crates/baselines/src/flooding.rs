@@ -3,7 +3,7 @@
 use std::collections::BTreeSet;
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use selfsim_env::Environment;
 use selfsim_trace::RunMetrics;
@@ -79,6 +79,95 @@ impl FloodingAggregator {
         }
         (metrics, result)
     }
+
+    /// Runs the baseline on the asynchronous message-passing model: every
+    /// tick, each currently-usable edge gossips with probability
+    /// `interaction_rate` — both endpoints send a snapshot of their whole
+    /// knowledge set, which is lost with probability `drop_rate` or arrives
+    /// after a uniform `1..=max_latency` latency (and is then only accepted
+    /// if the pair can still communicate).  The run converges when every
+    /// agent has heard from every other agent.
+    pub fn run_async<E: Environment + ?Sized>(
+        &self,
+        environment: &mut E,
+        seed: u64,
+        interaction_rate: f64,
+        max_latency: usize,
+        drop_rate: f64,
+        mut fold: impl FnMut(i64, i64) -> i64,
+    ) -> (RunMetrics, Option<i64>) {
+        struct Gossip {
+            deliver_at: usize,
+            from: usize,
+            to: usize,
+            payload: BTreeSet<usize>,
+        }
+        let n = self.values.len();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut metrics = RunMetrics::new("flooding-baseline", environment.name(), n);
+        let mut knowledge: Vec<BTreeSet<usize>> = (0..n).map(|i| BTreeSet::from([i])).collect();
+        let mut pending: Vec<Gossip> = Vec::new();
+        let mut result = None;
+
+        for tick in 0..self.max_rounds {
+            let env_state = environment.step(&mut rng);
+            metrics.rounds_executed = tick + 1;
+
+            for edge in env_state.enabled_edges() {
+                if !env_state.can_communicate(edge.lo(), edge.hi()) {
+                    continue;
+                }
+                if !rng.gen_bool(interaction_rate) {
+                    continue;
+                }
+                for (from, to) in [
+                    (edge.lo().index(), edge.hi().index()),
+                    (edge.hi().index(), edge.lo().index()),
+                ] {
+                    metrics.messages += knowledge[from].len();
+                    if rng.gen_bool(drop_rate) {
+                        continue; // lost in flight
+                    }
+                    let latency = rng.gen_range(1..=max_latency.max(1));
+                    pending.push(Gossip {
+                        deliver_at: tick + latency,
+                        from,
+                        to,
+                        payload: knowledge[from].clone(),
+                    });
+                }
+            }
+
+            // In-place drain (order-preserving): no per-tick reallocation
+            // of the undelivered queue.
+            let due: Vec<Gossip> = pending.extract_if(.., |g| g.deliver_at <= tick).collect();
+            for gossip in due {
+                use selfsim_env::AgentId;
+                if !env_state.can_communicate(AgentId(gossip.from), AgentId(gossip.to)) {
+                    continue;
+                }
+                metrics.group_steps += 1;
+                let before = knowledge[gossip.to].len();
+                knowledge[gossip.to].extend(gossip.payload.iter().copied());
+                if knowledge[gossip.to].len() > before {
+                    metrics.effective_group_steps += 1;
+                }
+            }
+
+            if knowledge.iter().all(|k| k.len() == n) {
+                let aggregate = self
+                    .values
+                    .iter()
+                    .copied()
+                    .reduce(&mut fold)
+                    .expect("at least one agent");
+                result = Some(aggregate);
+                metrics.rounds_to_convergence = Some(tick + 1);
+                break;
+            }
+        }
+        (metrics, result)
+    }
 }
 
 #[cfg(test)]
@@ -126,6 +215,45 @@ mod tests {
         // Full flooding on a complete graph: at least one entry per edge per
         // round, typically far more.
         assert!(metrics.messages > topo.edge_count());
+    }
+
+    #[test]
+    fn async_flooding_converges_on_a_static_line() {
+        let topo = Topology::line(5);
+        let mut env = StaticEnv::new(topo);
+        let baseline = FloodingAggregator::new(vec![9, 4, 7, 1, 5], 2_000);
+        let (metrics, result) = baseline.run_async(&mut env, 1, 1.0, 1, 0.0, i64::min);
+        assert_eq!(result, Some(1));
+        assert!(metrics.converged());
+    }
+
+    #[test]
+    fn async_flooding_survives_drops_and_latency() {
+        let topo = Topology::ring(6);
+        let mut env = RandomChurnEnv::new(topo, 0.5, 1.0);
+        let baseline = FloodingAggregator::new(vec![6, 5, 4, 3, 2, 1], 20_000);
+        let (metrics, result) = baseline.run_async(&mut env, 7, 0.5, 3, 0.3, i64::min);
+        assert_eq!(result, Some(1));
+        assert!(metrics.converged());
+    }
+
+    #[test]
+    fn async_flooding_is_seed_deterministic() {
+        let run = || {
+            let mut env = RandomChurnEnv::new(Topology::ring(5), 0.6, 1.0);
+            FloodingAggregator::new(vec![5, 4, 3, 2, 1], 10_000).run_async(
+                &mut env,
+                13,
+                0.5,
+                2,
+                0.2,
+                i64::min,
+            )
+        };
+        let (a_metrics, a_result) = run();
+        let (b_metrics, b_result) = run();
+        assert_eq!(a_metrics, b_metrics);
+        assert_eq!(a_result, b_result);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The repeated-global-snapshot baseline.
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use selfsim_env::{AgentId, Environment};
 use selfsim_trace::RunMetrics;
@@ -69,6 +69,105 @@ impl SnapshotAggregator {
         }
         (metrics, result)
     }
+
+    /// Runs the baseline on the asynchronous message-passing model: every
+    /// tick the coordinator launches, with probability `interaction_rate`, a
+    /// snapshot attempt of one probe per remote agent.  Each probe is lost
+    /// with probability `drop_rate` or delivered after a uniform
+    /// `1..=max_latency` latency, and only counts if the coordinator can
+    /// (multi-hop) reach *every* agent at the probe's delivery tick — the
+    /// same full-reachability requirement as the synchronous protocol, now
+    /// demanded at each delivery instant.  An attempt succeeds when all of
+    /// its probes succeed, so latency makes the centralised protocol
+    /// strictly harder to satisfy, never easier.
+    pub fn run_async<E: Environment + ?Sized>(
+        &self,
+        environment: &mut E,
+        seed: u64,
+        interaction_rate: f64,
+        max_latency: usize,
+        drop_rate: f64,
+        mut fold: impl FnMut(i64, i64) -> i64,
+    ) -> (RunMetrics, Option<i64>) {
+        struct Probe {
+            deliver_at: usize,
+            attempt: usize,
+        }
+        let n = self.values.len();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut metrics = RunMetrics::new("snapshot-baseline", environment.name(), n);
+        let coordinator = AgentId(0);
+        let mut result = None;
+        // outstanding probes / already-failed flag, per launched attempt.
+        let mut attempts: Vec<(usize, bool)> = Vec::new();
+        let mut pending: Vec<Probe> = Vec::new();
+
+        'ticks: for tick in 0..self.max_rounds {
+            let env_state = environment.step(&mut rng);
+            metrics.rounds_executed = tick + 1;
+
+            if rng.gen_bool(interaction_rate) && n > 1 {
+                let attempt = attempts.len();
+                attempts.push((n - 1, false));
+                metrics.group_steps += 1;
+                metrics.messages += n - 1;
+                // One probe per remote agent, each with its own latency; a
+                // single loss already kills the attempt, so the rest of a
+                // dead attempt's probes are counted but never tracked.
+                for _target in 1..n {
+                    if attempts[attempt].1 {
+                        break;
+                    }
+                    if rng.gen_bool(drop_rate) {
+                        attempts[attempt].1 = true; // probe lost: attempt dead
+                        continue;
+                    }
+                    let latency = rng.gen_range(1..=max_latency.max(1));
+                    pending.push(Probe {
+                        deliver_at: tick + latency,
+                        attempt,
+                    });
+                }
+            }
+
+            // In-place drain (order-preserving): no per-tick reallocation
+            // of the undelivered queue.
+            let due: Vec<Probe> = pending.extract_if(.., |p| p.deliver_at <= tick).collect();
+            if due.iter().all(|p| attempts[p.attempt].1) {
+                continue; // nothing live due: skip the component computation
+            }
+            let groups = env_state.groups();
+            let all_reachable = groups
+                .iter()
+                .find(|g| g.contains(&coordinator))
+                .map(|g| g.len() == n)
+                .unwrap_or(false);
+            for probe in due {
+                let (outstanding, failed) = &mut attempts[probe.attempt];
+                if *failed {
+                    continue;
+                }
+                if !all_reachable {
+                    *failed = true;
+                    continue;
+                }
+                *outstanding -= 1;
+                if *outstanding == 0 && !*failed {
+                    metrics.effective_group_steps += 1;
+                    let aggregate = self
+                        .values
+                        .iter()
+                        .copied()
+                        .reduce(&mut fold)
+                        .expect("at least one agent");
+                    result = Some(aggregate);
+                    metrics.rounds_to_convergence = Some(tick + 1);
+                    break 'ticks;
+                }
+            }
+        }
+        (metrics, result)
+    }
 }
 
 #[cfg(test)]
@@ -110,6 +209,47 @@ mod tests {
         assert_eq!(result, None);
         assert!(!metrics.converged());
         assert_eq!(metrics.rounds_executed, 200);
+    }
+
+    #[test]
+    fn async_snapshot_succeeds_on_a_static_network() {
+        let topo = Topology::complete(5);
+        let mut env = StaticEnv::new(topo);
+        let baseline = SnapshotAggregator::new(vec![9, 4, 7, 1, 5], 500);
+        let (metrics, result) = baseline.run_async(&mut env, 1, 1.0, 2, 0.0, i64::min);
+        assert_eq!(result, Some(1));
+        assert!(metrics.converged());
+        assert!(metrics.messages >= 4);
+    }
+
+    #[test]
+    fn async_snapshot_never_succeeds_under_the_single_edge_adversary() {
+        let topo = Topology::complete(4);
+        let mut env = AdversarialEnv::new(topo, 0);
+        let baseline = SnapshotAggregator::new(vec![4, 3, 2, 1], 300);
+        let (metrics, result) = baseline.run_async(&mut env, 3, 1.0, 2, 0.0, i64::min);
+        assert_eq!(result, None);
+        assert!(!metrics.converged());
+        assert_eq!(metrics.rounds_executed, 300);
+    }
+
+    #[test]
+    fn async_snapshot_is_seed_deterministic() {
+        let run = || {
+            let mut env = PeriodicPartitionEnv::new(Topology::complete(6), 2, 5);
+            SnapshotAggregator::new(vec![6, 5, 4, 3, 2, 1], 500).run_async(
+                &mut env,
+                11,
+                0.7,
+                3,
+                0.1,
+                i64::min,
+            )
+        };
+        let (a_metrics, a_result) = run();
+        let (b_metrics, b_result) = run();
+        assert_eq!(a_metrics, b_metrics);
+        assert_eq!(a_result, b_result);
     }
 
     #[test]

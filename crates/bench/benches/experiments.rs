@@ -75,6 +75,46 @@ fn e7_baselines(c: &mut Criterion) {
     group.finish();
 }
 
+/// Hot-path micro-benches: the convergence check (target multiset cached
+/// per instance) and the full static-environment run (group partition
+/// memoised on the enabled-set fingerprint — a static environment reuses
+/// the round-1 partition for the whole run).
+fn hotpath(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath");
+    for &n in &[64usize, 256] {
+        group.bench_with_input(BenchmarkId::new("is-converged", n), &n, |b, &n| {
+            let values = values_for(n);
+            let sys = minimum::system(&values, Topology::ring(n));
+            let target = vec![values.iter().copied().min().unwrap(); n];
+            b.iter(|| black_box(sys.is_converged(&target)))
+        });
+    }
+    // 512 cooldown rounds on an unchanging environment: every round is a
+    // memoised-partition hit plus one cached-target convergence check.
+    group.bench_function("static-ring-128-cooldown-512", |b| {
+        let sys = minimum::system(&values_for(128), Topology::ring(128));
+        b.iter(|| {
+            let mut env = StaticEnv::new(Topology::ring(128));
+            let config = SyncConfig {
+                cooldown_rounds: 512,
+                seed: 1,
+                ..SyncConfig::default()
+            };
+            black_box(SyncSimulator::new(config).run(&sys, &mut env).converged())
+        })
+    });
+    // The single-edge adversary repeats its silent (fully-disabled) state
+    // between activations, so 3 of every 4 rounds reuse the partition.
+    group.bench_function("adversary-ring-32-full-run", |b| {
+        let sys = minimum::system(&values_for(32), Topology::ring(32));
+        b.iter(|| {
+            let mut env = selfsim_env::AdversarialEnv::new(Topology::ring(32), 3);
+            black_box(SyncSimulator::with_seed(2).run(&sys, &mut env).converged())
+        })
+    });
+    group.finish();
+}
+
 /// E9 — sorting runs on a churning line, by size.
 fn e9_sorting(c: &mut Criterion) {
     let mut group = c.benchmark_group("e9/sorting-churning-line");
@@ -100,6 +140,6 @@ fn e9_sorting(c: &mut Criterion) {
 criterion_group! {
     name = experiments;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = e4_scaling, e5_churn, e7_baselines, e9_sorting
+    targets = e4_scaling, e5_churn, e7_baselines, e9_sorting, hotpath
 }
 criterion_main!(experiments);

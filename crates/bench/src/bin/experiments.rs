@@ -1,13 +1,15 @@
-//! Runs the extension experiments E4–E12 of EXPERIMENTS.md.
+//! Runs the extension experiments E4–E13 of EXPERIMENTS.md.
 //!
 //! The sweep-shaped experiments (E4 scaling, E5 churn, E6 adaptivity,
-//! E9 sorting) are thin drivers over the `selfsim-campaign` engine: they
-//! declare a scenario grid, run it in parallel with derived seeds, and print
-//! the campaign's markdown summary.  The remaining experiments exercise
-//! things the campaign abstraction deliberately does not model — baseline
-//! protocols (E7), fairness-requirement violations (E8), non-super-idempotent
-//! counterexamples (E10), the asynchronous runtime (E11) and recorded-trace
-//! fairness audits (E12) — and keep their bespoke harnesses.
+//! E7 baselines-vs-self-similar, E9 sorting, E13 cross-runtime) are thin
+//! drivers over the `selfsim-campaign` engine: they declare a scenario grid
+//! — algorithms *and baselines* resolved from the campaign registry, with
+//! an execution-mode dimension where relevant — run it in parallel with
+//! derived seeds, and print the campaign's markdown summary.  The remaining
+//! experiments exercise things the campaign abstraction deliberately does
+//! not model — fairness-requirement violations (E8), non-super-idempotent
+//! counterexamples (E10), async-vs-direct cross-checks (E11) and
+//! recorded-trace fairness audits (E12) — and keep their bespoke harnesses.
 //!
 //! ```text
 //! cargo run --release -p selfsim-bench --bin experiments
@@ -15,11 +17,10 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use selfsim_algorithms::{convex_hull, minimum, second_smallest, sum};
-use selfsim_baselines::{FloodingAggregator, SnapshotAggregator};
+use selfsim_algorithms::{convex_hull, second_smallest, sum};
 use selfsim_campaign::{
-    emit, AlgorithmKind, Campaign, EnvModel, Scenario, ScenarioGrid, ScenarioSummary,
-    TopologyFamily,
+    emit, AlgorithmKind, Campaign, EnvModel, ExecutionMode, Registry, Scenario, ScenarioGrid,
+    ScenarioSummary, TopologyFamily,
 };
 use selfsim_core::DistributedFunction;
 use selfsim_env::{AdversarialEnv, Environment, RandomChurnEnv, Topology};
@@ -42,18 +43,26 @@ fn values_for(n: usize) -> Vec<i64> {
 /// fully converges (the sweeps below all claim convergence), prints its
 /// summary and returns it for experiment-specific checks.
 fn run_campaign(title: &str, scenarios: Vec<Scenario>) -> Vec<ScenarioSummary> {
-    let result = Campaign::new(scenarios).seed(CAMPAIGN_SEED).run();
-    // Print before asserting so a degraded sweep still shows the full
-    // per-cell table the failure needs to be diagnosed against.
-    println!("{title}");
-    println!("{}", emit::markdown_summary(&result.summaries));
-    for summary in &result.summaries {
+    let summaries = run_campaign_open(title, scenarios);
+    for summary in &summaries {
         assert_eq!(
             summary.converged, summary.trials,
             "all seeds must converge in {}",
             summary.scenario
         );
     }
+    summaries
+}
+
+/// Like [`run_campaign`] but without the full-convergence assertion — for
+/// sweeps that *measure* failure (baselines stalling, counterexamples
+/// diverging) instead of claiming success.
+fn run_campaign_open(title: &str, scenarios: Vec<Scenario>) -> Vec<ScenarioSummary> {
+    let result = Campaign::new(scenarios).seed(CAMPAIGN_SEED).run();
+    // Print before any caller assertion so a degraded sweep still shows the
+    // full per-cell table the failure needs to be diagnosed against.
+    println!("{title}");
+    println!("{}", emit::markdown_summary(&result.summaries));
     result.summaries
 }
 
@@ -146,110 +155,83 @@ fn e9_sorting() {
     }
 }
 
-/// E7 — self-similar minimum vs. snapshot and flooding baselines under churn.
+/// E7 — self-similar minimum vs. snapshot and flooding baselines under
+/// churn and the single-edge adversary, all through the campaign engine:
+/// the baselines are ordinary registry algorithms now, so the comparison
+/// scales with the grid instead of living in a bespoke harness.
 fn e7_baselines() {
-    let n = 16;
-    let values = values_for(n);
-    let mut table = Table::new(
-        "E7: minimum vs. baselines on a complete graph of 16 under churn (mean over seeds)",
-        &[
-            "p",
-            "self-similar rounds",
-            "snapshot rounds",
-            "flooding rounds",
-            "self-similar msgs",
-            "flooding msgs",
-            "snapshot success",
-        ],
-    );
-    for &p in &[0.1, 0.3, 0.6, 1.0] {
-        let sys = minimum::system(&values, Topology::complete(n));
-        let mut ss_rounds = Vec::new();
-        let mut ss_msgs = Vec::new();
-        let mut snap_rounds = Vec::new();
-        let mut snap_success = 0usize;
-        let mut flood_rounds = Vec::new();
-        let mut flood_msgs = Vec::new();
-        for seed in SEEDS {
-            let mut env = RandomChurnEnv::new(Topology::complete(n), p, 1.0);
-            let report = SyncSimulator::new(SyncConfig {
-                max_rounds: 20_000,
-                seed,
-                ..SyncConfig::default()
-            })
-            .run(&sys, &mut env);
-            ss_rounds.push(report.rounds_to_convergence().expect("converges"));
-            ss_msgs.push(report.metrics.messages as f64);
-
-            let mut env = RandomChurnEnv::new(Topology::complete(n), p, 1.0);
-            let (m, result) =
-                SnapshotAggregator::new(values.clone(), 20_000).run(&mut env, seed, i64::min);
-            if result.is_some() {
-                snap_success += 1;
-                snap_rounds.push(m.rounds_to_convergence.unwrap());
-            }
-
-            let mut env = RandomChurnEnv::new(Topology::complete(n), p, 1.0);
-            let (m, result) =
-                FloodingAggregator::new(values.clone(), 20_000).run(&mut env, seed, i64::min);
-            assert!(result.is_some());
-            flood_rounds.push(m.rounds_to_convergence.unwrap());
-            flood_msgs.push(m.messages as f64);
-        }
-        table.add_row(vec![
-            format!("{p}"),
-            format!("{:.1}", Summary::of_counts(&ss_rounds).mean),
-            if snap_rounds.is_empty() {
-                "—".into()
-            } else {
-                format!("{:.1}", Summary::of_counts(&snap_rounds).mean)
-            },
-            format!("{:.1}", Summary::of_counts(&flood_rounds).mean),
-            format!("{:.0}", Summary::of(&ss_msgs).mean),
-            format!("{:.0}", Summary::of(&flood_msgs).mean),
-            format!("{snap_success}/{}", (SEEDS.end as usize)),
-        ]);
-    }
-
-    // The single-edge adversary: a global snapshot is impossible, the
-    // self-similar algorithm and flooding still finish.
-    let sys = minimum::system(&values, Topology::complete(n));
-    let mut ss_rounds = Vec::new();
-    let mut flood_rounds = Vec::new();
-    let mut snap_success = 0usize;
-    for seed in SEEDS {
-        let mut env = AdversarialEnv::new(Topology::complete(n), 0);
-        let report = SyncSimulator::new(SyncConfig {
-            max_rounds: 50_000,
-            seed,
-            ..SyncConfig::default()
+    let registry = Registry::builtin();
+    let strategies = ["minimum", "snapshot", "flooding"]
+        .map(|label| registry.resolve(label).expect("registered"));
+    let envs: Vec<EnvModel> = [0.1, 0.3, 0.6, 1.0]
+        .iter()
+        .map(|&p| EnvModel::RandomChurn {
+            p_edge: p,
+            p_agent: 1.0,
         })
-        .run(&sys, &mut env);
-        ss_rounds.push(report.rounds_to_convergence().expect("converges"));
-        let mut env = AdversarialEnv::new(Topology::complete(n), 0);
-        if SnapshotAggregator::new(values.clone(), 50_000)
-            .run(&mut env, seed, i64::min)
-            .1
-            .is_some()
-        {
-            snap_success += 1;
+        .chain([EnvModel::Adversarial { silence: 0 }])
+        .collect();
+    let scenarios = ScenarioGrid::new()
+        .algorithms(strategies)
+        .topologies([TopologyFamily::Complete])
+        .envs(envs)
+        .sizes([16])
+        .trials(SEEDS.end)
+        .max_rounds(50_000)
+        .expand();
+    let summaries = run_campaign_open(
+        "E7: minimum vs. snapshot/flooding baselines on a complete graph of 16",
+        scenarios,
+    );
+    for summary in &summaries {
+        if summary.algorithm == "snapshot" && summary.environment.starts_with("adversary") {
+            // One edge at a time: a global snapshot is impossible — the
+            // self-similar algorithm converges under the same environment.
+            assert_eq!(summary.converged, 0, "{}", summary.scenario);
+        } else {
+            assert_eq!(summary.converged, summary.trials, "{}", summary.scenario);
         }
-        let mut env = AdversarialEnv::new(Topology::complete(n), 0);
-        let (m, result) =
-            FloodingAggregator::new(values.clone(), 50_000).run(&mut env, seed, i64::min);
-        assert!(result.is_some());
-        flood_rounds.push(m.rounds_to_convergence.unwrap());
     }
-    table.add_row(vec![
-        "adversary".into(),
-        format!("{:.1}", Summary::of_counts(&ss_rounds).mean),
-        "—".into(),
-        format!("{:.1}", Summary::of_counts(&flood_rounds).mean),
-        "".into(),
-        "".into(),
-        format!("{snap_success}/{}", (SEEDS.end as usize)),
-    ]);
-    println!("{table}");
+}
+
+/// E13 — the cross-runtime sweep: the *same* grid cells on the synchronous
+/// and the asynchronous runtime, compared cell-by-cell.  The self-similar
+/// algorithms converge on both (the relation `R` does not care when or in
+/// what groups it is applied); the message-passing model is slower in
+/// virtual time and costs more messages.
+fn e13_cross_runtime() {
+    let registry = Registry::builtin();
+    let scenarios = ScenarioGrid::new()
+        .algorithms(
+            ["minimum", "set-union", "flooding"].map(|label| registry.resolve(label).unwrap()),
+        )
+        .topologies([TopologyFamily::Ring])
+        .envs([
+            EnvModel::Static,
+            EnvModel::RandomChurn {
+                p_edge: 0.5,
+                p_agent: 1.0,
+            },
+        ])
+        .modes(ExecutionMode::both())
+        .sizes([16])
+        .trials(SEEDS.end)
+        .max_rounds(500_000)
+        .expand();
+    let summaries = run_campaign(
+        "E13: one grid, both runtimes (ring of 16; rounds are ticks in async cells)",
+        scenarios,
+    );
+    // Every cell must have its cross-runtime sibling.
+    for summary in &summaries {
+        assert!(
+            summaries
+                .iter()
+                .any(|s| s.is_cross_runtime_sibling(summary)),
+            "missing cross-runtime sibling of {}",
+            summary.scenario
+        );
+    }
 }
 
 /// E8 — the sum example's fairness requirement: complete vs. sparse graphs.
@@ -451,7 +433,7 @@ fn e12_fairness() {
 }
 
 fn main() {
-    println!("Extension experiments (E4–E12); see EXPERIMENTS.md for the recorded outputs.");
+    println!("Extension experiments (E4–E13); see EXPERIMENTS.md for the recorded outputs.");
     println!("Sweep experiments run on the selfsim-campaign engine (seed {CAMPAIGN_SEED}).");
     println!();
     e4_scaling();
@@ -463,5 +445,6 @@ fn main() {
     e10_second_smallest();
     e11_async_hull();
     e12_fairness();
+    e13_cross_runtime();
     println!("done.");
 }

@@ -25,9 +25,11 @@ struct Cell {
     algorithm: String,
     topology: String,
     environment: String,
+    mode: String,
     agents: usize,
     trials: u64,
     converged: u64,
+    expectation_met: u64,
     rounds: Vec<usize>,
     messages: Vec<f64>,
     effectiveness: Vec<f64>,
@@ -45,12 +47,17 @@ pub struct ScenarioSummary {
     pub topology: String,
     /// Environment-model label.
     pub environment: String,
+    /// Execution-mode label (`sync` / `async`).
+    pub mode: String,
     /// Number of agents.
     pub agents: usize,
     /// Trials observed.
     pub trials: u64,
     /// Trials that converged.
     pub converged: u64,
+    /// Trials whose outcome matched the algorithm's declared expectation
+    /// (for counterexample cells this counts asserted *non*-convergence).
+    pub expectation_met: u64,
     /// `converged / trials` (0 for an empty cell).
     pub convergence_rate: f64,
     /// Statistics of rounds-to-convergence over the *converged* trials.
@@ -62,6 +69,25 @@ pub struct ScenarioSummary {
     pub effectiveness: Summary,
     /// Whether the objective descended monotonically in every trial.
     pub all_monotone: bool,
+}
+
+impl ScenarioSummary {
+    /// `true` when `other` is the same grid cell on the *other runtime*
+    /// (sync vs. async, regardless of knob parameterisation) — the
+    /// cross-runtime sibling relation.  Matched on the structured
+    /// coordinates, not the scenario name: mode labels are not
+    /// string-symmetric.
+    pub fn is_cross_runtime_sibling(&self, other: &ScenarioSummary) -> bool {
+        // "sync(cd=7)" and "async(i=0.9,...)" reduce to their runtime kind.
+        fn kind(label: &str) -> &str {
+            label.split('(').next().unwrap_or(label)
+        }
+        kind(&self.mode) != kind(&other.mode)
+            && self.algorithm == other.algorithm
+            && self.topology == other.topology
+            && self.environment == other.environment
+            && self.agents == other.agents
+    }
 }
 
 impl Aggregator {
@@ -79,11 +105,15 @@ impl Aggregator {
                 algorithm: record.algorithm.clone(),
                 topology: record.topology.clone(),
                 environment: record.environment.clone(),
+                mode: record.mode.clone(),
                 agents: record.agents,
                 all_monotone: true,
                 ..Cell::default()
             });
         cell.trials += 1;
+        if record.meets_expectation {
+            cell.expectation_met += 1;
+        }
         if record.converged {
             cell.converged += 1;
             if let Some(r) = record.rounds_to_convergence {
@@ -120,9 +150,11 @@ impl Aggregator {
                 algorithm: cell.algorithm.clone(),
                 topology: cell.topology.clone(),
                 environment: cell.environment.clone(),
+                mode: cell.mode.clone(),
                 agents: cell.agents,
                 trials: cell.trials,
                 converged: cell.converged,
+                expectation_met: cell.expectation_met,
                 convergence_rate: if cell.trials == 0 {
                     0.0
                 } else {
@@ -147,10 +179,13 @@ mod tests {
             algorithm: "minimum".into(),
             topology: "ring".into(),
             environment: "static".into(),
+            mode: "sync".into(),
             agents: 8,
             trial,
             seed: trial,
             converged: rounds.is_some(),
+            expected: "converge".into(),
+            meets_expectation: rounds.is_some(),
             rounds_to_convergence: rounds,
             rounds_executed: rounds.unwrap_or(100),
             group_steps: 10,
@@ -178,6 +213,8 @@ mod tests {
         assert_eq!(a.scenario, "a");
         assert_eq!(a.trials, 3);
         assert_eq!(a.converged, 2);
+        assert_eq!(a.expectation_met, 2);
+        assert_eq!(a.mode, "sync");
         assert!((a.convergence_rate - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(a.rounds.count, 2);
         assert_eq!(a.rounds.mean, 5.0);

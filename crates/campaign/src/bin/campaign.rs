@@ -3,11 +3,16 @@
 //!
 //! ```text
 //! cargo run --release --bin campaign -- --trials 100
+//! cargo run --release --bin campaign -- --list-algorithms
 //! cargo run --release --bin campaign -- \
-//!     --algorithms minimum,sorting --envs static,churn,adversary \
-//!     --topologies ring,complete --sizes 8,16 --trials 200 \
+//!     --algorithms minimum,snapshot,flooding --envs churn,partition \
+//!     --topologies complete --modes sync,async --sizes 8,16 --trials 200 \
 //!     --seed 42 --threads 8 --out runs.jsonl --summary-out summary.jsonl
 //! ```
+//!
+//! Algorithms are resolved by label against the builtin [`Registry`] — the
+//! paper's worked examples, the circumscribing-circle counterexample, and
+//! the snapshot/flooding baselines all sweep through the same grid.
 //!
 //! `--trials` is the *total* trial budget: it is divided evenly (rounding
 //! up) over the expanded scenario grid, so the flag scales the whole sweep
@@ -16,12 +21,15 @@
 use std::io::Write;
 use std::process::ExitCode;
 
-use selfsim_campaign::{emit, AlgorithmKind, Campaign, EnvModel, ScenarioGrid, TopologyFamily};
+use selfsim_campaign::{
+    emit, AlgorithmRef, Campaign, EnvModel, ExecutionMode, Registry, ScenarioGrid, TopologyFamily,
+};
 
 struct Args {
-    algorithms: Vec<AlgorithmKind>,
+    algorithms: Vec<AlgorithmRef>,
     topologies: Vec<TopologyFamily>,
     envs: Vec<EnvModel>,
+    modes: Vec<ExecutionMode>,
     sizes: Vec<usize>,
     trials: u64,
     max_rounds: usize,
@@ -30,74 +38,76 @@ struct Args {
     out: Option<String>,
     summary_out: Option<String>,
     quiet: bool,
+    list_algorithms: bool,
 }
 
-impl Default for Args {
-    fn default() -> Self {
-        Args {
-            algorithms: vec![
-                AlgorithmKind::Minimum,
-                AlgorithmKind::SecondSmallest,
-                AlgorithmKind::Sum,
-                AlgorithmKind::Sorting,
-            ],
-            topologies: vec![
-                TopologyFamily::Ring,
-                TopologyFamily::Complete,
-                TopologyFamily::Random { p: 0.3 },
-            ],
-            envs: vec![
-                EnvModel::Static,
-                EnvModel::RandomChurn {
-                    p_edge: 0.5,
-                    p_agent: 0.9,
-                },
-                EnvModel::MarkovLink {
-                    p_up: 0.3,
-                    p_down: 0.3,
-                },
-                EnvModel::PeriodicPartition {
-                    blocks: 3,
-                    period: 8,
-                },
-                EnvModel::CrashRestart {
-                    p_crash: 0.05,
-                    p_restart: 0.5,
-                },
-                EnvModel::Adversarial { silence: 1 },
-            ],
-            sizes: vec![12],
-            trials: 100,
-            max_rounds: 200_000,
-            seed: 0,
-            threads: 0,
-            out: None,
-            summary_out: None,
-            quiet: false,
-        }
+fn default_args(registry: &Registry) -> Args {
+    Args {
+        algorithms: ["minimum", "second-smallest", "sum", "sorting"]
+            .iter()
+            .map(|label| registry.resolve(label).expect("builtin"))
+            .collect(),
+        topologies: vec![
+            TopologyFamily::Ring,
+            TopologyFamily::Complete,
+            TopologyFamily::Random { p: 0.3 },
+        ],
+        envs: vec![
+            EnvModel::Static,
+            EnvModel::RandomChurn {
+                p_edge: 0.5,
+                p_agent: 0.9,
+            },
+            EnvModel::MarkovLink {
+                p_up: 0.3,
+                p_down: 0.3,
+            },
+            EnvModel::PeriodicPartition {
+                blocks: 3,
+                period: 8,
+            },
+            EnvModel::CrashRestart {
+                p_crash: 0.05,
+                p_restart: 0.5,
+            },
+            EnvModel::Adversarial { silence: 1 },
+        ],
+        modes: vec![ExecutionMode::sync()],
+        sizes: vec![12],
+        trials: 100,
+        max_rounds: 200_000,
+        seed: 0,
+        threads: 0,
+        out: None,
+        summary_out: None,
+        quiet: false,
+        list_algorithms: false,
     }
 }
 
 const USAGE: &str = "\
-campaign — run a parallel experiment sweep over self-similar algorithms
+campaign — run a parallel experiment sweep over self-similar algorithms and baselines
 
 OPTIONS
-    --algorithms a,b,..   minimum|maximum|sum|sorting|second-smallest|convex-hull
+    --algorithms a,b,..   registry labels (see --list-algorithms)
     --topologies t,..     ring|line|grid|complete|star|random
     --envs e,..           static|churn|markov|partition|crash|adversary|churn+crash
+    --modes m,..          sync|async — execution modes to sweep (default sync)
+    --mode m              alias for --modes with a single value
     --sizes n,..          agents per system (default 12)
     --trials N            total trial budget, split over scenarios (default 100)
-    --max-rounds N        per-trial round budget (default 200000)
+    --max-rounds N        per-trial round/tick budget (default 200000)
     --seed S              campaign master seed (default 0)
     --threads T           worker threads, 0 = all CPUs (default 0)
     --out PATH            write per-trial records as JSON-lines
     --summary-out PATH    write per-scenario summaries as JSON-lines
+    --list-algorithms     print the algorithm registry and exit
     --quiet               suppress progress output
     --help                this text
 ";
 
-fn parse_args(argv: &[String]) -> Result<Args, String> {
-    let mut args = Args::default();
+fn parse_args(argv: &[String], registry: &Registry) -> Result<Args, String> {
+    let mut args = default_args(registry);
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -107,9 +117,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         };
         match flag.as_str() {
             "--algorithms" => {
-                args.algorithms = parse_list(&value("--algorithms")?, |s| {
-                    AlgorithmKind::parse(s).ok_or_else(|| format!("unknown algorithm `{s}`"))
-                })?;
+                args.algorithms = parse_list(&value("--algorithms")?, |s| registry.resolve(s))?;
             }
             "--topologies" => {
                 args.topologies = parse_list(&value("--topologies")?, |s| {
@@ -119,6 +127,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--envs" => {
                 args.envs = parse_list(&value("--envs")?, |s| {
                     EnvModel::parse(s).ok_or_else(|| format!("unknown environment `{s}`"))
+                })?;
+            }
+            "--modes" | "--mode" => {
+                args.modes = parse_list(&value(flag)?, |s| {
+                    ExecutionMode::parse(s)
+                        .ok_or_else(|| format!("unknown mode `{s}` (expected sync|async)"))
                 })?;
             }
             "--sizes" => {
@@ -149,6 +163,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--out" => args.out = Some(value("--out")?),
             "--summary-out" => args.summary_out = Some(value("--summary-out")?),
+            "--list-algorithms" => args.list_algorithms = true,
             "--quiet" => args.quiet = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag `{other}`")),
@@ -171,9 +186,27 @@ fn parse_list<T>(csv: &str, parse: impl Fn(&str) -> Result<T, String>) -> Result
         .collect()
 }
 
+fn print_registry(registry: &Registry) {
+    println!("registered algorithms ({}):", registry.len());
+    for algorithm in registry.iter() {
+        let topology = match algorithm.forced_topology() {
+            Some(family) => format!(" [topology: {}]", family.label()),
+            None => String::new(),
+        };
+        println!(
+            "  {:<22} {:<28} {}{}",
+            algorithm.label(),
+            format!("expected: {}", algorithm.expectation().label()),
+            algorithm.description(),
+            topology,
+        );
+    }
+}
+
 fn main() -> ExitCode {
+    let registry = Registry::builtin();
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let args = match parse_args(&argv) {
+    let args = match parse_args(&argv, &registry) {
         Ok(args) => args,
         Err(message) => {
             if message.is_empty() {
@@ -184,11 +217,16 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if args.list_algorithms {
+        print_registry(&registry);
+        return ExitCode::SUCCESS;
+    }
 
     let scenarios = ScenarioGrid::new()
-        .algorithms(args.algorithms.iter().copied())
+        .algorithms(args.algorithms.iter().cloned())
         .topologies(args.topologies.iter().copied())
         .envs(args.envs.iter().copied())
+        .modes(args.modes.iter().copied())
         .sizes(args.sizes.iter().copied())
         .max_rounds(args.max_rounds)
         .trials(1) // replaced below by the budget split
@@ -252,9 +290,11 @@ fn main() -> ExitCode {
 
     println!("{}", emit::markdown_summary(&result.summaries));
     let converged: u64 = result.summaries.iter().map(|s| s.converged).sum();
+    let expected: u64 = result.summaries.iter().map(|s| s.expectation_met).sum();
     println!(
-        "{total} trials, {converged} converged ({:.1}%), {:.2}s wall clock",
+        "{total} trials, {converged} converged ({:.1}%), {expected} as expected ({:.1}%), {:.2}s wall clock",
         100.0 * converged as f64 / total as f64,
+        100.0 * expected as f64 / total as f64,
         elapsed.as_secs_f64(),
     );
     ExitCode::SUCCESS

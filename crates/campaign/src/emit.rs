@@ -38,15 +38,18 @@ pub fn write_summary_jsonl<W: Write>(
 pub fn markdown_summary(summaries: &[ScenarioSummary]) -> String {
     let mut out = String::new();
     out.push_str(
-        "| scenario | trials | converged | mean rounds | p95 rounds | mean msgs | effectiveness | monotone |\n",
+        "| scenario | mode | trials | converged | expected | mean rounds | p95 rounds | mean msgs | effectiveness | monotone |\n",
     );
-    out.push_str("|---|---:|---:|---:|---:|---:|---:|:---:|\n");
+    out.push_str("|---|:---:|---:|---:|---:|---:|---:|---:|---:|:---:|\n");
     for s in summaries {
         out.push_str(&format!(
-            "| {} | {} | {}/{} | {} | {} | {:.0} | {:.2} | {} |\n",
+            "| {} | {} | {} | {}/{} | {}/{} | {} | {} | {:.0} | {:.2} | {} |\n",
             s.scenario,
+            s.mode,
             s.trials,
             s.converged,
+            s.trials,
+            s.expectation_met,
             s.trials,
             format_rounds(s.converged, s.rounds.mean),
             format_rounds(s.converged, s.rounds.p95),
@@ -78,9 +81,11 @@ mod tests {
             algorithm: "minimum".into(),
             topology: "ring".into(),
             environment: "static".into(),
+            mode: "sync".into(),
             agents: 8,
             trials: 5,
             converged,
+            expectation_met: converged,
             convergence_rate: converged as f64 / 5.0,
             rounds: Summary::of_counts(&[3, 4, 5]),
             messages: Summary::of(&[100.0, 120.0]),
@@ -91,14 +96,17 @@ mod tests {
 
     fn sample_record() -> TrialRecord {
         TrialRecord {
-            scenario: "minimum/ring/static/n=8".into(),
+            scenario: "minimum/ring/static/n=8/sync".into(),
             algorithm: "minimum".into(),
             topology: "ring".into(),
             environment: "static".into(),
+            mode: "sync".into(),
             agents: 8,
             trial: 0,
             seed: 42,
             converged: true,
+            expected: "converge".into(),
+            meets_expectation: true,
             rounds_to_convergence: Some(4),
             rounds_executed: 4,
             group_steps: 4,

@@ -1,14 +1,24 @@
 //! A declarative, parallel experiment-campaign engine for self-similar
 //! algorithms.
 //!
-//! The paper's thesis — one algorithm, any environment — is only convincing
-//! when the same algorithm is shown converging across *many* adversarial
-//! environments, topologies and scales.  This crate turns that scenario
-//! sweep into a first-class object:
+//! The paper's thesis — one algorithm, any environment, any execution model
+//! — is only convincing when the same algorithm is shown converging across
+//! *many* adversarial environments, topologies, scales and runtimes, and
+//! shown *beating the baselines* exactly where the environment fragments.
+//! This crate turns that comparison into a first-class object:
 //!
+//! * [`CampaignAlgorithm`] / [`Registry`] — the open algorithm API: an
+//!   object-safe trait every worked example of the paper implements, plus
+//!   the §5 baselines (snapshot, flooding) and the circumscribing-circle
+//!   counterexample (whose *non*-convergence under fragmentation is an
+//!   assertable [`Expectation`]).  User algorithms register by label.
 //! * [`Scenario`] / [`ScenarioGrid`] — a declarative spec of algorithm ×
-//!   topology family × environment model × size × trials, with builder and
-//!   cartesian grid expansion;
+//!   topology family × environment model × execution mode × size × trials,
+//!   with builder and cartesian grid expansion;
+//! * [`ExecutionMode`] — the runtime dimension: the same cell runs on the
+//!   synchronous round-based simulator or the asynchronous message-passing
+//!   one (latency, drops), behind the [`Runtime`] trait from
+//!   `selfsim-runtime`;
 //! * [`Campaign`] — a runner that executes all trials on a worker pool with
 //!   *derived* per-trial seeds, so results are identical no matter how many
 //!   threads run them;
@@ -17,35 +27,50 @@
 //! * [`emit`] — byte-deterministic JSON-lines and markdown emitters, used
 //!   by the `campaign` CLI binary.
 //!
-//! # Example
+//! # Example: self-similar vs. baseline, sync vs. async, one grid
 //!
 //! ```
-//! use selfsim_campaign::{AlgorithmKind, Campaign, EnvModel, ScenarioGrid, TopologyFamily};
+//! use selfsim_campaign::{Campaign, EnvModel, ExecutionMode, Registry, ScenarioGrid,
+//!                        TopologyFamily};
 //!
+//! let registry = Registry::builtin();
 //! let scenarios = ScenarioGrid::new()
-//!     .algorithms([AlgorithmKind::Minimum, AlgorithmKind::Sorting])
-//!     .topologies([TopologyFamily::Ring])
-//!     .envs([EnvModel::Static, EnvModel::RandomChurn { p_edge: 0.5, p_agent: 0.9 }])
+//!     .algorithms([
+//!         registry.resolve("minimum").unwrap(),
+//!         registry.resolve("snapshot").unwrap(),
+//!         registry.resolve("flooding").unwrap(),
+//!     ])
+//!     .topologies([TopologyFamily::Complete])
+//!     .envs([EnvModel::RandomChurn { p_edge: 0.5, p_agent: 0.9 }])
+//!     .modes(ExecutionMode::both())
 //!     .sizes([8])
-//!     .trials(5)
+//!     .trials(3)
 //!     .expand();
 //! let result = Campaign::new(scenarios).seed(42).run();
-//! assert!(result.records.iter().all(|r| r.converged));
 //! println!("{}", selfsim_campaign::emit::markdown_summary(&result.summaries));
 //! ```
+//!
+//! The closed [`AlgorithmKind`] enum of the original API remains as a thin
+//! shim: anywhere an algorithm is expected, `AlgorithmKind::Minimum` and
+//! `registry.resolve("minimum")?` are interchangeable.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod aggregate;
+mod algorithm;
 pub mod emit;
 mod runner;
 mod scenario;
 mod trial;
 
 pub use aggregate::{Aggregator, ScenarioSummary};
+pub use algorithm::{
+    run_system, AlgorithmRef, CampaignAlgorithm, Expectation, Registry, TrialSetup,
+};
 pub use runner::{Campaign, CampaignConfig, CampaignResult};
 pub use scenario::{
     grid_dims, AlgorithmKind, EnvModel, Scenario, ScenarioBuilder, ScenarioGrid, TopologyFamily,
 };
+pub use selfsim_runtime::{ExecutionMode, Runtime};
 pub use trial::{run_trial, TrialRecord};

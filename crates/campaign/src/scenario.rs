@@ -1,21 +1,27 @@
 //! Declarative scenario specifications and grid expansion.
 //!
-//! A [`Scenario`] names one *cell* of an experiment campaign: an algorithm,
-//! a topology family, an environment model, a system size and a number of
-//! trials.  Scenarios are plain data — building the actual
-//! [`SelfSimilarSystem`](selfsim_core::SelfSimilarSystem) and
-//! [`Environment`](selfsim_env::Environment) instances happens per trial in
-//! the runner, so scenarios can be freely sent across threads and expanded
-//! into grids.
+//! A [`Scenario`] names one *cell* of an experiment campaign: an algorithm
+//! (an [`AlgorithmRef`] from the registry), a topology family, an
+//! environment model, an execution mode, a system size and a number of
+//! trials.  Scenarios are cheap shareable data — building the actual
+//! algorithm instance and [`Environment`](selfsim_env::Environment) happens
+//! per trial in the runner, so scenarios can be freely sent across threads
+//! and expanded into grids.
 
 use rand::Rng;
 use selfsim_env::{
     AdversarialEnv, ComposedEnv, CrashRestartEnv, Environment, MarkovLinkEnv, PeriodicPartitionEnv,
     RandomChurnEnv, StaticEnv, Topology,
 };
+use selfsim_runtime::ExecutionMode;
 
-/// The algorithm dimension of a scenario: which worked example of the paper
-/// to run.
+use crate::algorithm::{AlgorithmRef, Registry};
+
+/// The closed enum of the original campaign API, kept as a thin shim over
+/// the open [`Registry`]: existing callers keep writing
+/// `AlgorithmKind::Minimum` and conversion into an [`AlgorithmRef`] happens
+/// wherever a scenario is built.  New algorithms (baselines, the
+/// counterexample, user-registered ones) are addressed by label instead.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AlgorithmKind {
     /// §4.1 — every agent adopts the minimum.
@@ -81,6 +87,19 @@ impl AlgorithmKind {
             AlgorithmKind::Sum => Some(TopologyFamily::Complete),
             _ => None,
         }
+    }
+
+    /// The registry entry this shim variant stands for.
+    pub fn resolve(&self) -> AlgorithmRef {
+        Registry::builtin_ref()
+            .get(self.label())
+            .expect("every AlgorithmKind label is registered")
+    }
+}
+
+impl From<AlgorithmKind> for AlgorithmRef {
+    fn from(kind: AlgorithmKind) -> AlgorithmRef {
+        kind.resolve()
     }
 }
 
@@ -266,6 +285,33 @@ impl EnvModel {
         }
     }
 
+    /// `true` when the environment's *parameters* allow it to split the
+    /// agents into proper subgroups — e.g. churn with `p_edge = 1.0` and
+    /// `p_agent = 1.0` is dynamic in name only and never fragments.
+    /// Together with the execution mode this decides whether a
+    /// [`DivergeUnderFragmentation`](crate::Expectation) cell is expected
+    /// to converge.  (This is a per-cell expectation: a genuinely
+    /// fragmenting environment can still draw a fully-connected first
+    /// round, so treat the `meets_expectation` column as a measurement,
+    /// not an invariant.)
+    pub fn can_fragment(&self) -> bool {
+        match *self {
+            EnvModel::Static => false,
+            EnvModel::RandomChurn { p_edge, p_agent } => p_edge < 1.0 || p_agent < 1.0,
+            // Links start up and only fragment once one goes down.
+            EnvModel::MarkovLink { p_down, .. } => p_down > 0.0,
+            // A single block never partitions anything.
+            EnvModel::PeriodicPartition { blocks, .. } => blocks > 1,
+            // Agents start up and only drop out if they can crash.
+            EnvModel::CrashRestart { p_crash, .. } => p_crash > 0.0,
+            // One edge at a time is maximal fragmentation by construction.
+            EnvModel::Adversarial { .. } => true,
+            EnvModel::ChurnPlusCrash {
+                p_edge, p_crash, ..
+            } => p_edge < 1.0 || p_crash > 0.0,
+        }
+    }
+
     /// Materialises the environment process over `topology`.
     pub fn build(&self, topology: Topology) -> Box<dyn Environment> {
         match *self {
@@ -299,27 +345,32 @@ impl EnvModel {
 #[derive(Clone, Debug)]
 pub struct Scenario {
     /// The algorithm to run.
-    pub algorithm: AlgorithmKind,
+    pub algorithm: AlgorithmRef,
     /// The communication-graph family.
     pub topology: TopologyFamily,
     /// The adversary model.
     pub env: EnvModel,
+    /// Which runtime executes the cell's trials.
+    pub mode: ExecutionMode,
     /// Number of agents.
     pub n: usize,
     /// Number of independent trials (distinct derived seeds).
     pub trials: u64,
-    /// Round budget per trial.
+    /// Round (sync) or tick (async) budget per trial.
     pub max_rounds: usize,
 }
 
 impl Scenario {
-    /// Starts a builder with the given algorithm.
-    pub fn builder(algorithm: AlgorithmKind) -> ScenarioBuilder {
+    /// Starts a builder with the given algorithm (an [`AlgorithmKind`]
+    /// shim variant or any [`AlgorithmRef`] from a registry).
+    pub fn builder(algorithm: impl Into<AlgorithmRef>) -> ScenarioBuilder {
+        let algorithm = algorithm.into();
         ScenarioBuilder {
             scenario: Scenario {
-                algorithm,
                 topology: algorithm.forced_topology().unwrap_or(TopologyFamily::Ring),
+                algorithm,
                 env: EnvModel::Static,
+                mode: ExecutionMode::sync(),
                 n: 16,
                 trials: 10,
                 max_rounds: 200_000,
@@ -331,12 +382,22 @@ impl Scenario {
     /// grouping key by the aggregator and in every emitted record.
     pub fn name(&self) -> String {
         format!(
-            "{}/{}/{}/n={}",
+            "{}/{}/{}/n={}/{}",
             self.algorithm.label(),
             self.topology.label(),
             self.env.label(),
-            self.n
+            self.n,
+            self.mode.label(),
         )
+    }
+
+    /// `true` when this cell's execution can take a collaborative group
+    /// step on a *proper* subset of the agents: a fragmenting environment
+    /// or the pairwise asynchronous mode.  At `n = 2` nothing ever
+    /// fragments — singleton groups are no-ops and any pair step is a
+    /// whole-system step — so two-agent cells never count as fragmenting.
+    pub fn fragmenting(&self) -> bool {
+        self.n > 2 && (self.mode.is_async() || self.env.can_fragment())
     }
 }
 
@@ -356,6 +417,12 @@ impl ScenarioBuilder {
     /// Sets the environment model.
     pub fn env(mut self, model: EnvModel) -> Self {
         self.scenario.env = model;
+        self
+    }
+
+    /// Sets the execution mode.
+    pub fn mode(mut self, mode: ExecutionMode) -> Self {
+        self.scenario.mode = mode;
         self
     }
 
@@ -387,14 +454,16 @@ impl ScenarioBuilder {
 /// Cartesian-product expansion of scenario dimensions — the "sweep" half of
 /// the declarative API.
 ///
-/// Algorithms with a forced topology (sorting) contribute one scenario per
-/// environment/size instead of one per topology, so the grid never contains
-/// unsatisfiable cells.
+/// Algorithms with a forced topology (sorting, sum) contribute one scenario
+/// per environment/size instead of one per topology, so the grid never
+/// contains unsatisfiable cells.  The execution-mode dimension defaults to
+/// `[sync]` when unset, so pre-mode callers are unaffected.
 #[derive(Clone, Debug)]
 pub struct ScenarioGrid {
-    algorithms: Vec<AlgorithmKind>,
+    algorithms: Vec<AlgorithmRef>,
     topologies: Vec<TopologyFamily>,
     envs: Vec<EnvModel>,
+    modes: Vec<ExecutionMode>,
     sizes: Vec<usize>,
     trials: u64,
     max_rounds: usize,
@@ -413,15 +482,21 @@ impl ScenarioGrid {
             algorithms: Vec::new(),
             topologies: Vec::new(),
             envs: Vec::new(),
+            modes: Vec::new(),
             sizes: Vec::new(),
             trials: 10,
             max_rounds: 200_000,
         }
     }
 
-    /// Adds algorithms to the sweep.
-    pub fn algorithms(mut self, algorithms: impl IntoIterator<Item = AlgorithmKind>) -> Self {
-        self.algorithms.extend(algorithms);
+    /// Adds algorithms to the sweep ([`AlgorithmKind`] shim variants and
+    /// registry [`AlgorithmRef`]s mix freely).
+    pub fn algorithms<A: Into<AlgorithmRef>>(
+        mut self,
+        algorithms: impl IntoIterator<Item = A>,
+    ) -> Self {
+        self.algorithms
+            .extend(algorithms.into_iter().map(Into::into));
         self
     }
 
@@ -434,6 +509,13 @@ impl ScenarioGrid {
     /// Adds environment models to the sweep.
     pub fn envs(mut self, envs: impl IntoIterator<Item = EnvModel>) -> Self {
         self.envs.extend(envs);
+        self
+    }
+
+    /// Adds execution modes to the sweep (defaults to synchronous-only when
+    /// never called).
+    pub fn modes(mut self, modes: impl IntoIterator<Item = ExecutionMode>) -> Self {
+        self.modes.extend(modes);
         self
     }
 
@@ -467,9 +549,14 @@ impl ScenarioGrid {
         if let Some(&n) = self.sizes.iter().find(|&&n| n < 2) {
             panic!("campaign scenarios need at least two agents, got size {n}");
         }
+        let modes: Vec<ExecutionMode> = if self.modes.is_empty() {
+            vec![ExecutionMode::sync()]
+        } else {
+            self.modes.clone()
+        };
         let mut out: Vec<Scenario> = Vec::new();
         let mut seen = std::collections::BTreeSet::new();
-        for &algorithm in &self.algorithms {
+        for algorithm in &self.algorithms {
             let topologies: Vec<TopologyFamily> = match algorithm.forced_topology() {
                 Some(forced) => vec![forced],
                 None => self.topologies.clone(),
@@ -477,16 +564,21 @@ impl ScenarioGrid {
             for &topology in &topologies {
                 for &env in &self.envs {
                     for &n in &self.sizes {
-                        let scenario = Scenario {
-                            algorithm,
-                            topology,
-                            env,
-                            n,
-                            trials: self.trials,
-                            max_rounds: self.max_rounds,
-                        };
-                        if seen.insert(scenario.name()) {
-                            out.push(scenario);
+                        // Modes innermost: a cell and its cross-runtime
+                        // sibling sit next to each other in the output.
+                        for &mode in &modes {
+                            let scenario = Scenario {
+                                algorithm: algorithm.clone(),
+                                topology,
+                                env,
+                                mode,
+                                n,
+                                trials: self.trials,
+                                max_rounds: self.max_rounds,
+                            };
+                            if seen.insert(scenario.name()) {
+                                out.push(scenario);
+                            }
                         }
                     }
                 }
@@ -545,7 +637,98 @@ mod tests {
             })
             .agents(8)
             .build();
-        assert_eq!(s.name(), "minimum/ring/churn(e=0.5,a=0.9)/n=8");
+        assert_eq!(s.name(), "minimum/ring/churn(e=0.5,a=0.9)/n=8/sync");
+        let a = Scenario::builder(AlgorithmKind::Minimum)
+            .mode(ExecutionMode::asynchronous())
+            .build();
+        assert!(a.name().ends_with("/async"));
+    }
+
+    #[test]
+    fn can_fragment_is_parameter_aware() {
+        assert!(!EnvModel::Static.can_fragment());
+        // Dynamic in name only: every edge and agent up every round.
+        assert!(!EnvModel::RandomChurn {
+            p_edge: 1.0,
+            p_agent: 1.0
+        }
+        .can_fragment());
+        assert!(EnvModel::RandomChurn {
+            p_edge: 0.5,
+            p_agent: 1.0
+        }
+        .can_fragment());
+        assert!(!EnvModel::MarkovLink {
+            p_up: 0.5,
+            p_down: 0.0
+        }
+        .can_fragment());
+        assert!(!EnvModel::PeriodicPartition {
+            blocks: 1,
+            period: 4
+        }
+        .can_fragment());
+        assert!(!EnvModel::CrashRestart {
+            p_crash: 0.0,
+            p_restart: 1.0
+        }
+        .can_fragment());
+        assert!(EnvModel::Adversarial { silence: 0 }.can_fragment());
+    }
+
+    #[test]
+    fn fragmenting_tracks_env_and_mode() {
+        let sync_static = Scenario::builder(AlgorithmKind::Minimum).build();
+        assert!(!sync_static.fragmenting());
+        let async_static = Scenario::builder(AlgorithmKind::Minimum)
+            .mode(ExecutionMode::asynchronous())
+            .build();
+        assert!(async_static.fragmenting());
+        let sync_churn = Scenario::builder(AlgorithmKind::Minimum)
+            .env(EnvModel::RandomChurn {
+                p_edge: 0.5,
+                p_agent: 0.9,
+            })
+            .build();
+        assert!(sync_churn.fragmenting());
+        // Two agents can never take a proper-subgroup step: singleton
+        // groups idle and a pair step is the whole system.
+        let two_async = Scenario::builder(AlgorithmKind::Minimum)
+            .mode(ExecutionMode::asynchronous())
+            .env(EnvModel::RandomChurn {
+                p_edge: 0.5,
+                p_agent: 0.9,
+            })
+            .agents(2)
+            .build();
+        assert!(!two_async.fragmenting());
+    }
+
+    #[test]
+    fn registry_labels_build_scenarios_like_shim_variants() {
+        let registry = crate::Registry::builtin();
+        let via_label = Scenario::builder(registry.resolve("minimum").unwrap()).build();
+        let via_shim = Scenario::builder(AlgorithmKind::Minimum).build();
+        assert_eq!(via_label.name(), via_shim.name());
+        // Baselines are ordinary grid citizens now.
+        let snapshot = Scenario::builder(registry.resolve("snapshot").unwrap()).build();
+        assert_eq!(snapshot.name(), "snapshot/ring/static/n=16/sync");
+    }
+
+    #[test]
+    fn grid_mode_dimension_multiplies_cells_and_defaults_to_sync() {
+        let base = ScenarioGrid::new()
+            .algorithms([AlgorithmKind::Minimum])
+            .topologies([TopologyFamily::Ring])
+            .envs([EnvModel::Static])
+            .sizes([8]);
+        let sync_only = base.clone().expand();
+        assert_eq!(sync_only.len(), 1);
+        assert_eq!(sync_only[0].mode, ExecutionMode::sync());
+        let both = base.modes(ExecutionMode::both()).expand();
+        assert_eq!(both.len(), 2);
+        assert!(both[0].name().ends_with("/sync"));
+        assert!(both[1].name().ends_with("/async"));
     }
 
     #[test]

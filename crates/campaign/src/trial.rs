@@ -1,15 +1,13 @@
 //! Per-trial execution and the flat record it produces.
 
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use selfsim_core::SelfSimilarSystem;
-use selfsim_geometry::Point;
-use selfsim_runtime::{SyncConfig, SyncSimulator};
 use selfsim_trace::RunMetrics;
 
-use crate::scenario::{AlgorithmKind, Scenario};
+use crate::algorithm::TrialSetup;
+use crate::scenario::Scenario;
 
 /// The flat, trajectory-free result of one trial — what the campaign emits
 /// as one JSON line and what the aggregator folds.
@@ -27,6 +25,8 @@ pub struct TrialRecord {
     pub topology: String,
     /// Environment-model label.
     pub environment: String,
+    /// Execution-mode label (`sync` / `async`, plus non-default knobs).
+    pub mode: String,
     /// Number of agents.
     pub agents: usize,
     /// Trial index within the scenario.
@@ -35,6 +35,12 @@ pub struct TrialRecord {
     pub seed: u64,
     /// Whether the trial reached (and held) the target state.
     pub converged: bool,
+    /// The algorithm's declared expectation
+    /// ([`Expectation::label`](crate::Expectation::label)).
+    pub expected: String,
+    /// Whether the observed outcome matches the expectation given the
+    /// cell's fragmentation (see [`crate::Expectation::met`]).
+    pub meets_expectation: bool,
     /// Rounds to convergence (`None` when the budget ran out first).
     pub rounds_to_convergence: Option<usize>,
     /// Total rounds executed.
@@ -57,15 +63,19 @@ pub struct TrialRecord {
 impl TrialRecord {
     /// Flattens a run's metrics into a record for `scenario`'s cell.
     pub fn from_metrics(scenario: &Scenario, trial: u64, seed: u64, m: &RunMetrics) -> Self {
+        let expectation = scenario.algorithm.expectation();
         TrialRecord {
             scenario: scenario.name(),
             algorithm: scenario.algorithm.label().to_string(),
             topology: scenario.topology.label(),
             environment: scenario.env.label(),
+            mode: scenario.mode.label(),
             agents: scenario.n,
             trial,
             seed,
             converged: m.converged(),
+            expected: expectation.label().to_string(),
+            meets_expectation: expectation.met(m.converged(), scenario.fragmenting()),
             rounds_to_convergence: m.rounds_to_convergence,
             rounds_executed: m.rounds_executed,
             group_steps: m.group_steps,
@@ -85,96 +95,29 @@ impl TrialRecord {
 /// group steps — is derived from `seed` alone, so a trial is reproducible
 /// in isolation regardless of which thread runs it or what ran before.
 pub fn run_trial(scenario: &Scenario, trial: u64, seed: u64) -> TrialRecord {
-    // Setup (initial values, random topologies) draws from its own stream so
-    // that the simulation stream matches a direct `SyncSimulator` run with
-    // the same seed.
+    // Setup (random topologies, then initial values) draws from its own
+    // stream so that the simulation stream matches a direct simulator run
+    // with the same seed.
     let mut setup_rng = StdRng::seed_from_u64(seed ^ 0xD1FF_E7ED_05E7_u64);
     let topology = scenario.topology.build(scenario.n, &mut setup_rng);
-
-    let metrics = match scenario.algorithm {
-        AlgorithmKind::Minimum => {
-            let values = int_values(scenario.n, &mut setup_rng);
-            let sys = selfsim_algorithms::minimum::system(&values, topology.clone());
-            simulate(&sys, scenario, topology, seed)
-        }
-        AlgorithmKind::Maximum => {
-            let values = int_values(scenario.n, &mut setup_rng);
-            let sys = selfsim_algorithms::maximum::system(&values, topology.clone());
-            simulate(&sys, scenario, topology, seed)
-        }
-        AlgorithmKind::Sum => {
-            let values = int_values(scenario.n, &mut setup_rng);
-            let sys = selfsim_algorithms::sum::system(&values, topology.clone());
-            simulate(&sys, scenario, topology, seed)
-        }
-        AlgorithmKind::Sorting => {
-            let values = int_values(scenario.n, &mut setup_rng);
-            let sys = selfsim_algorithms::sorting::system(&values);
-            simulate(&sys, scenario, topology, seed)
-        }
-        AlgorithmKind::SecondSmallest => {
-            let values = int_values(scenario.n, &mut setup_rng);
-            let sys = selfsim_algorithms::second_smallest::system(&values, topology.clone());
-            simulate(&sys, scenario, topology, seed)
-        }
-        AlgorithmKind::ConvexHull => {
-            let sites = point_values(scenario.n, &mut setup_rng);
-            let sys = selfsim_algorithms::convex_hull::system(&sites, topology.clone());
-            simulate(&sys, scenario, topology, seed)
-        }
-    };
-
-    TrialRecord::from_metrics(scenario, trial, seed, &metrics)
-}
-
-fn simulate<S: Ord + Clone + std::fmt::Debug>(
-    system: &SelfSimilarSystem<S>,
-    scenario: &Scenario,
-    topology: selfsim_env::Topology,
-    seed: u64,
-) -> RunMetrics {
-    let mut env = scenario.env.build(topology);
-    let config = SyncConfig {
+    let mut env = scenario.env.build(topology.clone());
+    let mut setup = TrialSetup {
+        n: scenario.n,
+        topology,
+        mode: scenario.mode,
         max_rounds: scenario.max_rounds,
-        cooldown_rounds: 0,
         seed,
-        record_traces: false,
+        rng: &mut setup_rng,
     };
-    let report = SyncSimulator::new(config).run(system, env.as_mut());
-    report.metrics
-}
-
-/// Positive, pairwise-distinct integer initial values (the sum example
-/// requires non-negative values, sorting requires distinct ones).
-fn int_values(n: usize, rng: &mut impl Rng) -> Vec<i64> {
-    assert!(n <= 4096, "value pool supports up to 4096 agents");
-    let mut seen = std::collections::BTreeSet::new();
-    let mut out = Vec::with_capacity(n);
-    while out.len() < n {
-        let v = rng.gen_range(1..=9999);
-        if seen.insert(v) {
-            out.push(v);
-        }
-    }
-    out
-}
-
-/// Integer-grid sites for the geometric example.
-fn point_values(n: usize, rng: &mut impl Rng) -> Vec<Point> {
-    (0..n)
-        .map(|_| {
-            Point::new(
-                rng.gen_range(-50i64..=50) as f64,
-                rng.gen_range(-50i64..=50) as f64,
-            )
-        })
-        .collect()
+    let metrics = scenario.algorithm.run(&mut setup, env.as_mut());
+    TrialRecord::from_metrics(scenario, trial, seed, &metrics)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::{EnvModel, TopologyFamily};
+    use crate::scenario::{AlgorithmKind, EnvModel, Scenario, TopologyFamily};
+    use crate::{ExecutionMode, Registry};
 
     fn tiny(algorithm: AlgorithmKind, env: EnvModel) -> Scenario {
         Scenario::builder(algorithm)
@@ -186,7 +129,23 @@ mod tests {
     }
 
     #[test]
-    fn every_algorithm_converges_under_static_env() {
+    fn every_registered_algorithm_meets_its_expectation_under_static_env() {
+        for algorithm in Registry::builtin().iter() {
+            let scenario = Scenario::builder(algorithm.clone())
+                .topology(TopologyFamily::Ring)
+                .agents(6)
+                .max_rounds(50_000)
+                .build();
+            let record = run_trial(&scenario, 0, 42);
+            // Static + sync never fragments, so even the counterexample
+            // must converge here.
+            assert!(record.converged, "{} did not converge", scenario.name());
+            assert!(record.meets_expectation, "{}", scenario.name());
+        }
+    }
+
+    #[test]
+    fn shim_variants_still_converge_and_descend() {
         for &algorithm in AlgorithmKind::all() {
             let scenario = tiny(algorithm, EnvModel::Static);
             let record = run_trial(&scenario, 0, 42);
@@ -212,6 +171,25 @@ mod tests {
     }
 
     #[test]
+    fn async_trials_are_seed_deterministic() {
+        let scenario = Scenario::builder(AlgorithmKind::Minimum)
+            .topology(TopologyFamily::Ring)
+            .env(EnvModel::RandomChurn {
+                p_edge: 0.5,
+                p_agent: 0.9,
+            })
+            .mode(ExecutionMode::asynchronous())
+            .agents(6)
+            .max_rounds(100_000)
+            .build();
+        let a = run_trial(&scenario, 1, 999);
+        let b = run_trial(&scenario, 1, 999);
+        assert_eq!(a, b);
+        assert_eq!(a.mode, "async");
+        assert!(a.converged, "minimum converges asynchronously under churn");
+    }
+
+    #[test]
     fn random_topology_trials_converge() {
         let scenario = Scenario::builder(AlgorithmKind::Minimum)
             .topology(TopologyFamily::Random { p: 0.3 })
@@ -229,6 +207,40 @@ mod tests {
     }
 
     #[test]
+    fn counterexample_diverges_under_partition_and_meets_expectation() {
+        let scenario = Scenario::builder(
+            Registry::builtin()
+                .resolve("circumscribing-circle")
+                .unwrap(),
+        )
+        .topology(TopologyFamily::Ring)
+        .env(EnvModel::PeriodicPartition {
+            blocks: 2,
+            period: 8,
+        })
+        .agents(8)
+        .max_rounds(2_000)
+        .build();
+        let record = run_trial(&scenario, 0, 5);
+        assert!(!record.converged, "fragmented naive circle must overshoot");
+        assert!(record.meets_expectation);
+        assert_eq!(record.expected, "diverge-under-fragmentation");
+    }
+
+    #[test]
+    fn baseline_record_reports_snapshot_stall_under_adversary() {
+        let scenario = Scenario::builder(Registry::builtin().resolve("snapshot").unwrap())
+            .topology(TopologyFamily::Complete)
+            .env(EnvModel::Adversarial { silence: 0 })
+            .agents(6)
+            .max_rounds(3_000)
+            .build();
+        let record = run_trial(&scenario, 0, 9);
+        assert!(!record.converged, "one edge at a time: no global snapshot");
+        assert!(!record.meets_expectation, "baseline expected to converge");
+    }
+
+    #[test]
     fn record_carries_scenario_coordinates() {
         let scenario = tiny(AlgorithmKind::Sum, EnvModel::Static);
         let record = run_trial(&scenario, 5, 99);
@@ -236,6 +248,8 @@ mod tests {
         assert_eq!(record.trial, 5);
         assert_eq!(record.seed, 99);
         assert_eq!(record.algorithm, "sum");
+        assert_eq!(record.mode, "sync");
+        assert_eq!(record.expected, "converge");
         assert_eq!(record.scenario, scenario.name());
     }
 }

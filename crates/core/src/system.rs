@@ -1,5 +1,7 @@
 //! The complete description of a self-similar algorithm instance.
 
+use std::sync::OnceLock;
+
 use selfsim_env::{AgentId, FairnessSpec};
 use selfsim_multiset::Multiset;
 
@@ -28,6 +30,10 @@ pub struct SelfSimilarSystem<S: Ord + Clone> {
     step: Box<dyn GroupStep<S>>,
     initial: SystemState<S>,
     fairness: FairnessSpec,
+    // `f(S(0))` is a constant of the instance but `is_converged` runs once
+    // per simulated round; computing it lazily once removes the dominant
+    // allocation from the convergence check.
+    target: OnceLock<Multiset<S>>,
 }
 
 impl<S: Ord + Clone + std::fmt::Debug> SelfSimilarSystem<S> {
@@ -59,6 +65,7 @@ impl<S: Ord + Clone + std::fmt::Debug> SelfSimilarSystem<S> {
             step: Box::new(step),
             initial,
             fairness,
+            target: OnceLock::new(),
         }
     }
 
@@ -111,20 +118,27 @@ impl<S: Ord + Clone + std::fmt::Debug> SelfSimilarSystem<S> {
     /// The target multiset `S* = f(S(0))` — the conserved quantity of the
     /// conservation law and the state the system must reach and maintain.
     pub fn target(&self) -> Multiset<S> {
-        self.f.apply(&self.multiset(&self.initial))
+        self.target_ref().clone()
+    }
+
+    /// Borrowed view of the target multiset; computed once per instance
+    /// (`f(S(0))` is constant) and shared by every convergence check.
+    pub fn target_ref(&self) -> &Multiset<S> {
+        self.target
+            .get_or_init(|| self.f.apply(&self.multiset(&self.initial)))
     }
 
     /// Returns `true` if `state` is optimal: its multiset equals the target
     /// `f(S(0))` (equivalently, by the conservation law, `S = f(S)`).
     pub fn is_converged(&self, state: &[S]) -> bool {
-        self.multiset(state) == self.target()
+        self.multiset(state) == *self.target_ref()
     }
 
     /// Returns `true` if the conservation law `f(S) = f(S(0))` holds in
     /// `state` — the key invariant of §3.2; every reachable state must
     /// satisfy it.
     pub fn conservation_law_holds(&self, state: &[S]) -> bool {
-        self.f.apply(&self.multiset(state)) == self.target()
+        self.f.apply(&self.multiset(state)) == *self.target_ref()
     }
 
     /// The global objective value `h(S)` of a positional state.
@@ -236,6 +250,16 @@ mod tests {
         assert_eq!(sys.target(), [3, 3, 3, 3].into());
         assert_eq!(sys.agent_count(), 4);
         assert_eq!(sys.name(), "minimum");
+    }
+
+    #[test]
+    fn target_is_computed_once_and_shared() {
+        let sys = min_system(vec![3, 5, 3, 7]);
+        let first = sys.target_ref() as *const Multiset<i64>;
+        let second = sys.target_ref() as *const Multiset<i64>;
+        assert_eq!(first, second, "target must be cached, not recomputed");
+        assert_eq!(sys.target(), [3, 3, 3, 3].into());
+        assert!(sys.is_converged(&[3, 3, 3, 3]));
     }
 
     #[test]

@@ -101,6 +101,18 @@ impl EnvState {
             && self.enabled_edges.contains(&Edge::new(a, b))
     }
 
+    /// Returns `true` if `other` induces the same agent partition as `self`:
+    /// identical enabled-edge and enabled-agent sets.  This is the
+    /// memoisation fingerprint simulators use to reuse [`EnvState::groups`]
+    /// across consecutive rounds — connected components only change when the
+    /// enabled sets change, and set equality is far cheaper than a
+    /// union-find recomputation.
+    pub fn same_connectivity(&self, other: &EnvState) -> bool {
+        // The enabled sets plus the agent count are the whole state, so the
+        // derived equality is exactly the connectivity fingerprint.
+        self == other
+    }
+
     /// The partition `π` induced by this environment state: connected
     /// components of the enabled subgraph restricted to enabled agents.
     ///
@@ -216,6 +228,21 @@ mod tests {
         assert_eq!(groups.len(), 3);
         assert!(groups.iter().all(|g| g.len() == 1));
         assert!(s.collaborative_groups().is_empty());
+    }
+
+    #[test]
+    fn same_connectivity_tracks_enabled_sets() {
+        let topo = topo4();
+        let a = EnvState::fully_enabled(&topo);
+        let b = EnvState::fully_enabled(&topo);
+        assert!(a.same_connectivity(&b));
+        let c = EnvState::new(
+            4,
+            topo.edges().iter().copied(),
+            [AgentId(0), AgentId(1), AgentId(3)],
+        );
+        assert!(!a.same_connectivity(&c));
+        assert!(!a.same_connectivity(&EnvState::fully_disabled(5)));
     }
 
     #[test]

@@ -23,14 +23,20 @@
 //! agent-state traces for auditing (conservation law, `□◇Q`, LTL specs),
 //! and detect convergence (the state reaching — and then staying at — the
 //! target `f(S(0))`).
+//!
+//! The two simulators share an object-safe face, [`Runtime`], and a
+//! declarative selector, [`ExecutionMode`], so that experiment drivers can
+//! sweep the *execution model* as just another scenario dimension.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod async_sim;
+mod mode;
 mod report;
 mod sync;
 
 pub use async_sim::{AsyncConfig, AsyncSimulator};
+pub use mode::{ExecutionMode, Runtime};
 pub use report::SimulationReport;
 pub use sync::{SyncConfig, SyncSimulator};

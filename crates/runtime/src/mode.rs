@@ -1,0 +1,248 @@
+//! The execution-mode dimension: one scenario, two runtimes.
+//!
+//! The paper's thesis is that one self-similar design runs unchanged across
+//! execution models — synchronous rounds and asynchronous message passing.
+//! [`ExecutionMode`] makes that a first-class, sweepable parameter: it names
+//! a runtime plus its mode-specific knobs, and [`ExecutionMode::runtime`]
+//! materialises the corresponding simulator behind the object-safe
+//! [`Runtime`] trait so drivers (the campaign engine, the experiment
+//! binaries) never match on the mode themselves.
+
+use selfsim_core::SelfSimilarSystem;
+use selfsim_env::Environment;
+
+use crate::{AsyncConfig, AsyncSimulator, SimulationReport, SyncConfig, SyncSimulator};
+
+/// A runtime that can execute a self-similar system under an environment —
+/// the common face of [`SyncSimulator`] and [`AsyncSimulator`].
+///
+/// Object-safe so that callers generic only in the *state* type can hold a
+/// `Box<dyn Runtime<S>>` chosen at run time from an [`ExecutionMode`].
+pub trait Runtime<S: Ord + Clone + std::fmt::Debug> {
+    /// Short runtime name (`"sync"` / `"async"`), used in reports.
+    fn mode_name(&self) -> &'static str;
+
+    /// Runs `system` under `environment` until convergence or the budget
+    /// (rounds or ticks, depending on the runtime) is exhausted.
+    fn execute(
+        &self,
+        system: &SelfSimilarSystem<S>,
+        environment: &mut dyn Environment,
+    ) -> SimulationReport<S>;
+}
+
+impl<S: Ord + Clone + std::fmt::Debug> Runtime<S> for SyncSimulator {
+    fn mode_name(&self) -> &'static str {
+        "sync"
+    }
+
+    fn execute(
+        &self,
+        system: &SelfSimilarSystem<S>,
+        environment: &mut dyn Environment,
+    ) -> SimulationReport<S> {
+        self.run(system, environment)
+    }
+}
+
+impl<S: Ord + Clone + std::fmt::Debug> Runtime<S> for AsyncSimulator {
+    fn mode_name(&self) -> &'static str {
+        "async"
+    }
+
+    fn execute(
+        &self,
+        system: &SelfSimilarSystem<S>,
+        environment: &mut dyn Environment,
+    ) -> SimulationReport<S> {
+        self.run(system, environment)
+    }
+}
+
+/// Which runtime a scenario cell runs on, with the runtime-specific knobs
+/// that are part of the cell's identity (the budget and seed are per-trial
+/// and passed to [`ExecutionMode::runtime`] instead).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ExecutionMode {
+    /// Round-based lockstep execution on [`SyncSimulator`].
+    Sync {
+        /// Extra rounds to run *after* convergence is first detected (the
+        /// stability audit of `stable (S = f(S))`).  Only meaningful for
+        /// self-similar systems; drivers of terminating protocols (e.g. the
+        /// campaign's baseline adapters) ignore it.
+        cooldown: usize,
+    },
+    /// Discrete-event message passing on [`AsyncSimulator`]: pairwise
+    /// rendezvous over currently-usable edges with latency and loss.
+    Async {
+        /// Probability that a usable edge initiates an interaction per tick.
+        interaction_rate: f64,
+        /// Message latency is drawn uniformly from `1..=max_latency` ticks.
+        max_latency: usize,
+        /// Probability that an in-flight message is lost.
+        drop_rate: f64,
+    },
+}
+
+impl ExecutionMode {
+    /// The default synchronous mode (no cooldown).
+    pub fn sync() -> Self {
+        ExecutionMode::Sync { cooldown: 0 }
+    }
+
+    /// The default asynchronous mode (the [`AsyncConfig`] defaults).
+    pub fn asynchronous() -> Self {
+        let defaults = AsyncConfig::default();
+        ExecutionMode::Async {
+            interaction_rate: defaults.interaction_rate,
+            max_latency: defaults.max_latency,
+            drop_rate: defaults.drop_rate,
+        }
+    }
+
+    /// Both default modes — the standard cross-runtime sweep.
+    pub fn both() -> [ExecutionMode; 2] {
+        [ExecutionMode::sync(), ExecutionMode::asynchronous()]
+    }
+
+    /// `true` for the message-passing mode.
+    pub fn is_async(&self) -> bool {
+        matches!(self, ExecutionMode::Async { .. })
+    }
+
+    /// Short stable label used in scenario names and reports.  Default
+    /// parameterisations collapse to the bare mode name so the common cells
+    /// stay readable.
+    pub fn label(&self) -> String {
+        match *self {
+            ExecutionMode::Sync { cooldown: 0 } => "sync".into(),
+            ExecutionMode::Sync { cooldown } => format!("sync(cd={cooldown})"),
+            ExecutionMode::Async {
+                interaction_rate,
+                max_latency,
+                drop_rate,
+            } => {
+                if *self == ExecutionMode::asynchronous() {
+                    "async".into()
+                } else {
+                    format!("async(i={interaction_rate},l={max_latency},d={drop_rate})")
+                }
+            }
+        }
+    }
+
+    /// Parses a bare mode name (`sync` / `async`) into its default
+    /// parameterisation.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "sync" => Some(ExecutionMode::sync()),
+            "async" => Some(ExecutionMode::asynchronous()),
+            _ => None,
+        }
+    }
+
+    /// Materialises the runtime for one trial: `budget` is rounds (sync) or
+    /// ticks (async), `seed` drives all simulator randomness.
+    pub fn runtime<S: Ord + Clone + std::fmt::Debug>(
+        &self,
+        seed: u64,
+        budget: usize,
+        record_traces: bool,
+    ) -> Box<dyn Runtime<S>> {
+        match *self {
+            ExecutionMode::Sync { cooldown } => Box::new(SyncSimulator::new(SyncConfig {
+                max_rounds: budget,
+                cooldown_rounds: cooldown,
+                seed,
+                record_traces,
+            })),
+            ExecutionMode::Async {
+                interaction_rate,
+                max_latency,
+                drop_rate,
+            } => Box::new(AsyncSimulator::new(AsyncConfig {
+                max_ticks: budget,
+                interaction_rate,
+                max_latency,
+                drop_rate,
+                seed,
+                record_traces,
+            })),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfsim_algorithms::minimum;
+    use selfsim_env::{RandomChurnEnv, StaticEnv, Topology};
+
+    #[test]
+    fn labels_parse_back_for_defaults() {
+        for mode in ExecutionMode::both() {
+            assert_eq!(ExecutionMode::parse(&mode.label()), Some(mode));
+        }
+        assert_eq!(ExecutionMode::Sync { cooldown: 7 }.label(), "sync(cd=7)");
+        assert_eq!(
+            ExecutionMode::Async {
+                interaction_rate: 0.25,
+                max_latency: 5,
+                drop_rate: 0.1,
+            }
+            .label(),
+            "async(i=0.25,l=5,d=0.1)"
+        );
+        assert!(ExecutionMode::parse("nonsense").is_none());
+    }
+
+    #[test]
+    fn both_runtimes_converge_through_the_trait_object() {
+        let sys = minimum::system(&[9, 4, 7, 1, 5, 8], Topology::ring(6));
+        for mode in ExecutionMode::both() {
+            let runtime = mode.runtime::<i64>(3, 100_000, false);
+            let mut env = StaticEnv::new(Topology::ring(6));
+            let report = runtime.execute(&sys, &mut env);
+            assert!(report.converged(), "{}", mode.label());
+            assert_eq!(report.final_state, vec![1; 6], "{}", mode.label());
+        }
+    }
+
+    #[test]
+    fn mode_runtime_matches_direct_simulator_run() {
+        let sys = minimum::system(&[6, 5, 4, 3, 2, 1], Topology::ring(6));
+        let direct = {
+            let mut env = RandomChurnEnv::new(Topology::ring(6), 0.5, 1.0);
+            SyncSimulator::new(SyncConfig {
+                max_rounds: 10_000,
+                seed: 11,
+                ..SyncConfig::default()
+            })
+            .run(&sys, &mut env)
+        };
+        let via_mode = {
+            let mut env = RandomChurnEnv::new(Topology::ring(6), 0.5, 1.0);
+            ExecutionMode::sync()
+                .runtime::<i64>(11, 10_000, false)
+                .execute(&sys, &mut env)
+        };
+        assert_eq!(direct.metrics, via_mode.metrics);
+        assert_eq!(direct.final_state, via_mode.final_state);
+    }
+
+    #[test]
+    fn async_mode_carries_its_knobs_into_the_runtime() {
+        let sys = minimum::system(&[9, 2, 7, 5, 8, 4], Topology::ring(6));
+        let mode = ExecutionMode::Async {
+            interaction_rate: 1.0,
+            max_latency: 1,
+            drop_rate: 0.0,
+        };
+        let mut env = StaticEnv::new(Topology::ring(6));
+        let report = mode
+            .runtime::<i64>(5, 50_000, false)
+            .execute(&sys, &mut env);
+        assert!(report.converged());
+        assert_eq!(report.metrics.environment, "async/static");
+    }
+}

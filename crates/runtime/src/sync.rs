@@ -111,17 +111,29 @@ impl SyncSimulator {
 
         let mut converged_at: Option<usize> = None;
         let mut cooldown_left = self.config.cooldown_rounds;
+        // Connected components only change when the enabled sets change, so
+        // the partition from the previous round is reused whenever the
+        // environment repeats itself (always under `StaticEnv`, most rounds
+        // under slow Markov links or a silent adversary).
+        let mut groups_memo: Option<(selfsim_env::EnvState, Vec<Vec<selfsim_env::AgentId>>)> = None;
 
         for round in 0..self.config.max_rounds {
             let env_state = environment.step(&mut rng);
-            let groups = env_state.groups();
             if self.config.record_traces {
                 env_trace.push(env_state.clone());
             }
+            let reusable = groups_memo
+                .as_ref()
+                .is_some_and(|(prev, _)| prev.same_connectivity(&env_state));
+            if !reusable {
+                let fresh = env_state.groups();
+                groups_memo = Some((env_state, fresh));
+            }
+            let groups = &groups_memo.as_ref().expect("memo just filled").1;
 
             let mut round_messages = 0usize;
             let mut changed_groups = 0usize;
-            for group in &groups {
+            for group in groups {
                 metrics.group_steps += 1;
                 // A k-agent collaborative step costs k messages in this
                 // accounting (each member contributes its state once).

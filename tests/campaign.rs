@@ -1,10 +1,12 @@
 //! Integration test of the campaign engine: a small but real sweep
 //! (4 environment models × 2 algorithms × 5 seeds) must fully converge, and
 //! its aggregated output must be *byte-identical* across repeated runs and
-//! across thread counts — the determinism-under-parallelism contract.
+//! across thread counts — the determinism-under-parallelism contract, in
+//! both execution modes.
 
 use selfsim_campaign::{
-    emit, AlgorithmKind, Campaign, CampaignResult, EnvModel, ScenarioGrid, TopologyFamily,
+    emit, AlgorithmKind, Campaign, CampaignResult, EnvModel, ExecutionMode, Registry, ScenarioGrid,
+    TopologyFamily,
 };
 
 const TRIALS: u64 = 5;
@@ -92,4 +94,145 @@ fn different_campaign_seeds_give_different_trials() {
     let seeds_a: Vec<u64> = a.records.iter().map(|r| r.seed).collect();
     let seeds_b: Vec<u64> = b.records.iter().map(|r| r.seed).collect();
     assert_ne!(seeds_a, seeds_b);
+}
+
+// (Registry label↔factory round-trip and unknown-label error contents are
+// covered by the unit tests in crates/campaign/src/algorithm.rs.)
+
+fn async_sweep() -> Vec<selfsim_campaign::Scenario> {
+    ScenarioGrid::new()
+        .algorithms([AlgorithmKind::Minimum, AlgorithmKind::SecondSmallest])
+        .topologies([TopologyFamily::Ring])
+        .envs([
+            EnvModel::Static,
+            EnvModel::RandomChurn {
+                p_edge: 0.5,
+                p_agent: 0.9,
+            },
+        ])
+        .modes([ExecutionMode::asynchronous()])
+        .sizes([8])
+        .trials(TRIALS)
+        .max_rounds(200_000)
+        .expand()
+}
+
+/// The determinism-under-parallelism contract holds on the asynchronous
+/// runtime too: byte-identical emitted output across thread counts.
+#[test]
+fn async_campaign_is_byte_identical_across_thread_counts() {
+    let parallel = Campaign::new(async_sweep()).seed(7).threads(4).run();
+    let sequential = Campaign::new(async_sweep()).seed(7).threads(1).run();
+    assert_eq!(emitted_bytes(&parallel), emitted_bytes(&sequential));
+    for record in &parallel.records {
+        assert_eq!(record.mode, "async");
+        assert!(
+            record.converged,
+            "{} trial {} did not converge asynchronously",
+            record.scenario, record.trial
+        );
+    }
+}
+
+/// Sync and async cells of the same grid compare cell-by-cell: every cell
+/// has its cross-runtime sibling, both converge, and the message-passing
+/// model pays at least as many messages on average.
+#[test]
+fn sync_and_async_cells_compare_cell_by_cell() {
+    let scenarios = ScenarioGrid::new()
+        .algorithms([AlgorithmKind::Minimum])
+        .topologies([TopologyFamily::Ring])
+        .envs([
+            EnvModel::Static,
+            EnvModel::RandomChurn {
+                p_edge: 0.5,
+                p_agent: 0.9,
+            },
+        ])
+        .modes(ExecutionMode::both())
+        .sizes([8])
+        .trials(TRIALS)
+        .expand();
+    assert_eq!(scenarios.len(), 4);
+    let result = Campaign::new(scenarios).seed(11).run();
+    let sync_cells: Vec<_> = result
+        .summaries
+        .iter()
+        .filter(|s| s.mode == "sync")
+        .collect();
+    let async_cells: Vec<_> = result
+        .summaries
+        .iter()
+        .filter(|s| s.mode == "async")
+        .collect();
+    assert_eq!(sync_cells.len(), 2);
+    assert_eq!(async_cells.len(), 2);
+    for sync_cell in &sync_cells {
+        let async_cell = async_cells
+            .iter()
+            .find(|s| s.is_cross_runtime_sibling(sync_cell))
+            .expect("every sync cell has an async sibling");
+        assert_eq!(
+            sync_cell.converged, sync_cell.trials,
+            "{}",
+            sync_cell.scenario
+        );
+        assert_eq!(
+            async_cell.converged, async_cell.trials,
+            "{}",
+            async_cell.scenario
+        );
+        assert!(
+            async_cell.messages.mean >= sync_cell.messages.mean,
+            "message passing should not be cheaper: {} vs {}",
+            async_cell.messages.mean,
+            sync_cell.messages.mean
+        );
+    }
+}
+
+/// The acceptance grid of the API redesign: {a self-similar algorithm,
+/// snapshot, flooding} × {sync, async} × a dynamic environment, one
+/// campaign, per-cell summaries with an execution-mode column.
+#[test]
+fn self_similar_and_baselines_sweep_both_runtimes_in_one_grid() {
+    let registry = Registry::builtin();
+    let scenarios = ScenarioGrid::new()
+        .algorithms(["minimum", "snapshot", "flooding"].map(|l| registry.resolve(l).unwrap()))
+        .topologies([TopologyFamily::Complete])
+        .envs([EnvModel::RandomChurn {
+            p_edge: 0.5,
+            p_agent: 0.9,
+        }])
+        .modes(ExecutionMode::both())
+        .sizes([8])
+        .trials(TRIALS)
+        .max_rounds(100_000)
+        .expand();
+    assert_eq!(scenarios.len(), 6, "3 strategies × 2 modes");
+    let result = Campaign::new(scenarios).seed(2026).run();
+    assert_eq!(result.summaries.len(), 6);
+    for (algorithm, mode) in [
+        ("minimum", "sync"),
+        ("minimum", "async"),
+        ("snapshot", "sync"),
+        ("snapshot", "async"),
+        ("flooding", "sync"),
+        ("flooding", "async"),
+    ] {
+        assert!(
+            result
+                .summaries
+                .iter()
+                .any(|s| s.algorithm == algorithm && s.mode == mode),
+            "missing cell {algorithm}/{mode}"
+        );
+    }
+    // The markdown table carries the execution-mode column.
+    let table = emit::markdown_summary(&result.summaries);
+    assert!(table.lines().next().unwrap().contains("| mode |"));
+    // The self-similar algorithm converges everywhere in this grid.
+    for summary in result.summaries.iter().filter(|s| s.algorithm == "minimum") {
+        assert_eq!(summary.converged, summary.trials, "{}", summary.scenario);
+    }
 }
