@@ -79,38 +79,26 @@ fn e7_baselines(c: &mut Criterion) {
 /// per instance) and the full static-environment run (group partition
 /// memoised on the enabled-set fingerprint — a static environment reuses
 /// the round-1 partition for the whole run).
+///
+/// The kernels live in [`selfsim_bench::hotpath`] so the `bench_campaign`
+/// binary (which emits `BENCH_3.json` in CI) times exactly this code.
 fn hotpath(c: &mut Criterion) {
+    use selfsim_bench::hotpath as kernels;
+
     let mut group = c.benchmark_group("hotpath");
     for &n in &[64usize, 256] {
         group.bench_with_input(BenchmarkId::new("is-converged", n), &n, |b, &n| {
-            let values = values_for(n);
-            let sys = minimum::system(&values, Topology::ring(n));
-            let target = vec![values.iter().copied().min().unwrap(); n];
-            b.iter(|| black_box(sys.is_converged(&target)))
+            let kernel = kernels::IsConverged::new(n);
+            b.iter(|| black_box(kernel.run()))
         });
     }
-    // 512 cooldown rounds on an unchanging environment: every round is a
-    // memoised-partition hit plus one cached-target convergence check.
     group.bench_function("static-ring-128-cooldown-512", |b| {
-        let sys = minimum::system(&values_for(128), Topology::ring(128));
-        b.iter(|| {
-            let mut env = StaticEnv::new(Topology::ring(128));
-            let config = SyncConfig {
-                cooldown_rounds: 512,
-                seed: 1,
-                ..SyncConfig::default()
-            };
-            black_box(SyncSimulator::new(config).run(&sys, &mut env).converged())
-        })
+        let kernel = kernels::StaticCooldown::new();
+        b.iter(|| black_box(kernel.run()))
     });
-    // The single-edge adversary repeats its silent (fully-disabled) state
-    // between activations, so 3 of every 4 rounds reuse the partition.
     group.bench_function("adversary-ring-32-full-run", |b| {
-        let sys = minimum::system(&values_for(32), Topology::ring(32));
-        b.iter(|| {
-            let mut env = selfsim_env::AdversarialEnv::new(Topology::ring(32), 3);
-            black_box(SyncSimulator::with_seed(2).run(&sys, &mut env).converged())
-        })
+        let kernel = kernels::AdversaryRun::new();
+        b.iter(|| black_box(kernel.run()))
     });
     group.finish();
 }

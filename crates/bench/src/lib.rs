@@ -1,1 +1,129 @@
 //! Benchmark harness support (see benches/ and src/bin/).
+//!
+//! The [`hotpath`] kernels are shared between the criterion benches
+//! (`benches/experiments.rs`) and the `bench_campaign` binary that CI runs
+//! to emit `BENCH_3.json`, so both measure exactly the same code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The hot-path benchmark kernels: convergence checking (target multiset
+/// cached per instance) and full simulator runs that exercise the
+/// group-partition memo.  Construction (`new`) is setup and excluded from
+/// timing; `run` is one measured iteration.
+pub mod hotpath {
+    use selfsim_algorithms::minimum;
+    use selfsim_core::SelfSimilarSystem;
+    use selfsim_env::{AdversarialEnv, StaticEnv, Topology};
+    use selfsim_runtime::{SyncConfig, SyncSimulator};
+
+    /// Deterministic pseudo-values for `n` agents.
+    pub fn values_for(n: usize) -> Vec<i64> {
+        (0..n).map(|i| ((i as i64 * 37 + 11) % 199) + 1).collect()
+    }
+
+    /// The convergence check on a min-consensus system of `n` agents
+    /// (every check hits the cached target multiset).
+    pub struct IsConverged {
+        system: SelfSimilarSystem<i64>,
+        target: Vec<i64>,
+    }
+
+    impl IsConverged {
+        /// Builds the system and its converged target state.
+        pub fn new(n: usize) -> Self {
+            let values = values_for(n);
+            let target = vec![values.iter().copied().min().expect("non-empty"); n];
+            IsConverged {
+                system: minimum::system(&values, Topology::ring(n)),
+                target,
+            }
+        }
+
+        /// One measured iteration: is the target state converged?
+        pub fn run(&self) -> bool {
+            self.system.is_converged(&self.target)
+        }
+    }
+
+    /// 512 cooldown rounds on an unchanging environment: every round is a
+    /// memoised-partition hit plus one cached-target convergence check.
+    pub struct StaticCooldown {
+        system: SelfSimilarSystem<i64>,
+        n: usize,
+    }
+
+    impl StaticCooldown {
+        /// A 128-agent ring with a 512-round cooldown.
+        pub fn new() -> Self {
+            let n = 128;
+            StaticCooldown {
+                system: minimum::system(&values_for(n), Topology::ring(n)),
+                n,
+            }
+        }
+
+        /// One measured iteration: a full run to convergence plus cooldown.
+        pub fn run(&self) -> bool {
+            let mut env = StaticEnv::new(Topology::ring(self.n));
+            let config = SyncConfig {
+                cooldown_rounds: 512,
+                seed: 1,
+                ..SyncConfig::default()
+            };
+            SyncSimulator::new(config)
+                .run(&self.system, &mut env)
+                .converged()
+        }
+    }
+
+    impl Default for StaticCooldown {
+        fn default() -> Self {
+            StaticCooldown::new()
+        }
+    }
+
+    /// The single-edge adversary repeats its silent (fully-disabled) state
+    /// between activations, so 3 of every 4 rounds reuse the partition.
+    pub struct AdversaryRun {
+        system: SelfSimilarSystem<i64>,
+        n: usize,
+    }
+
+    impl AdversaryRun {
+        /// A 32-agent ring against the silence-3 adversary.
+        pub fn new() -> Self {
+            let n = 32;
+            AdversaryRun {
+                system: minimum::system(&values_for(n), Topology::ring(n)),
+                n,
+            }
+        }
+
+        /// One measured iteration: a full adversarial run to convergence.
+        pub fn run(&self) -> bool {
+            let mut env = AdversarialEnv::new(Topology::ring(self.n), 3);
+            SyncSimulator::with_seed(2)
+                .run(&self.system, &mut env)
+                .converged()
+        }
+    }
+
+    impl Default for AdversaryRun {
+        fn default() -> Self {
+            AdversaryRun::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::hotpath;
+
+    #[test]
+    fn kernels_converge() {
+        assert!(hotpath::IsConverged::new(64).run());
+        assert!(hotpath::StaticCooldown::new().run());
+        assert!(hotpath::AdversaryRun::new().run());
+    }
+}

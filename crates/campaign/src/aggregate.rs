@@ -9,12 +9,18 @@ use crate::trial::TrialRecord;
 
 /// Folds [`TrialRecord`]s into per-scenario statistics as they arrive.
 ///
-/// Only per-trial scalars are retained (a few words per trial); the
-/// per-round objective trajectories never reach the aggregator, so memory
-/// is independent of the round budget.  Grouping is by
-/// [`Scenario::name`](crate::Scenario::name), and [`Aggregator::summaries`]
-/// reuses [`selfsim_trace::Summary`] so campaign statistics are computed by
-/// the same code as every other experiment in the workspace.
+/// Memory is independent of the trial count *and* the round budget:
+/// per-round objective trajectories never reach the aggregator, and each
+/// cell keeps exact `value -> multiplicity` histograms instead of
+/// per-trial samples, so a million-trial campaign aggregates in
+/// `O(cells × distinct values)`.  Folding is order-independent (histogram
+/// insertion commutes and [`Summary::of_histogram`] reads values in
+/// ascending order), which is what lets the streaming runner fold records
+/// in completion order while emitting byte-deterministic summaries.
+/// Grouping is by [`Scenario::name`](crate::Scenario::name), and
+/// [`Aggregator::summaries`] reuses [`selfsim_trace::Summary`] so campaign
+/// statistics are computed by the same code as every other experiment in
+/// the workspace.
 #[derive(Debug, Default)]
 pub struct Aggregator {
     cells: BTreeMap<String, Cell>,
@@ -30,9 +36,14 @@ struct Cell {
     trials: u64,
     converged: u64,
     expectation_met: u64,
-    rounds: Vec<usize>,
-    messages: Vec<f64>,
-    effectiveness: Vec<f64>,
+    /// Histogram of rounds-to-convergence over converged trials.
+    rounds: BTreeMap<usize, u64>,
+    /// Histogram of per-trial message counts.
+    messages: BTreeMap<usize, u64>,
+    /// Histogram of step effectiveness, keyed by the ratio's IEEE bits
+    /// (effectiveness is in `[0, 1]`, where the bit order *is* the
+    /// numeric order).
+    effectiveness: BTreeMap<u64, u64>,
     all_monotone: bool,
 }
 
@@ -117,17 +128,60 @@ impl Aggregator {
         if record.converged {
             cell.converged += 1;
             if let Some(r) = record.rounds_to_convergence {
-                cell.rounds.push(r);
+                *cell.rounds.entry(r).or_default() += 1;
             }
         }
-        cell.messages.push(record.messages as f64);
+        *cell.messages.entry(record.messages).or_default() += 1;
         let effectiveness = if record.group_steps == 0 {
             0.0
         } else {
             record.effective_group_steps as f64 / record.group_steps as f64
         };
-        cell.effectiveness.push(effectiveness);
+        *cell
+            .effectiveness
+            .entry(effectiveness.to_bits())
+            .or_default() += 1;
         cell.all_monotone &= record.objective_monotone;
+    }
+
+    /// Parses one emitted JSONL line and folds it — how the shard-merge
+    /// path re-aggregates a campaign from its record streams without ever
+    /// holding more than one record in memory.
+    pub fn observe_line(&mut self, line: &str) -> Result<(), String> {
+        self.observe(&TrialRecord::from_jsonl_line(line)?);
+        Ok(())
+    }
+
+    /// Absorbs another aggregator: cell counters add, histograms add,
+    /// monotone flags AND.  Folding records through two aggregators and
+    /// merging equals folding them all through one (aggregation is
+    /// commutative), which lets runner workers aggregate locally and merge
+    /// once at the barrier instead of contending on a shared lock per
+    /// trial.
+    pub fn merge(&mut self, other: Aggregator) {
+        for (name, incoming) in other.cells {
+            match self.cells.entry(name) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(incoming);
+                }
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
+                    let cell = slot.get_mut();
+                    cell.trials += incoming.trials;
+                    cell.converged += incoming.converged;
+                    cell.expectation_met += incoming.expectation_met;
+                    for (value, count) in incoming.rounds {
+                        *cell.rounds.entry(value).or_default() += count;
+                    }
+                    for (value, count) in incoming.messages {
+                        *cell.messages.entry(value).or_default() += count;
+                    }
+                    for (value, count) in incoming.effectiveness {
+                        *cell.effectiveness.entry(value).or_default() += count;
+                    }
+                    cell.all_monotone &= incoming.all_monotone;
+                }
+            }
+        }
     }
 
     /// Number of scenario cells observed so far.
@@ -160,9 +214,13 @@ impl Aggregator {
                 } else {
                     cell.converged as f64 / cell.trials as f64
                 },
-                rounds: Summary::of_counts(&cell.rounds),
-                messages: Summary::of(&cell.messages),
-                effectiveness: Summary::of(&cell.effectiveness),
+                rounds: Summary::of_histogram(cell.rounds.iter().map(|(&v, &c)| (v as f64, c))),
+                messages: Summary::of_histogram(cell.messages.iter().map(|(&v, &c)| (v as f64, c))),
+                effectiveness: Summary::of_histogram(
+                    cell.effectiveness
+                        .iter()
+                        .map(|(&v, &c)| (f64::from_bits(v), c)),
+                ),
                 all_monotone: cell.all_monotone,
             })
             .collect()
@@ -237,6 +295,29 @@ mod tests {
             backward.observe(r);
         }
         assert_eq!(forward.summaries(), backward.summaries());
+    }
+
+    #[test]
+    fn merging_aggregators_equals_one_aggregator() {
+        let records = [
+            record("a", 0, Some(4), 40),
+            record("a", 1, Some(6), 60),
+            record("a", 2, None, 100),
+            record("b", 0, Some(2), 10),
+        ];
+        let mut whole = Aggregator::new();
+        for r in &records {
+            whole.observe(r);
+        }
+        let mut left = Aggregator::new();
+        let mut right = Aggregator::new();
+        left.observe(&records[0]);
+        left.observe(&records[3]);
+        right.observe(&records[1]);
+        right.observe(&records[2]);
+        left.merge(right);
+        assert_eq!(left.summaries(), whole.summaries());
+        assert_eq!(left.trial_count(), 4);
     }
 
     #[test]

@@ -1,5 +1,6 @@
-//! The `campaign` CLI: run a scenario sweep in parallel and emit
-//! JSON-lines records plus a markdown summary table.
+//! The `campaign` CLI: run a scenario sweep in parallel — optionally as
+//! one stride shard of a larger fleet — streaming JSON-lines records, and
+//! merge shard outputs back into the exact unsharded byte stream.
 //!
 //! ```text
 //! cargo run --release --bin campaign -- --trials 100
@@ -8,21 +9,34 @@
 //!     --algorithms minimum,snapshot,flooding --envs churn,partition \
 //!     --topologies complete --modes sync,async --sizes 8,16 --trials 200 \
 //!     --seed 42 --threads 8 --out runs.jsonl --summary-out summary.jsonl
+//!
+//! # the same sweep as three processes (possibly three machines) ...
+//! cargo run --release --bin campaign -- --trials 200 --shard 0/3 --out s0.jsonl
+//! cargo run --release --bin campaign -- --trials 200 --shard 1/3 --out s1.jsonl
+//! cargo run --release --bin campaign -- --trials 200 --shard 2/3 --out s2.jsonl
+//! # ... merged back into the bytes the unsharded run would have written
+//! cargo run --release --bin campaign -- --merge s0.jsonl s1.jsonl s2.jsonl \
+//!     --out merged.jsonl --summary-out summary.jsonl
 //! ```
 //!
 //! Algorithms are resolved by label against the builtin [`Registry`] — the
 //! paper's worked examples, the circumscribing-circle counterexample, and
 //! the snapshot/flooding baselines all sweep through the same grid.
 //!
-//! `--trials` is the *total* trial budget: it is divided evenly (rounding
-//! up) over the expanded scenario grid, so the flag scales the whole sweep
-//! rather than multiplying it.
+//! `--trials` is the *total* trial budget: it is divided over the expanded
+//! scenario grid with the remainder spread one-per-cell over the leading
+//! cells, so the flag scales the whole sweep and the printed total is
+//! exact.  Records stream to `--out` as trials finish (memory stays
+//! `O(threads)`); per-scenario summaries aggregate incrementally.
 
-use std::io::Write;
+use std::io::{BufReader, Write};
 use std::process::ExitCode;
+use std::time::Duration;
 
 use selfsim_campaign::{
-    emit, AlgorithmRef, Campaign, EnvModel, ExecutionMode, Registry, ScenarioGrid, TopologyFamily,
+    distribute_trials, emit, merge_shards, Aggregator, AlgorithmRef, Campaign, CampaignResult,
+    EnvModel, ExecutionMode, MergeOrder, ProgressThrottle, Registry, ScenarioGrid, ShardSpec,
+    TopologyFamily, TrialRecord,
 };
 
 struct Args {
@@ -35,6 +49,8 @@ struct Args {
     max_rounds: usize,
     seed: u64,
     threads: usize,
+    shard: ShardSpec,
+    merge: Vec<String>,
     out: Option<String>,
     summary_out: Option<String>,
     quiet: bool,
@@ -78,6 +94,8 @@ fn default_args(registry: &Registry) -> Args {
         max_rounds: 200_000,
         seed: 0,
         threads: 0,
+        shard: ShardSpec::full(),
+        merge: Vec::new(),
         out: None,
         summary_out: None,
         quiet: false,
@@ -95,11 +113,17 @@ OPTIONS
     --modes m,..          sync|async — execution modes to sweep (default sync)
     --mode m              alias for --modes with a single value
     --sizes n,..          agents per system (default 12)
-    --trials N            total trial budget, split over scenarios (default 100)
+    --trials N            total trial budget, split exactly over scenarios (default 100)
     --max-rounds N        per-trial round/tick budget (default 200000)
     --seed S              campaign master seed (default 0)
     --threads T           worker threads, 0 = all CPUs (default 0)
-    --out PATH            write per-trial records as JSON-lines
+    --shard i/k           run only stride shard i of k (default 0/1 = everything);
+                          merging all k shard outputs reproduces the unsharded bytes
+    --merge f0 f1 ..      merge shard JSONL files (in --shard index order) instead of
+                          running; writes the exact unsharded record stream to --out
+                          and re-aggregates the summary table
+    --out PATH            stream per-trial records as JSON-lines (as trials finish);
+                          `-` streams to stdout and moves the summary to stderr
     --summary-out PATH    write per-scenario summaries as JSON-lines
     --list-algorithms     print the algorithm registry and exit
     --quiet               suppress progress output
@@ -108,7 +132,7 @@ OPTIONS
 
 fn parse_args(argv: &[String], registry: &Registry) -> Result<Args, String> {
     let mut args = default_args(registry);
-    let mut it = argv.iter();
+    let mut it = argv.iter().peekable();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
             it.next()
@@ -161,6 +185,18 @@ fn parse_args(argv: &[String], registry: &Registry) -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --threads: {e}"))?;
             }
+            "--shard" => args.shard = ShardSpec::parse(&value("--shard")?)?,
+            "--merge" => {
+                while let Some(path) = it.peek() {
+                    if path.starts_with("--") {
+                        break;
+                    }
+                    args.merge.push(it.next().expect("peeked").clone());
+                }
+                if args.merge.is_empty() {
+                    return Err("--merge expects one or more shard JSONL files".into());
+                }
+            }
             "--out" => args.out = Some(value("--out")?),
             "--summary-out" => args.summary_out = Some(value("--summary-out")?),
             "--list-algorithms" => args.list_algorithms = true,
@@ -174,6 +210,18 @@ fn parse_args(argv: &[String], registry: &Registry) -> Result<Args, String> {
     }
     if let Some(n) = args.sizes.iter().find(|&&n| n < 2) {
         return Err(format!("--sizes values must be at least 2, got {n}"));
+    }
+    if !args.merge.is_empty() && !args.shard.is_full() {
+        return Err(
+            "--merge and --shard are mutually exclusive (merge reads finished shard files)".into(),
+        );
+    }
+    if args.summary_out.as_deref().is_some_and(is_stdout) {
+        return Err(
+            "--summary-out must be a file path; stdout is reserved for records (--out -) \
+             and the summary table"
+                .into(),
+        );
     }
     Ok(args)
 }
@@ -221,7 +269,22 @@ fn main() -> ExitCode {
         print_registry(&registry);
         return ExitCode::SUCCESS;
     }
+    let outcome = if args.merge.is_empty() {
+        run_sweep(&args)
+    } else {
+        run_merge(&args)
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
 
+/// Runs (one shard of) the sweep, streaming records to `--out`.
+fn run_sweep(args: &Args) -> Result<(), String> {
     let scenarios = ScenarioGrid::new()
         .algorithms(args.algorithms.iter().cloned())
         .topologies(args.topologies.iter().copied())
@@ -229,75 +292,229 @@ fn main() -> ExitCode {
         .modes(args.modes.iter().copied())
         .sizes(args.sizes.iter().copied())
         .max_rounds(args.max_rounds)
-        .trials(1) // replaced below by the budget split
+        .trials(1) // replaced below by the exact budget split
         .expand();
     if scenarios.is_empty() {
-        eprintln!("error: the scenario grid is empty");
-        return ExitCode::from(2);
+        return Err("the scenario grid is empty".into());
     }
-    let per_scenario = args.trials.div_ceil(scenarios.len() as u64);
-    let scenarios: Vec<_> = scenarios
-        .into_iter()
-        .map(|mut s| {
-            s.trials = per_scenario;
-            s
-        })
-        .collect();
+
+    // Split the budget exactly: every cell gets `base`, and the first
+    // `extra` cells one more, so the total is `--trials`, not the old
+    // `div_ceil` overshoot (e.g. 100 over 48 cells used to run 144).
+    let mut scenarios = scenarios;
+    let (base, extra) = distribute_trials(&mut scenarios, args.trials);
+    if base == 0 {
+        eprintln!(
+            "warning: --trials {} is below the grid's {} cells; {} cells run zero trials \
+             and will be absent from records and summaries",
+            args.trials,
+            scenarios.len(),
+            scenarios.len() as u64 - extra,
+        );
+    }
 
     let campaign = Campaign::new(scenarios)
         .seed(args.seed)
-        .threads(args.threads);
+        .threads(args.threads)
+        .shard(args.shard);
     let total = campaign.trial_count();
+    let shard_total = campaign.shard_trial_count();
+    debug_assert_eq!(total, args.trials, "exact budget split");
     if !args.quiet {
+        let shard_note = if args.shard.is_full() {
+            String::new()
+        } else {
+            format!(
+                ", shard {} -> {} of them here",
+                args.shard.label(),
+                shard_total
+            )
+        };
         eprintln!(
-            "campaign: {} scenarios × {} trials = {} trials (seed {}, {} threads)",
+            "campaign: {} scenarios, {} trials total ({}-{} per cell, seed {}, {} threads{})",
             campaign.scenarios().len(),
-            per_scenario,
             total,
+            base,
+            if extra > 0 { base + 1 } else { base },
             args.seed,
             if args.threads == 0 {
                 std::thread::available_parallelism().map_or(1, |n| n.get())
             } else {
                 args.threads
             },
+            shard_note,
         );
     }
 
+    // ~10 progress updates/sec however many worker threads finish trials.
+    let throttle = ProgressThrottle::every(Duration::from_millis(100));
+    let progress = |done: u64, total: u64| {
+        if done == total || throttle.ready() {
+            eprintln!("  {done}/{total} trials");
+        }
+    };
+
     let started = std::time::Instant::now();
-    let result = if args.quiet {
-        campaign.run()
-    } else {
-        campaign.run_with_progress(|done, total| {
-            if done % 25 == 0 || done == total {
-                eprintln!("  {done}/{total} trials");
+    // (`Stdout`, not `StdoutLock` — the sink crosses into the runner's
+    // worker scope and must be `Send`.  With `--out -` the records own
+    // stdout and everything human-readable goes to stderr below.)
+    let sink: Option<(Box<dyn Write + Send>, &str)> = match &args.out {
+        Some(path) if is_stdout(path) => Some((
+            Box::new(std::io::BufWriter::new(std::io::stdout())),
+            "stdout",
+        )),
+        Some(path) => Some((
+            Box::new(std::io::BufWriter::new(
+                std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
+            )),
+            path.as_str(),
+        )),
+        None => None,
+    };
+    let result: CampaignResult = match sink {
+        Some((mut writer, label)) => {
+            let result = if args.quiet {
+                campaign.stream_to(&mut writer)
+            } else {
+                campaign.stream_with_progress(&mut writer, progress)
             }
-        })
+            .and_then(|result| {
+                writer.flush()?;
+                Ok(result)
+            })
+            .map_err(|e| format!("cannot stream records to {label}: {e}"))?;
+            result
+        }
+        None => {
+            if args.quiet {
+                campaign.run()
+            } else {
+                campaign.run_with_progress(progress)
+            }
+        }
     };
     let elapsed = started.elapsed();
 
-    if let Some(path) = &args.out {
-        if let Err(e) = write_file(path, |w| emit::write_jsonl(w, &result.records)) {
-            eprintln!("error: cannot write {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    }
     if let Some(path) = &args.summary_out {
-        if let Err(e) = write_file(path, |w| emit::write_summary_jsonl(w, &result.summaries)) {
-            eprintln!("error: cannot write {path}: {e}");
-            return ExitCode::FAILURE;
-        }
+        write_file(path, |w| emit::write_summary_jsonl(w, &result.summaries))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
     }
 
-    println!("{}", emit::markdown_summary(&result.summaries));
+    let report = format!(
+        "{}{}\n{:.2}s wall clock, {:.0} trials/s",
+        emit::markdown_summary(&result.summaries),
+        totals_line(&result, args),
+        elapsed.as_secs_f64(),
+        result.trials as f64 / elapsed.as_secs_f64().max(f64::EPSILON),
+    );
+    if args.out.as_deref().is_some_and(is_stdout) {
+        if !args.quiet {
+            eprintln!("{report}");
+        }
+    } else {
+        println!("{report}");
+    }
+    Ok(())
+}
+
+/// `true` when `path` means "stream to stdout" (`-` or `/dev/stdout`).
+fn is_stdout(path: &str) -> bool {
+    path == "-" || path == "/dev/stdout"
+}
+
+/// Merges finished shard record files back into the unsharded byte stream
+/// and re-aggregates the summary table from the merged records.
+fn run_merge(args: &Args) -> Result<(), String> {
+    let mut shards: Vec<BufReader<std::fs::File>> = Vec::with_capacity(args.merge.len());
+    for path in &args.merge {
+        let file =
+            std::fs::File::open(path).map_err(|e| format!("cannot open shard file {path}: {e}"))?;
+        shards.push(BufReader::new(file));
+    }
+
+    let stdout = std::io::stdout();
+    let mut writer: Box<dyn Write> = match &args.out {
+        Some(path) if !is_stdout(path) => Box::new(std::io::BufWriter::new(
+            std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
+        )),
+        _ => Box::new(std::io::BufWriter::new(stdout.lock())),
+    };
+
+    // Every merged line is parsed once: the order checker proves the
+    // reconstructed stream is in exact unsharded job order (this is what
+    // catches equal-length shard files passed out of `--shard` order,
+    // which no line-count check can see), and the same record feeds the
+    // re-aggregated summary table.
+    let mut order = MergeOrder::new();
+    let mut aggregator = Aggregator::new();
+    let merged = merge_shards(&mut shards, |line| {
+        writer
+            .write_all(line)
+            .map_err(|e| format!("cannot write merged records: {e}"))?;
+        let record =
+            TrialRecord::from_jsonl_line(std::str::from_utf8(line).map_err(|e| e.to_string())?)?;
+        order.check(&record)?;
+        aggregator.observe(&record);
+        Ok(())
+    })
+    .and_then(|merged| {
+        writer
+            .flush()
+            .map_err(|e| format!("cannot flush merged records: {e}"))?;
+        Ok(merged)
+    });
+    drop(writer);
+    let merged = match merged {
+        Ok(merged) => merged,
+        Err(e) => {
+            // Don't leave a partial (possibly misordered) merged file
+            // behind: existence must imply a complete, validated stream.
+            if let Some(path) = args.out.as_deref().filter(|p| !is_stdout(p)) {
+                let _ = std::fs::remove_file(path);
+            }
+            return Err(e);
+        }
+    };
+
+    let summaries = aggregator.summaries();
+    if let Some(path) = &args.summary_out {
+        write_file(path, |w| emit::write_summary_jsonl(w, &summaries))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if args.out.as_deref().is_some_and(|p| !is_stdout(p)) {
+        // With --out FILE the table goes to stdout; otherwise stdout
+        // carries the merged records and the table would corrupt the
+        // stream.
+        print!("{}", emit::markdown_summary(&summaries));
+        println!(
+            "merged {merged} records from {} shard files across {} scenario cells",
+            args.merge.len(),
+            summaries.len(),
+        );
+    } else if !args.quiet {
+        eprintln!(
+            "merged {merged} records from {} shard files across {} scenario cells",
+            args.merge.len(),
+            summaries.len(),
+        );
+    }
+    Ok(())
+}
+
+fn totals_line(result: &CampaignResult, args: &Args) -> String {
+    let trials = result.trials;
     let converged: u64 = result.summaries.iter().map(|s| s.converged).sum();
     let expected: u64 = result.summaries.iter().map(|s| s.expectation_met).sum();
-    println!(
-        "{total} trials, {converged} converged ({:.1}%), {expected} as expected ({:.1}%), {:.2}s wall clock",
-        100.0 * converged as f64 / total as f64,
-        100.0 * expected as f64 / total as f64,
-        elapsed.as_secs_f64(),
-    );
-    ExitCode::SUCCESS
+    let shard_note = if args.shard.is_full() {
+        String::new()
+    } else {
+        format!(" [shard {}]", args.shard.label())
+    };
+    format!(
+        "{trials} trials{shard_note}, {converged} converged ({:.1}%), {expected} as expected ({:.1}%)",
+        100.0 * converged as f64 / trials.max(1) as f64,
+        100.0 * expected as f64 / trials.max(1) as f64,
+    )
 }
 
 fn write_file(

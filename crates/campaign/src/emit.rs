@@ -10,12 +10,14 @@ use crate::aggregate::ScenarioSummary;
 use crate::trial::TrialRecord;
 
 /// Writes one JSON object per trial record, one per line.
+///
+/// Delegates to [`TrialRecord::to_jsonl_line`] — the same serializer the
+/// streaming runner spills through — so collecting records and emitting
+/// them afterwards produces byte-for-byte what
+/// [`Campaign::stream_to`](crate::Campaign::stream_to) streams.
 pub fn write_jsonl<W: Write>(mut out: W, records: &[TrialRecord]) -> std::io::Result<()> {
     for record in records {
-        let line = serde_json::to_string(record)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
-        out.write_all(line.as_bytes())?;
-        out.write_all(b"\n")?;
+        out.write_all(&record.to_jsonl_line()?)?;
     }
     Ok(())
 }

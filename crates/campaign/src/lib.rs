@@ -19,13 +19,23 @@
 //!   synchronous round-based simulator or the asynchronous message-passing
 //!   one (latency, drops), behind the [`Runtime`] trait from
 //!   `selfsim-runtime`;
-//! * [`Campaign`] — a runner that executes all trials on a worker pool with
-//!   *derived* per-trial seeds, so results are identical no matter how many
-//!   threads run them;
+//! * [`Campaign`] — a *streaming* runner that executes trials on a worker
+//!   pool with *derived* per-trial seeds and spills each finished record
+//!   through an ordered reorder window, so emitted bytes are identical no
+//!   matter how many threads run them and memory stays `O(threads)`
+//!   (records are only retained by the opt-in [`Campaign::run_collect`]);
+//! * [`ShardSpec`] / [`merge_shards`] — stride sharding across processes:
+//!   shard `i/k` runs every `k`-th job, and the round-robin merge of the
+//!   shard streams is byte-identical to an unsharded run — the
+//!   determinism contract (same bytes for a given `(scenarios, seed)`,
+//!   regardless of threads *or* shards) is the system's headline
+//!   invariant;
 //! * [`Aggregator`] — streaming per-scenario statistics (via
 //!   [`selfsim_trace::Summary`]) that never retain per-round trajectories;
 //! * [`emit`] — byte-deterministic JSON-lines and markdown emitters, used
-//!   by the `campaign` CLI binary.
+//!   by the `campaign` CLI binary;
+//! * [`ProgressThrottle`] — a lock-free rate limiter so million-trial runs
+//!   don't serialize on progress output.
 //!
 //! # Example: self-similar vs. baseline, sync vs. async, one grid
 //!
@@ -62,15 +72,18 @@ mod algorithm;
 pub mod emit;
 mod runner;
 mod scenario;
+mod shard;
 mod trial;
 
 pub use aggregate::{Aggregator, ScenarioSummary};
 pub use algorithm::{
     run_system, AlgorithmRef, CampaignAlgorithm, Expectation, Registry, TrialSetup,
 };
-pub use runner::{Campaign, CampaignConfig, CampaignResult};
+pub use runner::{Campaign, CampaignConfig, CampaignResult, CollectedResult, ProgressThrottle};
 pub use scenario::{
-    grid_dims, AlgorithmKind, EnvModel, Scenario, ScenarioBuilder, ScenarioGrid, TopologyFamily,
+    distribute_trials, grid_dims, AlgorithmKind, EnvModel, Scenario, ScenarioBuilder, ScenarioGrid,
+    TopologyFamily,
 };
 pub use selfsim_runtime::{ExecutionMode, Runtime};
+pub use shard::{merge_shards, MergeOrder, ShardSpec};
 pub use trial::{run_trial, TrialRecord};

@@ -1,31 +1,55 @@
-//! The parallel campaign runner.
+//! The parallel, streaming campaign runner.
 //!
-//! Determinism is the design constraint: a campaign's output must be
-//! byte-identical for a given `(scenarios, campaign seed)` pair no matter
-//! how many worker threads run it.  Three mechanisms provide this:
+//! Determinism is the design constraint: a campaign's emitted record
+//! stream must be byte-identical for a given `(scenarios, campaign seed)`
+//! pair no matter how many worker threads run it — or how many process
+//! shards it is split over.  Four mechanisms provide this:
 //!
 //! 1. every trial's seed is *derived* (SplitMix64 over the campaign seed,
 //!    the scenario name and the trial index), never drawn from a shared
-//!    RNG;
-//! 2. workers claim trials from an atomic counter but write results into
-//!    the trial's own pre-allocated slot, so completion order is
-//!    irrelevant;
-//! 3. aggregation and emission happen after the barrier, in trial order.
+//!    RNG and never from the thread or shard that happens to run it;
+//! 2. trials are identified by their *global position* in the flat,
+//!    scenario-major/trial-minor job list; a shard owns a stable stride of
+//!    positions ([`ShardSpec`]);
+//! 3. workers claim positions from an atomic counter and hand finished
+//!    records to an *ordered reorder window* that releases them strictly
+//!    in position order, so completion order is irrelevant;
+//! 4. aggregation folds incrementally into per-scenario cells keyed by
+//!    name (order-independent), and emission happens through the window.
+//!
+//! Memory is `O(threads)`, not `O(trials)`: workers serialize each record
+//! into a spill buffer as the trial finishes, the reorder window holds at
+//! most `threads × window-factor` pending buffers (a worker that runs too
+//! far ahead parks until the stream catches up), and released bytes go
+//! straight to the sink.  Nothing per-trial survives the run unless the
+//! opt-in [`Campaign::run_collect`] is used.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use crate::aggregate::{Aggregator, ScenarioSummary};
 use crate::scenario::Scenario;
+use crate::shard::ShardSpec;
 use crate::trial::{run_trial, TrialRecord};
 
+/// How many finished-but-unreleased records the reorder window may hold
+/// per worker thread before fast workers park.  Bounds peak memory at
+/// `O(threads)` regardless of trial count while keeping enough slack that
+/// parking is rare in practice.
+const REORDER_WINDOW_PER_THREAD: usize = 8;
+
 /// Configuration of a campaign run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct CampaignConfig {
     /// The master seed every per-trial seed is derived from.
     pub seed: u64,
     /// Worker threads; `0` means one per available CPU.
     pub threads: usize,
+    /// Which stride of the job list this process runs (default: all).
+    pub shard: ShardSpec,
 }
 
 /// A set of scenarios plus run configuration — the executable form of an
@@ -36,12 +60,26 @@ pub struct Campaign {
     config: CampaignConfig,
 }
 
-/// Everything a finished campaign produced: per-trial records in
-/// deterministic (scenario-major, trial-minor) order plus the closed
-/// aggregation.
+/// What a finished campaign retains: the closed per-scenario aggregation
+/// and the executed-trial count.  Per-trial records are *streamed* (to the
+/// sink passed to [`Campaign::stream_to`], or dropped after aggregation by
+/// [`Campaign::run`]), never accumulated here — use the opt-in
+/// [`Campaign::run_collect`] when a test or small run wants them in
+/// memory.
 #[derive(Clone, Debug)]
 pub struct CampaignResult {
-    /// One record per trial, in scenario-major order.
+    /// Per-scenario summaries, sorted by scenario name.
+    pub summaries: Vec<ScenarioSummary>,
+    /// Trials executed by this process (the shard's share of the grid).
+    pub trials: u64,
+}
+
+/// The opt-in collected form: every record of this process's shard, in
+/// deterministic (scenario-major, trial-minor) order, plus the
+/// aggregation.  Memory is `O(trials)` by construction.
+#[derive(Clone, Debug)]
+pub struct CollectedResult {
+    /// One record per executed trial, in global job order.
     pub records: Vec<TrialRecord>,
     /// Per-scenario summaries, sorted by scenario name.
     pub summaries: Vec<ScenarioSummary>,
@@ -68,21 +106,35 @@ impl Campaign {
         self
     }
 
+    /// Restricts this process to one stride shard of the job list.  Seeds
+    /// and record bytes are shard-independent, so the concatenation (via
+    /// [`crate::merge_shards`]) of all `k` shard streams is byte-identical
+    /// to an unsharded run.
+    pub fn shard(mut self, shard: ShardSpec) -> Self {
+        self.config.shard = shard;
+        self
+    }
+
     /// The scenarios of this campaign.
     pub fn scenarios(&self) -> &[Scenario] {
         &self.scenarios
     }
 
-    /// Total number of trials the campaign will run.
+    /// Total number of trials in the whole campaign (all shards).
     pub fn trial_count(&self) -> u64 {
         self.scenarios.iter().map(|s| s.trials).sum()
+    }
+
+    /// Number of trials this process's shard will run.
+    pub fn shard_trial_count(&self) -> u64 {
+        self.config.shard.size(self.trial_count())
     }
 
     /// The seed trial `trial` of `scenario` will run with.
     ///
     /// Mixes the campaign seed, a hash of the scenario name and the trial
     /// index through SplitMix64, so every trial in the campaign gets an
-    /// independent, schedule-free seed.
+    /// independent, schedule- and shard-free seed.
     pub fn trial_seed(&self, scenario: &Scenario, trial: u64) -> u64 {
         self.seed_for(fnv1a(scenario.name().as_bytes()), trial)
     }
@@ -97,72 +149,298 @@ impl Campaign {
         )
     }
 
-    /// Runs every trial of every scenario, in parallel, and returns the
-    /// deterministically ordered results.
+    /// Runs this shard's trials in parallel and returns the aggregation
+    /// only — records are folded and dropped, so memory stays
+    /// `O(threads)` however many trials run.
     pub fn run(&self) -> CampaignResult {
         self.run_with_progress(|_, _| {})
     }
 
-    /// Like [`Campaign::run`], with a callback `(done, total)` invoked after
-    /// every finished trial (from worker threads; keep it cheap).
+    /// Like [`Campaign::run`], with a callback `(done, shard total)`
+    /// invoked after every finished trial (from worker threads; keep it
+    /// cheap — see [`ProgressThrottle`] for stderr-friendly pacing).
     pub fn run_with_progress(&self, progress: impl Fn(u64, u64) + Sync) -> CampaignResult {
-        // The flat, deterministic job list: scenario-major, trial-minor.
-        let jobs: Vec<(usize, u64, u64)> = self
-            .scenarios
-            .iter()
-            .enumerate()
-            .flat_map(|(idx, scenario)| {
-                // Hash the scenario name once per scenario, not per trial.
-                let scenario_hash = fnv1a(scenario.name().as_bytes());
-                (0..scenario.trials)
-                    .map(move |trial| (idx, trial, self.seed_for(scenario_hash, trial)))
-            })
-            .collect();
-        let total = jobs.len() as u64;
+        self.execute::<std::io::Sink>(None, None, &progress)
+            .expect("aggregate-only runs perform no I/O")
+    }
+
+    /// Streams this shard's records to `sink` as JSON lines in
+    /// deterministic global job order, returning the aggregation.  The
+    /// bytes written are exactly what [`crate::emit::write_jsonl`] would
+    /// produce from the collected records — the streaming/collected
+    /// equivalence — while retaining no record in memory.
+    pub fn stream_to<W: Write + Send>(&self, sink: &mut W) -> std::io::Result<CampaignResult> {
+        self.stream_with_progress(sink, |_, _| {})
+    }
+
+    /// Like [`Campaign::stream_to`] with a per-trial progress callback.
+    pub fn stream_with_progress<W: Write + Send>(
+        &self,
+        sink: &mut W,
+        progress: impl Fn(u64, u64) + Sync,
+    ) -> std::io::Result<CampaignResult> {
+        self.execute(Some(sink), None, &progress)
+    }
+
+    /// Opt-in collection for tests and small runs: like [`Campaign::run`]
+    /// but additionally retains every record, in order, at `O(trials)`
+    /// memory.
+    pub fn run_collect(&self) -> CollectedResult {
+        self.run_collect_with_progress(|_, _| {})
+    }
+
+    /// Like [`Campaign::run_collect`] with a per-trial progress callback.
+    pub fn run_collect_with_progress(&self, progress: impl Fn(u64, u64) + Sync) -> CollectedResult {
+        let mut records = Vec::new();
+        let result = self
+            .execute::<std::io::Sink>(None, Some(&mut records), &progress)
+            .expect("collect-only runs perform no I/O");
+        CollectedResult {
+            records,
+            summaries: result.summaries,
+        }
+    }
+
+    /// The streaming engine behind every run mode.
+    ///
+    /// Workers claim shard-local job indices from an atomic counter, run
+    /// the trial, fold the record into the shared aggregator, serialize it
+    /// into a spill buffer (when a sink wants bytes) and hand it to the
+    /// reorder window, which releases buffers to the sink strictly in job
+    /// order.  A worker more than the window size ahead of the release
+    /// cursor parks on a condvar until the stream catches up, bounding
+    /// pending memory at `O(threads)`.
+    fn execute<W: Write + Send>(
+        &self,
+        sink: Option<&mut W>,
+        collect: Option<&mut Vec<TrialRecord>>,
+        progress: &(dyn Fn(u64, u64) + Sync),
+    ) -> std::io::Result<CampaignResult> {
+        // Per-scenario prefix sums: the job list itself is never
+        // materialised — global position -> (scenario, trial) is a binary
+        // search, so job bookkeeping is O(#scenarios), not O(#trials).
+        let mut offsets: Vec<u64> = Vec::with_capacity(self.scenarios.len());
+        let mut hashes: Vec<u64> = Vec::with_capacity(self.scenarios.len());
+        let mut total = 0u64;
+        for scenario in &self.scenarios {
+            offsets.push(total);
+            hashes.push(fnv1a(scenario.name().as_bytes()));
+            total += scenario.trials;
+        }
+        let shard = self.config.shard;
+        let shard_total = shard.size(total);
 
         let threads = if self.config.threads == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         } else {
             self.config.threads
         }
-        .min(jobs.len().max(1));
+        .min(shard_total.max(1) as usize);
 
-        let next = AtomicUsize::new(0);
-        let done = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<TrialRecord>>> =
-            jobs.iter().map(|_| Mutex::new(None)).collect();
+        let serialize = sink.is_some();
+        let collecting = collect.is_some();
+        // Aggregate-only runs have no ordered side effects, so they skip
+        // the reorder window entirely.
+        let ordered = serialize || collecting;
+        let window = threads * REORDER_WINDOW_PER_THREAD;
+
+        let reorder = Mutex::new(Reorder {
+            next: 0,
+            pending: BTreeMap::new(),
+            sink: sink.map(|w| w as &mut (dyn Write + Send)),
+            collect,
+            error: None,
+        });
+        let space = Condvar::new();
+        // Workers aggregate locally and merge at the barrier (aggregation
+        // is commutative), so the hot loop takes no shared lock in
+        // aggregate-only mode.
+        let merged = Mutex::new(Aggregator::new());
+        let next_job = AtomicUsize::new(0);
+        let done = AtomicU64::new(0);
+        let abort = AtomicBool::new(false);
 
         std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&(scenario_idx, trial, seed)) = jobs.get(i) else {
-                        break;
-                    };
-                    let record = run_trial(&self.scenarios[scenario_idx], trial, seed);
-                    *slots[i].lock().expect("slot lock") = Some(record);
-                    let finished = done.fetch_add(1, Ordering::Relaxed) as u64 + 1;
-                    progress(finished, total);
+                scope.spawn(|| {
+                    let mut aggregator = Aggregator::new();
+                    loop {
+                        if abort.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let local = next_job.fetch_add(1, Ordering::Relaxed) as u64;
+                        if local >= shard_total {
+                            break;
+                        }
+                        let global = shard.global_position(local);
+                        let scenario_idx = offsets.partition_point(|&o| o <= global) - 1;
+                        let trial = global - offsets[scenario_idx];
+                        let scenario = &self.scenarios[scenario_idx];
+                        let record =
+                            run_trial(scenario, trial, self.seed_for(hashes[scenario_idx], trial));
+
+                        aggregator.observe(&record);
+
+                        if ordered {
+                            // The spill buffer: the record leaves the worker
+                            // as bytes (and/or the collected struct), never
+                            // as shared mutable state.
+                            let bytes = if serialize {
+                                match record.to_jsonl_line() {
+                                    Ok(bytes) => Some(bytes),
+                                    Err(e) => {
+                                        let mut state = reorder.lock().expect("reorder lock");
+                                        state.error.get_or_insert(e);
+                                        abort.store(true, Ordering::Relaxed);
+                                        space.notify_all();
+                                        break;
+                                    }
+                                }
+                            } else {
+                                None
+                            };
+                            let slot = Slot {
+                                bytes,
+                                record: collecting.then_some(record),
+                            };
+                            let mut state = reorder.lock().expect("reorder lock");
+                            while local >= state.next + window as u64 && state.error.is_none() {
+                                state = space.wait(state).expect("reorder condvar");
+                            }
+                            if state.error.is_some() {
+                                abort.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                            state.pending.insert(local, slot);
+                            if state.release().is_err() {
+                                abort.store(true, Ordering::Relaxed);
+                                drop(state);
+                                space.notify_all();
+                                break;
+                            }
+                            drop(state);
+                            space.notify_all();
+                        }
+
+                        let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                        progress(finished, shard_total);
+                    }
+                    merged.lock().expect("aggregator lock").merge(aggregator);
                 });
             }
         });
 
-        let records: Vec<TrialRecord> = slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("slot lock")
-                    .expect("every claimed job writes its slot")
-            })
-            .collect();
-
-        let mut aggregator = Aggregator::new();
-        for record in &records {
-            aggregator.observe(record);
+        let mut state = reorder.into_inner().expect("reorder lock");
+        if let Some(error) = state.error.take() {
+            return Err(error);
         }
-        CampaignResult {
+        debug_assert!(state.pending.is_empty(), "window drained at barrier");
+        let aggregator = merged.into_inner().expect("aggregator lock");
+        Ok(CampaignResult {
             summaries: aggregator.summaries(),
-            records,
+            trials: done.load(Ordering::Relaxed),
+        })
+    }
+}
+
+/// One finished trial in flight between a worker and the ordered release:
+/// its serialized JSONL line (when streaming) and/or the record itself
+/// (when collecting).
+struct Slot {
+    bytes: Option<Vec<u8>>,
+    record: Option<TrialRecord>,
+}
+
+/// The ordered reorder window: releases finished trials strictly in job
+/// order regardless of completion order.
+struct Reorder<'a> {
+    /// The next shard-local job index to release.
+    next: u64,
+    /// Finished jobs ahead of `next`, bounded by the window size.
+    pending: BTreeMap<u64, Slot>,
+    sink: Option<&'a mut (dyn Write + Send)>,
+    collect: Option<&'a mut Vec<TrialRecord>>,
+    error: Option<std::io::Error>,
+}
+
+impl<'a> Reorder<'a> {
+    /// Releases every consecutive pending slot starting at `next`.  On a
+    /// sink error, records it (for the caller) and reports failure so
+    /// workers can abort.
+    fn release(&mut self) -> Result<(), ()> {
+        loop {
+            let next = self.next;
+            let Some(slot) = self.pending.remove(&next) else {
+                return Ok(());
+            };
+            if let (Some(sink), Some(bytes)) = (self.sink.as_deref_mut(), slot.bytes.as_deref()) {
+                if let Err(e) = sink.write_all(bytes) {
+                    self.error = Some(e);
+                    return Err(());
+                }
+            }
+            if let (Some(collected), Some(record)) = (self.collect.as_deref_mut(), slot.record) {
+                collected.push(record);
+            }
+            self.next += 1;
+        }
+    }
+}
+
+/// A lock-free rate limiter for progress reporting from worker threads.
+///
+/// [`Campaign::run_with_progress`] fires its callback once per finished
+/// trial; printing every call would serialize a million-trial campaign on
+/// stderr.  `ProgressThrottle::ready` returns `true` for at most one
+/// caller per interval (the first call always passes), so the callback
+/// stays cheap for everyone else:
+///
+/// ```
+/// use selfsim_campaign::ProgressThrottle;
+/// use std::time::Duration;
+///
+/// let throttle = ProgressThrottle::every(Duration::from_millis(100));
+/// let progress = |done: u64, total: u64| {
+///     if done == total || throttle.ready() {
+///         eprintln!("  {done}/{total} trials");
+///     }
+/// };
+/// progress(1, 2);
+/// ```
+pub struct ProgressThrottle {
+    start: Instant,
+    interval_ms: u64,
+    /// Milliseconds (since `start`) of the last update that passed;
+    /// `u64::MAX` until the first.
+    last: AtomicU64,
+}
+
+impl ProgressThrottle {
+    /// A throttle that passes at most one update per `interval` (~10
+    /// updates/sec at the CLI's 100 ms).
+    pub fn every(interval: Duration) -> Self {
+        ProgressThrottle {
+            start: Instant::now(),
+            interval_ms: (interval.as_millis() as u64).max(1),
+            last: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// `true` when the caller won the right to report progress now.
+    pub fn ready(&self) -> bool {
+        let now = self.start.elapsed().as_millis() as u64;
+        let mut last = self.last.load(Ordering::Relaxed);
+        loop {
+            if last != u64::MAX && now.saturating_sub(last) < self.interval_ms {
+                return false;
+            }
+            match self
+                .last
+                .compare_exchange_weak(last, now, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return true,
+                Err(current) => last = current,
+            }
         }
     }
 }
@@ -208,15 +486,15 @@ mod tests {
     #[test]
     fn runs_every_trial_once_in_order() {
         let campaign = small_campaign();
-        let result = campaign.run();
-        assert_eq!(result.records.len(), campaign.trial_count() as usize);
+        let collected = campaign.run_collect();
+        assert_eq!(collected.records.len(), campaign.trial_count() as usize);
         // Scenario-major, trial-minor ordering.
         let expected: Vec<(String, u64)> = campaign
             .scenarios()
             .iter()
             .flat_map(|s| (0..s.trials).map(move |t| (s.name(), t)))
             .collect();
-        let actual: Vec<(String, u64)> = result
+        let actual: Vec<(String, u64)> = collected
             .records
             .iter()
             .map(|r| (r.scenario.clone(), r.trial))
@@ -226,16 +504,106 @@ mod tests {
 
     #[test]
     fn thread_count_does_not_change_results() {
-        let sequential = small_campaign().threads(1).run();
-        let parallel = small_campaign().threads(4).run();
+        let sequential = small_campaign().threads(1).run_collect();
+        let parallel = small_campaign().threads(4).run_collect();
         assert_eq!(sequential.records, parallel.records);
         assert_eq!(sequential.summaries, parallel.summaries);
     }
 
     #[test]
+    fn streaming_collecting_and_aggregate_only_runs_agree() {
+        let campaign = small_campaign().threads(4);
+        let collected = campaign.run_collect();
+        let mut streamed = Vec::new();
+        let stream_result = campaign.stream_to(&mut streamed).expect("stream to memory");
+        let aggregate_only = campaign.run();
+
+        // Streamed bytes == collected records serialized after the fact.
+        let mut emitted = Vec::new();
+        crate::emit::write_jsonl(&mut emitted, &collected.records).expect("emit");
+        assert_eq!(streamed, emitted);
+
+        // All three modes agree on the aggregation.
+        assert_eq!(stream_result.summaries, collected.summaries);
+        assert_eq!(aggregate_only.summaries, collected.summaries);
+        assert_eq!(stream_result.trials, campaign.trial_count());
+        assert_eq!(aggregate_only.trials, campaign.trial_count());
+    }
+
+    #[test]
+    fn reorder_window_survives_many_small_trials() {
+        // More trials than the reorder window for 8 workers: fast workers
+        // must park and the released stream must still be in order.
+        let scenarios = ScenarioGrid::new()
+            .algorithms([AlgorithmKind::Minimum])
+            .topologies([TopologyFamily::Ring])
+            .envs([EnvModel::Static])
+            .sizes([4])
+            .trials(500)
+            .max_rounds(10_000)
+            .expand();
+        let mut parallel = Vec::new();
+        Campaign::new(scenarios.clone())
+            .seed(3)
+            .threads(8)
+            .stream_to(&mut parallel)
+            .expect("stream");
+        let mut sequential = Vec::new();
+        Campaign::new(scenarios)
+            .seed(3)
+            .threads(1)
+            .stream_to(&mut sequential)
+            .expect("stream");
+        assert_eq!(parallel, sequential);
+        assert_eq!(parallel.iter().filter(|&&b| b == b'\n').count(), 500);
+    }
+
+    #[test]
+    fn sharded_runs_partition_the_campaign() {
+        let campaign = small_campaign();
+        let full = campaign.run_collect();
+        let mut reassembled: Vec<Option<TrialRecord>> = vec![None; full.records.len()];
+        for index in 0..3 {
+            let shard = ShardSpec::new(index, 3).expect("spec");
+            let part = small_campaign().shard(shard).run_collect();
+            assert_eq!(
+                part.records.len() as u64,
+                shard.size(campaign.trial_count())
+            );
+            for (local, record) in part.records.into_iter().enumerate() {
+                let global = shard.global_position(local as u64) as usize;
+                assert!(reassembled[global].replace(record).is_none());
+            }
+        }
+        let reassembled: Vec<TrialRecord> = reassembled
+            .into_iter()
+            .map(|r| r.expect("covered"))
+            .collect();
+        assert_eq!(reassembled, full.records);
+    }
+
+    #[test]
+    fn stream_propagates_sink_errors() {
+        struct FailingSink;
+        impl Write for FailingSink {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("sink full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let err = small_campaign()
+            .threads(4)
+            .stream_to(&mut FailingSink)
+            .expect_err("sink errors must surface");
+        assert_eq!(err.to_string(), "sink full");
+    }
+
+    #[test]
     fn campaign_seed_changes_trials() {
-        let a = small_campaign().seed(1).run();
-        let b = small_campaign().seed(2).run();
+        let a = small_campaign().seed(1).run_collect();
+        let b = small_campaign().seed(2).run_collect();
         assert_ne!(
             a.records.iter().map(|r| r.seed).collect::<Vec<_>>(),
             b.records.iter().map(|r| r.seed).collect::<Vec<_>>()
@@ -264,5 +632,19 @@ mod tests {
         });
         assert_eq!(max_done.load(Ordering::Relaxed), campaign.trial_count());
         assert_eq!(result.summaries.len(), campaign.scenarios().len());
+        assert_eq!(result.trials, campaign.trial_count());
+    }
+
+    #[test]
+    fn progress_throttle_admits_one_update_per_interval() {
+        let throttle = ProgressThrottle::every(Duration::from_secs(3600));
+        assert!(throttle.ready(), "first update always passes");
+        for _ in 0..1000 {
+            assert!(!throttle.ready(), "within the interval nothing passes");
+        }
+        let instant = ProgressThrottle::every(Duration::from_millis(1));
+        assert!(instant.ready());
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(instant.ready(), "after the interval the next call passes");
     }
 }

@@ -169,6 +169,26 @@ impl TopologyFamily {
     }
 }
 
+/// Distributes a total trial budget *exactly* over expanded scenarios:
+/// every cell gets `total / cells` trials and the first `total % cells`
+/// cells one more, so the campaign runs precisely `total` trials (no
+/// `div_ceil` overshoot).  Returns `(base, extra)` for reporting.
+///
+/// Both the `campaign` CLI and the `bench_campaign` regression gate use
+/// this one split, so the benched workload is the shipped workload.  Note
+/// that when `total < cells` the trailing cells get **zero** trials and
+/// will be absent from records and summaries — callers should surface
+/// that (the CLI warns).
+pub fn distribute_trials(scenarios: &mut [Scenario], total: u64) -> (u64, u64) {
+    let cells = scenarios.len() as u64;
+    assert!(cells > 0, "cannot distribute trials over an empty grid");
+    let (base, extra) = (total / cells, total % cells);
+    for (i, scenario) in scenarios.iter_mut().enumerate() {
+        scenario.trials = base + u64::from((i as u64) < extra);
+    }
+    (base, extra)
+}
+
 /// Splits `n` into the most-square `rows × cols` factorisation (`rows ≤
 /// cols`, `rows * cols == n`); primes degenerate to a line.
 pub fn grid_dims(n: usize) -> (usize, usize) {
@@ -593,6 +613,27 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn distribute_trials_is_exact() {
+        let mut scenarios: Vec<Scenario> = (0..6)
+            .map(|i| {
+                Scenario::builder(AlgorithmKind::Minimum)
+                    .agents(4 + 2 * i)
+                    .build()
+            })
+            .collect();
+        let (base, extra) = distribute_trials(&mut scenarios, 100);
+        assert_eq!((base, extra), (16, 4));
+        let per_cell: Vec<u64> = scenarios.iter().map(|s| s.trials).collect();
+        assert_eq!(per_cell, vec![17, 17, 17, 17, 16, 16]);
+        assert_eq!(per_cell.iter().sum::<u64>(), 100);
+        // Fewer trials than cells: trailing cells get zero.
+        let (base, extra) = distribute_trials(&mut scenarios, 4);
+        assert_eq!((base, extra), (0, 4));
+        assert_eq!(scenarios.iter().map(|s| s.trials).sum::<u64>(), 4);
+        assert_eq!(scenarios[5].trials, 0);
+    }
 
     #[test]
     fn grid_dims_factorises() {

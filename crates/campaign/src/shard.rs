@@ -1,0 +1,410 @@
+//! Sharding: splitting one campaign across independent processes.
+//!
+//! A campaign's flat job list (scenario-major, trial-minor) is split by
+//! *stable stride*: shard `i` of `k` owns every job whose global position
+//! is congruent to `i` modulo `k`.  The stride split balances load (cells
+//! differ wildly in cost, so contiguous ranges would skew) and makes the
+//! merge trivial and byte-exact: the unsharded record stream is the
+//! round-robin interleave of the shard streams, so [`merge_shards`]
+//! reconstructs the *exact bytes* an unsharded run would have emitted.
+//! Per-trial seeds are derived from `(campaign seed, scenario, trial)` and
+//! never from the shard, so the determinism contract — byte-identical
+//! output for a given `(scenarios, seed)` — holds regardless of threads
+//! *or* shards.
+
+/// Which slice of the campaign's job list this process runs: shard
+/// `index` of `count`, selecting jobs by stable stride.
+///
+/// The default ([`ShardSpec::full`]) is shard `0/1` — the whole campaign.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardSpec {
+    index: u64,
+    count: u64,
+}
+
+impl Default for ShardSpec {
+    fn default() -> Self {
+        ShardSpec::full()
+    }
+}
+
+impl ShardSpec {
+    /// The whole campaign as a single shard (`0/1`).
+    pub fn full() -> Self {
+        ShardSpec { index: 0, count: 1 }
+    }
+
+    /// Shard `index` of `count`; errors unless `index < count`.
+    pub fn new(index: u64, count: u64) -> Result<Self, String> {
+        if count == 0 {
+            return Err(format!(
+                "invalid shard spec `{index}/{count}`: the shard count must be at least 1 \
+                 (expected `i/k` with 0 <= i < k, e.g. `0/4`)"
+            ));
+        }
+        if index >= count {
+            return Err(format!(
+                "invalid shard spec `{index}/{count}`: the shard index must be below the \
+                 shard count (expected `i/k` with 0 <= i < k, e.g. `0/{count}`)"
+            ));
+        }
+        Ok(ShardSpec { index, count })
+    }
+
+    /// Parses an `i/k` spec (what the CLI's `--shard` flag accepts),
+    /// mirroring the registry's descriptive-error style.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let malformed = || {
+            format!(
+                "invalid shard spec `{s}`: expected `i/k` with 0 <= i < k \
+                 (two base-10 integers, e.g. `0/4`)"
+            )
+        };
+        let (index, count) = s.split_once('/').ok_or_else(malformed)?;
+        let index: u64 = index.trim().parse().map_err(|_| malformed())?;
+        let count: u64 = count.trim().parse().map_err(|_| malformed())?;
+        ShardSpec::new(index, count)
+    }
+
+    /// This shard's index.
+    pub fn index(&self) -> u64 {
+        self.index
+    }
+
+    /// Total number of shards.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` when this is the whole campaign (`0/1`).
+    pub fn is_full(&self) -> bool {
+        self.count == 1
+    }
+
+    /// The `i/k` label (inverse of [`ShardSpec::parse`]).
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.index, self.count)
+    }
+
+    /// `true` when this shard owns the job at `position` in the flat,
+    /// scenario-major job list.
+    pub fn owns(&self, position: u64) -> bool {
+        position % self.count == self.index
+    }
+
+    /// The global job position of this shard's `local`-th job — the stride
+    /// enumeration `index, index + count, index + 2·count, …`.
+    pub fn global_position(&self, local: u64) -> u64 {
+        self.index + local * self.count
+    }
+
+    /// How many of `total` jobs this shard owns.
+    pub fn size(&self, total: u64) -> u64 {
+        total.saturating_sub(self.index).div_ceil(self.count)
+    }
+}
+
+/// Round-robin merges stride-sharded JSONL streams back into the exact
+/// byte stream an unsharded run would have emitted.
+///
+/// `shards` must be given in `--shard` index order (`0/k`, `1/k`, …):
+/// round `r` of the merge emits line `r` of every shard in turn, which is
+/// exactly the global job order under stride sharding.  Every emitted line
+/// ends with `\n` (re-normalised if a shard file lacks a trailing
+/// newline), and `emit` is called once per line with the full line bytes.
+///
+/// Returns the number of merged lines.  Errors — without any partial-line
+/// emission beyond what already succeeded — when a stream fails to read,
+/// `emit` fails, or the line counts are inconsistent with a stride
+/// partition (a later shard yielding a line after an earlier one ran dry,
+/// or counts spreading by more than one), which is what passing files out
+/// of order or dropping a shard usually looks like.
+///
+/// These checks are *structural* (they never parse a line), so equal-count
+/// shard files passed out of index order merge without error here — feed
+/// each emitted line to a [`MergeOrder`] checker (as `campaign --merge`
+/// does) to verify the reconstructed global order exactly.
+pub fn merge_shards<R: std::io::BufRead>(
+    shards: &mut [R],
+    mut emit: impl FnMut(&[u8]) -> Result<(), String>,
+) -> Result<u64, String> {
+    let mut merged = 0u64;
+    let mut counts = vec![0u64; shards.len()];
+    let mut line = String::new();
+    loop {
+        let mut exhausted_this_round: Option<usize> = None;
+        let mut progressed = false;
+        for (i, shard) in shards.iter_mut().enumerate() {
+            line.clear();
+            let read = shard
+                .read_line(&mut line)
+                .map_err(|e| format!("cannot read shard file {i}: {e}"))?;
+            if read == 0 {
+                exhausted_this_round.get_or_insert(i);
+                continue;
+            }
+            if let Some(j) = exhausted_this_round {
+                return Err(format!(
+                    "shard file {i} still has records after shard file {j} ran dry; \
+                     stride-sharded outputs must be passed in `--shard` index order \
+                     (`0/k`, `1/k`, ...) with no shard missing"
+                ));
+            }
+            if !line.ends_with('\n') {
+                line.push('\n');
+            }
+            emit(line.as_bytes())?;
+            counts[i] += 1;
+            merged += 1;
+            progressed = true;
+        }
+        if !progressed {
+            break;
+        }
+    }
+    let max = counts.iter().copied().max().unwrap_or(0);
+    let min = counts.iter().copied().min().unwrap_or(0);
+    if max > min + 1 {
+        return Err(format!(
+            "shard record counts {counts:?} are not a stride partition \
+             (they may differ by at most one); was a shard file omitted?"
+        ));
+    }
+    Ok(merged)
+}
+
+/// Verifies that a merged record stream is in unsharded job *shape* —
+/// scenario-major (each scenario's records contiguous), trial-minor
+/// (trials `0, 1, 2, …` within the scenario) — without knowing the grid.
+///
+/// This tightens [`merge_shards`]' structural checks considerably: two
+/// equal-length shard files swapped on the command line interleave without
+/// tripping any count check, but any misplaced record that breaks a
+/// scenario's `0, 1, 2, …` trial sequence fails here.  When every cell
+/// runs at least two trials, a swap always breaks some sequence (stride
+/// sharding spreads each cell's trials over multiple shards), so
+/// detection is complete.  The irreducible blind spot: a grid whose cells
+/// all run exactly *one* trial permutes as whole single-record blocks,
+/// which no grid-agnostic check can distinguish from the true order — if
+/// you merge such a stream, pass the files in `--shard` index order (or
+/// `cmp` against an unsharded rerun).
+#[derive(Debug, Default)]
+pub struct MergeOrder {
+    current: Option<String>,
+    next_trial: u64,
+    finished: std::collections::BTreeSet<String>,
+}
+
+impl MergeOrder {
+    /// A checker expecting the first record of the first scenario.
+    pub fn new() -> Self {
+        MergeOrder::default()
+    }
+
+    /// Checks the next record of the merged stream.
+    pub fn check(&mut self, record: &crate::trial::TrialRecord) -> Result<(), String> {
+        let misordered = |got: u64, want: u64| {
+            format!(
+                "merged stream is out of order: scenario `{}` trial {got} where trial \
+                 {want} was expected; are the shard files in `--shard` index order?",
+                record.scenario
+            )
+        };
+        match &self.current {
+            Some(current) if *current == record.scenario => {
+                if record.trial != self.next_trial {
+                    return Err(misordered(record.trial, self.next_trial));
+                }
+            }
+            _ => {
+                if self.finished.contains(&record.scenario) {
+                    return Err(format!(
+                        "merged stream is out of order: records for scenario `{}` are not \
+                         contiguous; are the shard files in `--shard` index order?",
+                        record.scenario
+                    ));
+                }
+                if record.trial != 0 {
+                    return Err(misordered(record.trial, 0));
+                }
+                if let Some(finished) = self.current.take() {
+                    self.finished.insert(finished);
+                }
+                self.current = Some(record.scenario.clone());
+                self.next_trial = 0;
+            }
+        }
+        self.next_trial += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn full_shard_owns_everything() {
+        let full = ShardSpec::full();
+        assert!(full.is_full());
+        for position in 0..10 {
+            assert!(full.owns(position));
+        }
+        assert_eq!(full.size(7), 7);
+        assert_eq!(full.label(), "0/1");
+    }
+
+    #[test]
+    fn stride_ownership_partitions_positions() {
+        let shards: Vec<ShardSpec> = (0..3).map(|i| ShardSpec::new(i, 3).unwrap()).collect();
+        for position in 0..20u64 {
+            let owners = shards.iter().filter(|s| s.owns(position)).count();
+            assert_eq!(owners, 1, "position {position}");
+        }
+        // Sizes cover the total and differ by at most one.
+        let sizes: Vec<u64> = shards.iter().map(|s| s.size(20)).collect();
+        assert_eq!(sizes.iter().sum::<u64>(), 20);
+        assert_eq!(sizes, vec![7, 7, 6]);
+        // Local → global enumeration is the stride.
+        assert_eq!(shards[1].global_position(0), 1);
+        assert_eq!(shards[1].global_position(2), 7);
+    }
+
+    #[test]
+    fn parse_round_trips_and_rejects_malformed_specs() {
+        let spec = ShardSpec::parse("2/5").unwrap();
+        assert_eq!((spec.index(), spec.count()), (2, 5));
+        assert_eq!(ShardSpec::parse(&spec.label()).unwrap(), spec);
+
+        for bad in ["3/3", "0/0", "a/b", "", "1", "1/", "/4", "-1/4", "1/2/3"] {
+            let err = ShardSpec::parse(bad).unwrap_err();
+            assert!(
+                err.contains(&format!("invalid shard spec `{bad}`")) || bad.is_empty(),
+                "{bad}: {err}"
+            );
+            assert!(err.contains("expected `i/k`"), "{bad}: {err}");
+        }
+        // The two semantically-bad shapes get targeted messages.
+        assert!(ShardSpec::parse("3/3")
+            .unwrap_err()
+            .contains("index must be below"));
+        assert!(ShardSpec::parse("0/0")
+            .unwrap_err()
+            .contains("count must be at least 1"));
+    }
+
+    fn lines(items: &[&str]) -> Cursor<Vec<u8>> {
+        Cursor::new(items.concat().into_bytes())
+    }
+
+    #[test]
+    fn merge_interleaves_round_robin() {
+        // Stride split of lines a..g over 3 shards.
+        let mut shards = vec![
+            lines(&["a\n", "d\n", "g\n"]),
+            lines(&["b\n", "e\n"]),
+            lines(&["c\n", "f\n"]),
+        ];
+        let mut out = Vec::new();
+        let merged = merge_shards(&mut shards, |line| {
+            out.extend_from_slice(line);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(merged, 7);
+        assert_eq!(out, b"a\nb\nc\nd\ne\nf\ng\n");
+    }
+
+    #[test]
+    fn merge_renormalises_missing_trailing_newline() {
+        let mut shards = vec![lines(&["a\n", "c"]), lines(&["b\n"])];
+        let mut out = Vec::new();
+        merge_shards(&mut shards, |line| {
+            out.extend_from_slice(line);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(out, b"a\nb\nc\n");
+    }
+
+    #[test]
+    fn merge_rejects_out_of_order_shards() {
+        // Shard 1 (2 lines) passed before shard 0 (3 lines): the longer
+        // file yields a line after the shorter ran dry.
+        let mut shards = vec![lines(&["b\n", "e\n"]), lines(&["a\n", "d\n", "g\n"])];
+        let err = merge_shards(&mut shards, |_| Ok(())).unwrap_err();
+        assert!(err.contains("`--shard` index order"), "{err}");
+    }
+
+    #[test]
+    fn merge_rejects_non_partition_counts() {
+        let mut shards = vec![lines(&["a\n", "b\n", "c\n"]), lines(&["d\n"])];
+        let err = merge_shards(&mut shards, |_| Ok(())).unwrap_err();
+        assert!(err.contains("not a stride partition"), "{err}");
+    }
+
+    #[test]
+    fn merge_propagates_emit_errors() {
+        let mut shards = vec![lines(&["a\n"])];
+        let err = merge_shards(&mut shards, |_| Err("sink full".into())).unwrap_err();
+        assert_eq!(err, "sink full");
+    }
+
+    fn record(scenario: &str, trial: u64) -> crate::trial::TrialRecord {
+        crate::trial::TrialRecord {
+            scenario: scenario.into(),
+            algorithm: "minimum".into(),
+            topology: "ring".into(),
+            environment: "static".into(),
+            mode: "sync".into(),
+            agents: 8,
+            trial,
+            seed: trial,
+            converged: true,
+            expected: "converge".into(),
+            meets_expectation: true,
+            rounds_to_convergence: Some(3),
+            rounds_executed: 3,
+            group_steps: 3,
+            effective_group_steps: 3,
+            messages: 24,
+            initial_objective: 10.0,
+            final_objective: 0.0,
+            objective_monotone: true,
+        }
+    }
+
+    #[test]
+    fn merge_order_accepts_scenario_major_trial_minor_streams() {
+        let mut order = MergeOrder::new();
+        for (scenario, trial) in [("a", 0), ("a", 1), ("a", 2), ("b", 0), ("b", 1)] {
+            order.check(&record(scenario, trial)).unwrap();
+        }
+    }
+
+    #[test]
+    fn merge_order_catches_equal_count_shards_swapped() {
+        // Stride shards of a,0 a,1 a,2 a,3: shard0 = trials 0,2; shard1 =
+        // trials 1,3.  Merging them swapped yields 1,0,3,2 — the very
+        // first record already has the wrong trial index.
+        let mut order = MergeOrder::new();
+        let err = order.check(&record("a", 1)).unwrap_err();
+        assert!(err.contains("trial 1 where trial 0 was expected"), "{err}");
+
+        // And mid-scenario swaps are caught by the increment check.
+        let mut order = MergeOrder::new();
+        order.check(&record("a", 0)).unwrap();
+        let err = order.check(&record("a", 2)).unwrap_err();
+        assert!(err.contains("trial 2 where trial 1 was expected"), "{err}");
+    }
+
+    #[test]
+    fn merge_order_rejects_non_contiguous_scenarios() {
+        let mut order = MergeOrder::new();
+        order.check(&record("a", 0)).unwrap();
+        order.check(&record("b", 0)).unwrap();
+        let err = order.check(&record("a", 1)).unwrap_err();
+        assert!(err.contains("not contiguous"), "{err}");
+    }
+}

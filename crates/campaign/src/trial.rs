@@ -61,6 +61,28 @@ pub struct TrialRecord {
 }
 
 impl TrialRecord {
+    /// The record's canonical JSONL form: one JSON object plus the line
+    /// terminator.  Every emission path (the streaming runner's spill
+    /// buffers, [`crate::emit::write_jsonl`], shard outputs) goes through
+    /// this one serializer, which is what makes "streamed bytes ==
+    /// collected-then-emitted bytes" and the shard-merge byte identity
+    /// hold by construction.
+    pub fn to_jsonl_line(&self) -> std::io::Result<Vec<u8>> {
+        let mut line = serde_json::to_string(self)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?
+            .into_bytes();
+        line.push(b'\n');
+        Ok(line)
+    }
+
+    /// Parses one JSONL line back into a record (the inverse of
+    /// [`TrialRecord::to_jsonl_line`]); used by the shard-merge path to
+    /// re-aggregate.
+    pub fn from_jsonl_line(line: &str) -> Result<Self, String> {
+        serde_json::from_str(line.trim_end_matches('\n'))
+            .map_err(|e| format!("malformed trial record line: {e}"))
+    }
+
     /// Flattens a run's metrics into a record for `scenario`'s cell.
     pub fn from_metrics(scenario: &Scenario, trial: u64, seed: u64, m: &RunMetrics) -> Self {
         let expectation = scenario.algorithm.expectation();
@@ -238,6 +260,24 @@ mod tests {
         let record = run_trial(&scenario, 0, 9);
         assert!(!record.converged, "one edge at a time: no global snapshot");
         assert!(!record.meets_expectation, "baseline expected to converge");
+    }
+
+    #[test]
+    fn jsonl_line_round_trips() {
+        let scenario = tiny(AlgorithmKind::Minimum, EnvModel::Static);
+        let record = run_trial(&scenario, 2, 77);
+        let line = record.to_jsonl_line().unwrap();
+        assert_eq!(line.last(), Some(&b'\n'));
+        let text = String::from_utf8(line).unwrap();
+        assert_eq!(TrialRecord::from_jsonl_line(&text).unwrap(), record);
+        // Without the trailing newline too (a shard file's final line).
+        assert_eq!(
+            TrialRecord::from_jsonl_line(text.trim_end()).unwrap(),
+            record
+        );
+        assert!(TrialRecord::from_jsonl_line("{not json")
+            .unwrap_err()
+            .contains("malformed trial record line"));
     }
 
     #[test]

@@ -24,6 +24,13 @@ pub struct Summary {
 
 impl Summary {
     /// Computes summary statistics of `values`.
+    ///
+    /// The sample is sorted before *any* reduction, so the result is
+    /// bit-identical for every permutation of `values` — float addition is
+    /// not associative, and order-independence here is what lets the
+    /// campaign aggregator fold records in completion order (which varies
+    /// with thread scheduling) while keeping emitted summaries
+    /// byte-deterministic.
     pub fn of(values: &[f64]) -> Self {
         if values.is_empty() {
             return Summary {
@@ -37,10 +44,10 @@ impl Summary {
             };
         }
         let count = values.len();
-        let mean = values.iter().sum::<f64>() / count as f64;
-        let variance = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / count as f64;
         let mut sorted: Vec<f64> = values.to_vec();
         sorted.sort_by(|a, b| a.total_cmp(b));
+        let mean = sorted.iter().sum::<f64>() / count as f64;
+        let variance = sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / count as f64;
         Summary {
             count,
             mean,
@@ -56,6 +63,57 @@ impl Summary {
     pub fn of_counts(values: &[usize]) -> Self {
         let floats: Vec<f64> = values.iter().map(|v| *v as f64).collect();
         Summary::of(&floats)
+    }
+
+    /// Computes summary statistics from a histogram of `(value,
+    /// multiplicity)` pairs in ascending value order, without ever
+    /// expanding the sample — `O(distinct values)` memory however many
+    /// observations were folded in.  This is what lets the campaign
+    /// aggregator summarise a million trials at constant memory.
+    ///
+    /// Percentiles use the same nearest-rank rule as [`Summary::of`]
+    /// applied to the expanded sorted sample, so for integer-valued data
+    /// the two constructors agree exactly.
+    pub fn of_histogram(pairs: impl IntoIterator<Item = (f64, u64)> + Clone) -> Self {
+        let count: u64 = pairs.clone().into_iter().map(|(_, c)| c).sum();
+        if count == 0 {
+            return Summary::of(&[]);
+        }
+        let mut mean = 0.0;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for (value, c) in pairs.clone() {
+            mean += value * c as f64;
+            min = min.min(value);
+            max = max.max(value);
+        }
+        mean /= count as f64;
+        let variance = pairs
+            .clone()
+            .into_iter()
+            .map(|(v, c)| (v - mean) * (v - mean) * c as f64)
+            .sum::<f64>()
+            / count as f64;
+        let rank = |q: f64| (q * (count as f64 - 1.0)).round() as u64;
+        let value_at = |rank: u64| {
+            let mut cumulative = 0u64;
+            for (value, c) in pairs.clone() {
+                cumulative += c;
+                if rank < cumulative {
+                    return value;
+                }
+            }
+            max
+        };
+        Summary {
+            count: count as usize,
+            mean,
+            stddev: variance.sqrt(),
+            min,
+            max,
+            median: value_at(rank(0.50)),
+            p95: value_at(rank(0.95)),
+        }
     }
 }
 
@@ -121,6 +179,21 @@ mod tests {
         let s = Summary::of_counts(&[1, 2, 3]);
         assert_eq!(s.mean, 2.0);
         assert_eq!(s.count, 3);
+    }
+
+    #[test]
+    fn histogram_matches_expanded_sample() {
+        // 2×4.0, 1×2.0, 1×9.0 — same data both ways.
+        let expanded = Summary::of(&[2.0, 4.0, 4.0, 9.0]);
+        let histogram = Summary::of_histogram([(2.0, 1u64), (4.0, 2), (9.0, 1)]);
+        assert_eq!(histogram, expanded);
+        // Percentile ranks land inside multiplicities correctly.
+        let h = Summary::of_histogram([(1.0, 10u64), (100.0, 1)]);
+        assert_eq!(h.median, 1.0);
+        assert_eq!(h.p95, 100.0);
+        assert_eq!(h.count, 11);
+        // Empty histogram == empty sample.
+        assert_eq!(Summary::of_histogram(std::iter::empty()), Summary::of(&[]));
     }
 
     #[test]

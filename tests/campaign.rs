@@ -1,12 +1,13 @@
 //! Integration test of the campaign engine: a small but real sweep
 //! (4 environment models × 2 algorithms × 5 seeds) must fully converge, and
-//! its aggregated output must be *byte-identical* across repeated runs and
-//! across thread counts — the determinism-under-parallelism contract, in
-//! both execution modes.
+//! its emitted output must be *byte-identical* across repeated runs, across
+//! thread counts, and across process shards — the determinism contract, in
+//! both execution modes.  Streaming (the default, `O(threads)` memory) and
+//! the opt-in collected mode must produce the same bytes.
 
 use selfsim_campaign::{
-    emit, AlgorithmKind, Campaign, CampaignResult, EnvModel, ExecutionMode, Registry, ScenarioGrid,
-    TopologyFamily,
+    emit, merge_shards, AlgorithmKind, Campaign, CollectedResult, EnvModel, ExecutionMode,
+    Registry, ScenarioGrid, ShardSpec, TopologyFamily,
 };
 
 const TRIALS: u64 = 5;
@@ -36,9 +37,9 @@ fn sweep() -> Vec<selfsim_campaign::Scenario> {
         .expand()
 }
 
-/// Serialises everything a campaign emits (per-trial JSONL, per-scenario
-/// JSONL, markdown table) into one byte buffer.
-fn emitted_bytes(result: &CampaignResult) -> Vec<u8> {
+/// Serialises everything a collected campaign emits (per-trial JSONL,
+/// per-scenario JSONL, markdown table) into one byte buffer.
+fn emitted_bytes(result: &CollectedResult) -> Vec<u8> {
     let mut bytes = Vec::new();
     emit::write_jsonl(&mut bytes, &result.records).expect("records emit");
     emit::write_summary_jsonl(&mut bytes, &result.summaries).expect("summaries emit");
@@ -54,7 +55,7 @@ fn small_campaign_fully_converges() {
     let campaign = Campaign::new(scenarios).seed(2026);
     assert_eq!(campaign.trial_count(), 8 * TRIALS);
 
-    let result = campaign.run();
+    let result = campaign.run_collect();
     assert_eq!(result.records.len(), 8 * TRIALS as usize);
     for record in &result.records {
         assert!(
@@ -78,22 +79,128 @@ fn small_campaign_fully_converges() {
 
 #[test]
 fn rerunning_with_same_seed_is_byte_identical_under_parallelism() {
-    let first = Campaign::new(sweep()).seed(7).threads(4).run();
-    let second = Campaign::new(sweep()).seed(7).threads(4).run();
+    let first = Campaign::new(sweep()).seed(7).threads(4).run_collect();
+    let second = Campaign::new(sweep()).seed(7).threads(4).run_collect();
     assert_eq!(emitted_bytes(&first), emitted_bytes(&second));
 
     // Determinism must not depend on the worker count either.
-    let sequential = Campaign::new(sweep()).seed(7).threads(1).run();
+    let sequential = Campaign::new(sweep()).seed(7).threads(1).run_collect();
     assert_eq!(emitted_bytes(&first), emitted_bytes(&sequential));
 }
 
 #[test]
 fn different_campaign_seeds_give_different_trials() {
-    let a = Campaign::new(sweep()).seed(1).run();
-    let b = Campaign::new(sweep()).seed(2).run();
+    let a = Campaign::new(sweep()).seed(1).run_collect();
+    let b = Campaign::new(sweep()).seed(2).run_collect();
     let seeds_a: Vec<u64> = a.records.iter().map(|r| r.seed).collect();
     let seeds_b: Vec<u64> = b.records.iter().map(|r| r.seed).collect();
     assert_ne!(seeds_a, seeds_b);
+}
+
+/// The tentpole contract, part 1: the streaming pipeline's bytes are
+/// exactly what collecting every record and emitting afterwards produces —
+/// in both execution modes — while the streaming run never retains records.
+#[test]
+fn streamed_bytes_equal_collected_then_emitted_bytes() {
+    for scenarios in [sweep(), async_sweep()] {
+        let collected = Campaign::new(scenarios.clone())
+            .seed(7)
+            .threads(4)
+            .run_collect();
+        let mut collected_bytes = Vec::new();
+        emit::write_jsonl(&mut collected_bytes, &collected.records).expect("emit");
+
+        let mut streamed = Vec::new();
+        let result = Campaign::new(scenarios)
+            .seed(7)
+            .threads(4)
+            .stream_to(&mut streamed)
+            .expect("stream to memory");
+        assert_eq!(streamed, collected_bytes);
+        assert_eq!(result.summaries, collected.summaries);
+        assert_eq!(result.trials as usize, collected.records.len());
+    }
+}
+
+/// The tentpole contract, part 2: for every shard count × thread count
+/// combination, round-robin-merging the shard streams reproduces the
+/// unsharded byte stream exactly — threads and shards are both invisible
+/// in the output.
+#[test]
+fn every_shard_and_thread_combination_merges_to_identical_output() {
+    let mut full = Vec::new();
+    Campaign::new(sweep())
+        .seed(7)
+        .threads(2)
+        .stream_to(&mut full)
+        .expect("unsharded stream");
+
+    for shards in [1u64, 2, 3, 5] {
+        for threads in [1usize, 4] {
+            let mut parts: Vec<std::io::Cursor<Vec<u8>>> = Vec::new();
+            for index in 0..shards {
+                let mut bytes = Vec::new();
+                Campaign::new(sweep())
+                    .seed(7)
+                    .threads(threads)
+                    .shard(ShardSpec::new(index, shards).expect("spec"))
+                    .stream_to(&mut bytes)
+                    .expect("shard stream");
+                parts.push(std::io::Cursor::new(bytes));
+            }
+            let mut merged = Vec::new();
+            let lines = merge_shards(&mut parts, |line| {
+                merged.extend_from_slice(line);
+                Ok(())
+            })
+            .expect("merge");
+            assert_eq!(
+                merged, full,
+                "shards={shards} threads={threads} must reproduce the unsharded bytes"
+            );
+            assert_eq!(lines, 8 * TRIALS, "shards={shards} threads={threads}");
+        }
+    }
+}
+
+/// Malformed `--shard` specs are rejected with descriptive, registry-style
+/// errors naming the expected shape.
+#[test]
+fn shard_specs_reject_malformed_input_with_descriptive_errors() {
+    for bad in ["3/3", "0/0", "a/b"] {
+        let err = ShardSpec::parse(bad).expect_err(bad);
+        assert!(err.contains("invalid shard spec"), "{bad}: {err}");
+        assert!(err.contains("expected `i/k`"), "{bad}: {err}");
+    }
+    assert!(ShardSpec::parse("3/3")
+        .unwrap_err()
+        .contains("index must be below the shard count"));
+    assert!(ShardSpec::parse("0/0")
+        .unwrap_err()
+        .contains("count must be at least 1"));
+}
+
+/// Merging shard streams re-aggregates to the same summaries the unsharded
+/// run computes (the CLI's `--merge` path in library form).
+#[test]
+fn merged_shards_reaggregate_to_unsharded_summaries() {
+    let unsharded = Campaign::new(sweep()).seed(7).run();
+    let mut parts: Vec<std::io::Cursor<Vec<u8>>> = Vec::new();
+    for index in 0..3 {
+        let mut bytes = Vec::new();
+        Campaign::new(sweep())
+            .seed(7)
+            .shard(ShardSpec::new(index, 3).expect("spec"))
+            .stream_to(&mut bytes)
+            .expect("shard stream");
+        parts.push(std::io::Cursor::new(bytes));
+    }
+    let mut aggregator = selfsim_campaign::Aggregator::new();
+    merge_shards(&mut parts, |line| {
+        aggregator.observe_line(std::str::from_utf8(line).expect("utf8"))
+    })
+    .expect("merge");
+    assert_eq!(aggregator.summaries(), unsharded.summaries);
 }
 
 // (Registry label↔factory round-trip and unknown-label error contents are
@@ -121,8 +228,14 @@ fn async_sweep() -> Vec<selfsim_campaign::Scenario> {
 /// runtime too: byte-identical emitted output across thread counts.
 #[test]
 fn async_campaign_is_byte_identical_across_thread_counts() {
-    let parallel = Campaign::new(async_sweep()).seed(7).threads(4).run();
-    let sequential = Campaign::new(async_sweep()).seed(7).threads(1).run();
+    let parallel = Campaign::new(async_sweep())
+        .seed(7)
+        .threads(4)
+        .run_collect();
+    let sequential = Campaign::new(async_sweep())
+        .seed(7)
+        .threads(1)
+        .run_collect();
     assert_eq!(emitted_bytes(&parallel), emitted_bytes(&sequential));
     for record in &parallel.records {
         assert_eq!(record.mode, "async");

@@ -4,9 +4,14 @@
 //! `cargo bench`, executes each benchmark closure a small fixed number of
 //! times and prints the mean wall time.  No statistics, plots or HTML
 //! reports — this exists so benches build and give a rough signal offline.
+//!
+//! Like upstream, a positional argument substring-filters benchmark names:
+//! `cargo bench --bench experiments -- hotpath` runs only the `hotpath`
+//! group (cargo's own `--bench`-style flags are ignored).
 
 #![forbid(unsafe_code)]
 
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -84,6 +89,9 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) {
         let label = format!("{}/{}", self.name, id.0);
+        if !filter_matches(&label) {
+            return;
+        }
         let mut bencher = Bencher {
             elapsed: Duration::ZERO,
             iters: 0,
@@ -135,12 +143,60 @@ impl Bencher {
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(label: &str, f: &mut F) {
+    if !filter_matches(label) {
+        return;
+    }
     let mut bencher = Bencher {
         elapsed: Duration::ZERO,
         iters: 0,
     };
     f(&mut bencher);
     report(label, &bencher);
+}
+
+/// `true` when `label` matches the positional CLI filter (if any).
+///
+/// Boolean flags (`--bench`, `--exact`, …) that cargo or the user pass
+/// are skipped, and upstream flags that take a value skip their value too
+/// (`--save-baseline main` must not turn `main` into a name filter that
+/// silently deselects every benchmark) — only the first remaining bare
+/// argument filters.
+fn filter_matches(label: &str) -> bool {
+    /// Upstream criterion flags that consume the following argument.
+    const VALUE_FLAGS: &[&str] = &[
+        "--save-baseline",
+        "--baseline",
+        "--baseline-lenient",
+        "--load-baseline",
+        "--sample-size",
+        "--measurement-time",
+        "--warm-up-time",
+        "--profile-time",
+        "--significance-level",
+        "--noise-threshold",
+        "--confidence-level",
+        "--nresamples",
+        "--output-format",
+        "--color",
+        "--colour",
+        "--format",
+        "--logfile",
+    ];
+    static FILTER: OnceLock<Option<String>> = OnceLock::new();
+    let filter = FILTER.get_or_init(|| {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            if arg.starts_with('-') {
+                if VALUE_FLAGS.contains(&arg.as_str()) {
+                    let _ = args.next();
+                }
+                continue;
+            }
+            return Some(arg);
+        }
+        None
+    });
+    filter.as_deref().is_none_or(|f| label.contains(f))
 }
 
 fn report(label: &str, bencher: &Bencher) {
