@@ -6,6 +6,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use selfsim_env::Environment;
+use selfsim_runtime::{validate_async_knobs, DeliveryDecision, DeliveryRule};
 use selfsim_trace::RunMetrics;
 
 /// A flooding aggregator: every agent keeps the set of `(agent, value)`
@@ -84,9 +85,15 @@ impl FloodingAggregator {
     /// tick, each currently-usable edge gossips with probability
     /// `interaction_rate` — both endpoints send a snapshot of their whole
     /// knowledge set, which is lost with probability `drop_rate` or arrives
-    /// after a uniform `1..=max_latency` latency (and is then only accepted
-    /// if the pair can still communicate).  The run converges when every
-    /// agent has heard from every other agent.
+    /// after a uniform `1..=max_latency` latency; the [`DeliveryRule`]
+    /// decides what happens when the pair can no longer communicate at the
+    /// due tick (the same rule the self-similar async runtime applies, so
+    /// cross-runtime comparisons stay apples-to-apples).  The run converges
+    /// when every agent has heard from every other agent.
+    ///
+    /// (The parameter list deliberately mirrors `AsyncConfig`'s knobs so
+    /// the campaign dispatch stays a positional passthrough.)
+    #[allow(clippy::too_many_arguments)]
     pub fn run_async<E: Environment + ?Sized>(
         &self,
         environment: &mut E,
@@ -94,13 +101,18 @@ impl FloodingAggregator {
         interaction_rate: f64,
         max_latency: usize,
         drop_rate: f64,
+        delivery: DeliveryRule,
         mut fold: impl FnMut(i64, i64) -> i64,
     ) -> (RunMetrics, Option<i64>) {
         struct Gossip {
             deliver_at: usize,
+            expires_at: usize,
             from: usize,
             to: usize,
             payload: BTreeSet<usize>,
+        }
+        if let Err(message) = validate_async_knobs(interaction_rate, max_latency, drop_rate) {
+            panic!("invalid async parameters: {message}");
         }
         let n = self.values.len();
         let mut rng = StdRng::seed_from_u64(seed);
@@ -124,13 +136,18 @@ impl FloodingAggregator {
                     (edge.lo().index(), edge.hi().index()),
                     (edge.hi().index(), edge.lo().index()),
                 ] {
+                    // Message cost is in knowledge entries sent; drops are
+                    // tracked in the same unit so the two stay comparable.
                     metrics.messages += knowledge[from].len();
                     if rng.gen_bool(drop_rate) {
+                        metrics.messages_dropped += knowledge[from].len();
                         continue; // lost in flight
                     }
-                    let latency = rng.gen_range(1..=max_latency.max(1));
+                    let latency = rng.gen_range(1..=max_latency);
+                    let deliver_at = tick + latency;
                     pending.push(Gossip {
-                        deliver_at: tick + latency,
+                        deliver_at,
+                        expires_at: delivery.expiry(deliver_at),
                         from,
                         to,
                         payload: knowledge[from].clone(),
@@ -139,12 +156,24 @@ impl FloodingAggregator {
             }
 
             // In-place drain (order-preserving): no per-tick reallocation
-            // of the undelivered queue.
+            // of the undelivered queue.  Re-queued gossip moves to the back
+            // of the queue, which is still seed-deterministic.
             let due: Vec<Gossip> = pending.extract_if(.., |g| g.deliver_at <= tick).collect();
             for gossip in due {
                 use selfsim_env::AgentId;
-                if !env_state.can_communicate(AgentId(gossip.from), AgentId(gossip.to)) {
-                    continue;
+                let usable_now =
+                    env_state.can_communicate(AgentId(gossip.from), AgentId(gossip.to));
+                // The edge was usable at send time by construction.
+                match delivery.decide(usable_now, true, tick, gossip.expires_at) {
+                    DeliveryDecision::Discard => continue,
+                    DeliveryDecision::Requeue => {
+                        pending.push(Gossip {
+                            deliver_at: tick + 1,
+                            ..gossip
+                        });
+                        continue;
+                    }
+                    DeliveryDecision::Deliver => {}
                 }
                 metrics.group_steps += 1;
                 let before = knowledge[gossip.to].len();
@@ -173,7 +202,7 @@ impl FloodingAggregator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use selfsim_env::{AdversarialEnv, RandomChurnEnv, StaticEnv, Topology};
+    use selfsim_env::{AdversarialEnv, PeriodicPartitionEnv, RandomChurnEnv, StaticEnv, Topology};
 
     #[test]
     fn flooding_converges_in_diameter_rounds_on_a_static_line() {
@@ -222,9 +251,11 @@ mod tests {
         let topo = Topology::line(5);
         let mut env = StaticEnv::new(topo);
         let baseline = FloodingAggregator::new(vec![9, 4, 7, 1, 5], 2_000);
-        let (metrics, result) = baseline.run_async(&mut env, 1, 1.0, 1, 0.0, i64::min);
+        let (metrics, result) =
+            baseline.run_async(&mut env, 1, 1.0, 1, 0.0, DeliveryRule::default(), i64::min);
         assert_eq!(result, Some(1));
         assert!(metrics.converged());
+        assert_eq!(metrics.messages_dropped, 0, "drop_rate 0 drops nothing");
     }
 
     #[test]
@@ -232,28 +263,62 @@ mod tests {
         let topo = Topology::ring(6);
         let mut env = RandomChurnEnv::new(topo, 0.5, 1.0);
         let baseline = FloodingAggregator::new(vec![6, 5, 4, 3, 2, 1], 20_000);
-        let (metrics, result) = baseline.run_async(&mut env, 7, 0.5, 3, 0.3, i64::min);
+        let (metrics, result) =
+            baseline.run_async(&mut env, 7, 0.5, 3, 0.3, DeliveryRule::default(), i64::min);
         assert_eq!(result, Some(1));
         assert!(metrics.converged());
+        assert!(metrics.messages_dropped > 0);
+        assert!(metrics.messages_dropped <= metrics.messages);
     }
 
     #[test]
-    fn async_flooding_is_seed_deterministic() {
-        let run = || {
-            let mut env = RandomChurnEnv::new(Topology::ring(5), 0.6, 1.0);
-            FloodingAggregator::new(vec![5, 4, 3, 2, 1], 10_000).run_async(
+    fn async_flooding_is_seed_deterministic_under_every_rule() {
+        for rule in DeliveryRule::all() {
+            let run = || {
+                let mut env = RandomChurnEnv::new(Topology::ring(5), 0.6, 1.0);
+                FloodingAggregator::new(vec![5, 4, 3, 2, 1], 10_000).run_async(
+                    &mut env,
+                    13,
+                    0.5,
+                    2,
+                    0.2,
+                    rule,
+                    i64::min,
+                )
+            };
+            let (a_metrics, a_result) = run();
+            let (b_metrics, b_result) = run();
+            assert_eq!(a_metrics, b_metrics, "{}", rule.label());
+            assert_eq!(a_result, b_result, "{}", rule.label());
+        }
+    }
+
+    #[test]
+    fn delivery_rule_decides_the_periodic_partition_stall() {
+        // Single-tick merges, latency 3: every cross-block gossip is due
+        // in a partitioned phase.  The historical rule discards them all,
+        // so knowledge never crosses blocks; valid-at-send and a
+        // window-aware grace both restore convergence from the same seed.
+        let run = |rule: DeliveryRule| {
+            let mut env = PeriodicPartitionEnv::new(Topology::complete(6), 2, 8);
+            FloodingAggregator::new(vec![6, 5, 4, 3, 2, 1], 2_000).run_async(
                 &mut env,
-                13,
+                3,
                 0.5,
-                2,
-                0.2,
+                3,
+                0.0,
+                rule,
                 i64::min,
             )
         };
-        let (a_metrics, a_result) = run();
-        let (b_metrics, b_result) = run();
-        assert_eq!(a_metrics, b_metrics);
-        assert_eq!(a_result, b_result);
+        let (stalled, no_result) = run(DeliveryRule::ValidAtDelivery);
+        assert_eq!(no_result, None);
+        assert!(!stalled.converged(), "short merge windows must stall");
+        for rule in [DeliveryRule::ValidAtSend, DeliveryRule::any_overlap()] {
+            let (metrics, result) = run(rule);
+            assert_eq!(result, Some(1), "{}", rule.label());
+            assert!(metrics.converged(), "{}", rule.label());
+        }
     }
 
     #[test]

@@ -3,7 +3,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use selfsim_env::{AgentId, Environment};
+use selfsim_env::{AgentId, EnvState, Environment};
+use selfsim_runtime::{validate_async_knobs, DeliveryDecision, DeliveryRule};
 use selfsim_trace::RunMetrics;
 
 /// A coordinator-based aggregator: agent 0 repeatedly attempts to take a
@@ -74,12 +75,17 @@ impl SnapshotAggregator {
     /// tick the coordinator launches, with probability `interaction_rate`, a
     /// snapshot attempt of one probe per remote agent.  Each probe is lost
     /// with probability `drop_rate` or delivered after a uniform
-    /// `1..=max_latency` latency, and only counts if the coordinator can
-    /// (multi-hop) reach *every* agent at the probe's delivery tick — the
-    /// same full-reachability requirement as the synchronous protocol, now
-    /// demanded at each delivery instant.  An attempt succeeds when all of
-    /// its probes succeed, so latency makes the centralised protocol
-    /// strictly harder to satisfy, never easier.
+    /// `1..=max_latency` latency.  The snapshot's connectivity condition is
+    /// full (multi-hop) reachability of every agent from the coordinator;
+    /// the [`DeliveryRule`] decides *when* that condition must hold — at
+    /// the probe's delivery tick (the historical `ValidAtDelivery`), at its
+    /// send tick (`ValidAtSend`), or at any tick of the probe's grace
+    /// window (`AnyOverlap`, re-queueing blocked probes).  An attempt
+    /// succeeds when all of its probes succeed.
+    ///
+    /// (The parameter list deliberately mirrors `AsyncConfig`'s knobs so
+    /// the campaign dispatch stays a positional passthrough.)
+    #[allow(clippy::too_many_arguments)]
     pub fn run_async<E: Environment + ?Sized>(
         &self,
         environment: &mut E,
@@ -87,16 +93,30 @@ impl SnapshotAggregator {
         interaction_rate: f64,
         max_latency: usize,
         drop_rate: f64,
+        delivery: DeliveryRule,
         mut fold: impl FnMut(i64, i64) -> i64,
     ) -> (RunMetrics, Option<i64>) {
         struct Probe {
             deliver_at: usize,
+            expires_at: usize,
+            reachable_at_send: bool,
             attempt: usize,
+        }
+        if let Err(message) = validate_async_knobs(interaction_rate, max_latency, drop_rate) {
+            panic!("invalid async parameters: {message}");
         }
         let n = self.values.len();
         let mut rng = StdRng::seed_from_u64(seed);
         let mut metrics = RunMetrics::new("snapshot-baseline", environment.name(), n);
         let coordinator = AgentId(0);
+        let reachable = |env_state: &EnvState| {
+            env_state
+                .groups()
+                .iter()
+                .find(|g| g.contains(&coordinator))
+                .map(|g| g.len() == n)
+                .unwrap_or(false)
+        };
         let mut result = None;
         // outstanding probes / already-failed flag, per launched attempt.
         let mut attempts: Vec<(usize, bool)> = Vec::new();
@@ -111,6 +131,11 @@ impl SnapshotAggregator {
                 attempts.push((n - 1, false));
                 metrics.group_steps += 1;
                 metrics.messages += n - 1;
+                // Only `ValidAtSend` judges probes by send-time
+                // reachability, so the component computation is skipped for
+                // the other rules.
+                let reachable_at_send =
+                    delivery == DeliveryRule::ValidAtSend && reachable(&env_state);
                 // One probe per remote agent, each with its own latency; a
                 // single loss already kills the attempt, so the rest of a
                 // dead attempt's probes are counted but never tracked.
@@ -119,12 +144,16 @@ impl SnapshotAggregator {
                         break;
                     }
                     if rng.gen_bool(drop_rate) {
+                        metrics.messages_dropped += 1;
                         attempts[attempt].1 = true; // probe lost: attempt dead
                         continue;
                     }
-                    let latency = rng.gen_range(1..=max_latency.max(1));
+                    let latency = rng.gen_range(1..=max_latency);
+                    let deliver_at = tick + latency;
                     pending.push(Probe {
-                        deliver_at: tick + latency,
+                        deliver_at,
+                        expires_at: delivery.expiry(deliver_at),
+                        reachable_at_send,
                         attempt,
                     });
                 }
@@ -136,20 +165,32 @@ impl SnapshotAggregator {
             if due.iter().all(|p| attempts[p.attempt].1) {
                 continue; // nothing live due: skip the component computation
             }
-            let groups = env_state.groups();
-            let all_reachable = groups
-                .iter()
-                .find(|g| g.contains(&coordinator))
-                .map(|g| g.len() == n)
-                .unwrap_or(false);
+            // `ValidAtSend` never reads delivery-time reachability, so it
+            // skips this component computation too.
+            let all_reachable = delivery != DeliveryRule::ValidAtSend && reachable(&env_state);
             for probe in due {
                 let (outstanding, failed) = &mut attempts[probe.attempt];
                 if *failed {
                     continue;
                 }
-                if !all_reachable {
-                    *failed = true;
-                    continue;
+                match delivery.decide(
+                    all_reachable,
+                    probe.reachable_at_send,
+                    tick,
+                    probe.expires_at,
+                ) {
+                    DeliveryDecision::Discard => {
+                        *failed = true;
+                        continue;
+                    }
+                    DeliveryDecision::Requeue => {
+                        pending.push(Probe {
+                            deliver_at: tick + 1,
+                            ..probe
+                        });
+                        continue;
+                    }
+                    DeliveryDecision::Deliver => {}
                 }
                 *outstanding -= 1;
                 if *outstanding == 0 && !*failed {
@@ -216,40 +257,78 @@ mod tests {
         let topo = Topology::complete(5);
         let mut env = StaticEnv::new(topo);
         let baseline = SnapshotAggregator::new(vec![9, 4, 7, 1, 5], 500);
-        let (metrics, result) = baseline.run_async(&mut env, 1, 1.0, 2, 0.0, i64::min);
+        let (metrics, result) =
+            baseline.run_async(&mut env, 1, 1.0, 2, 0.0, DeliveryRule::default(), i64::min);
         assert_eq!(result, Some(1));
         assert!(metrics.converged());
         assert!(metrics.messages >= 4);
+        assert_eq!(metrics.messages_dropped, 0, "drop_rate 0 drops nothing");
     }
 
     #[test]
     fn async_snapshot_never_succeeds_under_the_single_edge_adversary() {
-        let topo = Topology::complete(4);
-        let mut env = AdversarialEnv::new(topo, 0);
-        let baseline = SnapshotAggregator::new(vec![4, 3, 2, 1], 300);
-        let (metrics, result) = baseline.run_async(&mut env, 3, 1.0, 2, 0.0, i64::min);
-        assert_eq!(result, None);
-        assert!(!metrics.converged());
-        assert_eq!(metrics.rounds_executed, 300);
+        // One edge at a time: full reachability never holds at *any* tick,
+        // so every delivery rule agrees the snapshot is impossible.
+        for rule in DeliveryRule::all() {
+            let topo = Topology::complete(4);
+            let mut env = AdversarialEnv::new(topo, 0);
+            let baseline = SnapshotAggregator::new(vec![4, 3, 2, 1], 300);
+            let (metrics, result) = baseline.run_async(&mut env, 3, 1.0, 2, 0.0, rule, i64::min);
+            assert_eq!(result, None, "{}", rule.label());
+            assert!(!metrics.converged(), "{}", rule.label());
+            assert_eq!(metrics.rounds_executed, 300, "{}", rule.label());
+        }
     }
 
     #[test]
-    fn async_snapshot_is_seed_deterministic() {
-        let run = || {
-            let mut env = PeriodicPartitionEnv::new(Topology::complete(6), 2, 5);
-            SnapshotAggregator::new(vec![6, 5, 4, 3, 2, 1], 500).run_async(
+    fn async_snapshot_is_seed_deterministic_under_every_rule() {
+        for rule in DeliveryRule::all() {
+            let run = || {
+                let mut env = PeriodicPartitionEnv::new(Topology::complete(6), 2, 5);
+                SnapshotAggregator::new(vec![6, 5, 4, 3, 2, 1], 500).run_async(
+                    &mut env,
+                    11,
+                    0.7,
+                    3,
+                    0.1,
+                    rule,
+                    i64::min,
+                )
+            };
+            let (a_metrics, a_result) = run();
+            let (b_metrics, b_result) = run();
+            assert_eq!(a_metrics, b_metrics, "{}", rule.label());
+            assert_eq!(a_result, b_result, "{}", rule.label());
+        }
+    }
+
+    #[test]
+    fn send_time_and_window_rules_rescue_the_partitioned_snapshot() {
+        // Merges are single ticks and probe latency is at least one tick,
+        // so under the historical rule a probe sent at a merge tick is
+        // always judged in a partitioned phase: the attempt dies.  Judging
+        // at send time (or within a grace window spanning the period)
+        // restores the snapshot.
+        let run = |rule: DeliveryRule| {
+            let mut env = PeriodicPartitionEnv::new(Topology::complete(6), 2, 8);
+            SnapshotAggregator::new(vec![6, 5, 4, 3, 2, 1], 200).run_async(
                 &mut env,
-                11,
-                0.7,
+                2,
+                1.0,
                 3,
-                0.1,
+                0.0,
+                rule,
                 i64::min,
             )
         };
-        let (a_metrics, a_result) = run();
-        let (b_metrics, b_result) = run();
-        assert_eq!(a_metrics, b_metrics);
-        assert_eq!(a_result, b_result);
+        let (stalled, none) = run(DeliveryRule::ValidAtDelivery);
+        assert_eq!(none, None);
+        assert!(!stalled.converged());
+        for rule in [DeliveryRule::ValidAtSend, DeliveryRule::any_overlap()] {
+            let (metrics, result) = run(rule);
+            assert_eq!(result, Some(1), "{}", rule.label());
+            assert!(metrics.converged(), "{}", rule.label());
+        }
     }
 
     #[test]

@@ -1,7 +1,8 @@
-//! Runs the extension experiments E4–E13 of EXPERIMENTS.md.
+//! Runs the extension experiments E4–E14 of EXPERIMENTS.md.
 //!
 //! The sweep-shaped experiments (E4 scaling, E5 churn, E6 adaptivity,
-//! E7 baselines-vs-self-similar, E9 sorting, E13 cross-runtime) are thin
+//! E7 baselines-vs-self-similar, E9 sorting, E13 cross-runtime, E14
+//! delivery semantics) are thin
 //! drivers over the `selfsim-campaign` engine: they declare a scenario grid
 //! — algorithms *and baselines* resolved from the campaign registry, with
 //! an execution-mode dimension where relevant — run it in parallel with
@@ -19,8 +20,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use selfsim_algorithms::{convex_hull, second_smallest, sum};
 use selfsim_campaign::{
-    emit, AlgorithmKind, Campaign, EnvModel, ExecutionMode, Registry, Scenario, ScenarioGrid,
-    ScenarioSummary, TopologyFamily,
+    emit, AlgorithmKind, Campaign, DeliveryRule, EnvModel, ExecutionMode, Registry, Scenario,
+    ScenarioGrid, ScenarioSummary, TopologyFamily,
 };
 use selfsim_core::DistributedFunction;
 use selfsim_env::{AdversarialEnv, Environment, RandomChurnEnv, Topology};
@@ -234,6 +235,58 @@ fn e13_cross_runtime() {
     }
 }
 
+/// E14 — delivery semantics: the async cross-fragment stall, quantified.
+///
+/// The periodic partition merges for a single tick every 8 ticks; message
+/// latency is 1–3 ticks, so every message sent over a cross-block edge (a
+/// merge tick) is *due* in a partitioned phase.  Under the historical
+/// `valid-at-delivery` rule those messages are silently discarded and
+/// cross-fragment progress stalls — the self-similar minimum and the
+/// flooding baseline exhaust the whole tick budget, and the snapshot's
+/// probes only succeed by a latency lottery.  Judging deliverability at
+/// send time (`valid-at-send`) or within a grace window spanning the merge
+/// period (`any-overlap`) restores convergence for *all three* strategies
+/// under the identical environment and seeds — the fairness assumption
+/// `□◇Q` survives the translation to message passing only when the
+/// delivery rule is window-aware.
+fn e14_delivery_semantics() {
+    let registry = Registry::builtin();
+    let scenarios = ScenarioGrid::new()
+        .algorithms(
+            ["minimum", "flooding", "snapshot"].map(|label| registry.resolve(label).unwrap()),
+        )
+        .topologies([TopologyFamily::Complete])
+        .envs([EnvModel::PeriodicPartition {
+            blocks: 2,
+            period: 8,
+        }])
+        .modes(DeliveryRule::all().map(ExecutionMode::asynchronous_with))
+        .sizes([16])
+        .trials(SEEDS.end)
+        .max_rounds(3_000)
+        .expand();
+    let summaries = run_campaign_open(
+        "E14: delivery semantics × strategy on the periodic partition (complete graph of 16, \
+         merge every 8 ticks, latency 1-3)",
+        scenarios,
+    );
+    for summary in &summaries {
+        match summary.delivery.as_str() {
+            "valid-at-delivery" => {
+                // The stall: minimum and flooding can never move knowledge
+                // across blocks; snapshot needs all its probes to win the
+                // latency lottery at once, which the budget rarely grants.
+                if summary.algorithm == "snapshot" {
+                    assert!(summary.converged < summary.trials, "{}", summary.scenario);
+                } else {
+                    assert_eq!(summary.converged, 0, "{}", summary.scenario);
+                }
+            }
+            _ => assert_eq!(summary.converged, summary.trials, "{}", summary.scenario),
+        }
+    }
+}
+
 /// E8 — the sum example's fairness requirement: complete vs. sparse graphs.
 ///
 /// The requirement only bites when interactions are *pairwise* (zero-valued
@@ -433,7 +486,7 @@ fn e12_fairness() {
 }
 
 fn main() {
-    println!("Extension experiments (E4–E13); see EXPERIMENTS.md for the recorded outputs.");
+    println!("Extension experiments (E4–E14); see EXPERIMENTS.md for the recorded outputs.");
     println!("Sweep experiments run on the selfsim-campaign engine (seed {CAMPAIGN_SEED}).");
     println!();
     e4_scaling();
@@ -446,5 +499,6 @@ fn main() {
     e11_async_hull();
     e12_fairness();
     e13_cross_runtime();
+    e14_delivery_semantics();
     println!("done.");
 }

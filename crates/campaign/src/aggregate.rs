@@ -32,6 +32,7 @@ struct Cell {
     topology: String,
     environment: String,
     mode: String,
+    delivery: String,
     agents: usize,
     trials: u64,
     converged: u64,
@@ -40,6 +41,8 @@ struct Cell {
     rounds: BTreeMap<usize, u64>,
     /// Histogram of per-trial message counts.
     messages: BTreeMap<usize, u64>,
+    /// Histogram of per-trial dropped-message counts.
+    messages_dropped: BTreeMap<usize, u64>,
     /// Histogram of step effectiveness, keyed by the ratio's IEEE bits
     /// (effectiveness is in `[0, 1]`, where the bit order *is* the
     /// numeric order).
@@ -60,6 +63,8 @@ pub struct ScenarioSummary {
     pub environment: String,
     /// Execution-mode label (`sync` / `async`).
     pub mode: String,
+    /// Delivery-rule label for async cells, `-` for sync cells.
+    pub delivery: String,
     /// Number of agents.
     pub agents: usize,
     /// Trials observed.
@@ -75,6 +80,9 @@ pub struct ScenarioSummary {
     pub rounds: Summary,
     /// Statistics of message counts over all trials.
     pub messages: Summary,
+    /// Statistics of dropped-message counts over all trials (identically
+    /// zero whenever the cell's `drop_rate` is zero).
+    pub messages_dropped: Summary,
     /// Statistics of step effectiveness (changed / attempted) over all
     /// trials.
     pub effectiveness: Summary,
@@ -117,6 +125,7 @@ impl Aggregator {
                 topology: record.topology.clone(),
                 environment: record.environment.clone(),
                 mode: record.mode.clone(),
+                delivery: record.delivery.clone(),
                 agents: record.agents,
                 all_monotone: true,
                 ..Cell::default()
@@ -132,6 +141,10 @@ impl Aggregator {
             }
         }
         *cell.messages.entry(record.messages).or_default() += 1;
+        *cell
+            .messages_dropped
+            .entry(record.messages_dropped)
+            .or_default() += 1;
         let effectiveness = if record.group_steps == 0 {
             0.0
         } else {
@@ -175,6 +188,9 @@ impl Aggregator {
                     for (value, count) in incoming.messages {
                         *cell.messages.entry(value).or_default() += count;
                     }
+                    for (value, count) in incoming.messages_dropped {
+                        *cell.messages_dropped.entry(value).or_default() += count;
+                    }
                     for (value, count) in incoming.effectiveness {
                         *cell.effectiveness.entry(value).or_default() += count;
                     }
@@ -205,6 +221,7 @@ impl Aggregator {
                 topology: cell.topology.clone(),
                 environment: cell.environment.clone(),
                 mode: cell.mode.clone(),
+                delivery: cell.delivery.clone(),
                 agents: cell.agents,
                 trials: cell.trials,
                 converged: cell.converged,
@@ -216,6 +233,9 @@ impl Aggregator {
                 },
                 rounds: Summary::of_histogram(cell.rounds.iter().map(|(&v, &c)| (v as f64, c))),
                 messages: Summary::of_histogram(cell.messages.iter().map(|(&v, &c)| (v as f64, c))),
+                messages_dropped: Summary::of_histogram(
+                    cell.messages_dropped.iter().map(|(&v, &c)| (v as f64, c)),
+                ),
                 effectiveness: Summary::of_histogram(
                     cell.effectiveness
                         .iter()
@@ -238,6 +258,7 @@ mod tests {
             topology: "ring".into(),
             environment: "static".into(),
             mode: "sync".into(),
+            delivery: "-".into(),
             agents: 8,
             trial,
             seed: trial,
@@ -249,6 +270,7 @@ mod tests {
             group_steps: 10,
             effective_group_steps: 5,
             messages,
+            messages_dropped: messages / 10,
             initial_objective: 100.0,
             final_objective: 10.0,
             objective_monotone: true,

@@ -29,7 +29,7 @@ use selfsim_baselines::{FloodingAggregator, SnapshotAggregator};
 use selfsim_core::{FnGroupStep, SelfSimilarSystem, SummationObjective};
 use selfsim_env::{Environment, FairnessSpec, Topology};
 use selfsim_geometry::{enclosing_circle_of_circles, Circle, Point};
-use selfsim_runtime::ExecutionMode;
+use selfsim_runtime::{DeliveryRule, ExecutionMode};
 use selfsim_trace::RunMetrics;
 
 use crate::scenario::TopologyFamily;
@@ -552,12 +552,14 @@ impl CampaignAlgorithm for CircumscribingAlgo {
 // ---------------------------------------------------------------------------
 
 /// The one dispatch site mapping an [`ExecutionMode`] onto a baseline's
-/// round-based / message-passing entry points.
+/// round-based / message-passing entry points.  The delivery rule rides
+/// along with the other async knobs, so baselines and the self-similar
+/// runtime always judge blocked messages by the same rule.
 fn dispatch_baseline<R>(
     mode: ExecutionMode,
     env: &mut dyn Environment,
     sync: impl FnOnce(&mut dyn Environment) -> R,
-    asynchronous: impl FnOnce(&mut dyn Environment, f64, usize, f64) -> R,
+    asynchronous: impl FnOnce(&mut dyn Environment, f64, usize, f64, DeliveryRule) -> R,
 ) -> R {
     match mode {
         ExecutionMode::Sync { .. } => sync(env),
@@ -565,7 +567,8 @@ fn dispatch_baseline<R>(
             interaction_rate,
             max_latency,
             drop_rate,
-        } => asynchronous(env, interaction_rate, max_latency, drop_rate),
+            delivery,
+        } => asynchronous(env, interaction_rate, max_latency, drop_rate, delivery),
     }
 }
 
@@ -585,7 +588,7 @@ impl CampaignAlgorithm for SnapshotBaseline {
             setup.mode,
             env,
             |env| baseline.run(env, seed, i64::min),
-            |env, i, l, d| baseline.run_async(env, seed, i, l, d, i64::min),
+            |env, i, l, d, dv| baseline.run_async(env, seed, i, l, d, dv, i64::min),
         );
         metrics
     }
@@ -607,7 +610,7 @@ impl CampaignAlgorithm for FloodingBaseline {
             setup.mode,
             env,
             |env| baseline.run(env, seed, i64::min),
-            |env, i, l, d| baseline.run_async(env, seed, i, l, d, i64::min),
+            |env, i, l, d, dv| baseline.run_async(env, seed, i, l, d, dv, i64::min),
         );
         metrics
     }

@@ -10,6 +10,12 @@
 //!     --topologies complete --modes sync,async --sizes 8,16 --trials 200 \
 //!     --seed 42 --threads 8 --out runs.jsonl --summary-out summary.jsonl
 //!
+//! # the delivery-semantics sweep: one async cell per rule, custom knobs
+//! cargo run --release --bin campaign -- \
+//!     --algorithms minimum,flooding --envs partition --topologies complete \
+//!     --modes async --delivery valid-at-delivery,valid-at-send,any-overlap \
+//!     --async-rate 0.5 --async-latency 3 --async-drop 0.1 --trials 120
+//!
 //! # the same sweep as three processes (possibly three machines) ...
 //! cargo run --release --bin campaign -- --trials 200 --shard 0/3 --out s0.jsonl
 //! cargo run --release --bin campaign -- --trials 200 --shard 1/3 --out s1.jsonl
@@ -35,9 +41,10 @@ use std::time::Duration;
 
 use selfsim_campaign::{
     distribute_trials, emit, merge_shards, Aggregator, AlgorithmRef, Campaign, CampaignResult,
-    EnvModel, ExecutionMode, MergeOrder, ProgressThrottle, Registry, ScenarioGrid, ShardSpec,
-    TopologyFamily, TrialRecord,
+    DeliveryRule, EnvModel, ExecutionMode, MergeOrder, ProgressThrottle, Registry, ScenarioGrid,
+    ShardSpec, TopologyFamily, TrialRecord,
 };
+use selfsim_runtime::validate_async_knobs;
 
 struct Args {
     algorithms: Vec<AlgorithmRef>,
@@ -45,6 +52,10 @@ struct Args {
     envs: Vec<EnvModel>,
     modes: Vec<ExecutionMode>,
     sizes: Vec<usize>,
+    async_rate: Option<f64>,
+    async_latency: Option<usize>,
+    async_drop: Option<f64>,
+    delivery: Vec<DeliveryRule>,
     trials: u64,
     max_rounds: usize,
     seed: u64,
@@ -90,6 +101,10 @@ fn default_args(registry: &Registry) -> Args {
         ],
         modes: vec![ExecutionMode::sync()],
         sizes: vec![12],
+        async_rate: None,
+        async_latency: None,
+        async_drop: None,
+        delivery: Vec::new(),
         trials: 100,
         max_rounds: 200_000,
         seed: 0,
@@ -112,6 +127,12 @@ OPTIONS
     --envs e,..           static|churn|markov|partition|crash|adversary|churn+crash
     --modes m,..          sync|async — execution modes to sweep (default sync)
     --mode m              alias for --modes with a single value
+    --async-rate P        async: per-tick interaction probability (default 0.5)
+    --async-latency N     async: latency drawn from 1..=N ticks (default 3)
+    --async-drop P        async: in-flight loss probability (default 0)
+    --delivery r,..       async delivery rule(s): valid-at-delivery|valid-at-send|
+                          any-overlap|any-overlap(g=N) — each rule becomes its own
+                          grid cell (default valid-at-delivery)
     --sizes n,..          agents per system (default 12)
     --trials N            total trial budget, split exactly over scenarios (default 100)
     --max-rounds N        per-trial round/tick budget (default 200000)
@@ -165,6 +186,37 @@ fn parse_args(argv: &[String], registry: &Registry) -> Result<Args, String> {
                         .map_err(|e| format!("bad size `{s}`: {e}"))
                 })?;
             }
+            "--async-rate" => {
+                args.async_rate = Some(
+                    value("--async-rate")?
+                        .parse()
+                        .map_err(|e| format!("bad --async-rate: {e}"))?,
+                );
+            }
+            "--async-latency" => {
+                args.async_latency = Some(
+                    value("--async-latency")?
+                        .parse()
+                        .map_err(|e| format!("bad --async-latency: {e}"))?,
+                );
+            }
+            "--async-drop" => {
+                args.async_drop = Some(
+                    value("--async-drop")?
+                        .parse()
+                        .map_err(|e| format!("bad --async-drop: {e}"))?,
+                );
+            }
+            "--delivery" => {
+                args.delivery = parse_list(&value("--delivery")?, |s| {
+                    DeliveryRule::parse(s).ok_or_else(|| {
+                        format!(
+                            "unknown delivery rule `{s}` (expected valid-at-delivery|\
+                             valid-at-send|any-overlap|any-overlap(g=N))"
+                        )
+                    })
+                })?;
+            }
             "--trials" => {
                 args.trials = value("--trials")?
                     .parse()
@@ -208,6 +260,7 @@ fn parse_args(argv: &[String], registry: &Registry) -> Result<Args, String> {
     if args.trials == 0 {
         return Err("--trials must be positive".into());
     }
+    apply_async_knobs(&mut args)?;
     if let Some(n) = args.sizes.iter().find(|&&n| n < 2) {
         return Err(format!("--sizes values must be at least 2, got {n}"));
     }
@@ -224,6 +277,59 @@ fn parse_args(argv: &[String], registry: &Registry) -> Result<Args, String> {
         );
     }
     Ok(args)
+}
+
+/// Folds the async knob flags (`--async-rate/-latency/-drop`) into every
+/// async mode and expands the `--delivery` dimension (one async mode per
+/// rule).  The flags only make sense with an async mode selected, so their
+/// presence without one is a hard error rather than a silent no-op.
+fn apply_async_knobs(args: &mut Args) -> Result<(), String> {
+    let has_knobs = args.async_rate.is_some()
+        || args.async_latency.is_some()
+        || args.async_drop.is_some()
+        || !args.delivery.is_empty();
+    if !has_knobs {
+        return Ok(());
+    }
+    if !args.modes.iter().any(|m| m.is_async()) {
+        return Err(
+            "--async-rate/--async-latency/--async-drop/--delivery only apply to the async \
+             runtime; add `async` to --modes"
+                .into(),
+        );
+    }
+    let rules: Option<&[DeliveryRule]> = if args.delivery.is_empty() {
+        None
+    } else {
+        Some(&args.delivery)
+    };
+    let mut modes = Vec::new();
+    for mode in &args.modes {
+        match *mode {
+            ExecutionMode::Async {
+                interaction_rate,
+                max_latency,
+                drop_rate,
+                delivery,
+            } => {
+                let interaction_rate = args.async_rate.unwrap_or(interaction_rate);
+                let max_latency = args.async_latency.unwrap_or(max_latency);
+                let drop_rate = args.async_drop.unwrap_or(drop_rate);
+                validate_async_knobs(interaction_rate, max_latency, drop_rate)?;
+                for &delivery in rules.unwrap_or(&[delivery]) {
+                    modes.push(ExecutionMode::Async {
+                        interaction_rate,
+                        max_latency,
+                        drop_rate,
+                        delivery,
+                    });
+                }
+            }
+            sync => modes.push(sync),
+        }
+    }
+    args.modes = modes;
+    Ok(())
 }
 
 fn parse_list<T>(csv: &str, parse: impl Fn(&str) -> Result<T, String>) -> Result<Vec<T>, String> {

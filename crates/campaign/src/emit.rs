@@ -40,14 +40,15 @@ pub fn write_summary_jsonl<W: Write>(
 pub fn markdown_summary(summaries: &[ScenarioSummary]) -> String {
     let mut out = String::new();
     out.push_str(
-        "| scenario | mode | trials | converged | expected | mean rounds | p95 rounds | mean msgs | effectiveness | monotone |\n",
+        "| scenario | mode | delivery | trials | converged | expected | mean rounds | p95 rounds | mean msgs | mean dropped | effectiveness | monotone |\n",
     );
-    out.push_str("|---|:---:|---:|---:|---:|---:|---:|---:|---:|:---:|\n");
+    out.push_str("|---|:---:|:---:|---:|---:|---:|---:|---:|---:|---:|---:|:---:|\n");
     for s in summaries {
         out.push_str(&format!(
-            "| {} | {} | {} | {}/{} | {}/{} | {} | {} | {:.0} | {:.2} | {} |\n",
+            "| {} | {} | {} | {} | {}/{} | {}/{} | {} | {} | {:.0} | {:.0} | {:.2} | {} |\n",
             s.scenario,
             s.mode,
+            s.delivery,
             s.trials,
             s.converged,
             s.trials,
@@ -56,6 +57,7 @@ pub fn markdown_summary(summaries: &[ScenarioSummary]) -> String {
             format_rounds(s.converged, s.rounds.mean),
             format_rounds(s.converged, s.rounds.p95),
             s.messages.mean,
+            s.messages_dropped.mean,
             s.effectiveness.mean,
             if s.all_monotone { "yes" } else { "NO" },
         ));
@@ -84,6 +86,7 @@ mod tests {
             topology: "ring".into(),
             environment: "static".into(),
             mode: "sync".into(),
+            delivery: "-".into(),
             agents: 8,
             trials: 5,
             converged,
@@ -91,6 +94,7 @@ mod tests {
             convergence_rate: converged as f64 / 5.0,
             rounds: Summary::of_counts(&[3, 4, 5]),
             messages: Summary::of(&[100.0, 120.0]),
+            messages_dropped: Summary::of(&[0.0, 0.0]),
             effectiveness: Summary::of(&[0.5, 0.6]),
             all_monotone: true,
         }
@@ -103,6 +107,7 @@ mod tests {
             topology: "ring".into(),
             environment: "static".into(),
             mode: "sync".into(),
+            delivery: "-".into(),
             agents: 8,
             trial: 0,
             seed: 42,
@@ -114,6 +119,7 @@ mod tests {
             group_steps: 4,
             effective_group_steps: 3,
             messages: 32,
+            messages_dropped: 0,
             initial_objective: 100.0,
             final_objective: 8.0,
             objective_monotone: true,

@@ -84,6 +84,6 @@ pub use scenario::{
     distribute_trials, grid_dims, AlgorithmKind, EnvModel, Scenario, ScenarioBuilder, ScenarioGrid,
     TopologyFamily,
 };
-pub use selfsim_runtime::{ExecutionMode, Runtime};
+pub use selfsim_runtime::{DeliveryRule, ExecutionMode, Runtime};
 pub use shard::{merge_shards, MergeOrder, ShardSpec};
 pub use trial::{run_trial, TrialRecord};

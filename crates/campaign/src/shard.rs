@@ -358,6 +358,7 @@ mod tests {
             topology: "ring".into(),
             environment: "static".into(),
             mode: "sync".into(),
+            delivery: "-".into(),
             agents: 8,
             trial,
             seed: trial,
@@ -369,6 +370,7 @@ mod tests {
             group_steps: 3,
             effective_group_steps: 3,
             messages: 24,
+            messages_dropped: 0,
             initial_objective: 10.0,
             final_objective: 0.0,
             objective_monotone: true,

@@ -27,6 +27,10 @@ pub struct TrialRecord {
     pub environment: String,
     /// Execution-mode label (`sync` / `async`, plus non-default knobs).
     pub mode: String,
+    /// Delivery-rule label for async cells
+    /// ([`DeliveryRule::label`](selfsim_runtime::DeliveryRule::label));
+    /// `-` for sync cells, which have no messages in flight.
+    pub delivery: String,
     /// Number of agents.
     pub agents: usize,
     /// Trial index within the scenario.
@@ -51,6 +55,9 @@ pub struct TrialRecord {
     pub effective_group_steps: usize,
     /// Messages exchanged.
     pub messages: usize,
+    /// Messages lost in flight to the drop roll (zero whenever the cell's
+    /// `drop_rate` is zero, and always zero for sync cells).
+    pub messages_dropped: usize,
     /// `h(S(0))`.
     pub initial_objective: f64,
     /// `h` of the final state.
@@ -92,6 +99,7 @@ impl TrialRecord {
             topology: scenario.topology.label(),
             environment: scenario.env.label(),
             mode: scenario.mode.label(),
+            delivery: scenario.mode.delivery_label(),
             agents: scenario.n,
             trial,
             seed,
@@ -103,6 +111,7 @@ impl TrialRecord {
             group_steps: m.group_steps,
             effective_group_steps: m.effective_group_steps,
             messages: m.messages,
+            messages_dropped: m.messages_dropped,
             initial_objective: m.initial_objective().unwrap_or(0.0),
             final_objective: m.final_objective().unwrap_or(0.0),
             objective_monotone: m.objective_is_monotone(1e-9),
@@ -208,7 +217,40 @@ mod tests {
         let b = run_trial(&scenario, 1, 999);
         assert_eq!(a, b);
         assert_eq!(a.mode, "async");
+        assert_eq!(a.delivery, "valid-at-delivery");
+        assert_eq!(a.messages_dropped, 0, "default drop_rate is zero");
         assert!(a.converged, "minimum converges asynchronously under churn");
+    }
+
+    #[test]
+    fn delivery_rule_is_a_scenario_dimension() {
+        use selfsim_runtime::DeliveryRule;
+        let scenario = |rule| {
+            Scenario::builder(AlgorithmKind::Minimum)
+                .topology(TopologyFamily::Complete)
+                .env(EnvModel::PeriodicPartition {
+                    blocks: 2,
+                    period: 8,
+                })
+                .mode(ExecutionMode::asynchronous_with(rule))
+                .agents(8)
+                .max_rounds(3_000)
+                .build()
+        };
+        let stalled = run_trial(&scenario(DeliveryRule::ValidAtDelivery), 0, 77);
+        assert!(
+            !stalled.converged,
+            "single-tick merges starve the historical rule"
+        );
+        let sent = run_trial(&scenario(DeliveryRule::ValidAtSend), 0, 77);
+        assert!(sent.converged);
+        assert_eq!(sent.delivery, "valid-at-send");
+        assert!(
+            sent.scenario.contains("dv=valid-at-send"),
+            "the rule is part of the cell identity: {}",
+            sent.scenario
+        );
+        assert_ne!(stalled.scenario, sent.scenario);
     }
 
     #[test]
@@ -289,6 +331,8 @@ mod tests {
         assert_eq!(record.seed, 99);
         assert_eq!(record.algorithm, "sum");
         assert_eq!(record.mode, "sync");
+        assert_eq!(record.delivery, "-", "sync cells have no delivery rule");
+        assert_eq!(record.messages_dropped, 0, "sync cells drop nothing");
         assert_eq!(record.expected, "converge");
         assert_eq!(record.scenario, scenario.name());
     }

@@ -10,7 +10,7 @@ use selfsim_env::{AgentId, Environment};
 use selfsim_temporal::Trace;
 use selfsim_trace::RunMetrics;
 
-use crate::SimulationReport;
+use crate::{DeliveryDecision, DeliveryRule, SimulationReport};
 
 /// Configuration of an [`AsyncSimulator`] run.
 #[derive(Clone, Debug)]
@@ -23,6 +23,8 @@ pub struct AsyncConfig {
     pub max_latency: usize,
     /// Probability that an in-flight message is lost.
     pub drop_rate: f64,
+    /// What happens to a message whose edge is down when it comes due.
+    pub delivery: DeliveryRule,
     /// RNG seed.
     pub seed: u64,
     /// Record the full state trace in the report.
@@ -36,17 +38,59 @@ impl Default for AsyncConfig {
             interaction_rate: 0.5,
             max_latency: 3,
             drop_rate: 0.0,
+            delivery: DeliveryRule::default(),
             seed: 0,
             record_traces: false,
         }
     }
 }
 
-/// A pending rendezvous request: when delivered (and if the edge is still
-/// usable), the two endpoint agents execute one pairwise step of `R`.
+impl AsyncConfig {
+    /// Checks the field invariants, naming the offending field in the
+    /// error: `max_latency` must be at least one tick (latency is drawn
+    /// from `1..=max_latency`; zero used to be silently clamped to 1) and
+    /// the two rates must be probabilities (out-of-range values used to
+    /// panic deep inside the RNG with an unhelpful message).
+    pub fn validate(&self) -> Result<(), String> {
+        validate_async_knobs(self.interaction_rate, self.max_latency, self.drop_rate)
+    }
+}
+
+/// Validates the knobs every message-passing execution shares — the
+/// [`AsyncSimulator`] *and* the baselines' `run_async` variants — naming
+/// the offending field in the error.
+pub fn validate_async_knobs(
+    interaction_rate: f64,
+    max_latency: usize,
+    drop_rate: f64,
+) -> Result<(), String> {
+    if max_latency == 0 {
+        return Err(
+            "max_latency must be at least 1 (message latency is drawn from 1..=max_latency)".into(),
+        );
+    }
+    for (name, value) in [
+        ("interaction_rate", interaction_rate),
+        ("drop_rate", drop_rate),
+    ] {
+        if !(0.0..=1.0).contains(&value) {
+            return Err(format!(
+                "{name} must be a probability in [0, 1], got {value}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// A pending rendezvous request: when delivered (subject to the
+/// [`DeliveryRule`]), the two endpoint agents execute one pairwise step of
+/// `R`.
 #[derive(Clone, Debug, PartialEq, Eq)]
 struct PendingInteraction {
     deliver_at: usize,
+    /// Last tick delivery may still happen ([`DeliveryRule::expiry`] of
+    /// the original due tick; only `AnyOverlap` re-queues up to it).
+    expires_at: usize,
     initiator: AgentId,
     responder: AgentId,
     sequence: usize,
@@ -74,9 +118,13 @@ impl PartialOrd for PendingInteraction {
 /// At every virtual-time tick the environment produces a new state; each
 /// currently usable edge initiates, with probability `interaction_rate`, a
 /// *rendezvous request* that is delivered after a random latency (or dropped
-/// with probability `drop_rate`).  When a request is delivered and the edge
-/// is usable at delivery time, the two endpoints execute one two-agent step
-/// of `R` on their *current* states.
+/// with probability `drop_rate`).  When a request comes due, the
+/// configured [`DeliveryRule`] decides whether the two endpoints execute
+/// one two-agent step of `R` on their *current* states — the historical
+/// default demands the edge be usable at the delivery tick, `ValidAtSend`
+/// honours the send-time agreement unconditionally, and `AnyOverlap`
+/// re-queues the request until the edge comes back up (or a grace window
+/// closes).
 ///
 /// This realises the observation at the end of §4.5 that relation `R` "can
 /// be easily implemented by asynchronous message passing": every delivered
@@ -89,7 +137,16 @@ pub struct AsyncSimulator {
 
 impl AsyncSimulator {
     /// Creates a simulator with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`AsyncConfig::validate`] message when the
+    /// configuration is invalid (zero `max_latency`, out-of-range rates).
+    /// Callers handling untrusted input (the CLI) validate first.
     pub fn new(config: AsyncConfig) -> Self {
+        if let Err(message) = config.validate() {
+            panic!("invalid AsyncConfig: {message}");
+        }
         AsyncSimulator { config }
     }
 
@@ -155,11 +212,14 @@ impl AsyncSimulator {
                 }
                 metrics.messages += 1;
                 if rng.gen_bool(self.config.drop_rate) {
+                    metrics.messages_dropped += 1;
                     continue; // lost in flight
                 }
-                let latency = rng.gen_range(1..=self.config.max_latency.max(1));
+                let latency = rng.gen_range(1..=self.config.max_latency);
+                let deliver_at = tick + latency;
                 pending.push(PendingInteraction {
-                    deliver_at: tick + latency,
+                    deliver_at,
+                    expires_at: self.config.delivery.expiry(deliver_at),
                     initiator: edge.lo(),
                     responder: edge.hi(),
                     sequence,
@@ -167,13 +227,28 @@ impl AsyncSimulator {
                 sequence += 1;
             }
 
-            // Deliveries due at this tick.
+            // Deliveries due at this tick.  The edge was usable at send
+            // time by construction, so `usable_at_send` is always true
+            // here; the rule decides on the current state of the edge.
             while pending.peek().is_some_and(|p| p.deliver_at <= tick) {
                 let p = pending.pop().expect("peeked");
-                // The rendezvous only happens if the pair can still
-                // communicate when the message arrives.
-                if !env_state.can_communicate(p.initiator, p.responder) {
-                    continue;
+                let usable_now = env_state.can_communicate(p.initiator, p.responder);
+                match self
+                    .config
+                    .delivery
+                    .decide(usable_now, true, tick, p.expires_at)
+                {
+                    DeliveryDecision::Discard => continue,
+                    DeliveryDecision::Requeue => {
+                        // Same sequence number: the retry keeps its place
+                        // in the deterministic tie-break order.
+                        pending.push(PendingInteraction {
+                            deliver_at: tick + 1,
+                            ..p
+                        });
+                        continue;
+                    }
+                    DeliveryDecision::Deliver => {}
                 }
                 metrics.group_steps += 1;
                 let group = [p.initiator, p.responder];
@@ -244,6 +319,45 @@ mod tests {
             lossy.rounds_to_convergence().unwrap() >= clean.rounds_to_convergence().unwrap(),
             "losing 80% of messages should not speed things up"
         );
+        // Losses are visible in the metrics, not conflated with sends.
+        assert_eq!(
+            clean.metrics.messages_dropped, 0,
+            "drop_rate 0 drops nothing"
+        );
+        assert!(lossy.metrics.messages_dropped > 0);
+        assert!(lossy.metrics.messages_dropped <= lossy.metrics.messages);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected_naming_the_field() {
+        let zero_latency = AsyncConfig {
+            max_latency: 0,
+            ..AsyncConfig::default()
+        };
+        assert!(zero_latency.validate().unwrap_err().contains("max_latency"));
+        let bad_rate = AsyncConfig {
+            interaction_rate: 1.5,
+            ..AsyncConfig::default()
+        };
+        assert!(bad_rate
+            .validate()
+            .unwrap_err()
+            .contains("interaction_rate"));
+        let bad_drop = AsyncConfig {
+            drop_rate: -0.1,
+            ..AsyncConfig::default()
+        };
+        assert!(bad_drop.validate().unwrap_err().contains("drop_rate"));
+        assert!(AsyncConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid AsyncConfig: max_latency")]
+    fn constructor_rejects_zero_latency_instead_of_clamping() {
+        let _ = AsyncSimulator::new(AsyncConfig {
+            max_latency: 0,
+            ..AsyncConfig::default()
+        });
     }
 
     #[test]

@@ -1,0 +1,243 @@
+//! Delivery semantics for the message-passing runtimes.
+//!
+//! The asynchronous model sends a rendezvous/gossip/probe message over an
+//! edge that is usable *at send time* and delivers it one or more ticks
+//! later.  What should happen when the edge is no longer usable at the
+//! delivery tick is a modelling decision, not a fact — and it decides
+//! whether the fairness assumption `□◇Q` survives the translation from
+//! rounds to messages.  The historical rule (deliver only if the pair can
+//! still communicate at delivery time) silently discards every message
+//! whose connectivity window is shorter than its latency, so environments
+//! with brief merge windows (e.g. the periodic partition's single-tick
+//! merges) stall cross-fragment progress even for algorithms the paper
+//! proves convergent under `□◇Q`.  [`DeliveryRule`] makes the choice
+//! explicit and sweepable, and is applied uniformly by [`AsyncSimulator`]
+//! and the message-passing baselines so cross-runtime comparisons stay
+//! apples-to-apples.
+//!
+//! [`AsyncSimulator`]: crate::AsyncSimulator
+
+/// When a due message may trigger its interaction.
+///
+/// All rules share the send side: a message is only ever *sent* over an
+/// edge that is usable at the send tick.  They differ in the condition
+/// checked when the message comes due.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DeliveryRule {
+    /// Deliver only if the edge is still usable at the delivery tick;
+    /// otherwise the message is silently discarded.  This is the
+    /// historical (and strictest) rule: it under-approximates `□◇Q` when
+    /// connectivity windows are shorter than message latency.
+    #[default]
+    ValidAtDelivery,
+    /// Deliver unconditionally: the edge was usable when the message was
+    /// sent, and that is taken as the agreement to interact.  This is the
+    /// direct message-passing reading of §4.5's "easily implemented by
+    /// asynchronous message passing": every sent (non-dropped) message
+    /// yields an interaction.
+    ValidAtSend,
+    /// Window-aware: deliver at the *first* tick in
+    /// `[due, due + grace]` at which the edge is usable, re-queueing the
+    /// message tick by tick instead of discarding it; a message whose
+    /// window closes without the edge coming up expires.  With
+    /// `grace = 0` this degenerates to [`DeliveryRule::ValidAtDelivery`].
+    AnyOverlap {
+        /// Extra ticks past the due tick during which delivery may still
+        /// happen.
+        grace: usize,
+    },
+}
+
+/// The default grace window of the bare `any-overlap` label: generous
+/// enough to span the merge period of the stock partition environments
+/// (`partition(b,t=8)`) with the default latency.
+pub const DEFAULT_GRACE: usize = 16;
+
+/// What to do with one due message (see [`DeliveryRule::decide`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeliveryDecision {
+    /// Trigger the interaction now.
+    Deliver,
+    /// Drop the message for good.
+    Discard,
+    /// Keep the message queued and retry at the next tick.
+    Requeue,
+}
+
+impl DeliveryRule {
+    /// The window-aware rule with the default grace.
+    pub fn any_overlap() -> Self {
+        DeliveryRule::AnyOverlap {
+            grace: DEFAULT_GRACE,
+        }
+    }
+
+    /// All three rules, each in its default parameterisation — the
+    /// standard delivery-semantics sweep (experiment E14, the CI
+    /// shard-equivalence legs).
+    pub fn all() -> [DeliveryRule; 3] {
+        [
+            DeliveryRule::ValidAtDelivery,
+            DeliveryRule::ValidAtSend,
+            DeliveryRule::any_overlap(),
+        ]
+    }
+
+    /// Short stable label used in mode labels, scenario names and report
+    /// columns.
+    pub fn label(&self) -> String {
+        match *self {
+            DeliveryRule::ValidAtDelivery => "valid-at-delivery".into(),
+            DeliveryRule::ValidAtSend => "valid-at-send".into(),
+            DeliveryRule::AnyOverlap { grace } => format!("any-overlap(g={grace})"),
+        }
+    }
+
+    /// Parses a label: the bare rule names (`any-overlap` takes the
+    /// default grace) and the parameterised `any-overlap(g=N)` form
+    /// produced by [`DeliveryRule::label`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "valid-at-delivery" => Some(DeliveryRule::ValidAtDelivery),
+            "valid-at-send" => Some(DeliveryRule::ValidAtSend),
+            "any-overlap" => Some(DeliveryRule::any_overlap()),
+            _ => {
+                let grace = s.strip_prefix("any-overlap(g=")?.strip_suffix(')')?;
+                Some(DeliveryRule::AnyOverlap {
+                    grace: grace.parse().ok()?,
+                })
+            }
+        }
+    }
+
+    /// The last tick at which a message due at `due` may still be
+    /// delivered.
+    pub fn expiry(&self, due: usize) -> usize {
+        match *self {
+            DeliveryRule::AnyOverlap { grace } => due.saturating_add(grace),
+            _ => due,
+        }
+    }
+
+    /// Decides the fate of a message that is due at tick `now`.
+    ///
+    /// `usable_now` is whether the message's connectivity condition (the
+    /// edge for pairwise rendezvous, full reachability for snapshot
+    /// probes) holds at `now`; `usable_at_send` is the same condition
+    /// evaluated when the message was sent; `expires_at` is
+    /// [`DeliveryRule::expiry`] of the original due tick.
+    pub fn decide(
+        &self,
+        usable_now: bool,
+        usable_at_send: bool,
+        now: usize,
+        expires_at: usize,
+    ) -> DeliveryDecision {
+        match *self {
+            DeliveryRule::ValidAtDelivery => {
+                if usable_now {
+                    DeliveryDecision::Deliver
+                } else {
+                    DeliveryDecision::Discard
+                }
+            }
+            DeliveryRule::ValidAtSend => {
+                if usable_at_send {
+                    DeliveryDecision::Deliver
+                } else {
+                    DeliveryDecision::Discard
+                }
+            }
+            DeliveryRule::AnyOverlap { .. } => {
+                if usable_now {
+                    DeliveryDecision::Deliver
+                } else if now < expires_at {
+                    DeliveryDecision::Requeue
+                } else {
+                    DeliveryDecision::Discard
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_parse_back() {
+        for rule in DeliveryRule::all() {
+            assert_eq!(DeliveryRule::parse(&rule.label()), Some(rule));
+        }
+        assert_eq!(
+            DeliveryRule::parse("any-overlap"),
+            Some(DeliveryRule::AnyOverlap {
+                grace: DEFAULT_GRACE
+            })
+        );
+        assert_eq!(
+            DeliveryRule::parse("any-overlap(g=3)"),
+            Some(DeliveryRule::AnyOverlap { grace: 3 })
+        );
+        assert_eq!(DeliveryRule::parse("nonsense"), None);
+        assert_eq!(DeliveryRule::parse("any-overlap(g=x)"), None);
+    }
+
+    #[test]
+    fn default_is_the_historical_rule() {
+        assert_eq!(DeliveryRule::default(), DeliveryRule::ValidAtDelivery);
+    }
+
+    #[test]
+    fn valid_at_delivery_checks_now() {
+        let rule = DeliveryRule::ValidAtDelivery;
+        assert_eq!(rule.decide(true, false, 5, 5), DeliveryDecision::Deliver);
+        assert_eq!(rule.decide(false, true, 5, 5), DeliveryDecision::Discard);
+    }
+
+    #[test]
+    fn valid_at_send_checks_the_send_tick() {
+        let rule = DeliveryRule::ValidAtSend;
+        assert_eq!(rule.decide(false, true, 5, 5), DeliveryDecision::Deliver);
+        assert_eq!(rule.decide(true, false, 5, 5), DeliveryDecision::Discard);
+    }
+
+    #[test]
+    fn any_overlap_requeues_until_the_window_closes() {
+        let rule = DeliveryRule::AnyOverlap { grace: 2 };
+        let expires = rule.expiry(5);
+        assert_eq!(expires, 7);
+        assert_eq!(
+            rule.decide(true, true, 5, expires),
+            DeliveryDecision::Deliver
+        );
+        assert_eq!(
+            rule.decide(false, true, 5, expires),
+            DeliveryDecision::Requeue
+        );
+        assert_eq!(
+            rule.decide(false, true, 6, expires),
+            DeliveryDecision::Requeue
+        );
+        assert_eq!(
+            rule.decide(true, true, 7, expires),
+            DeliveryDecision::Deliver
+        );
+        assert_eq!(
+            rule.decide(false, true, 7, expires),
+            DeliveryDecision::Discard
+        );
+    }
+
+    #[test]
+    fn zero_grace_degenerates_to_valid_at_delivery() {
+        let rule = DeliveryRule::AnyOverlap { grace: 0 };
+        for (usable_now, usable_at_send) in [(true, true), (true, false), (false, true)] {
+            assert_eq!(
+                rule.decide(usable_now, usable_at_send, 5, rule.expiry(5)),
+                DeliveryRule::ValidAtDelivery.decide(usable_now, usable_at_send, 5, 5),
+            );
+        }
+    }
+}

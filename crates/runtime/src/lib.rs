@@ -13,10 +13,14 @@
 //!   experiments.
 //! * [`AsyncSimulator`] — a discrete-event, message-passing realisation in
 //!   the spirit of the remark at the end of §4.5: agents interact pairwise
-//!   when a (possibly delayed, possibly dropped) message is delivered over a
-//!   currently-enabled edge, rather than in lockstep rounds.  Group steps
-//!   are still steps of `R` restricted to the two endpoints, so all
-//!   invariants carry over; what changes is *when* interactions happen.
+//!   when a (possibly delayed, possibly dropped) message is delivered over
+//!   an edge, rather than in lockstep rounds.  Group steps are still steps
+//!   of `R` restricted to the two endpoints, so all invariants carry over;
+//!   what changes is *when* interactions happen — and the [`DeliveryRule`]
+//!   decides what happens to a message whose edge is down when it comes
+//!   due, which over environments with connectivity windows shorter than
+//!   the message latency decides convergence itself (see the
+//!   `delivery` module docs and experiment E14).
 //!
 //! Both simulators are deterministic given a seed, record
 //! [`selfsim_trace::RunMetrics`], optionally keep the full environment and
@@ -32,11 +36,13 @@
 #![warn(missing_docs)]
 
 mod async_sim;
+mod delivery;
 mod mode;
 mod report;
 mod sync;
 
-pub use async_sim::{AsyncConfig, AsyncSimulator};
+pub use async_sim::{validate_async_knobs, AsyncConfig, AsyncSimulator};
+pub use delivery::{DeliveryDecision, DeliveryRule, DEFAULT_GRACE};
 pub use mode::{ExecutionMode, Runtime};
 pub use report::SimulationReport;
 pub use sync::{SyncConfig, SyncSimulator};

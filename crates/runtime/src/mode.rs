@@ -11,7 +11,9 @@
 use selfsim_core::SelfSimilarSystem;
 use selfsim_env::Environment;
 
-use crate::{AsyncConfig, AsyncSimulator, SimulationReport, SyncConfig, SyncSimulator};
+use crate::{
+    AsyncConfig, AsyncSimulator, DeliveryRule, SimulationReport, SyncConfig, SyncSimulator,
+};
 
 /// A runtime that can execute a self-similar system under an environment —
 /// the common face of [`SyncSimulator`] and [`AsyncSimulator`].
@@ -81,6 +83,8 @@ pub enum ExecutionMode {
         max_latency: usize,
         /// Probability that an in-flight message is lost.
         drop_rate: f64,
+        /// What happens to a message whose edge is down when it comes due.
+        delivery: DeliveryRule,
     },
 }
 
@@ -97,7 +101,36 @@ impl ExecutionMode {
             interaction_rate: defaults.interaction_rate,
             max_latency: defaults.max_latency,
             drop_rate: defaults.drop_rate,
+            delivery: defaults.delivery,
         }
+    }
+
+    /// The default asynchronous mode with the given delivery rule — the
+    /// standard way to build the cells of a delivery-semantics sweep.
+    pub fn asynchronous_with(delivery: DeliveryRule) -> Self {
+        let defaults = AsyncConfig::default();
+        ExecutionMode::Async {
+            interaction_rate: defaults.interaction_rate,
+            max_latency: defaults.max_latency,
+            drop_rate: defaults.drop_rate,
+            delivery,
+        }
+    }
+
+    /// The delivery rule of an async mode (`None` for sync — lockstep
+    /// rounds have no messages in flight).
+    pub fn delivery(&self) -> Option<DeliveryRule> {
+        match *self {
+            ExecutionMode::Sync { .. } => None,
+            ExecutionMode::Async { delivery, .. } => Some(delivery),
+        }
+    }
+
+    /// The delivery-rule column value for reports: the rule label for
+    /// async cells, `-` for sync cells.
+    pub fn delivery_label(&self) -> String {
+        self.delivery()
+            .map_or_else(|| "-".into(), |rule| rule.label())
     }
 
     /// Both default modes — the standard cross-runtime sweep.
@@ -121,11 +154,17 @@ impl ExecutionMode {
                 interaction_rate,
                 max_latency,
                 drop_rate,
+                delivery,
             } => {
                 if *self == ExecutionMode::asynchronous() {
                     "async".into()
-                } else {
+                } else if delivery == DeliveryRule::default() {
                     format!("async(i={interaction_rate},l={max_latency},d={drop_rate})")
+                } else {
+                    format!(
+                        "async(i={interaction_rate},l={max_latency},d={drop_rate},dv={})",
+                        delivery.label()
+                    )
                 }
             }
         }
@@ -160,11 +199,13 @@ impl ExecutionMode {
                 interaction_rate,
                 max_latency,
                 drop_rate,
+                delivery,
             } => Box::new(AsyncSimulator::new(AsyncConfig {
                 max_ticks: budget,
                 interaction_rate,
                 max_latency,
                 drop_rate,
+                delivery,
                 seed,
                 record_traces,
             })),
@@ -189,11 +230,44 @@ mod tests {
                 interaction_rate: 0.25,
                 max_latency: 5,
                 drop_rate: 0.1,
+                delivery: DeliveryRule::default(),
             }
             .label(),
             "async(i=0.25,l=5,d=0.1)"
         );
         assert!(ExecutionMode::parse("nonsense").is_none());
+    }
+
+    #[test]
+    fn non_default_delivery_rules_show_in_the_label() {
+        assert_eq!(ExecutionMode::asynchronous().label(), "async");
+        assert_eq!(
+            ExecutionMode::asynchronous_with(DeliveryRule::ValidAtSend).label(),
+            "async(i=0.5,l=3,d=0,dv=valid-at-send)"
+        );
+        assert_eq!(
+            ExecutionMode::asynchronous_with(DeliveryRule::AnyOverlap { grace: 4 }).label(),
+            "async(i=0.5,l=3,d=0,dv=any-overlap(g=4))"
+        );
+        // The historical rule is the default, so it stays out of labels.
+        assert_eq!(
+            ExecutionMode::asynchronous_with(DeliveryRule::ValidAtDelivery),
+            ExecutionMode::asynchronous()
+        );
+    }
+
+    #[test]
+    fn delivery_accessor_distinguishes_the_runtimes() {
+        assert_eq!(ExecutionMode::sync().delivery(), None);
+        assert_eq!(ExecutionMode::sync().delivery_label(), "-");
+        assert_eq!(
+            ExecutionMode::asynchronous().delivery(),
+            Some(DeliveryRule::ValidAtDelivery)
+        );
+        assert_eq!(
+            ExecutionMode::asynchronous_with(DeliveryRule::ValidAtSend).delivery_label(),
+            "valid-at-send"
+        );
     }
 
     #[test]
@@ -237,6 +311,7 @@ mod tests {
             interaction_rate: 1.0,
             max_latency: 1,
             drop_rate: 0.0,
+            delivery: DeliveryRule::default(),
         };
         let mut env = StaticEnv::new(Topology::ring(6));
         let report = mode

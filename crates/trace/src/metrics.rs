@@ -28,6 +28,10 @@ pub struct RunMetrics {
     /// Messages exchanged (for message-passing runtimes and baselines;
     /// synchronous group steps count one message per participating agent).
     pub messages: usize,
+    /// Messages lost in flight to the drop roll (a subset of `messages`;
+    /// always zero when the run's `drop_rate` is zero, and zero for
+    /// synchronous runtimes, which have no messages in flight).
+    pub messages_dropped: usize,
     /// The global objective value `h(S)` after every round (index 0 is the
     /// initial value).
     pub objective_trajectory: Vec<f64>,
@@ -49,6 +53,7 @@ impl RunMetrics {
             group_steps: 0,
             effective_group_steps: 0,
             messages: 0,
+            messages_dropped: 0,
             objective_trajectory: Vec::new(),
         }
     }
@@ -101,6 +106,7 @@ mod tests {
             group_steps: 10,
             effective_group_steps: 4,
             messages: 24,
+            messages_dropped: 2,
             objective_trajectory: vec![40.0, 22.0, 10.0, 8.0, 8.0, 8.0],
         }
     }

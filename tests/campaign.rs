@@ -6,8 +6,8 @@
 //! the opt-in collected mode must produce the same bytes.
 
 use selfsim_campaign::{
-    emit, merge_shards, AlgorithmKind, Campaign, CollectedResult, EnvModel, ExecutionMode,
-    Registry, ScenarioGrid, ShardSpec, TopologyFamily,
+    emit, merge_shards, AlgorithmKind, Campaign, CollectedResult, DeliveryRule, EnvModel,
+    ExecutionMode, Registry, ScenarioGrid, ShardSpec, TopologyFamily,
 };
 
 const TRIALS: u64 = 5;
@@ -300,6 +300,68 @@ fn sync_and_async_cells_compare_cell_by_cell() {
             "message passing should not be cheaper: {} vs {}",
             async_cell.messages.mean,
             sync_cell.messages.mean
+        );
+    }
+}
+
+/// The delivery-semantics acceptance grid (experiment E14 in miniature):
+/// {self-similar minimum, flooding} × {three delivery rules} under the
+/// periodic partition whose merge windows are shorter than the message
+/// latency.  The historical valid-at-delivery rule exhausts the tick
+/// budget in every trial while valid-at-send and any-overlap converge in
+/// every trial — and the emitted bytes stay thread-count-invariant for
+/// every rule, so the determinism contract covers the new dimension.
+#[test]
+fn delivery_rules_sweep_as_grid_cells_and_fix_the_partition_stall() {
+    let scenarios = ScenarioGrid::new()
+        .algorithms([
+            Registry::builtin().resolve("minimum").unwrap(),
+            Registry::builtin().resolve("flooding").unwrap(),
+        ])
+        .topologies([TopologyFamily::Complete])
+        .envs([EnvModel::PeriodicPartition {
+            blocks: 2,
+            period: 8,
+        }])
+        .modes(DeliveryRule::all().map(ExecutionMode::asynchronous_with))
+        .sizes([8])
+        .trials(3)
+        .max_rounds(3_000)
+        .expand();
+    assert_eq!(scenarios.len(), 6, "2 algorithms × 3 delivery rules");
+
+    let parallel = Campaign::new(scenarios.clone())
+        .seed(5)
+        .threads(4)
+        .run_collect();
+    let sequential = Campaign::new(scenarios).seed(5).threads(1).run_collect();
+    assert_eq!(emitted_bytes(&parallel), emitted_bytes(&sequential));
+
+    for summary in &parallel.summaries {
+        assert_eq!(summary.trials, 3, "{}", summary.scenario);
+        if summary.delivery == "valid-at-delivery" {
+            assert_eq!(
+                summary.converged, 0,
+                "single-tick merges must starve {}",
+                summary.scenario
+            );
+        } else {
+            assert_eq!(
+                summary.converged, summary.trials,
+                "{} must converge",
+                summary.scenario
+            );
+        }
+    }
+    // The rule is a visible column in both emitters.
+    let table = emit::markdown_summary(&parallel.summaries);
+    assert!(table.lines().next().unwrap().contains("| delivery |"));
+    for rule in DeliveryRule::all() {
+        assert!(table.contains(&rule.label()), "{} missing", rule.label());
+        assert!(
+            parallel.records.iter().any(|r| r.delivery == rule.label()),
+            "{} missing from records",
+            rule.label()
         );
     }
 }
