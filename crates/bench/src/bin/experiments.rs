@@ -20,8 +20,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use selfsim_algorithms::{convex_hull, second_smallest, sum};
 use selfsim_campaign::{
-    emit, AlgorithmKind, Campaign, DeliveryRule, EnvModel, ExecutionMode, Registry, Scenario,
-    ScenarioGrid, ScenarioSummary, TopologyFamily,
+    emit, AlgorithmKind, Campaign, DeliveryRule, EnvModel, EnvRegistry, ExecutionMode, Registry,
+    Scenario, ScenarioGrid, ScenarioSummary, TopologyFamily,
 };
 use selfsim_core::DistributedFunction;
 use selfsim_env::{AdversarialEnv, Environment, RandomChurnEnv, Topology};
@@ -87,17 +87,19 @@ fn e4_scaling() {
     run_campaign("E4: rounds to convergence vs. #agents", scenarios);
 }
 
-/// E5 — convergence vs. per-round edge availability probability.
+/// E5 — convergence vs. per-round edge availability probability.  The
+/// environment axis is swept by *parameterised registry label* — the same
+/// strings a JSONL record's `environment` column carries — exercising the
+/// open environment dimension from the bench layer.
 fn e5_churn() {
     let scenarios = ScenarioGrid::new()
         .algorithms([AlgorithmKind::Minimum])
         .topologies([TopologyFamily::Ring])
-        .envs(
-            [0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0].map(|p| EnvModel::RandomChurn {
-                p_edge: p,
-                p_agent: 1.0,
-            }),
-        )
+        .envs([0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0].map(|p| {
+            EnvRegistry::builtin_ref()
+                .resolve(&format!("churn(e={p},a=1)"))
+                .expect("parameterised churn label")
+        }))
         .sizes([32])
         .trials(SEEDS.end)
         .max_rounds(500_000)

@@ -32,6 +32,7 @@ use selfsim_geometry::{enclosing_circle_of_circles, Circle, Point};
 use selfsim_runtime::{DeliveryRule, ExecutionMode};
 use selfsim_trace::RunMetrics;
 
+use crate::dimension::TopoRef;
 use crate::scenario::TopologyFamily;
 
 /// The assertable outcome an algorithm claims for its trials.
@@ -111,8 +112,9 @@ pub trait CampaignAlgorithm: Send + Sync {
     }
 
     /// The topology family the algorithm's fairness argument requires, if
-    /// any (sorting → line, sum → complete).
-    fn forced_topology(&self) -> Option<TopologyFamily> {
+    /// any (sorting → line, sum → complete).  Returns a [`TopoRef`], so
+    /// user algorithms can force user-registered families too.
+    fn forced_topology(&self) -> Option<TopoRef> {
         None
     }
 
@@ -163,7 +165,7 @@ impl AlgorithmRef {
     }
 
     /// The forced topology family, if any.
-    pub fn forced_topology(&self) -> Option<TopologyFamily> {
+    pub fn forced_topology(&self) -> Option<TopoRef> {
         self.0.forced_topology()
     }
 
@@ -355,8 +357,8 @@ impl CampaignAlgorithm for SumAlgo {
     fn description(&self) -> &str {
         "§4.2 — one agent concentrates the sum (complete fairness graph)"
     }
-    fn forced_topology(&self) -> Option<TopologyFamily> {
-        Some(TopologyFamily::Complete)
+    fn forced_topology(&self) -> Option<TopoRef> {
+        Some(TopologyFamily::Complete.into())
     }
     fn run(&self, setup: &mut TrialSetup<'_>, env: &mut dyn Environment) -> RunMetrics {
         let values = int_values(setup.n, setup.rng);
@@ -373,8 +375,8 @@ impl CampaignAlgorithm for SortingAlgo {
     fn description(&self) -> &str {
         "§4.4 — values sort themselves along a line"
     }
-    fn forced_topology(&self) -> Option<TopologyFamily> {
-        Some(TopologyFamily::Line)
+    fn forced_topology(&self) -> Option<TopoRef> {
+        Some(TopologyFamily::Line.into())
     }
     fn run(&self, setup: &mut TrialSetup<'_>, env: &mut dyn Environment) -> RunMetrics {
         let values = int_values(setup.n, setup.rng);
@@ -723,7 +725,7 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(7);
             let topology = algorithm
                 .forced_topology()
-                .unwrap_or(TopologyFamily::Ring)
+                .unwrap_or_else(|| TopologyFamily::Ring.into())
                 .build(6, &mut rng);
             let mut env: Box<dyn Environment> = Box::new(StaticEnv::new(topology.clone()));
             let mut setup = TrialSetup {

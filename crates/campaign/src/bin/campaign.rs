@@ -6,7 +6,7 @@
 //! cargo run --release --bin campaign -- --trials 100
 //! cargo run --release --bin campaign -- --list-algorithms
 //! cargo run --release --bin campaign -- \
-//!     --algorithms minimum,snapshot,flooding --envs churn,partition \
+//!     --algorithms minimum,snapshot,flooding --envs "churn(e=0.3,a=0.8),partition" \
 //!     --topologies complete --modes sync,async --sizes 8,16 --trials 200 \
 //!     --seed 42 --threads 8 --out runs.jsonl --summary-out summary.jsonl
 //!
@@ -25,610 +25,16 @@
 //!     --out merged.jsonl --summary-out summary.jsonl
 //! ```
 //!
-//! Algorithms are resolved by label against the builtin [`Registry`] — the
-//! paper's worked examples, the circumscribing-circle counterexample, and
-//! the snapshot/flooding baselines all sweep through the same grid.
-//!
-//! `--trials` is the *total* trial budget: it is divided over the expanded
-//! scenario grid with the remainder spread one-per-cell over the leading
-//! cells, so the flag scales the whole sweep and the printed total is
-//! exact.  Records stream to `--out` as trials finish (memory stays
-//! `O(threads)`); per-scenario summaries aggregate incrementally.
+//! The whole CLI lives in [`selfsim_campaign::cli`]; this binary runs it
+//! against the builtin registries.  Projects with their own algorithm,
+//! environment or topology families build the identical CLI over extended
+//! registries with [`cli::run`] — see `examples/custom_campaign_cli.rs`.
 
-use std::io::{BufReader, Write};
 use std::process::ExitCode;
-use std::time::Duration;
 
-use selfsim_campaign::{
-    distribute_trials, emit, merge_shards, Aggregator, AlgorithmRef, Campaign, CampaignResult,
-    DeliveryRule, EnvModel, ExecutionMode, MergeOrder, ProgressThrottle, Registry, ScenarioGrid,
-    ShardSpec, TopologyFamily, TrialRecord,
-};
-use selfsim_runtime::validate_async_knobs;
-
-struct Args {
-    algorithms: Vec<AlgorithmRef>,
-    topologies: Vec<TopologyFamily>,
-    envs: Vec<EnvModel>,
-    modes: Vec<ExecutionMode>,
-    sizes: Vec<usize>,
-    async_rate: Option<f64>,
-    async_latency: Option<usize>,
-    async_drop: Option<f64>,
-    delivery: Vec<DeliveryRule>,
-    trials: u64,
-    max_rounds: usize,
-    seed: u64,
-    threads: usize,
-    shard: ShardSpec,
-    merge: Vec<String>,
-    out: Option<String>,
-    summary_out: Option<String>,
-    quiet: bool,
-    list_algorithms: bool,
-}
-
-fn default_args(registry: &Registry) -> Args {
-    Args {
-        algorithms: ["minimum", "second-smallest", "sum", "sorting"]
-            .iter()
-            .map(|label| registry.resolve(label).expect("builtin"))
-            .collect(),
-        topologies: vec![
-            TopologyFamily::Ring,
-            TopologyFamily::Complete,
-            TopologyFamily::Random { p: 0.3 },
-        ],
-        envs: vec![
-            EnvModel::Static,
-            EnvModel::RandomChurn {
-                p_edge: 0.5,
-                p_agent: 0.9,
-            },
-            EnvModel::MarkovLink {
-                p_up: 0.3,
-                p_down: 0.3,
-            },
-            EnvModel::PeriodicPartition {
-                blocks: 3,
-                period: 8,
-            },
-            EnvModel::CrashRestart {
-                p_crash: 0.05,
-                p_restart: 0.5,
-            },
-            EnvModel::Adversarial { silence: 1 },
-        ],
-        modes: vec![ExecutionMode::sync()],
-        sizes: vec![12],
-        async_rate: None,
-        async_latency: None,
-        async_drop: None,
-        delivery: Vec::new(),
-        trials: 100,
-        max_rounds: 200_000,
-        seed: 0,
-        threads: 0,
-        shard: ShardSpec::full(),
-        merge: Vec::new(),
-        out: None,
-        summary_out: None,
-        quiet: false,
-        list_algorithms: false,
-    }
-}
-
-const USAGE: &str = "\
-campaign — run a parallel experiment sweep over self-similar algorithms and baselines
-
-OPTIONS
-    --algorithms a,b,..   registry labels (see --list-algorithms)
-    --topologies t,..     ring|line|grid|complete|star|random
-    --envs e,..           static|churn|markov|partition|crash|adversary|churn+crash
-    --modes m,..          sync|async — execution modes to sweep (default sync)
-    --mode m              alias for --modes with a single value
-    --async-rate P        async: per-tick interaction probability (default 0.5)
-    --async-latency N     async: latency drawn from 1..=N ticks (default 3)
-    --async-drop P        async: in-flight loss probability (default 0)
-    --delivery r,..       async delivery rule(s): valid-at-delivery|valid-at-send|
-                          any-overlap|any-overlap(g=N) — each rule becomes its own
-                          grid cell (default valid-at-delivery)
-    --sizes n,..          agents per system (default 12)
-    --trials N            total trial budget, split exactly over scenarios (default 100)
-    --max-rounds N        per-trial round/tick budget (default 200000)
-    --seed S              campaign master seed (default 0)
-    --threads T           worker threads, 0 = all CPUs (default 0)
-    --shard i/k           run only stride shard i of k (default 0/1 = everything);
-                          merging all k shard outputs reproduces the unsharded bytes
-    --merge f0 f1 ..      merge shard JSONL files (in --shard index order) instead of
-                          running; writes the exact unsharded record stream to --out
-                          and re-aggregates the summary table
-    --out PATH            stream per-trial records as JSON-lines (as trials finish);
-                          `-` streams to stdout and moves the summary to stderr
-    --summary-out PATH    write per-scenario summaries as JSON-lines
-    --list-algorithms     print the algorithm registry and exit
-    --quiet               suppress progress output
-    --help                this text
-";
-
-fn parse_args(argv: &[String], registry: &Registry) -> Result<Args, String> {
-    let mut args = default_args(registry);
-    let mut it = argv.iter().peekable();
-    while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .cloned()
-                .ok_or_else(|| format!("{name} expects a value"))
-        };
-        match flag.as_str() {
-            "--algorithms" => {
-                args.algorithms = parse_list(&value("--algorithms")?, |s| registry.resolve(s))?;
-            }
-            "--topologies" => {
-                args.topologies = parse_list(&value("--topologies")?, |s| {
-                    TopologyFamily::parse(s).ok_or_else(|| format!("unknown topology `{s}`"))
-                })?;
-            }
-            "--envs" => {
-                args.envs = parse_list(&value("--envs")?, |s| {
-                    EnvModel::parse(s).ok_or_else(|| format!("unknown environment `{s}`"))
-                })?;
-            }
-            "--modes" | "--mode" => {
-                args.modes = parse_list(&value(flag)?, |s| {
-                    ExecutionMode::parse(s)
-                        .ok_or_else(|| format!("unknown mode `{s}` (expected sync|async)"))
-                })?;
-            }
-            "--sizes" => {
-                args.sizes = parse_list(&value("--sizes")?, |s| {
-                    s.parse::<usize>()
-                        .map_err(|e| format!("bad size `{s}`: {e}"))
-                })?;
-            }
-            "--async-rate" => {
-                args.async_rate = Some(
-                    value("--async-rate")?
-                        .parse()
-                        .map_err(|e| format!("bad --async-rate: {e}"))?,
-                );
-            }
-            "--async-latency" => {
-                args.async_latency = Some(
-                    value("--async-latency")?
-                        .parse()
-                        .map_err(|e| format!("bad --async-latency: {e}"))?,
-                );
-            }
-            "--async-drop" => {
-                args.async_drop = Some(
-                    value("--async-drop")?
-                        .parse()
-                        .map_err(|e| format!("bad --async-drop: {e}"))?,
-                );
-            }
-            "--delivery" => {
-                args.delivery = parse_list(&value("--delivery")?, |s| {
-                    DeliveryRule::parse(s).ok_or_else(|| {
-                        format!(
-                            "unknown delivery rule `{s}` (expected valid-at-delivery|\
-                             valid-at-send|any-overlap|any-overlap(g=N))"
-                        )
-                    })
-                })?;
-            }
-            "--trials" => {
-                args.trials = value("--trials")?
-                    .parse()
-                    .map_err(|e| format!("bad --trials: {e}"))?;
-            }
-            "--max-rounds" => {
-                args.max_rounds = value("--max-rounds")?
-                    .parse()
-                    .map_err(|e| format!("bad --max-rounds: {e}"))?;
-            }
-            "--seed" => {
-                args.seed = value("--seed")?
-                    .parse()
-                    .map_err(|e| format!("bad --seed: {e}"))?;
-            }
-            "--threads" => {
-                args.threads = value("--threads")?
-                    .parse()
-                    .map_err(|e| format!("bad --threads: {e}"))?;
-            }
-            "--shard" => args.shard = ShardSpec::parse(&value("--shard")?)?,
-            "--merge" => {
-                while let Some(path) = it.peek() {
-                    if path.starts_with("--") {
-                        break;
-                    }
-                    args.merge.push(it.next().expect("peeked").clone());
-                }
-                if args.merge.is_empty() {
-                    return Err("--merge expects one or more shard JSONL files".into());
-                }
-            }
-            "--out" => args.out = Some(value("--out")?),
-            "--summary-out" => args.summary_out = Some(value("--summary-out")?),
-            "--list-algorithms" => args.list_algorithms = true,
-            "--quiet" => args.quiet = true,
-            "--help" | "-h" => return Err(String::new()),
-            other => return Err(format!("unknown flag `{other}`")),
-        }
-    }
-    if args.trials == 0 {
-        return Err("--trials must be positive".into());
-    }
-    apply_async_knobs(&mut args)?;
-    if let Some(n) = args.sizes.iter().find(|&&n| n < 2) {
-        return Err(format!("--sizes values must be at least 2, got {n}"));
-    }
-    if !args.merge.is_empty() && !args.shard.is_full() {
-        return Err(
-            "--merge and --shard are mutually exclusive (merge reads finished shard files)".into(),
-        );
-    }
-    if args.summary_out.as_deref().is_some_and(is_stdout) {
-        return Err(
-            "--summary-out must be a file path; stdout is reserved for records (--out -) \
-             and the summary table"
-                .into(),
-        );
-    }
-    Ok(args)
-}
-
-/// Folds the async knob flags (`--async-rate/-latency/-drop`) into every
-/// async mode and expands the `--delivery` dimension (one async mode per
-/// rule).  The flags only make sense with an async mode selected, so their
-/// presence without one is a hard error rather than a silent no-op.
-fn apply_async_knobs(args: &mut Args) -> Result<(), String> {
-    let has_knobs = args.async_rate.is_some()
-        || args.async_latency.is_some()
-        || args.async_drop.is_some()
-        || !args.delivery.is_empty();
-    if !has_knobs {
-        return Ok(());
-    }
-    if !args.modes.iter().any(|m| m.is_async()) {
-        return Err(
-            "--async-rate/--async-latency/--async-drop/--delivery only apply to the async \
-             runtime; add `async` to --modes"
-                .into(),
-        );
-    }
-    let rules: Option<&[DeliveryRule]> = if args.delivery.is_empty() {
-        None
-    } else {
-        Some(&args.delivery)
-    };
-    let mut modes = Vec::new();
-    for mode in &args.modes {
-        match *mode {
-            ExecutionMode::Async {
-                interaction_rate,
-                max_latency,
-                drop_rate,
-                delivery,
-            } => {
-                let interaction_rate = args.async_rate.unwrap_or(interaction_rate);
-                let max_latency = args.async_latency.unwrap_or(max_latency);
-                let drop_rate = args.async_drop.unwrap_or(drop_rate);
-                validate_async_knobs(interaction_rate, max_latency, drop_rate)?;
-                for &delivery in rules.unwrap_or(&[delivery]) {
-                    modes.push(ExecutionMode::Async {
-                        interaction_rate,
-                        max_latency,
-                        drop_rate,
-                        delivery,
-                    });
-                }
-            }
-            sync => modes.push(sync),
-        }
-    }
-    args.modes = modes;
-    Ok(())
-}
-
-fn parse_list<T>(csv: &str, parse: impl Fn(&str) -> Result<T, String>) -> Result<Vec<T>, String> {
-    csv.split(',')
-        .map(str::trim)
-        .filter(|s| !s.is_empty())
-        .map(parse)
-        .collect()
-}
-
-fn print_registry(registry: &Registry) {
-    println!("registered algorithms ({}):", registry.len());
-    for algorithm in registry.iter() {
-        let topology = match algorithm.forced_topology() {
-            Some(family) => format!(" [topology: {}]", family.label()),
-            None => String::new(),
-        };
-        println!(
-            "  {:<22} {:<28} {}{}",
-            algorithm.label(),
-            format!("expected: {}", algorithm.expectation().label()),
-            algorithm.description(),
-            topology,
-        );
-    }
-}
+use selfsim_campaign::cli::{self, CliRegistries};
 
 fn main() -> ExitCode {
-    let registry = Registry::builtin();
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let args = match parse_args(&argv, &registry) {
-        Ok(args) => args,
-        Err(message) => {
-            if message.is_empty() {
-                print!("{USAGE}");
-                return ExitCode::SUCCESS;
-            }
-            eprintln!("error: {message}\n\n{USAGE}");
-            return ExitCode::from(2);
-        }
-    };
-    if args.list_algorithms {
-        print_registry(&registry);
-        return ExitCode::SUCCESS;
-    }
-    let outcome = if args.merge.is_empty() {
-        run_sweep(&args)
-    } else {
-        run_merge(&args)
-    };
-    match outcome {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("error: {message}");
-            ExitCode::FAILURE
-        }
-    }
-}
-
-/// Runs (one shard of) the sweep, streaming records to `--out`.
-fn run_sweep(args: &Args) -> Result<(), String> {
-    let scenarios = ScenarioGrid::new()
-        .algorithms(args.algorithms.iter().cloned())
-        .topologies(args.topologies.iter().copied())
-        .envs(args.envs.iter().copied())
-        .modes(args.modes.iter().copied())
-        .sizes(args.sizes.iter().copied())
-        .max_rounds(args.max_rounds)
-        .trials(1) // replaced below by the exact budget split
-        .expand();
-    if scenarios.is_empty() {
-        return Err("the scenario grid is empty".into());
-    }
-
-    // Split the budget exactly: every cell gets `base`, and the first
-    // `extra` cells one more, so the total is `--trials`, not the old
-    // `div_ceil` overshoot (e.g. 100 over 48 cells used to run 144).
-    let mut scenarios = scenarios;
-    let (base, extra) = distribute_trials(&mut scenarios, args.trials);
-    if base == 0 {
-        eprintln!(
-            "warning: --trials {} is below the grid's {} cells; {} cells run zero trials \
-             and will be absent from records and summaries",
-            args.trials,
-            scenarios.len(),
-            scenarios.len() as u64 - extra,
-        );
-    }
-
-    let campaign = Campaign::new(scenarios)
-        .seed(args.seed)
-        .threads(args.threads)
-        .shard(args.shard);
-    let total = campaign.trial_count();
-    let shard_total = campaign.shard_trial_count();
-    debug_assert_eq!(total, args.trials, "exact budget split");
-    if !args.quiet {
-        let shard_note = if args.shard.is_full() {
-            String::new()
-        } else {
-            format!(
-                ", shard {} -> {} of them here",
-                args.shard.label(),
-                shard_total
-            )
-        };
-        eprintln!(
-            "campaign: {} scenarios, {} trials total ({}-{} per cell, seed {}, {} threads{})",
-            campaign.scenarios().len(),
-            total,
-            base,
-            if extra > 0 { base + 1 } else { base },
-            args.seed,
-            if args.threads == 0 {
-                std::thread::available_parallelism().map_or(1, |n| n.get())
-            } else {
-                args.threads
-            },
-            shard_note,
-        );
-    }
-
-    // ~10 progress updates/sec however many worker threads finish trials.
-    let throttle = ProgressThrottle::every(Duration::from_millis(100));
-    let progress = |done: u64, total: u64| {
-        if done == total || throttle.ready() {
-            eprintln!("  {done}/{total} trials");
-        }
-    };
-
-    let started = std::time::Instant::now();
-    // (`Stdout`, not `StdoutLock` — the sink crosses into the runner's
-    // worker scope and must be `Send`.  With `--out -` the records own
-    // stdout and everything human-readable goes to stderr below.)
-    let sink: Option<(Box<dyn Write + Send>, &str)> = match &args.out {
-        Some(path) if is_stdout(path) => Some((
-            Box::new(std::io::BufWriter::new(std::io::stdout())),
-            "stdout",
-        )),
-        Some(path) => Some((
-            Box::new(std::io::BufWriter::new(
-                std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
-            )),
-            path.as_str(),
-        )),
-        None => None,
-    };
-    let result: CampaignResult = match sink {
-        Some((mut writer, label)) => {
-            let result = if args.quiet {
-                campaign.stream_to(&mut writer)
-            } else {
-                campaign.stream_with_progress(&mut writer, progress)
-            }
-            .and_then(|result| {
-                writer.flush()?;
-                Ok(result)
-            })
-            .map_err(|e| format!("cannot stream records to {label}: {e}"))?;
-            result
-        }
-        None => {
-            if args.quiet {
-                campaign.run()
-            } else {
-                campaign.run_with_progress(progress)
-            }
-        }
-    };
-    let elapsed = started.elapsed();
-
-    if let Some(path) = &args.summary_out {
-        write_file(path, |w| emit::write_summary_jsonl(w, &result.summaries))
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
-    }
-
-    let report = format!(
-        "{}{}\n{:.2}s wall clock, {:.0} trials/s",
-        emit::markdown_summary(&result.summaries),
-        totals_line(&result, args),
-        elapsed.as_secs_f64(),
-        result.trials as f64 / elapsed.as_secs_f64().max(f64::EPSILON),
-    );
-    if args.out.as_deref().is_some_and(is_stdout) {
-        if !args.quiet {
-            eprintln!("{report}");
-        }
-    } else {
-        println!("{report}");
-    }
-    Ok(())
-}
-
-/// `true` when `path` means "stream to stdout" (`-` or `/dev/stdout`).
-fn is_stdout(path: &str) -> bool {
-    path == "-" || path == "/dev/stdout"
-}
-
-/// Merges finished shard record files back into the unsharded byte stream
-/// and re-aggregates the summary table from the merged records.
-fn run_merge(args: &Args) -> Result<(), String> {
-    let mut shards: Vec<BufReader<std::fs::File>> = Vec::with_capacity(args.merge.len());
-    for path in &args.merge {
-        let file =
-            std::fs::File::open(path).map_err(|e| format!("cannot open shard file {path}: {e}"))?;
-        shards.push(BufReader::new(file));
-    }
-
-    let stdout = std::io::stdout();
-    let mut writer: Box<dyn Write> = match &args.out {
-        Some(path) if !is_stdout(path) => Box::new(std::io::BufWriter::new(
-            std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
-        )),
-        _ => Box::new(std::io::BufWriter::new(stdout.lock())),
-    };
-
-    // Every merged line is parsed once: the order checker proves the
-    // reconstructed stream is in exact unsharded job order (this is what
-    // catches equal-length shard files passed out of `--shard` order,
-    // which no line-count check can see), and the same record feeds the
-    // re-aggregated summary table.
-    let mut order = MergeOrder::new();
-    let mut aggregator = Aggregator::new();
-    let merged = merge_shards(&mut shards, |line| {
-        writer
-            .write_all(line)
-            .map_err(|e| format!("cannot write merged records: {e}"))?;
-        let record =
-            TrialRecord::from_jsonl_line(std::str::from_utf8(line).map_err(|e| e.to_string())?)?;
-        order.check(&record)?;
-        aggregator.observe(&record);
-        Ok(())
-    })
-    .and_then(|merged| {
-        writer
-            .flush()
-            .map_err(|e| format!("cannot flush merged records: {e}"))?;
-        Ok(merged)
-    });
-    drop(writer);
-    let merged = match merged {
-        Ok(merged) => merged,
-        Err(e) => {
-            // Don't leave a partial (possibly misordered) merged file
-            // behind: existence must imply a complete, validated stream.
-            if let Some(path) = args.out.as_deref().filter(|p| !is_stdout(p)) {
-                let _ = std::fs::remove_file(path);
-            }
-            return Err(e);
-        }
-    };
-
-    let summaries = aggregator.summaries();
-    if let Some(path) = &args.summary_out {
-        write_file(path, |w| emit::write_summary_jsonl(w, &summaries))
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
-    }
-    if args.out.as_deref().is_some_and(|p| !is_stdout(p)) {
-        // With --out FILE the table goes to stdout; otherwise stdout
-        // carries the merged records and the table would corrupt the
-        // stream.
-        print!("{}", emit::markdown_summary(&summaries));
-        println!(
-            "merged {merged} records from {} shard files across {} scenario cells",
-            args.merge.len(),
-            summaries.len(),
-        );
-    } else if !args.quiet {
-        eprintln!(
-            "merged {merged} records from {} shard files across {} scenario cells",
-            args.merge.len(),
-            summaries.len(),
-        );
-    }
-    Ok(())
-}
-
-fn totals_line(result: &CampaignResult, args: &Args) -> String {
-    let trials = result.trials;
-    let converged: u64 = result.summaries.iter().map(|s| s.converged).sum();
-    let expected: u64 = result.summaries.iter().map(|s| s.expectation_met).sum();
-    let shard_note = if args.shard.is_full() {
-        String::new()
-    } else {
-        format!(" [shard {}]", args.shard.label())
-    };
-    format!(
-        "{trials} trials{shard_note}, {converged} converged ({:.1}%), {expected} as expected ({:.1}%)",
-        100.0 * converged as f64 / trials.max(1) as f64,
-        100.0 * expected as f64 / trials.max(1) as f64,
-    )
-}
-
-fn write_file(
-    path: &str,
-    write: impl FnOnce(&mut std::io::BufWriter<std::fs::File>) -> std::io::Result<()>,
-) -> std::io::Result<()> {
-    let file = std::fs::File::create(path)?;
-    let mut writer = std::io::BufWriter::new(file);
-    write(&mut writer)?;
-    writer.flush()
+    cli::run(&argv, &CliRegistries::default())
 }

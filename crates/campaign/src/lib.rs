@@ -69,6 +69,8 @@
 
 mod aggregate;
 mod algorithm;
+pub mod cli;
+mod dimension;
 pub mod emit;
 mod runner;
 mod scenario;
@@ -79,11 +81,16 @@ pub use aggregate::{Aggregator, ScenarioSummary};
 pub use algorithm::{
     run_system, AlgorithmRef, CampaignAlgorithm, Expectation, Registry, TrialSetup,
 };
+pub use dimension::{
+    EnvFactory, EnvRef, EnvRegistry, LabelRegistry, RegistryEntry, TopoRef, TopologyFactory,
+    TopologyRegistry,
+};
 pub use runner::{Campaign, CampaignConfig, CampaignResult, CollectedResult, ProgressThrottle};
 pub use scenario::{
     distribute_trials, grid_dims, AlgorithmKind, EnvModel, Scenario, ScenarioBuilder, ScenarioGrid,
     TopologyFamily,
 };
+pub use selfsim_env::{parse_label, split_top_level, Params};
 pub use selfsim_runtime::{DeliveryRule, ExecutionMode, Runtime};
 pub use shard::{merge_shards, MergeOrder, ShardSpec};
 pub use trial::{run_trial, TrialRecord};

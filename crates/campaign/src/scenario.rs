@@ -1,21 +1,30 @@
 //! Declarative scenario specifications and grid expansion.
 //!
 //! A [`Scenario`] names one *cell* of an experiment campaign: an algorithm
-//! (an [`AlgorithmRef`] from the registry), a topology family, an
-//! environment model, an execution mode, a system size and a number of
-//! trials.  Scenarios are cheap shareable data — building the actual
-//! algorithm instance and [`Environment`](selfsim_env::Environment) happens
-//! per trial in the runner, so scenarios can be freely sent across threads
-//! and expanded into grids.
+//! (an [`AlgorithmRef`] from the registry), a topology family (a
+//! [`TopoRef`]), an environment model (an [`EnvRef`]), an execution mode, a
+//! system size and a number of trials.  Scenarios are cheap shareable data
+//! — building the actual algorithm instance and
+//! [`Environment`](selfsim_env::Environment) happens per trial in the
+//! runner, so scenarios can be freely sent across threads and expanded into
+//! grids.
+//!
+//! All three grid dimensions are open: algorithms, environments and
+//! topologies resolve by label against their registries
+//! ([`Registry`](crate::Registry), [`EnvRegistry`](crate::EnvRegistry),
+//! [`TopologyRegistry`](crate::TopologyRegistry)).  The closed
+//! [`AlgorithmKind`], [`EnvModel`] and [`TopologyFamily`] enums of the
+//! original API remain as thin `Into<…Ref>` shims.
 
 use rand::Rng;
-use selfsim_env::{
-    AdversarialEnv, ComposedEnv, CrashRestartEnv, Environment, MarkovLinkEnv, PeriodicPartitionEnv,
-    RandomChurnEnv, StaticEnv, Topology,
-};
 use selfsim_runtime::ExecutionMode;
 
 use crate::algorithm::{AlgorithmRef, Registry};
+use crate::dimension::{
+    AdversaryEnvFactory, ChurnEnvFactory, ChurnPlusCrashEnvFactory, CompleteTopology,
+    CrashEnvFactory, EnvRef, GridTopology, LineTopology, MarkovEnvFactory, PartitionEnvFactory,
+    RandomTopology, RingTopology, StarTopology, StaticEnvFactory, TopoRef,
+};
 
 /// The closed enum of the original campaign API, kept as a thin shim over
 /// the open [`Registry`]: existing callers keep writing
@@ -103,8 +112,10 @@ impl From<AlgorithmKind> for AlgorithmRef {
     }
 }
 
-/// The topology dimension: a family of communication graphs parameterised by
-/// the system size.
+/// The closed topology enum of the original API, kept as a thin shim over
+/// the open [`TopologyRegistry`](crate::TopologyRegistry): each variant
+/// converts into the [`TopoRef`] of the corresponding builtin family, and
+/// user families are addressed by label instead.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum TopologyFamily {
     /// Cycle on `n` agents.
@@ -126,20 +137,17 @@ pub enum TopologyFamily {
 }
 
 impl TopologyFamily {
-    /// Short stable label used in scenario names and reports.
+    /// Short stable label used in scenario names and reports.  Like every
+    /// method that goes through [`TopologyFamily::resolve`], panics on
+    /// out-of-range public fields (see its `# Panics`).
     pub fn label(&self) -> String {
-        match self {
-            TopologyFamily::Ring => "ring".into(),
-            TopologyFamily::Line => "line".into(),
-            TopologyFamily::Grid => "grid".into(),
-            TopologyFamily::Complete => "complete".into(),
-            TopologyFamily::Star => "star".into(),
-            TopologyFamily::Random { p } => format!("random(p={p})"),
-        }
+        self.resolve().label()
     }
 
-    /// Parses a label produced by [`TopologyFamily::label`] (random accepts
-    /// plain `random` with `p = 0.3`).
+    /// Parses a bare family name (random takes its default `p = 0.3`).
+    /// Parameterised labels resolve through
+    /// [`TopologyRegistry::resolve`](crate::TopologyRegistry::resolve)
+    /// instead, which also covers user-registered families.
     pub fn parse(s: &str) -> Option<Self> {
         match s {
             "ring" => Some(TopologyFamily::Ring),
@@ -153,19 +161,36 @@ impl TopologyFamily {
     }
 
     /// Materialises the graph for `n` agents, drawing any randomness from
-    /// `rng` (so random families are deterministic per trial).
-    pub fn build(&self, n: usize, rng: &mut impl Rng) -> Topology {
-        match self {
-            TopologyFamily::Ring => Topology::ring(n),
-            TopologyFamily::Line => Topology::line(n),
-            TopologyFamily::Grid => {
-                let (rows, cols) = grid_dims(n);
-                Topology::grid(rows, cols)
-            }
-            TopologyFamily::Complete => Topology::complete(n),
-            TopologyFamily::Star => Topology::star(n),
-            TopologyFamily::Random { p } => Topology::random_connected(n, *p, rng),
+    /// `rng` (so random families are deterministic per trial).  Panics on
+    /// out-of-range public fields (see [`TopologyFamily::resolve`]).
+    pub fn build(&self, n: usize, rng: &mut impl Rng) -> selfsim_env::Topology {
+        self.resolve().build(n, rng)
+    }
+
+    /// The registry family instance this shim variant stands for.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the field named when a random family's `p` lies
+    /// outside `[0, 1]` — at construction, not mid-campaign.
+    pub fn resolve(&self) -> TopoRef {
+        match *self {
+            TopologyFamily::Ring => TopoRef::new(RingTopology),
+            TopologyFamily::Line => TopoRef::new(LineTopology),
+            TopologyFamily::Grid => TopoRef::new(GridTopology),
+            TopologyFamily::Complete => TopoRef::new(CompleteTopology),
+            TopologyFamily::Star => TopoRef::new(StarTopology),
+            TopologyFamily::Random { p } => TopoRef::new(RandomTopology {
+                p: selfsim_env::validate_probability("p", p)
+                    .unwrap_or_else(|message| panic!("TopologyFamily: {message}")),
+            }),
         }
+    }
+}
+
+impl From<TopologyFamily> for TopoRef {
+    fn from(family: TopologyFamily) -> TopoRef {
+        family.resolve()
     }
 }
 
@@ -175,10 +200,30 @@ impl TopologyFamily {
 /// `div_ceil` overshoot).  Returns `(base, extra)` for reporting.
 ///
 /// Both the `campaign` CLI and the `bench_campaign` regression gate use
-/// this one split, so the benched workload is the shipped workload.  Note
-/// that when `total < cells` the trailing cells get **zero** trials and
-/// will be absent from records and summaries — callers should surface
-/// that (the CLI warns).
+/// this one split, so the benched workload is the shipped workload.
+///
+/// **When `total < cells` the trailing cells get zero trials** and will be
+/// absent from records and summaries — callers should surface that to
+/// their users the way the CLI does (it prints a warning naming how many
+/// cells run empty).  `base == 0` on return is the signal:
+///
+/// ```
+/// use selfsim_campaign::{distribute_trials, AlgorithmKind, Scenario};
+///
+/// let mut cells: Vec<Scenario> = (0..4)
+///     .map(|i| Scenario::builder(AlgorithmKind::Minimum).agents(4 + 2 * i).build())
+///     .collect();
+/// // 10 trials over 4 cells: 2 each, the first two get one more.
+/// assert_eq!(distribute_trials(&mut cells, 10), (2, 2));
+/// assert_eq!(cells.iter().map(|s| s.trials).collect::<Vec<_>>(), [3, 3, 2, 2]);
+/// // Fewer trials than cells: base == 0 — the last cell runs nothing.
+/// assert_eq!(distribute_trials(&mut cells, 3), (0, 3));
+/// assert_eq!(cells[3].trials, 0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `scenarios` is empty (there is nothing to distribute over).
 pub fn distribute_trials(scenarios: &mut [Scenario], total: u64) -> (u64, u64) {
     let cells = scenarios.len() as u64;
     assert!(cells > 0, "cannot distribute trials over an empty grid");
@@ -190,7 +235,24 @@ pub fn distribute_trials(scenarios: &mut [Scenario], total: u64) -> (u64, u64) {
 }
 
 /// Splits `n` into the most-square `rows × cols` factorisation (`rows ≤
-/// cols`, `rows * cols == n`); primes degenerate to a line.
+/// cols`, `rows * cols == n`).
+///
+/// **Primes degenerate to a line**: a prime `n` has no divisor between 1
+/// and itself, so the `grid` topology family silently becomes the path
+/// graph — sweeps comparing `grid` against `line` should pick composite
+/// sizes, or the two families' cells coincide:
+///
+/// ```
+/// use selfsim_campaign::grid_dims;
+///
+/// assert_eq!(grid_dims(12), (3, 4));
+/// assert_eq!(grid_dims(16), (4, 4));
+/// assert_eq!(grid_dims(13), (1, 13)); // prime → line
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
 pub fn grid_dims(n: usize) -> (usize, usize) {
     assert!(n > 0, "need at least one agent");
     let mut rows = 1;
@@ -204,7 +266,10 @@ pub fn grid_dims(n: usize) -> (usize, usize) {
     (rows, n / rows)
 }
 
-/// The environment dimension: which adversary the algorithm runs against.
+/// The closed environment enum of the original API, kept as a thin shim
+/// over the open [`EnvRegistry`](crate::EnvRegistry): each variant converts
+/// into the [`EnvRef`] of the corresponding builtin family, and user
+/// families are addressed by label instead.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum EnvModel {
     /// Fully benign: every edge available, every agent enabled.
@@ -254,28 +319,18 @@ pub enum EnvModel {
 }
 
 impl EnvModel {
-    /// Short stable label used in scenario names and reports.
+    /// Short stable label used in scenario names and reports.  Like every
+    /// method that goes through [`EnvModel::resolve`], panics on
+    /// out-of-range public fields (see its `# Panics`) — values the old
+    /// API silently clamped.
     pub fn label(&self) -> String {
-        match self {
-            EnvModel::Static => "static".into(),
-            EnvModel::RandomChurn { p_edge, p_agent } => format!("churn(e={p_edge},a={p_agent})"),
-            EnvModel::MarkovLink { p_up, p_down } => format!("markov(up={p_up},down={p_down})"),
-            EnvModel::PeriodicPartition { blocks, period } => {
-                format!("partition(b={blocks},t={period})")
-            }
-            EnvModel::CrashRestart { p_crash, p_restart } => {
-                format!("crash(c={p_crash},r={p_restart})")
-            }
-            EnvModel::Adversarial { silence } => format!("adversary(s={silence})"),
-            EnvModel::ChurnPlusCrash {
-                p_edge,
-                p_crash,
-                p_restart,
-            } => format!("churn+crash(e={p_edge},c={p_crash},r={p_restart})"),
-        }
+        self.resolve().label()
     }
 
     /// Parses a bare model name into its default parameterisation.
+    /// Parameterised labels resolve through
+    /// [`EnvRegistry::resolve`](crate::EnvRegistry::resolve) instead,
+    /// which also covers user-registered families.
     pub fn parse(s: &str) -> Option<Self> {
         match s {
             "static" => Some(EnvModel::Static),
@@ -306,58 +361,72 @@ impl EnvModel {
     }
 
     /// `true` when the environment's *parameters* allow it to split the
-    /// agents into proper subgroups — e.g. churn with `p_edge = 1.0` and
-    /// `p_agent = 1.0` is dynamic in name only and never fragments.
-    /// Together with the execution mode this decides whether a
-    /// [`DivergeUnderFragmentation`](crate::Expectation) cell is expected
-    /// to converge.  (This is a per-cell expectation: a genuinely
-    /// fragmenting environment can still draw a fully-connected first
-    /// round, so treat the `meets_expectation` column as a measurement,
-    /// not an invariant.)
+    /// agents into proper subgroups (see
+    /// [`EnvFactory::can_fragment`](crate::EnvFactory::can_fragment)).
+    /// Panics on out-of-range public fields (see [`EnvModel::resolve`]).
     pub fn can_fragment(&self) -> bool {
-        match *self {
-            EnvModel::Static => false,
-            EnvModel::RandomChurn { p_edge, p_agent } => p_edge < 1.0 || p_agent < 1.0,
-            // Links start up and only fragment once one goes down.
-            EnvModel::MarkovLink { p_down, .. } => p_down > 0.0,
-            // A single block never partitions anything.
-            EnvModel::PeriodicPartition { blocks, .. } => blocks > 1,
-            // Agents start up and only drop out if they can crash.
-            EnvModel::CrashRestart { p_crash, .. } => p_crash > 0.0,
-            // One edge at a time is maximal fragmentation by construction.
-            EnvModel::Adversarial { .. } => true,
-            EnvModel::ChurnPlusCrash {
-                p_edge, p_crash, ..
-            } => p_edge < 1.0 || p_crash > 0.0,
-        }
+        self.resolve().can_fragment()
     }
 
-    /// Materialises the environment process over `topology`.
-    pub fn build(&self, topology: Topology) -> Box<dyn Environment> {
+    /// Materialises the environment process over `topology`.  Panics on
+    /// out-of-range public fields (see [`EnvModel::resolve`]).
+    pub fn build(&self, topology: selfsim_env::Topology) -> Box<dyn selfsim_env::Environment> {
+        self.resolve().build(topology)
+    }
+
+    /// The registry family instance this shim variant stands for.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the offending field named when a probability lies
+    /// outside `[0, 1]` or a partition count/period is zero (the enum's
+    /// fields are public, so invalid values can reach it) — failing here,
+    /// at scenario construction, instead of mid-campaign on a worker
+    /// thread after other cells' records have already streamed.
+    pub fn resolve(&self) -> EnvRef {
+        let prob = |field: &str, p: f64| {
+            selfsim_env::validate_probability(field, p)
+                .unwrap_or_else(|message| panic!("EnvModel: {message}"))
+        };
+        let positive = |field: &str, value: usize| {
+            assert!(value > 0, "EnvModel: {field} must be at least 1");
+            value
+        };
         match *self {
-            EnvModel::Static => Box::new(StaticEnv::new(topology)),
-            EnvModel::RandomChurn { p_edge, p_agent } => {
-                Box::new(RandomChurnEnv::new(topology, p_edge, p_agent))
-            }
-            EnvModel::MarkovLink { p_up, p_down } => {
-                Box::new(MarkovLinkEnv::new(topology, p_up, p_down))
-            }
-            EnvModel::PeriodicPartition { blocks, period } => {
-                Box::new(PeriodicPartitionEnv::new(topology, blocks, period))
-            }
-            EnvModel::CrashRestart { p_crash, p_restart } => {
-                Box::new(CrashRestartEnv::new(topology, p_crash, p_restart))
-            }
-            EnvModel::Adversarial { silence } => Box::new(AdversarialEnv::new(topology, silence)),
+            EnvModel::Static => EnvRef::new(StaticEnvFactory),
+            EnvModel::RandomChurn { p_edge, p_agent } => EnvRef::new(ChurnEnvFactory {
+                p_edge: prob("p_edge", p_edge),
+                p_agent: prob("p_agent", p_agent),
+            }),
+            EnvModel::MarkovLink { p_up, p_down } => EnvRef::new(MarkovEnvFactory {
+                p_up: prob("p_up", p_up),
+                p_down: prob("p_down", p_down),
+            }),
+            EnvModel::PeriodicPartition { blocks, period } => EnvRef::new(PartitionEnvFactory {
+                blocks: positive("blocks", blocks),
+                period: positive("period", period),
+            }),
+            EnvModel::CrashRestart { p_crash, p_restart } => EnvRef::new(CrashEnvFactory {
+                p_crash: prob("p_crash", p_crash),
+                p_restart: prob("p_restart", p_restart),
+            }),
+            EnvModel::Adversarial { silence } => EnvRef::new(AdversaryEnvFactory { silence }),
             EnvModel::ChurnPlusCrash {
                 p_edge,
                 p_crash,
                 p_restart,
-            } => Box::new(ComposedEnv::new(
-                RandomChurnEnv::new(topology.clone(), p_edge, 1.0),
-                CrashRestartEnv::new(topology, p_crash, p_restart),
-            )),
+            } => EnvRef::new(ChurnPlusCrashEnvFactory {
+                p_edge: prob("p_edge", p_edge),
+                p_crash: prob("p_crash", p_crash),
+                p_restart: prob("p_restart", p_restart),
+            }),
         }
+    }
+}
+
+impl From<EnvModel> for EnvRef {
+    fn from(model: EnvModel) -> EnvRef {
+        model.resolve()
     }
 }
 
@@ -367,9 +436,9 @@ pub struct Scenario {
     /// The algorithm to run.
     pub algorithm: AlgorithmRef,
     /// The communication-graph family.
-    pub topology: TopologyFamily,
+    pub topology: TopoRef,
     /// The adversary model.
-    pub env: EnvModel,
+    pub env: EnvRef,
     /// Which runtime executes the cell's trials.
     pub mode: ExecutionMode,
     /// Number of agents.
@@ -387,9 +456,11 @@ impl Scenario {
         let algorithm = algorithm.into();
         ScenarioBuilder {
             scenario: Scenario {
-                topology: algorithm.forced_topology().unwrap_or(TopologyFamily::Ring),
+                topology: algorithm
+                    .forced_topology()
+                    .unwrap_or_else(|| TopologyFamily::Ring.into()),
                 algorithm,
-                env: EnvModel::Static,
+                env: EnvModel::Static.into(),
                 mode: ExecutionMode::sync(),
                 n: 16,
                 trials: 10,
@@ -399,7 +470,9 @@ impl Scenario {
     }
 
     /// The stable, human-readable identity of this cell; used as the
-    /// grouping key by the aggregator and in every emitted record.
+    /// grouping key by the aggregator and in every emitted record.  Each
+    /// segment round-trips through its registry or parser, so the name (or
+    /// any column of a JSONL record) identifies the cell exactly.
     pub fn name(&self) -> String {
         format!(
             "{}/{}/{}/n={}/{}",
@@ -428,15 +501,22 @@ pub struct ScenarioBuilder {
 }
 
 impl ScenarioBuilder {
-    /// Sets the topology family (ignored — forced — for sorting).
-    pub fn topology(mut self, family: TopologyFamily) -> Self {
-        self.scenario.topology = self.scenario.algorithm.forced_topology().unwrap_or(family);
+    /// Sets the topology family (ignored — forced — for sorting).  Accepts
+    /// a [`TopologyFamily`] shim variant or any [`TopoRef`] from a
+    /// registry.
+    pub fn topology(mut self, family: impl Into<TopoRef>) -> Self {
+        self.scenario.topology = self
+            .scenario
+            .algorithm
+            .forced_topology()
+            .unwrap_or_else(|| family.into());
         self
     }
 
-    /// Sets the environment model.
-    pub fn env(mut self, model: EnvModel) -> Self {
-        self.scenario.env = model;
+    /// Sets the environment model (an [`EnvModel`] shim variant or any
+    /// [`EnvRef`] from a registry).
+    pub fn env(mut self, model: impl Into<EnvRef>) -> Self {
+        self.scenario.env = model.into();
         self
     }
 
@@ -481,8 +561,8 @@ impl ScenarioBuilder {
 #[derive(Clone, Debug)]
 pub struct ScenarioGrid {
     algorithms: Vec<AlgorithmRef>,
-    topologies: Vec<TopologyFamily>,
-    envs: Vec<EnvModel>,
+    topologies: Vec<TopoRef>,
+    envs: Vec<EnvRef>,
     modes: Vec<ExecutionMode>,
     sizes: Vec<usize>,
     trials: u64,
@@ -520,15 +600,18 @@ impl ScenarioGrid {
         self
     }
 
-    /// Adds topology families to the sweep.
-    pub fn topologies(mut self, topologies: impl IntoIterator<Item = TopologyFamily>) -> Self {
-        self.topologies.extend(topologies);
+    /// Adds topology families to the sweep ([`TopologyFamily`] shim
+    /// variants and registry [`TopoRef`]s mix freely).
+    pub fn topologies<T: Into<TopoRef>>(mut self, topologies: impl IntoIterator<Item = T>) -> Self {
+        self.topologies
+            .extend(topologies.into_iter().map(Into::into));
         self
     }
 
-    /// Adds environment models to the sweep.
-    pub fn envs(mut self, envs: impl IntoIterator<Item = EnvModel>) -> Self {
-        self.envs.extend(envs);
+    /// Adds environment models to the sweep ([`EnvModel`] shim variants
+    /// and registry [`EnvRef`]s mix freely).
+    pub fn envs<E: Into<EnvRef>>(mut self, envs: impl IntoIterator<Item = E>) -> Self {
+        self.envs.extend(envs.into_iter().map(Into::into));
         self
     }
 
@@ -577,20 +660,20 @@ impl ScenarioGrid {
         let mut out: Vec<Scenario> = Vec::new();
         let mut seen = std::collections::BTreeSet::new();
         for algorithm in &self.algorithms {
-            let topologies: Vec<TopologyFamily> = match algorithm.forced_topology() {
+            let topologies: Vec<TopoRef> = match algorithm.forced_topology() {
                 Some(forced) => vec![forced],
                 None => self.topologies.clone(),
             };
-            for &topology in &topologies {
-                for &env in &self.envs {
+            for topology in &topologies {
+                for env in &self.envs {
                     for &n in &self.sizes {
                         // Modes innermost: a cell and its cross-runtime
                         // sibling sit next to each other in the output.
                         for &mode in &modes {
                             let scenario = Scenario {
                                 algorithm: algorithm.clone(),
-                                topology,
-                                env,
+                                topology: topology.clone(),
+                                env: env.clone(),
                                 mode,
                                 n,
                                 trials: self.trials,
@@ -641,6 +724,9 @@ mod tests {
         assert_eq!(grid_dims(16), (4, 4));
         assert_eq!(grid_dims(7), (1, 7)); // prime → line
         assert_eq!(grid_dims(1), (1, 1));
+        // Larger primes degenerate to a line too — the documented caveat
+        // for grid-vs-line sweeps.
+        assert_eq!(grid_dims(31), (1, 31));
     }
 
     #[test]
@@ -683,6 +769,31 @@ mod tests {
             .mode(ExecutionMode::asynchronous())
             .build();
         assert!(a.name().ends_with("/async"));
+    }
+
+    #[test]
+    fn registry_refs_build_scenarios_like_shim_variants() {
+        // Registry-resolved dimensions produce the same cells as the
+        // closed-enum shims — the shim contract.
+        let env = crate::EnvRegistry::builtin()
+            .resolve("churn(e=0.5,a=0.9)")
+            .unwrap();
+        let topo = crate::TopologyRegistry::builtin().resolve("ring").unwrap();
+        let via_registry = Scenario::builder(AlgorithmKind::Minimum)
+            .topology(topo)
+            .env(env)
+            .agents(8)
+            .build();
+        let via_shim = Scenario::builder(AlgorithmKind::Minimum)
+            .topology(TopologyFamily::Ring)
+            .env(EnvModel::RandomChurn {
+                p_edge: 0.5,
+                p_agent: 0.9,
+            })
+            .agents(8)
+            .build();
+        assert_eq!(via_registry.name(), via_shim.name());
+        assert_eq!(via_registry.fragmenting(), via_shim.fragmenting());
     }
 
     #[test]
@@ -777,7 +888,7 @@ mod tests {
         let s = Scenario::builder(AlgorithmKind::Sorting)
             .topology(TopologyFamily::Complete)
             .build();
-        assert_eq!(s.topology, TopologyFamily::Line);
+        assert_eq!(s.topology.label(), "line");
     }
 
     #[test]
@@ -794,6 +905,30 @@ mod tests {
         let names: std::collections::BTreeSet<String> =
             scenarios.iter().map(|s| s.name()).collect();
         assert_eq!(names.len(), 12, "names are unique");
+    }
+
+    #[test]
+    fn grid_mixes_shim_variants_and_registry_refs() {
+        let scenarios = ScenarioGrid::new()
+            .algorithms([AlgorithmKind::Minimum])
+            .topologies([
+                TopologyFamily::Ring.into(),
+                crate::TopologyRegistry::builtin()
+                    .resolve("random(p=0.15)")
+                    .unwrap(),
+            ])
+            .envs([
+                EnvModel::Static.into(),
+                crate::EnvRegistry::builtin()
+                    .resolve("churn(e=0.3,a=0.8)")
+                    .unwrap(),
+            ])
+            .sizes([8])
+            .expand();
+        assert_eq!(scenarios.len(), 4);
+        assert!(scenarios
+            .iter()
+            .any(|s| s.name() == "minimum/random(p=0.15)/churn(e=0.3,a=0.8)/n=8/sync"));
     }
 
     #[test]
@@ -815,5 +950,56 @@ mod tests {
         assert_eq!(TopologyFamily::parse("grid"), Some(TopologyFamily::Grid));
         assert!(EnvModel::parse("churn").is_some());
         assert!(EnvModel::parse("nonsense").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "p_edge must be a probability")]
+    fn shim_resolve_rejects_out_of_range_probabilities_at_construction() {
+        // Fail at scenario construction with the field named, not
+        // mid-campaign on a worker thread.
+        let _ = EnvModel::RandomChurn {
+            p_edge: 1.7,
+            p_agent: 0.5,
+        }
+        .resolve();
+    }
+
+    #[test]
+    #[should_panic(expected = "blocks must be at least 1")]
+    fn shim_resolve_rejects_zero_partition_blocks() {
+        let _ = EnvModel::PeriodicPartition {
+            blocks: 0,
+            period: 8,
+        }
+        .resolve();
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be a probability")]
+    fn shim_resolve_rejects_out_of_range_random_topology() {
+        let _ = TopologyFamily::Random { p: -0.5 }.resolve();
+    }
+
+    #[test]
+    fn shim_parse_defaults_match_registry_defaults() {
+        // The shim parsers hardcode each family's default parameters and
+        // the factory `Default` impls hardcode them again; this pins the
+        // two together so a bumped default cannot silently make
+        // `EnvModel::parse("churn")` and `EnvRegistry::resolve("churn")`
+        // name different cells.
+        for family in crate::EnvRegistry::builtin().families() {
+            let shim = EnvModel::parse(&family)
+                .expect("every builtin environment family has a shim variant")
+                .resolve();
+            let registry = crate::EnvRegistry::builtin().resolve(&family).unwrap();
+            assert_eq!(shim, registry, "{family}");
+        }
+        for family in crate::TopologyRegistry::builtin().families() {
+            let shim = TopologyFamily::parse(&family)
+                .expect("every builtin topology family has a shim variant")
+                .resolve();
+            let registry = crate::TopologyRegistry::builtin().resolve(&family).unwrap();
+            assert_eq!(shim, registry, "{family}");
+        }
     }
 }

@@ -80,13 +80,28 @@ pub struct RandomChurnEnv {
 }
 
 impl RandomChurnEnv {
-    /// Creates a churn environment; probabilities are clamped to `[0, 1]`.
+    /// Creates a churn environment.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`RandomChurnEnv::validated`] message when either
+    /// probability is outside `[0, 1]` (they used to be silently clamped,
+    /// which made `churn(e=1.7,…)` report a cell that never ran).  Callers
+    /// handling untrusted input (the CLI, the environment registry)
+    /// validate first.
     pub fn new(topology: Topology, p_edge: f64, p_agent: f64) -> Self {
-        RandomChurnEnv {
+        Self::validated(topology, p_edge, p_agent)
+            .unwrap_or_else(|message| panic!("RandomChurnEnv: {message}"))
+    }
+
+    /// Creates a churn environment, naming the offending field when a
+    /// probability is out of range.
+    pub fn validated(topology: Topology, p_edge: f64, p_agent: f64) -> Result<Self, String> {
+        Ok(RandomChurnEnv {
             topology,
-            p_edge: p_edge.clamp(0.0, 1.0),
-            p_agent: p_agent.clamp(0.0, 1.0),
-        }
+            p_edge: crate::validate_probability("p_edge", p_edge)?,
+            p_agent: crate::validate_probability("p_agent", p_agent)?,
+        })
     }
 
     /// The per-step probability that an edge is available.
@@ -140,14 +155,26 @@ pub struct MarkovLinkEnv {
 
 impl MarkovLinkEnv {
     /// Creates a Markov link environment with all links initially up.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`MarkovLinkEnv::validated`] message when either
+    /// probability is outside `[0, 1]`.
     pub fn new(topology: Topology, p_up: f64, p_down: f64) -> Self {
+        Self::validated(topology, p_up, p_down)
+            .unwrap_or_else(|message| panic!("MarkovLinkEnv: {message}"))
+    }
+
+    /// Creates a Markov link environment, naming the offending field when
+    /// a probability is out of range.
+    pub fn validated(topology: Topology, p_up: f64, p_down: f64) -> Result<Self, String> {
         let up = topology.edges().clone();
-        MarkovLinkEnv {
+        Ok(MarkovLinkEnv {
             topology,
-            p_up: p_up.clamp(0.0, 1.0),
-            p_down: p_down.clamp(0.0, 1.0),
+            p_up: crate::validate_probability("p_up", p_up)?,
+            p_down: crate::validate_probability("p_down", p_down)?,
             up,
-        }
+        })
     }
 
     /// Creates a Markov link environment with all links initially down.
@@ -272,14 +299,26 @@ pub struct CrashRestartEnv {
 
 impl CrashRestartEnv {
     /// Creates a crash/restart environment with all agents initially up.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`CrashRestartEnv::validated`] message when either
+    /// probability is outside `[0, 1]`.
     pub fn new(topology: Topology, p_crash: f64, p_restart: f64) -> Self {
+        Self::validated(topology, p_crash, p_restart)
+            .unwrap_or_else(|message| panic!("CrashRestartEnv: {message}"))
+    }
+
+    /// Creates a crash/restart environment, naming the offending field
+    /// when a probability is out of range.
+    pub fn validated(topology: Topology, p_crash: f64, p_restart: f64) -> Result<Self, String> {
         let up = topology.agents().collect();
-        CrashRestartEnv {
+        Ok(CrashRestartEnv {
             topology,
-            p_crash: p_crash.clamp(0.0, 1.0),
-            p_restart: p_restart.clamp(0.0, 1.0),
+            p_crash: crate::validate_probability("p_crash", p_crash)?,
+            p_restart: crate::validate_probability("p_restart", p_restart)?,
             up,
-        }
+        })
     }
 
     /// The set of currently running agents.
@@ -458,10 +497,27 @@ mod tests {
     }
 
     #[test]
-    fn churn_probabilities_are_clamped() {
-        let env = RandomChurnEnv::new(Topology::line(3), 7.0, -2.0);
-        assert_eq!(env.edge_probability(), 1.0);
-        assert_eq!(env.agent_probability(), 0.0);
+    fn out_of_range_probabilities_are_rejected_with_the_field_named() {
+        // Construction used to silently clamp (churn(e=7) quietly became
+        // e=1 — a cell label that lied about what ran); now the offending
+        // field is named at construction.
+        let err = RandomChurnEnv::validated(Topology::line(3), 7.0, 0.5).unwrap_err();
+        assert!(err.contains("p_edge"), "{err}");
+        assert!(err.contains("7"), "{err}");
+        let err = RandomChurnEnv::validated(Topology::line(3), 0.5, -2.0).unwrap_err();
+        assert!(err.contains("p_agent"), "{err}");
+        let err = MarkovLinkEnv::validated(Topology::line(3), 1.5, 0.5).unwrap_err();
+        assert!(err.contains("p_up"), "{err}");
+        let err = CrashRestartEnv::validated(Topology::line(3), 0.5, 2.0).unwrap_err();
+        assert!(err.contains("p_restart"), "{err}");
+        // Boundary values remain valid.
+        assert!(RandomChurnEnv::validated(Topology::line(3), 0.0, 1.0).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "p_edge must be a probability")]
+    fn churn_new_panics_on_out_of_range_probability() {
+        let _ = RandomChurnEnv::new(Topology::line(3), 7.0, 0.5);
     }
 
     #[test]

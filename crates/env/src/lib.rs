@@ -44,6 +44,7 @@
 
 mod environment;
 mod fairness;
+pub mod params;
 mod state;
 mod topology;
 
@@ -52,5 +53,6 @@ pub use environment::{
     RandomChurnEnv, StaticEnv,
 };
 pub use fairness::FairnessSpec;
+pub use params::{parse_label, split_top_level, validate_probability, Params};
 pub use state::EnvState;
 pub use topology::{AgentId, Edge, Topology};

@@ -97,17 +97,34 @@ impl DeliveryRule {
     /// default grace) and the parameterised `any-overlap(g=N)` form
     /// produced by [`DeliveryRule::label`].
     pub fn parse(s: &str) -> Option<Self> {
-        match s {
-            "valid-at-delivery" => Some(DeliveryRule::ValidAtDelivery),
-            "valid-at-send" => Some(DeliveryRule::ValidAtSend),
-            "any-overlap" => Some(DeliveryRule::any_overlap()),
-            _ => {
-                let grace = s.strip_prefix("any-overlap(g=")?.strip_suffix(')')?;
-                Some(DeliveryRule::AnyOverlap {
-                    grace: grace.parse().ok()?,
-                })
+        Self::parse_label(s).ok()
+    }
+
+    /// Parses a label through the shared `name(k=v)` grammar
+    /// ([`selfsim_env::params`]), with named-field errors for malformed
+    /// or out-of-place parameters — what the CLI and the mode parser
+    /// surface.
+    pub fn parse_label(s: &str) -> Result<Self, String> {
+        let (name, mut params) = selfsim_env::parse_label(s)?;
+        let rule = match name {
+            "valid-at-delivery" => DeliveryRule::ValidAtDelivery,
+            "valid-at-send" => DeliveryRule::ValidAtSend,
+            "any-overlap" => DeliveryRule::AnyOverlap {
+                grace: params.take::<usize>("g")?.unwrap_or(DEFAULT_GRACE),
+            },
+            other => {
+                return Err(format!(
+                    "unknown delivery rule `{other}` (expected valid-at-delivery|\
+                     valid-at-send|any-overlap|any-overlap(g=N))"
+                ))
             }
-        }
+        };
+        let known: &[&str] = match rule {
+            DeliveryRule::AnyOverlap { .. } => &["g"],
+            _ => &[],
+        };
+        params.finish(known)?;
+        Ok(rule)
     }
 
     /// The last tick at which a message due at `due` may still be
@@ -182,6 +199,18 @@ mod tests {
         );
         assert_eq!(DeliveryRule::parse("nonsense"), None);
         assert_eq!(DeliveryRule::parse("any-overlap(g=x)"), None);
+    }
+
+    #[test]
+    fn parse_label_names_the_failure() {
+        let err = DeliveryRule::parse_label("nonsense").unwrap_err();
+        assert!(err.contains("unknown delivery rule `nonsense`"), "{err}");
+        let err = DeliveryRule::parse_label("any-overlap(g=x)").unwrap_err();
+        assert!(err.contains("`g`"), "{err}");
+        let err = DeliveryRule::parse_label("any-overlap(q=3)").unwrap_err();
+        assert!(err.contains("unknown parameter q"), "{err}");
+        let err = DeliveryRule::parse_label("valid-at-send(g=3)").unwrap_err();
+        assert!(err.contains("unknown parameter g"), "{err}");
     }
 
     #[test]

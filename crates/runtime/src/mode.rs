@@ -170,13 +170,50 @@ impl ExecutionMode {
         }
     }
 
-    /// Parses a bare mode name (`sync` / `async`) into its default
-    /// parameterisation.
+    /// Parses a mode label: the bare names (`sync` / `async`, their
+    /// default parameterisations) and every label [`ExecutionMode::label`]
+    /// emits.
     pub fn parse(s: &str) -> Option<Self> {
-        match s {
-            "sync" => Some(ExecutionMode::sync()),
-            "async" => Some(ExecutionMode::asynchronous()),
-            _ => None,
+        Self::parse_label(s).ok()
+    }
+
+    /// Parses a mode label through the shared `name(k=v)` grammar, with
+    /// named-field errors: `sync(cd=N)` and
+    /// `async(i=RATE,l=LATENCY,d=DROP[,dv=RULE])` round-trip exactly, and
+    /// the async knobs are validated like [`AsyncConfig::validate`] so an
+    /// out-of-range label is rejected at parse, not deep in a trial.
+    pub fn parse_label(s: &str) -> Result<Self, String> {
+        let (name, mut params) = selfsim_env::parse_label(s)?;
+        match name {
+            "sync" => {
+                let cooldown = params.take::<usize>("cd")?.unwrap_or(0);
+                params.finish(&["cd"])?;
+                Ok(ExecutionMode::Sync { cooldown })
+            }
+            "async" => {
+                let defaults = AsyncConfig::default();
+                let interaction_rate = params
+                    .take::<f64>("i")?
+                    .unwrap_or(defaults.interaction_rate);
+                let max_latency = params.take::<usize>("l")?.unwrap_or(defaults.max_latency);
+                let drop_rate = params.take::<f64>("d")?.unwrap_or(defaults.drop_rate);
+                let delivery = match params.take_str("dv") {
+                    Some(rule) => DeliveryRule::parse_label(&rule)?,
+                    None => defaults.delivery,
+                };
+                params.finish(&["i", "l", "d", "dv"])?;
+                crate::validate_async_knobs(interaction_rate, max_latency, drop_rate)?;
+                Ok(ExecutionMode::Async {
+                    interaction_rate,
+                    max_latency,
+                    drop_rate,
+                    delivery,
+                })
+            }
+            other => Err(format!(
+                "unknown mode `{other}` (expected sync, sync(cd=N), async, or \
+                 async(i=RATE,l=LATENCY,d=DROP,dv=RULE))"
+            )),
         }
     }
 
@@ -236,6 +273,58 @@ mod tests {
             "async(i=0.25,l=5,d=0.1)"
         );
         assert!(ExecutionMode::parse("nonsense").is_none());
+    }
+
+    #[test]
+    fn parameterised_labels_round_trip() {
+        // The round-trip law: every label the mode can emit parses back
+        // to the identical cell, including nested delivery-rule labels.
+        for mode in [
+            ExecutionMode::Sync { cooldown: 7 },
+            ExecutionMode::Async {
+                interaction_rate: 0.25,
+                max_latency: 5,
+                drop_rate: 0.1,
+                delivery: DeliveryRule::default(),
+            },
+            ExecutionMode::asynchronous_with(DeliveryRule::ValidAtSend),
+            ExecutionMode::asynchronous_with(DeliveryRule::AnyOverlap { grace: 4 }),
+        ] {
+            assert_eq!(
+                ExecutionMode::parse_label(&mode.label()),
+                Ok(mode),
+                "{}",
+                mode.label()
+            );
+        }
+        // Partial parameterisations keep the defaults for omitted knobs.
+        assert_eq!(
+            ExecutionMode::parse_label("async(d=0.2)").unwrap(),
+            ExecutionMode::Async {
+                interaction_rate: 0.5,
+                max_latency: 3,
+                drop_rate: 0.2,
+                delivery: DeliveryRule::default(),
+            }
+        );
+    }
+
+    #[test]
+    fn parse_label_rejects_bad_modes_with_the_field_named() {
+        let err = ExecutionMode::parse_label("warp").unwrap_err();
+        assert!(err.contains("unknown mode `warp`"), "{err}");
+        let err = ExecutionMode::parse_label("sync(cd=x)").unwrap_err();
+        assert!(err.contains("`cd`"), "{err}");
+        let err = ExecutionMode::parse_label("sync(i=0.5)").unwrap_err();
+        assert!(err.contains("unknown parameter i"), "{err}");
+        // Out-of-range knobs fail the AsyncConfig validation at parse.
+        let err = ExecutionMode::parse_label("async(l=0)").unwrap_err();
+        assert!(err.contains("max_latency"), "{err}");
+        let err = ExecutionMode::parse_label("async(d=1.5)").unwrap_err();
+        assert!(err.contains("drop_rate"), "{err}");
+        // A bad nested delivery label is the delivery parser's error.
+        let err = ExecutionMode::parse_label("async(dv=nonsense)").unwrap_err();
+        assert!(err.contains("unknown delivery rule"), "{err}");
     }
 
     #[test]

@@ -6,8 +6,9 @@
 //! the opt-in collected mode must produce the same bytes.
 
 use selfsim_campaign::{
-    emit, merge_shards, AlgorithmKind, Campaign, CollectedResult, DeliveryRule, EnvModel,
-    ExecutionMode, Registry, ScenarioGrid, ShardSpec, TopologyFamily,
+    emit, merge_shards, AlgorithmKind, Campaign, CollectedResult, DeliveryRule, EnvFactory,
+    EnvModel, EnvRef, EnvRegistry, ExecutionMode, Params, Registry, ScenarioGrid, ShardSpec,
+    TopologyFamily,
 };
 
 const TRIALS: u64 = 5;
@@ -204,7 +205,102 @@ fn merged_shards_reaggregate_to_unsharded_summaries() {
 }
 
 // (Registry label↔factory round-trip and unknown-label error contents are
-// covered by the unit tests in crates/campaign/src/algorithm.rs.)
+// covered by the unit tests in crates/campaign/src/algorithm.rs and
+// crates/campaign/src/dimension.rs; the proptest round-trip law lives in
+// tests/label_roundtrip.rs.)
+
+/// A user environment that *always* fragments: the agent set alternates
+/// between its two halves, each half fully connected internally, never a
+/// global merge.  Registered by label — no enum edited — its
+/// `can_fragment` trait method feeds `Scenario::fragmenting`, so
+/// [`Expectation`] checking covers user environments exactly like
+/// builtins.
+struct HalfSplit;
+
+struct HalfSplitEnv {
+    topology: selfsim_env::Topology,
+    tick: usize,
+}
+
+impl selfsim_env::Environment for HalfSplitEnv {
+    fn topology(&self) -> &selfsim_env::Topology {
+        &self.topology
+    }
+    fn step(&mut self, _rng: &mut dyn rand::RngCore) -> selfsim_env::EnvState {
+        let n = self.topology.agent_count();
+        let active_half = self.tick % 2;
+        self.tick += 1;
+        let in_half = |a: selfsim_env::AgentId| (a.index() < n / 2) == (active_half == 0);
+        let edges: Vec<_> = self
+            .topology
+            .edges()
+            .iter()
+            .copied()
+            .filter(|e| in_half(e.lo()) && in_half(e.hi()))
+            .collect();
+        let agents: Vec<_> = self.topology.agents().filter(|&a| in_half(a)).collect();
+        selfsim_env::EnvState::new(n, edges, agents)
+    }
+}
+
+impl EnvFactory for HalfSplit {
+    fn family(&self) -> &str {
+        "half-split"
+    }
+    fn label(&self) -> String {
+        "half-split".into()
+    }
+    fn can_fragment(&self) -> bool {
+        true
+    }
+    fn build(&self, topology: selfsim_env::Topology) -> Box<dyn selfsim_env::Environment> {
+        Box::new(HalfSplitEnv { topology, tick: 0 })
+    }
+    fn instantiate(&self, params: Params) -> Result<EnvRef, String> {
+        params.finish(&[])?;
+        Ok(EnvRef::new(HalfSplit))
+    }
+}
+
+/// The open environment dimension end to end: a user-registered
+/// environment, resolved by label, sweeps through a campaign grid and its
+/// `can_fragment()` drives `meets_expectation` for the paper's
+/// counterexample.
+#[test]
+fn user_registered_environment_participates_in_expectation_checking() {
+    let mut registry = EnvRegistry::builtin();
+    registry.register(EnvRef::new(HalfSplit));
+    let env = registry.resolve("half-split").expect("registered by label");
+
+    let scenarios = ScenarioGrid::new()
+        .algorithms([Registry::builtin()
+            .resolve("circumscribing-circle")
+            .unwrap()])
+        .topologies([TopologyFamily::Complete])
+        .envs([env])
+        .sizes([8])
+        .trials(3)
+        .max_rounds(2_000)
+        .expand();
+    assert_eq!(scenarios.len(), 1);
+    assert!(
+        scenarios[0].fragmenting(),
+        "the user env's can_fragment() must reach Scenario::fragmenting"
+    );
+
+    let result = Campaign::new(scenarios).seed(3).run_collect();
+    for record in &result.records {
+        assert_eq!(record.environment, "half-split");
+        assert!(
+            !record.converged,
+            "each half overshoots its own circle and no merge ever reconciles them"
+        );
+        assert!(
+            record.meets_expectation,
+            "non-convergence under a fragmenting user env is the expected outcome"
+        );
+    }
+}
 
 fn async_sweep() -> Vec<selfsim_campaign::Scenario> {
     ScenarioGrid::new()

@@ -1,0 +1,180 @@
+//! The round-trip law, property-tested: for every builtin environment,
+//! topology family, execution mode and delivery rule — over *randomly
+//! drawn parameters*, not just the defaults — `parse(label(x)) == x`.
+//!
+//! This is the contract that makes emitted output re-runnable: the
+//! `environment`, `topology`, `mode` and `delivery` columns of any JSONL
+//! record or markdown row feed back into `--envs`/`--topologies`/
+//! `--modes`/`--delivery` (or the registries' `resolve`) and reconstruct
+//! the *identical* grid cell.  Rust's shortest-round-trip float formatting
+//! is what makes this hold for probability parameters.
+
+use proptest::prelude::*;
+use selfsim_campaign::{
+    DeliveryRule, EnvModel, EnvRegistry, ExecutionMode, TopologyFamily, TopologyRegistry,
+};
+
+/// Resolves the cell an [`EnvModel`] stands for, feeds its label back
+/// through the registry, and checks the reconstruction is identical in
+/// label *and* behaviourally relevant metadata.
+fn assert_env_round_trips(model: EnvModel) -> Result<(), proptest::TestCaseError> {
+    let cell = model.resolve();
+    let reparsed = EnvRegistry::builtin()
+        .resolve(&cell.label())
+        .map_err(proptest::TestCaseError::fail)?;
+    prop_assert_eq!(reparsed.label(), cell.label());
+    prop_assert_eq!(reparsed.can_fragment(), cell.can_fragment());
+    prop_assert_eq!(&reparsed, &cell);
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn churn_labels_round_trip(e in 0.0..=1.0f64, a in 0.0..=1.0f64) {
+        assert_env_round_trips(EnvModel::RandomChurn { p_edge: e, p_agent: a })?;
+    }
+
+    #[test]
+    fn markov_labels_round_trip(up in 0.0..=1.0f64, down in 0.0..=1.0f64) {
+        assert_env_round_trips(EnvModel::MarkovLink { p_up: up, p_down: down })?;
+    }
+
+    #[test]
+    fn partition_labels_round_trip(blocks in 1usize..=8, period in 1usize..=64) {
+        assert_env_round_trips(EnvModel::PeriodicPartition { blocks, period })?;
+    }
+
+    #[test]
+    fn crash_labels_round_trip(c in 0.0..=1.0f64, r in 0.0..=1.0f64) {
+        assert_env_round_trips(EnvModel::CrashRestart { p_crash: c, p_restart: r })?;
+    }
+
+    #[test]
+    fn adversary_labels_round_trip(silence in 0usize..=32) {
+        assert_env_round_trips(EnvModel::Adversarial { silence })?;
+    }
+
+    #[test]
+    fn churn_plus_crash_labels_round_trip(
+        e in 0.0..=1.0f64,
+        c in 0.0..=1.0f64,
+        r in 0.0..=1.0f64,
+    ) {
+        assert_env_round_trips(EnvModel::ChurnPlusCrash {
+            p_edge: e,
+            p_crash: c,
+            p_restart: r,
+        })?;
+    }
+
+    #[test]
+    fn random_topology_labels_round_trip(p in 0.0..=1.0f64) {
+        let cell = TopologyFamily::Random { p }.resolve();
+        let reparsed = TopologyRegistry::builtin()
+            .resolve(&cell.label())
+            .map_err(proptest::TestCaseError::fail)?;
+        prop_assert_eq!(reparsed.label(), cell.label());
+        prop_assert_eq!(&reparsed, &cell);
+    }
+
+    #[test]
+    fn sync_mode_labels_round_trip(cooldown in 0usize..=256) {
+        let mode = ExecutionMode::Sync { cooldown };
+        prop_assert_eq!(ExecutionMode::parse_label(&mode.label()), Ok(mode));
+    }
+
+    #[test]
+    fn async_mode_labels_round_trip(
+        interaction_rate in f64::EPSILON..=1.0f64,
+        max_latency in 1usize..=32,
+        drop_rate in 0.0..=1.0f64,
+        grace in 0usize..=64,
+        which_rule in 0usize..=2,
+    ) {
+        let delivery = match which_rule {
+            0 => DeliveryRule::ValidAtDelivery,
+            1 => DeliveryRule::ValidAtSend,
+            _ => DeliveryRule::AnyOverlap { grace },
+        };
+        let mode = ExecutionMode::Async {
+            interaction_rate,
+            max_latency,
+            drop_rate,
+            delivery,
+        };
+        // Covers both the collapsed default label (`async`) and the fully
+        // parameterised nested form (`async(i=…,l=…,d=…,dv=…)`).
+        prop_assert_eq!(ExecutionMode::parse_label(&mode.label()), Ok(mode));
+    }
+
+    #[test]
+    fn delivery_rule_labels_round_trip(grace in 0usize..=256, which_rule in 0usize..=2) {
+        let rule = match which_rule {
+            0 => DeliveryRule::ValidAtDelivery,
+            1 => DeliveryRule::ValidAtSend,
+            _ => DeliveryRule::AnyOverlap { grace },
+        };
+        prop_assert_eq!(DeliveryRule::parse_label(&rule.label()), Ok(rule));
+    }
+}
+
+/// Every *default* builtin instance round-trips too (the bare-label path),
+/// and its label re-resolves through the shim parsers where those exist.
+#[test]
+fn builtin_defaults_round_trip() {
+    let envs = EnvRegistry::builtin();
+    assert_eq!(envs.len(), 7);
+    for entry in envs.iter() {
+        let reparsed = envs.resolve(&entry.label()).expect("own label resolves");
+        assert_eq!(reparsed.label(), entry.label());
+        // The bare family name resolves to exactly the registered default.
+        let bare = envs.resolve(entry.family()).expect("bare family resolves");
+        assert_eq!(bare.label(), entry.label());
+    }
+    let topos = TopologyRegistry::builtin();
+    assert_eq!(topos.len(), 6);
+    for entry in topos.iter() {
+        assert_eq!(
+            topos.resolve(&entry.label()).expect("resolves").label(),
+            entry.label()
+        );
+    }
+}
+
+/// Unknown labels and malformed parameters fail with messages that name
+/// the problem — the registry-listing style of the algorithm registry.
+#[test]
+fn unknown_and_malformed_labels_are_rejected_with_named_errors() {
+    let envs = EnvRegistry::builtin();
+    let err = envs.resolve("quantum-foam").unwrap_err();
+    assert!(err.contains("unknown environment `quantum-foam`"), "{err}");
+    assert!(err.contains("churn"), "error lists the registry: {err}");
+
+    // Malformed grammar.
+    let err = envs.resolve("churn(e=0.5").unwrap_err();
+    assert!(err.contains("missing closing"), "{err}");
+    // Unparseable value, field named.
+    let err = envs.resolve("churn(e=banana)").unwrap_err();
+    assert!(err.contains("`e`") && err.contains("banana"), "{err}");
+    // Out-of-range probability, field named.
+    let err = envs.resolve("churn(a=1.01)").unwrap_err();
+    assert!(err.contains("`a`") && err.contains("[0, 1]"), "{err}");
+    // Unknown parameter, expected list given.
+    let err = envs.resolve("partition(b=2,q=9)").unwrap_err();
+    assert!(err.contains("unknown parameter q"), "{err}");
+    assert!(err.contains("expected b, t"), "{err}");
+    // Zero where at least 1 is required.
+    let err = envs.resolve("partition(t=0)").unwrap_err();
+    assert!(err.contains("`t` must be at least 1"), "{err}");
+
+    let topos = TopologyRegistry::builtin();
+    let err = topos.resolve("torus").unwrap_err();
+    assert!(err.contains("unknown topology `torus`"), "{err}");
+    let err = topos.resolve("ring(p=0.5)").unwrap_err();
+    assert!(err.contains("unknown parameter p"), "{err}");
+
+    let err = ExecutionMode::parse_label("async(i=2)").unwrap_err();
+    assert!(err.contains("interaction_rate"), "{err}");
+    let err = DeliveryRule::parse_label("any-overlap(g=-1)").unwrap_err();
+    assert!(err.contains("`g`"), "{err}");
+}
