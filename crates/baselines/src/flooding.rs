@@ -7,7 +7,9 @@ use rand::{Rng, SeedableRng};
 
 use selfsim_env::Environment;
 use selfsim_runtime::{validate_async_knobs, DeliveryDecision, DeliveryRule};
-use selfsim_trace::RunMetrics;
+use selfsim_trace::{EventLog, RunMetrics, TraceEvent};
+
+use crate::usable_edge_count;
 
 /// A flooding aggregator: every agent keeps the set of `(agent, value)`
 /// pairs it has heard of (initially just its own) and, every round,
@@ -37,7 +39,19 @@ impl FloodingAggregator {
         &self,
         environment: &mut E,
         seed: u64,
+        fold: impl FnMut(i64, i64) -> i64,
+    ) -> (RunMetrics, Option<i64>) {
+        self.run_observed(environment, seed, fold, &mut EventLog::disabled())
+    }
+
+    /// Like [`FloodingAggregator::run`], emitting trace events into
+    /// `events` (a disabled log costs one branch per would-be event).
+    pub fn run_observed<E: Environment + ?Sized>(
+        &self,
+        environment: &mut E,
+        seed: u64,
         mut fold: impl FnMut(i64, i64) -> i64,
+        events: &mut EventLog,
     ) -> (RunMetrics, Option<i64>) {
         let n = self.values.len();
         let mut rng = StdRng::seed_from_u64(seed);
@@ -49,6 +63,10 @@ impl FloodingAggregator {
         for round in 0..self.max_rounds {
             let env_state = environment.step(&mut rng);
             metrics.rounds_executed = round + 1;
+            events.emit(|| TraceEvent::EnvTransition {
+                tick: (round + 1) as u64,
+                edges: usable_edge_count(&env_state),
+            });
             let before = knowledge.clone();
             for edge in env_state.enabled_edges() {
                 let (a, b) = (edge.lo().index(), edge.hi().index());
@@ -60,9 +78,15 @@ impl FloodingAggregator {
                 metrics.messages += before[a].len() + before[b].len();
                 metrics.group_steps += 1;
                 let merged: BTreeSet<usize> = before[a].union(&before[b]).copied().collect();
-                if merged != knowledge[a] || merged != knowledge[b] {
+                let changed = merged != knowledge[a] || merged != knowledge[b];
+                if changed {
                     metrics.effective_group_steps += 1;
                 }
+                events.emit(|| TraceEvent::GroupStep {
+                    tick: (round + 1) as u64,
+                    size: 2,
+                    changed,
+                });
                 knowledge[a].extend(merged.iter().copied());
                 knowledge[b].extend(merged.iter().copied());
             }
@@ -75,6 +99,9 @@ impl FloodingAggregator {
                     .expect("at least one agent");
                 result = Some(aggregate);
                 metrics.rounds_to_convergence = Some(round + 1);
+                events.emit(|| TraceEvent::ConvergenceEntered {
+                    tick: (round + 1) as u64,
+                });
                 break;
             }
         }
@@ -102,7 +129,33 @@ impl FloodingAggregator {
         max_latency: usize,
         drop_rate: f64,
         delivery: DeliveryRule,
+        fold: impl FnMut(i64, i64) -> i64,
+    ) -> (RunMetrics, Option<i64>) {
+        self.run_async_observed(
+            environment,
+            seed,
+            interaction_rate,
+            max_latency,
+            drop_rate,
+            delivery,
+            fold,
+            &mut EventLog::disabled(),
+        )
+    }
+
+    /// Like [`FloodingAggregator::run_async`], emitting trace events into
+    /// `events` (a disabled log costs one branch per would-be event).
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_async_observed<E: Environment + ?Sized>(
+        &self,
+        environment: &mut E,
+        seed: u64,
+        interaction_rate: f64,
+        max_latency: usize,
+        drop_rate: f64,
+        delivery: DeliveryRule,
         mut fold: impl FnMut(i64, i64) -> i64,
+        events: &mut EventLog,
     ) -> (RunMetrics, Option<i64>) {
         struct Gossip {
             deliver_at: usize,
@@ -124,6 +177,10 @@ impl FloodingAggregator {
         for tick in 0..self.max_rounds {
             let env_state = environment.step(&mut rng);
             metrics.rounds_executed = tick + 1;
+            events.emit(|| TraceEvent::EnvTransition {
+                tick: (tick + 1) as u64,
+                edges: usable_edge_count(&env_state),
+            });
 
             for edge in env_state.enabled_edges() {
                 if !env_state.can_communicate(edge.lo(), edge.hi()) {
@@ -141,10 +198,21 @@ impl FloodingAggregator {
                     metrics.messages += knowledge[from].len();
                     if rng.gen_bool(drop_rate) {
                         metrics.messages_dropped += knowledge[from].len();
+                        events.emit(|| TraceEvent::MessageDropped {
+                            tick: tick as u64,
+                            from,
+                            to,
+                        });
                         continue; // lost in flight
                     }
                     let latency = rng.gen_range(1..=max_latency);
                     let deliver_at = tick + latency;
+                    events.emit(|| TraceEvent::MessageSent {
+                        tick: tick as u64,
+                        from,
+                        to,
+                        deliver_at: deliver_at as u64,
+                    });
                     pending.push(Gossip {
                         deliver_at,
                         expires_at: delivery.expiry(deliver_at),
@@ -165,8 +233,21 @@ impl FloodingAggregator {
                     env_state.can_communicate(AgentId(gossip.from), AgentId(gossip.to));
                 // The edge was usable at send time by construction.
                 match delivery.decide(usable_now, true, tick, gossip.expires_at) {
-                    DeliveryDecision::Discard => continue,
+                    DeliveryDecision::Discard => {
+                        events.emit(|| TraceEvent::MessageDiscarded {
+                            tick: tick as u64,
+                            from: gossip.from,
+                            to: gossip.to,
+                        });
+                        continue;
+                    }
                     DeliveryDecision::Requeue => {
+                        metrics.messages_requeued += 1;
+                        events.emit(|| TraceEvent::MessageRequeued {
+                            tick: tick as u64,
+                            from: gossip.from,
+                            to: gossip.to,
+                        });
                         pending.push(Gossip {
                             deliver_at: tick + 1,
                             ..gossip
@@ -176,11 +257,22 @@ impl FloodingAggregator {
                     DeliveryDecision::Deliver => {}
                 }
                 metrics.group_steps += 1;
+                events.emit(|| TraceEvent::MessageDelivered {
+                    tick: tick as u64,
+                    from: gossip.from,
+                    to: gossip.to,
+                });
                 let before = knowledge[gossip.to].len();
                 knowledge[gossip.to].extend(gossip.payload.iter().copied());
-                if knowledge[gossip.to].len() > before {
+                let changed = knowledge[gossip.to].len() > before;
+                if changed {
                     metrics.effective_group_steps += 1;
                 }
+                events.emit(|| TraceEvent::GroupStep {
+                    tick: (tick + 1) as u64,
+                    size: 2,
+                    changed,
+                });
             }
 
             if knowledge.iter().all(|k| k.len() == n) {
@@ -192,6 +284,9 @@ impl FloodingAggregator {
                     .expect("at least one agent");
                 result = Some(aggregate);
                 metrics.rounds_to_convergence = Some(tick + 1);
+                events.emit(|| TraceEvent::ConvergenceEntered {
+                    tick: (tick + 1) as u64,
+                });
                 break;
             }
         }

@@ -27,3 +27,13 @@ mod snapshot;
 
 pub use flooding::FloodingAggregator;
 pub use snapshot::SnapshotAggregator;
+
+/// Edges of `state` whose endpoints can actually communicate right now —
+/// the connectivity digest recorded by `env-transition` trace events.
+pub(crate) fn usable_edge_count(state: &selfsim_env::EnvState) -> usize {
+    state
+        .enabled_edges()
+        .iter()
+        .filter(|edge| state.can_communicate(edge.lo(), edge.hi()))
+        .count()
+}

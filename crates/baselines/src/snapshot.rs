@@ -5,7 +5,9 @@ use rand::{Rng, SeedableRng};
 
 use selfsim_env::{AgentId, EnvState, Environment};
 use selfsim_runtime::{validate_async_knobs, DeliveryDecision, DeliveryRule};
-use selfsim_trace::RunMetrics;
+use selfsim_trace::{EventLog, RunMetrics, TraceEvent};
+
+use crate::usable_edge_count;
 
 /// A coordinator-based aggregator: agent 0 repeatedly attempts to take a
 /// global snapshot of all values.  A snapshot attempt in a given round
@@ -36,7 +38,19 @@ impl SnapshotAggregator {
         &self,
         environment: &mut E,
         seed: u64,
+        fold: impl FnMut(i64, i64) -> i64,
+    ) -> (RunMetrics, Option<i64>) {
+        self.run_observed(environment, seed, fold, &mut EventLog::disabled())
+    }
+
+    /// Like [`SnapshotAggregator::run`], emitting trace events into
+    /// `events` (a disabled log costs one branch per would-be event).
+    pub fn run_observed<E: Environment + ?Sized>(
+        &self,
+        environment: &mut E,
+        seed: u64,
         mut fold: impl FnMut(i64, i64) -> i64,
+        events: &mut EventLog,
     ) -> (RunMetrics, Option<i64>) {
         let n = self.values.len();
         let mut rng = StdRng::seed_from_u64(seed);
@@ -47,6 +61,10 @@ impl SnapshotAggregator {
         for round in 0..self.max_rounds {
             let env_state = environment.step(&mut rng);
             metrics.rounds_executed = round + 1;
+            events.emit(|| TraceEvent::EnvTransition {
+                tick: (round + 1) as u64,
+                edges: usable_edge_count(&env_state),
+            });
             // One request per agent per attempt, whether or not it succeeds —
             // the coordinator cannot know in advance that the system is
             // partitioned.
@@ -55,6 +73,11 @@ impl SnapshotAggregator {
             let coordinator_group = groups.iter().find(|g| g.contains(&coordinator));
             let all_reachable = coordinator_group.map(|g| g.len() == n).unwrap_or(false);
             metrics.group_steps += 1;
+            events.emit(|| TraceEvent::GroupStep {
+                tick: (round + 1) as u64,
+                size: n,
+                changed: all_reachable,
+            });
             if all_reachable {
                 metrics.effective_group_steps += 1;
                 let aggregate = self
@@ -65,6 +88,9 @@ impl SnapshotAggregator {
                     .expect("at least one agent");
                 result = Some(aggregate);
                 metrics.rounds_to_convergence = Some(round + 1);
+                events.emit(|| TraceEvent::ConvergenceEntered {
+                    tick: (round + 1) as u64,
+                });
                 break;
             }
         }
@@ -94,13 +120,40 @@ impl SnapshotAggregator {
         max_latency: usize,
         drop_rate: f64,
         delivery: DeliveryRule,
+        fold: impl FnMut(i64, i64) -> i64,
+    ) -> (RunMetrics, Option<i64>) {
+        self.run_async_observed(
+            environment,
+            seed,
+            interaction_rate,
+            max_latency,
+            drop_rate,
+            delivery,
+            fold,
+            &mut EventLog::disabled(),
+        )
+    }
+
+    /// Like [`SnapshotAggregator::run_async`], emitting trace events into
+    /// `events` (a disabled log costs one branch per would-be event).
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_async_observed<E: Environment + ?Sized>(
+        &self,
+        environment: &mut E,
+        seed: u64,
+        interaction_rate: f64,
+        max_latency: usize,
+        drop_rate: f64,
+        delivery: DeliveryRule,
         mut fold: impl FnMut(i64, i64) -> i64,
+        events: &mut EventLog,
     ) -> (RunMetrics, Option<i64>) {
         struct Probe {
             deliver_at: usize,
             expires_at: usize,
             reachable_at_send: bool,
             attempt: usize,
+            target: usize,
         }
         if let Err(message) = validate_async_knobs(interaction_rate, max_latency, drop_rate) {
             panic!("invalid async parameters: {message}");
@@ -125,6 +178,10 @@ impl SnapshotAggregator {
         'ticks: for tick in 0..self.max_rounds {
             let env_state = environment.step(&mut rng);
             metrics.rounds_executed = tick + 1;
+            events.emit(|| TraceEvent::EnvTransition {
+                tick: (tick + 1) as u64,
+                edges: usable_edge_count(&env_state),
+            });
 
             if rng.gen_bool(interaction_rate) && n > 1 {
                 let attempt = attempts.len();
@@ -139,22 +196,34 @@ impl SnapshotAggregator {
                 // One probe per remote agent, each with its own latency; a
                 // single loss already kills the attempt, so the rest of a
                 // dead attempt's probes are counted but never tracked.
-                for _target in 1..n {
+                for target in 1..n {
                     if attempts[attempt].1 {
                         break;
                     }
                     if rng.gen_bool(drop_rate) {
                         metrics.messages_dropped += 1;
+                        events.emit(|| TraceEvent::MessageDropped {
+                            tick: tick as u64,
+                            from: 0,
+                            to: target,
+                        });
                         attempts[attempt].1 = true; // probe lost: attempt dead
                         continue;
                     }
                     let latency = rng.gen_range(1..=max_latency);
                     let deliver_at = tick + latency;
+                    events.emit(|| TraceEvent::MessageSent {
+                        tick: tick as u64,
+                        from: 0,
+                        to: target,
+                        deliver_at: deliver_at as u64,
+                    });
                     pending.push(Probe {
                         deliver_at,
                         expires_at: delivery.expiry(deliver_at),
                         reachable_at_send,
                         attempt,
+                        target,
                     });
                 }
             }
@@ -181,9 +250,20 @@ impl SnapshotAggregator {
                 ) {
                     DeliveryDecision::Discard => {
                         *failed = true;
+                        events.emit(|| TraceEvent::MessageDiscarded {
+                            tick: tick as u64,
+                            from: 0,
+                            to: probe.target,
+                        });
                         continue;
                     }
                     DeliveryDecision::Requeue => {
+                        metrics.messages_requeued += 1;
+                        events.emit(|| TraceEvent::MessageRequeued {
+                            tick: tick as u64,
+                            from: 0,
+                            to: probe.target,
+                        });
                         pending.push(Probe {
                             deliver_at: tick + 1,
                             ..probe
@@ -193,6 +273,11 @@ impl SnapshotAggregator {
                     DeliveryDecision::Deliver => {}
                 }
                 *outstanding -= 1;
+                events.emit(|| TraceEvent::MessageDelivered {
+                    tick: tick as u64,
+                    from: 0,
+                    to: probe.target,
+                });
                 if *outstanding == 0 && !*failed {
                     metrics.effective_group_steps += 1;
                     let aggregate = self
@@ -203,6 +288,9 @@ impl SnapshotAggregator {
                         .expect("at least one agent");
                     result = Some(aggregate);
                     metrics.rounds_to_convergence = Some(tick + 1);
+                    events.emit(|| TraceEvent::ConvergenceEntered {
+                        tick: (tick + 1) as u64,
+                    });
                     break 'ticks;
                 }
             }

@@ -17,12 +17,14 @@
 
 use std::io::Write;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
 use selfsim_bench::hotpath;
 use selfsim_campaign::{
     distribute_trials, AlgorithmKind, Campaign, EnvModel, ScenarioGrid, TopologyFamily,
 };
+use selfsim_trace::MetricsRegistry;
 
 struct Args {
     trials: u64,
@@ -32,6 +34,7 @@ struct Args {
     jsonl_out: Option<String>,
     assert_peak_rss_mb: Option<u64>,
     assert_min_trials_per_sec: Option<f64>,
+    assert_max_obs_overhead_pct: Option<f64>,
 }
 
 const USAGE: &str = "\
@@ -46,6 +49,9 @@ OPTIONS
                                 (default: a byte-counting null sink)
     --assert-peak-rss-mb M      fail if peak RSS exceeds M MiB (the memory gate)
     --assert-min-trials-per-sec R  fail if throughput drops below R (the speed gate)
+    --assert-max-obs-overhead-pct P  fail if the metrics-observed rerun is more
+                                than P% slower than the plain run (the
+                                observability-overhead gate)
     --help                      this text
 ";
 
@@ -58,6 +64,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         jsonl_out: None,
         assert_peak_rss_mb: None,
         assert_min_trials_per_sec: None,
+        assert_max_obs_overhead_pct: None,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -96,6 +103,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     value("--assert-min-trials-per-sec")?
                         .parse()
                         .map_err(|e| format!("bad --assert-min-trials-per-sec: {e}"))?,
+                );
+            }
+            "--assert-max-obs-overhead-pct" => {
+                args.assert_max_obs_overhead_pct = Some(
+                    value("--assert-max-obs-overhead-pct")?
+                        .parse()
+                        .map_err(|e| format!("bad --assert-max-obs-overhead-pct: {e}"))?,
                 );
             }
             "--help" | "-h" => return Err(String::new()),
@@ -274,6 +288,70 @@ fn main() -> ExitCode {
         peak_rss.map_or("unavailable".into(), |kb| format!("{kb} KiB")),
     );
 
+    // --- observed reruns: same campaign with a metrics registry attached ---
+    // The delta against a plain run is the cost of observability when it is
+    // *on*; the stage timers themselves become the per-stage breakdown in
+    // the bench JSON.  Throughput at this run length jitters by several
+    // percent between *identical* runs, so each round pairs a plain run
+    // with an observed run back to back and the gate takes the smallest
+    // per-round overhead: jitter inflates individual estimates far more
+    // often than it deflates them, and the true overhead lower-bounds the
+    // clean pairing.
+    let mut obs_trials_per_sec = 0.0f64;
+    let mut obs_overhead_pct = f64::INFINITY;
+    let mut registry = Arc::new(MetricsRegistry::new());
+    for _ in 0..3 {
+        let mut sink = CountingSink { bytes: 0 };
+        let t = Instant::now();
+        if let Err(e) = campaign.stream_to(&mut sink) {
+            eprintln!("error: campaign stream failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        let plain_tps = result.trials as f64 / t.elapsed().as_secs_f64().max(f64::EPSILON);
+
+        let round_registry = Arc::new(MetricsRegistry::new());
+        let observed_campaign = campaign.clone().observe(Arc::clone(&round_registry));
+        let mut sink = CountingSink { bytes: 0 };
+        let t = Instant::now();
+        if let Err(e) = observed_campaign.stream_to(&mut sink) {
+            eprintln!("error: observed campaign stream failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        let tps = result.trials as f64 / t.elapsed().as_secs_f64().max(f64::EPSILON);
+        let overhead = 100.0 * (1.0 - tps / plain_tps.max(f64::EPSILON));
+        if overhead < obs_overhead_pct {
+            obs_overhead_pct = overhead;
+            obs_trials_per_sec = tps;
+            registry = round_registry;
+        }
+    }
+    let stage_timers: Vec<(&str, u64, u64)> = [
+        "pipeline/trial-run",
+        "pipeline/serialize",
+        "pipeline/reorder-wait",
+        "pipeline/sink-write",
+    ]
+    .iter()
+    .map(|name| {
+        let timer = registry.timer(name);
+        (*name, timer.count(), timer.total_nanos())
+    })
+    .collect();
+    let sink_stalls = registry.counter("pipeline/sink-stalls").get();
+    let reorder_depth_max = registry
+        .histogram("pipeline/reorder-depth")
+        .nonzero_buckets()
+        .last()
+        .map_or(0, |&(depth, _)| depth);
+    eprintln!(
+        "bench_campaign: observed rerun {obs_trials_per_sec:.0} trials/s \
+         ({obs_overhead_pct:+.2}% overhead), {sink_stalls} sink stalls, \
+         reorder depth <= {reorder_depth_max}"
+    );
+    for (name, count, total_ns) in &stage_timers {
+        eprintln!("  {name}: {count} spans, {total_ns} ns total");
+    }
+
     // --- BENCH_3.json (stable key order, hand-formatted so the vendored
     // serde_json subset stays out of the measurement path) ---
     let mut json = String::new();
@@ -296,6 +374,20 @@ fn main() -> ExitCode {
         "    \"peak_rss_kb\": {}\n",
         peak_rss.map_or("null".into(), |kb| kb.to_string())
     ));
+    json.push_str("  },\n  \"campaign_observed\": {\n");
+    json.push_str(&format!(
+        "    \"trials_per_sec\": {obs_trials_per_sec:.1},\n"
+    ));
+    json.push_str(&format!("    \"overhead_pct\": {obs_overhead_pct:.2},\n"));
+    json.push_str(&format!("    \"sink_stalls\": {sink_stalls},\n"));
+    json.push_str(&format!("    \"reorder_depth_max\": {reorder_depth_max}\n"));
+    json.push_str("  },\n  \"stage_ns\": {\n");
+    for (i, (name, count, total_ns)) in stage_timers.iter().enumerate() {
+        let comma = if i + 1 < stage_timers.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    \"{name}\": {{ \"spans\": {count}, \"total_ns\": {total_ns} }}{comma}\n"
+        ));
+    }
     json.push_str("  }\n}\n");
     if let Err(e) = std::fs::write(&args.out, &json) {
         eprintln!("error: cannot write {}: {e}", args.out);
@@ -316,6 +408,16 @@ fn main() -> ExitCode {
     if let Some(floor) = args.assert_min_trials_per_sec {
         if trials_per_sec < floor {
             eprintln!("error: {trials_per_sec:.0} trials/s is below the {floor:.0} trials/s floor");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(bound) = args.assert_max_obs_overhead_pct {
+        if obs_overhead_pct > bound {
+            eprintln!(
+                "error: metrics observation costs {obs_overhead_pct:.2}% throughput, above \
+                 the {bound}% bound — the observability layer is no longer cheap enough \
+                 to leave compiled in"
+            );
             return ExitCode::FAILURE;
         }
     }

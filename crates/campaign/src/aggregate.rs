@@ -43,6 +43,8 @@ struct Cell {
     messages: BTreeMap<usize, u64>,
     /// Histogram of per-trial dropped-message counts.
     messages_dropped: BTreeMap<usize, u64>,
+    /// Histogram of per-trial re-queue decision counts.
+    messages_requeued: BTreeMap<usize, u64>,
     /// Histogram of step effectiveness, keyed by the ratio's IEEE bits
     /// (effectiveness is in `[0, 1]`, where the bit order *is* the
     /// numeric order).
@@ -83,6 +85,10 @@ pub struct ScenarioSummary {
     /// Statistics of dropped-message counts over all trials (identically
     /// zero whenever the cell's `drop_rate` is zero).
     pub messages_dropped: Summary,
+    /// Statistics of re-queue decision counts over all trials (non-zero
+    /// only for `any-overlap` cells; identically zero under
+    /// `valid-at-delivery` and `valid-at-send`).
+    pub messages_requeued: Summary,
     /// Statistics of step effectiveness (changed / attempted) over all
     /// trials.
     pub effectiveness: Summary,
@@ -145,6 +151,10 @@ impl Aggregator {
             .messages_dropped
             .entry(record.messages_dropped)
             .or_default() += 1;
+        *cell
+            .messages_requeued
+            .entry(record.messages_requeued)
+            .or_default() += 1;
         let effectiveness = if record.group_steps == 0 {
             0.0
         } else {
@@ -191,6 +201,9 @@ impl Aggregator {
                     for (value, count) in incoming.messages_dropped {
                         *cell.messages_dropped.entry(value).or_default() += count;
                     }
+                    for (value, count) in incoming.messages_requeued {
+                        *cell.messages_requeued.entry(value).or_default() += count;
+                    }
                     for (value, count) in incoming.effectiveness {
                         *cell.effectiveness.entry(value).or_default() += count;
                     }
@@ -236,6 +249,9 @@ impl Aggregator {
                 messages_dropped: Summary::of_histogram(
                     cell.messages_dropped.iter().map(|(&v, &c)| (v as f64, c)),
                 ),
+                messages_requeued: Summary::of_histogram(
+                    cell.messages_requeued.iter().map(|(&v, &c)| (v as f64, c)),
+                ),
                 effectiveness: Summary::of_histogram(
                     cell.effectiveness
                         .iter()
@@ -271,6 +287,7 @@ mod tests {
             effective_group_steps: 5,
             messages,
             messages_dropped: messages / 10,
+            messages_requeued: 0,
             initial_objective: 100.0,
             final_objective: 10.0,
             objective_monotone: true,

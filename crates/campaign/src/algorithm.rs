@@ -30,7 +30,7 @@ use selfsim_core::{FnGroupStep, SelfSimilarSystem, SummationObjective};
 use selfsim_env::{Environment, FairnessSpec, Topology};
 use selfsim_geometry::{enclosing_circle_of_circles, Circle, Point};
 use selfsim_runtime::{DeliveryRule, ExecutionMode};
-use selfsim_trace::RunMetrics;
+use selfsim_trace::{EventLog, RunMetrics, TraceEvent};
 
 use crate::dimension::TopoRef;
 use crate::scenario::TopologyFamily;
@@ -92,6 +92,11 @@ pub struct TrialSetup<'a> {
     /// Setup randomness (initial values); already past the topology draws,
     /// so algorithms see the same stream regardless of topology family.
     pub rng: &'a mut StdRng,
+    /// When present, the trial's structured [`TraceEvent`] stream is
+    /// appended here (the campaign's `--trace` path).  `None` — the
+    /// default — keeps event recording disabled and costs one branch per
+    /// would-be event.
+    pub events: Option<&'a mut Vec<TraceEvent>>,
 }
 
 /// An algorithm the campaign engine can run — object-safe so registries can
@@ -133,14 +138,17 @@ pub trait CampaignAlgorithm: Send + Sync {
 /// algorithms reuse.
 pub fn run_system<S: Ord + Clone + std::fmt::Debug>(
     system: &SelfSimilarSystem<S>,
-    setup: &TrialSetup<'_>,
+    setup: &mut TrialSetup<'_>,
     env: &mut dyn Environment,
 ) -> RunMetrics {
-    setup
+    let report = setup
         .mode
-        .runtime::<S>(setup.seed, setup.max_rounds, false)
-        .execute(system, env)
-        .metrics
+        .runtime::<S>(setup.seed, setup.max_rounds, false, setup.events.is_some())
+        .execute(system, env);
+    if let Some(events) = setup.events.as_deref_mut() {
+        events.extend(report.events);
+    }
+    report.metrics
 }
 
 /// A shared, cloneable handle to a registered algorithm — what scenarios
@@ -556,21 +564,48 @@ impl CampaignAlgorithm for CircumscribingAlgo {
 /// The one dispatch site mapping an [`ExecutionMode`] onto a baseline's
 /// round-based / message-passing entry points.  The delivery rule rides
 /// along with the other async knobs, so baselines and the self-similar
-/// runtime always judge blocked messages by the same rule.
+/// runtime always judge blocked messages by the same rule — and the event
+/// log is handed to whichever entry point runs, so traced cells observe
+/// baselines through the same stream as the self-similar runtimes.
 fn dispatch_baseline<R>(
     mode: ExecutionMode,
     env: &mut dyn Environment,
-    sync: impl FnOnce(&mut dyn Environment) -> R,
-    asynchronous: impl FnOnce(&mut dyn Environment, f64, usize, f64, DeliveryRule) -> R,
+    events: &mut EventLog,
+    sync: impl FnOnce(&mut dyn Environment, &mut EventLog) -> R,
+    asynchronous: impl FnOnce(&mut dyn Environment, f64, usize, f64, DeliveryRule, &mut EventLog) -> R,
 ) -> R {
     match mode {
-        ExecutionMode::Sync { .. } => sync(env),
+        ExecutionMode::Sync { .. } => sync(env, events),
         ExecutionMode::Async {
             interaction_rate,
             max_latency,
             drop_rate,
             delivery,
-        } => asynchronous(env, interaction_rate, max_latency, drop_rate, delivery),
+        } => asynchronous(
+            env,
+            interaction_rate,
+            max_latency,
+            drop_rate,
+            delivery,
+            events,
+        ),
+    }
+}
+
+/// An [`EventLog`] matching a [`TrialSetup`]'s event request, plus the
+/// flush gluing its recording back onto the setup's sink — the shared
+/// prologue/epilogue of both baseline adapters.
+fn baseline_event_log(setup: &TrialSetup<'_>) -> EventLog {
+    if setup.events.is_some() {
+        EventLog::enabled()
+    } else {
+        EventLog::disabled()
+    }
+}
+
+fn flush_baseline_events(setup: &mut TrialSetup<'_>, log: EventLog) {
+    if let Some(events) = setup.events.as_deref_mut() {
+        events.extend(log.into_events());
     }
 }
 
@@ -586,12 +621,17 @@ impl CampaignAlgorithm for SnapshotBaseline {
         let values = int_values(setup.n, setup.rng);
         let baseline = SnapshotAggregator::new(values, setup.max_rounds);
         let seed = setup.seed;
+        let mut log = baseline_event_log(setup);
         let (metrics, _) = dispatch_baseline(
             setup.mode,
             env,
-            |env| baseline.run(env, seed, i64::min),
-            |env, i, l, d, dv| baseline.run_async(env, seed, i, l, d, dv, i64::min),
+            &mut log,
+            |env, ev| baseline.run_observed(env, seed, i64::min, ev),
+            |env, i, l, d, dv, ev| {
+                baseline.run_async_observed(env, seed, i, l, d, dv, i64::min, ev)
+            },
         );
+        flush_baseline_events(setup, log);
         metrics
     }
 }
@@ -608,12 +648,17 @@ impl CampaignAlgorithm for FloodingBaseline {
         let values = int_values(setup.n, setup.rng);
         let baseline = FloodingAggregator::new(values, setup.max_rounds);
         let seed = setup.seed;
+        let mut log = baseline_event_log(setup);
         let (metrics, _) = dispatch_baseline(
             setup.mode,
             env,
-            |env| baseline.run(env, seed, i64::min),
-            |env, i, l, d, dv| baseline.run_async(env, seed, i, l, d, dv, i64::min),
+            &mut log,
+            |env, ev| baseline.run_observed(env, seed, i64::min, ev),
+            |env, i, l, d, dv, ev| {
+                baseline.run_async_observed(env, seed, i, l, d, dv, i64::min, ev)
+            },
         );
+        flush_baseline_events(setup, log);
         metrics
     }
 }
@@ -639,6 +684,7 @@ mod tests {
                 max_rounds: 100_000,
                 seed: 42,
                 rng,
+                events: None,
             },
             env,
         )
@@ -711,6 +757,7 @@ mod tests {
             max_rounds: 10_000,
             seed: 8,
             rng: &mut rng,
+            events: None,
         };
         let metrics = algorithm.run(&mut setup, env.as_mut());
         assert!(metrics.converged());
@@ -735,6 +782,7 @@ mod tests {
                 max_rounds: 100_000,
                 seed: 42,
                 rng: &mut rng,
+                events: None,
             };
             let metrics = algorithm.run(&mut setup, env.as_mut());
             assert!(
@@ -797,6 +845,7 @@ mod tests {
                     max_rounds: 10_000,
                     seed: 4,
                     rng: &mut rng,
+                    events: None,
                 };
                 let metrics = algorithm.run(&mut setup, env.as_mut());
                 assert!(

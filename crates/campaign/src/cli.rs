@@ -38,14 +38,16 @@
 
 use std::io::{BufReader, Write};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 use crate::{
-    distribute_trials, emit, merge_shards, Aggregator, AlgorithmRef, Campaign, CampaignResult,
-    DeliveryRule, EnvRef, EnvRegistry, ExecutionMode, MergeOrder, ProgressThrottle, Registry,
-    ScenarioGrid, ShardSpec, TopoRef, TopologyRegistry, TrialRecord,
+    distribute_trials, emit, merge_shards, merge_trace_shards, Aggregator, AlgorithmRef, Campaign,
+    CampaignResult, DeliveryRule, EnvRef, EnvRegistry, ExecutionMode, MergeOrder, ProgressThrottle,
+    Registry, ScenarioGrid, ShardSpec, TopoRef, TopologyRegistry, TrialRecord,
 };
 use selfsim_runtime::validate_async_knobs;
+use selfsim_trace::MetricsRegistry;
 
 /// The three registries a campaign CLI resolves labels against — pass your
 /// own to [`run`] to make user-registered families sweepable from the
@@ -88,8 +90,11 @@ struct Args {
     threads: usize,
     shard: ShardSpec,
     merge: Vec<String>,
+    merge_traces: Vec<String>,
     out: Option<String>,
     summary_out: Option<String>,
+    trace: Option<String>,
+    metrics_out: Option<String>,
     quiet: bool,
     list_algorithms: bool,
     list_environments: bool,
@@ -141,8 +146,11 @@ fn default_args(registries: &CliRegistries) -> Args {
         threads: 0,
         shard: ShardSpec::full(),
         merge: Vec::new(),
+        merge_traces: Vec::new(),
         out: None,
         summary_out: None,
+        trace: None,
+        metrics_out: None,
         quiet: false,
         list_algorithms: false,
         list_environments: false,
@@ -181,9 +189,18 @@ OPTIONS
     --merge f0 f1 ..      merge shard JSONL files (in --shard index order) instead of
                           running; writes the exact unsharded record stream to --out
                           and re-aggregates the summary table
+    --merge-traces f0 ..  with --merge: merge shard trace files (in the same
+                          --shard index order) into --trace PATH, reconstructing
+                          the exact unsharded event stream trial block by block
     --out PATH            stream per-trial records as JSON-lines (as trials finish);
                           `-` streams to stdout and moves the summary to stderr
     --summary-out PATH    write per-scenario summaries as JSON-lines
+    --trace PATH          opt-in: stream per-trial structured event traces to PATH
+                          (JSON-lines, one trial-start..trial-end block per trial);
+                          bytes are identical across thread counts and shard merges,
+                          and each block replays from its record's label + seed
+    --metrics-out PATH    write an end-of-run metrics snapshot (pipeline stage
+                          timers, reorder-window depth, sim counters) as JSON
     --list-algorithms     print the algorithm registry and exit
     --list-environments   print the environment registry and exit
     --list-topologies     print the topology registry and exit
@@ -283,8 +300,21 @@ fn parse_args(argv: &[String], registries: &CliRegistries) -> Result<Args, Strin
                     return Err("--merge expects one or more shard JSONL files".into());
                 }
             }
+            "--merge-traces" => {
+                while let Some(path) = it.peek() {
+                    if path.starts_with("--") {
+                        break;
+                    }
+                    args.merge_traces.push(it.next().expect("peeked").clone());
+                }
+                if args.merge_traces.is_empty() {
+                    return Err("--merge-traces expects one or more shard trace files".into());
+                }
+            }
             "--out" => args.out = Some(value("--out")?),
             "--summary-out" => args.summary_out = Some(value("--summary-out")?),
+            "--trace" => args.trace = Some(value("--trace")?),
+            "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
             "--list-algorithms" => args.list_algorithms = true,
             "--list-environments" => args.list_environments = true,
             "--list-topologies" => args.list_topologies = true,
@@ -311,6 +341,37 @@ fn parse_args(argv: &[String], registries: &CliRegistries) -> Result<Args, Strin
              and the summary table"
                 .into(),
         );
+    }
+    if args.trace.as_deref().is_some_and(is_stdout) {
+        return Err("--trace must be a file path; stdout is reserved for records (--out -)".into());
+    }
+    if args.metrics_out.as_deref().is_some_and(is_stdout) {
+        return Err("--metrics-out must be a file path".into());
+    }
+    if !args.merge_traces.is_empty() {
+        if args.merge.is_empty() {
+            return Err(
+                "--merge-traces requires --merge (it merges finished shard trace files)".into(),
+            );
+        }
+        if args.trace.is_none() {
+            return Err("--merge-traces writes the merged event stream to --trace PATH".into());
+        }
+        if args.merge_traces.len() != args.merge.len() {
+            return Err(format!(
+                "--merge-traces expects one trace file per --merge shard file ({} vs {})",
+                args.merge_traces.len(),
+                args.merge.len(),
+            ));
+        }
+    }
+    if !args.merge.is_empty() {
+        if args.merge_traces.is_empty() && args.trace.is_some() {
+            return Err("--trace in merge mode needs --merge-traces shard files to merge".into());
+        }
+        if args.metrics_out.is_some() {
+            return Err("--metrics-out only applies to a sweep run, not --merge".into());
+        }
     }
     Ok(args)
 }
@@ -535,10 +596,20 @@ fn run_sweep(args: &Args) -> Result<(), String> {
         );
     }
 
-    let campaign = Campaign::new(scenarios)
+    // `--metrics-out` attaches a registry; the run updates it and the
+    // snapshot is written after the sweep.  Without the flag no registry
+    // exists and the runner takes no clock readings at all.
+    let registry = args
+        .metrics_out
+        .as_ref()
+        .map(|_| Arc::new(MetricsRegistry::new()));
+    let mut campaign = Campaign::new(scenarios)
         .seed(args.seed)
         .threads(args.threads)
         .shard(args.shard);
+    if let Some(registry) = &registry {
+        campaign = campaign.observe(Arc::clone(registry));
+    }
     let total = campaign.trial_count();
     let shard_total = campaign.shard_trial_count();
     debug_assert_eq!(total, args.trials, "exact budget split");
@@ -568,10 +639,12 @@ fn run_sweep(args: &Args) -> Result<(), String> {
         );
     }
 
-    // ~10 progress updates/sec however many worker threads finish trials.
+    // ~10 progress updates/sec however many worker threads finish trials;
+    // the final 100% line always passes the throttle.
     let throttle = ProgressThrottle::every(Duration::from_millis(100));
-    let progress = |done: u64, total: u64| {
-        if done == total || throttle.ready() {
+    let quiet = args.quiet;
+    let progress = move |done: u64, total: u64| {
+        if !quiet && throttle.report(done, total) {
             eprintln!("  {done}/{total} trials");
         }
     };
@@ -593,29 +666,53 @@ fn run_sweep(args: &Args) -> Result<(), String> {
         )),
         None => None,
     };
-    let result: CampaignResult = match sink {
-        Some((mut writer, label)) => {
-            let result = if args.quiet {
-                campaign.stream_to(&mut writer)
-            } else {
-                campaign.stream_with_progress(&mut writer, progress)
-            }
+    let trace: Option<(Box<dyn Write + Send>, &str)> = match &args.trace {
+        Some(path) => Some((
+            Box::new(std::io::BufWriter::new(
+                std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
+            )),
+            path.as_str(),
+        )),
+        None => None,
+    };
+    let result: CampaignResult = match (sink, trace) {
+        (Some((mut writer, label)), Some((mut trace, trace_label))) => campaign
+            .stream_with_trace(&mut writer, &mut trace, progress)
+            .and_then(|result| {
+                writer.flush()?;
+                trace.flush()?;
+                Ok(result)
+            })
+            .map_err(|e| {
+                format!("cannot stream records to {label} / traces to {trace_label}: {e}")
+            })?,
+        (None, Some((mut trace, trace_label))) => {
+            // `--trace` without `--out`: the event stream is the product;
+            // records are aggregated and dropped.
+            let mut devnull = std::io::sink();
+            campaign
+                .stream_with_trace(&mut devnull, &mut trace, progress)
+                .and_then(|result| {
+                    trace.flush()?;
+                    Ok(result)
+                })
+                .map_err(|e| format!("cannot stream traces to {trace_label}: {e}"))?
+        }
+        (Some((mut writer, label)), None) => campaign
+            .stream_with_progress(&mut writer, progress)
             .and_then(|result| {
                 writer.flush()?;
                 Ok(result)
             })
-            .map_err(|e| format!("cannot stream records to {label}: {e}"))?;
-            result
-        }
-        None => {
-            if args.quiet {
-                campaign.run()
-            } else {
-                campaign.run_with_progress(progress)
-            }
-        }
+            .map_err(|e| format!("cannot stream records to {label}: {e}"))?,
+        (None, None) => campaign.run_with_progress(progress),
     };
     let elapsed = started.elapsed();
+
+    if let (Some(path), Some(registry)) = (&args.metrics_out, &registry) {
+        write_file(path, |w| w.write_all(registry.snapshot_json().as_bytes()))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
 
     if let Some(path) = &args.summary_out {
         write_file(path, |w| emit::write_summary_jsonl(w, &result.summaries))
@@ -698,24 +795,67 @@ fn run_merge(args: &Args) -> Result<(), String> {
         }
     };
 
+    // Merge the trace shards (if given) block by block: each trial's
+    // `trial-start`..`trial-end` event block moves whole, in round-robin
+    // shard order, reconstructing the exact unsharded event stream.
+    let trace_blocks = if args.merge_traces.is_empty() {
+        None
+    } else {
+        let path = args.trace.as_deref().expect("validated by parse_args");
+        let mut trace_shards: Vec<BufReader<std::fs::File>> =
+            Vec::with_capacity(args.merge_traces.len());
+        for shard_path in &args.merge_traces {
+            let file = std::fs::File::open(shard_path)
+                .map_err(|e| format!("cannot open shard trace file {shard_path}: {e}"))?;
+            trace_shards.push(BufReader::new(file));
+        }
+        let mut writer = std::io::BufWriter::new(
+            std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
+        );
+        let blocks = merge_trace_shards(&mut trace_shards, |line| {
+            writer
+                .write_all(line)
+                .map_err(|e| format!("cannot write merged traces: {e}"))
+        })
+        .and_then(|blocks| {
+            writer
+                .flush()
+                .map_err(|e| format!("cannot flush merged traces: {e}"))?;
+            Ok(blocks)
+        });
+        match blocks {
+            Ok(blocks) => Some(blocks),
+            Err(e) => {
+                // Same contract as the record merge: a merged trace file
+                // only exists if it is complete and validated.
+                let _ = std::fs::remove_file(path);
+                return Err(e);
+            }
+        }
+    };
+
     let summaries = aggregator.summaries();
     if let Some(path) = &args.summary_out {
         write_file(path, |w| emit::write_summary_jsonl(w, &summaries))
             .map_err(|e| format!("cannot write {path}: {e}"))?;
     }
+    let trace_note = match trace_blocks {
+        Some(blocks) => format!(", plus {blocks} trace blocks"),
+        None => String::new(),
+    };
     if args.out.as_deref().is_some_and(|p| !is_stdout(p)) {
         // With --out FILE the table goes to stdout; otherwise stdout
         // carries the merged records and the table would corrupt the
         // stream.
         print!("{}", emit::markdown_summary(&summaries));
         println!(
-            "merged {merged} records from {} shard files across {} scenario cells",
+            "merged {merged} records from {} shard files across {} scenario cells{trace_note}",
             args.merge.len(),
             summaries.len(),
         );
     } else if !args.quiet {
         eprintln!(
-            "merged {merged} records from {} shard files across {} scenario cells",
+            "merged {merged} records from {} shard files across {} scenario cells{trace_note}",
             args.merge.len(),
             summaries.len(),
         );

@@ -40,12 +40,12 @@ pub fn write_summary_jsonl<W: Write>(
 pub fn markdown_summary(summaries: &[ScenarioSummary]) -> String {
     let mut out = String::new();
     out.push_str(
-        "| scenario | mode | delivery | trials | converged | expected | mean rounds | p95 rounds | mean msgs | mean dropped | effectiveness | monotone |\n",
+        "| scenario | mode | delivery | trials | converged | expected | mean rounds | p95 rounds | mean msgs | mean dropped | mean req | effectiveness | monotone |\n",
     );
-    out.push_str("|---|:---:|:---:|---:|---:|---:|---:|---:|---:|---:|---:|:---:|\n");
+    out.push_str("|---|:---:|:---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|:---:|\n");
     for s in summaries {
         out.push_str(&format!(
-            "| {} | {} | {} | {} | {}/{} | {}/{} | {} | {} | {:.0} | {:.0} | {:.2} | {} |\n",
+            "| {} | {} | {} | {} | {}/{} | {}/{} | {} | {} | {:.0} | {:.0} | {:.0} | {:.2} | {} |\n",
             s.scenario,
             s.mode,
             s.delivery,
@@ -58,6 +58,7 @@ pub fn markdown_summary(summaries: &[ScenarioSummary]) -> String {
             format_rounds(s.converged, s.rounds.p95),
             s.messages.mean,
             s.messages_dropped.mean,
+            s.messages_requeued.mean,
             s.effectiveness.mean,
             if s.all_monotone { "yes" } else { "NO" },
         ));
@@ -95,6 +96,7 @@ mod tests {
             rounds: Summary::of_counts(&[3, 4, 5]),
             messages: Summary::of(&[100.0, 120.0]),
             messages_dropped: Summary::of(&[0.0, 0.0]),
+            messages_requeued: Summary::of(&[0.0, 0.0]),
             effectiveness: Summary::of(&[0.5, 0.6]),
             all_monotone: true,
         }
@@ -120,6 +122,7 @@ mod tests {
             effective_group_steps: 3,
             messages: 32,
             messages_dropped: 0,
+            messages_requeued: 0,
             initial_objective: 100.0,
             final_objective: 8.0,
             objective_monotone: true,

@@ -92,5 +92,5 @@ pub use scenario::{
 };
 pub use selfsim_env::{parse_label, split_top_level, Params};
 pub use selfsim_runtime::{DeliveryRule, ExecutionMode, Runtime};
-pub use shard::{merge_shards, MergeOrder, ShardSpec};
-pub use trial::{run_trial, TrialRecord};
+pub use shard::{merge_shards, merge_trace_shards, MergeOrder, ShardSpec};
+pub use trial::{run_trial, run_trial_traced, TrialRecord};

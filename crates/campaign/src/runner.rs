@@ -27,19 +27,29 @@
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+use selfsim_trace::{Counter, Histogram, MetricsRegistry, StageTimer, TraceEvent};
 
 use crate::aggregate::{Aggregator, ScenarioSummary};
 use crate::scenario::Scenario;
 use crate::shard::ShardSpec;
-use crate::trial::{run_trial, TrialRecord};
+use crate::trial::{run_trial, run_trial_traced, TrialRecord};
 
 /// How many finished-but-unreleased records the reorder window may hold
 /// per worker thread before fast workers park.  Bounds peak memory at
 /// `O(threads)` regardless of trial count while keeping enough slack that
 /// parking is rare in practice.
 const REORDER_WINDOW_PER_THREAD: usize = 8;
+
+/// Stage timers measure every `OBS_SAMPLE`-th trial (by shard-local job
+/// index) rather than all of them: `Instant::now` is a syscall on kernels
+/// without a vDSO clock fast path, and six reads per ~20 µs trial costs
+/// several percent of throughput — sampling keeps the per-stage breakdown
+/// representative while the counters and the depth histogram stay exact
+/// over *every* trial.
+const OBS_SAMPLE: u64 = 8;
 
 /// Configuration of a campaign run.
 #[derive(Clone, Copy, Debug, Default)]
@@ -58,6 +68,55 @@ pub struct CampaignConfig {
 pub struct Campaign {
     scenarios: Vec<Scenario>,
     config: CampaignConfig,
+    observe: Option<Arc<MetricsRegistry>>,
+}
+
+/// The pre-registered metric handles the streaming pipeline updates — one
+/// `Arc` clone per handle up front, so the hot loop never touches the
+/// registry's name map.
+struct PipelineObs {
+    trial_run: Arc<StageTimer>,
+    serialize: Arc<StageTimer>,
+    reorder_wait: Arc<StageTimer>,
+    sink_write: Arc<StageTimer>,
+    reorder_depth: Arc<Histogram>,
+    sink_stalls: Arc<Counter>,
+    trials: Arc<Counter>,
+    messages: Arc<Counter>,
+    messages_dropped: Arc<Counter>,
+    messages_requeued: Arc<Counter>,
+    group_steps: Arc<Counter>,
+    effective_group_steps: Arc<Counter>,
+}
+
+impl PipelineObs {
+    fn new(registry: &MetricsRegistry) -> Self {
+        PipelineObs {
+            trial_run: registry.timer("pipeline/trial-run"),
+            serialize: registry.timer("pipeline/serialize"),
+            reorder_wait: registry.timer("pipeline/reorder-wait"),
+            sink_write: registry.timer("pipeline/sink-write"),
+            reorder_depth: registry.histogram("pipeline/reorder-depth"),
+            sink_stalls: registry.counter("pipeline/sink-stalls"),
+            trials: registry.counter("campaign/trials"),
+            messages: registry.counter("sim/messages"),
+            messages_dropped: registry.counter("sim/messages_dropped"),
+            messages_requeued: registry.counter("sim/messages_requeued"),
+            group_steps: registry.counter("sim/group_steps"),
+            effective_group_steps: registry.counter("sim/effective_group_steps"),
+        }
+    }
+
+    /// Folds one finished trial's scalar counters.
+    fn observe_record(&self, record: &TrialRecord) {
+        self.trials.incr();
+        self.messages.add(record.messages as u64);
+        self.messages_dropped.add(record.messages_dropped as u64);
+        self.messages_requeued.add(record.messages_requeued as u64);
+        self.group_steps.add(record.group_steps as u64);
+        self.effective_group_steps
+            .add(record.effective_group_steps as u64);
+    }
 }
 
 /// What a finished campaign retains: the closed per-scenario aggregation
@@ -91,6 +150,7 @@ impl Campaign {
         Campaign {
             scenarios,
             config: CampaignConfig::default(),
+            observe: None,
         }
     }
 
@@ -112,6 +172,21 @@ impl Campaign {
     /// to an unsharded run.
     pub fn shard(mut self, shard: ShardSpec) -> Self {
         self.config.shard = shard;
+        self
+    }
+
+    /// Attaches a [`MetricsRegistry`] the run will update: per-stage
+    /// pipeline timers (`pipeline/trial-run`, `pipeline/serialize`,
+    /// `pipeline/reorder-wait`, `pipeline/sink-write`), the
+    /// `pipeline/reorder-depth` histogram and `pipeline/sink-stalls`
+    /// counter, and the `sim/*` / `campaign/trials` counters folded from
+    /// every finished record.  Counters and the depth histogram are exact;
+    /// the stage timers sample one trial in [`OBS_SAMPLE`] to keep clock
+    /// reads off the per-trial hot path.  Metrics read the run — they
+    /// never perturb the records or their bytes; without a registry the
+    /// run takes no clock readings at all.
+    pub fn observe(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.observe = Some(registry);
         self
     }
 
@@ -160,7 +235,7 @@ impl Campaign {
     /// invoked after every finished trial (from worker threads; keep it
     /// cheap — see [`ProgressThrottle`] for stderr-friendly pacing).
     pub fn run_with_progress(&self, progress: impl Fn(u64, u64) + Sync) -> CampaignResult {
-        self.execute::<std::io::Sink>(None, None, &progress)
+        self.execute::<std::io::Sink, std::io::Sink>(None, None, None, &progress)
             .expect("aggregate-only runs perform no I/O")
     }
 
@@ -179,7 +254,25 @@ impl Campaign {
         sink: &mut W,
         progress: impl Fn(u64, u64) + Sync,
     ) -> std::io::Result<CampaignResult> {
-        self.execute(Some(sink), None, &progress)
+        self.execute::<W, std::io::Sink>(Some(sink), None, None, &progress)
+    }
+
+    /// Like [`Campaign::stream_with_progress`], additionally streaming the
+    /// per-trial structured event traces (`trial-start` … `trial-end`
+    /// blocks, one JSON event per line) to `trace`.
+    ///
+    /// Trace blocks flow through the same ordered reorder window as the
+    /// records, so the trace bytes are identical no matter how many worker
+    /// threads run — and the round-robin block merge of sharded traces
+    /// ([`crate::merge_trace_shards`]) reconstructs the unsharded stream
+    /// exactly, extending the campaign's determinism contract to traces.
+    pub fn stream_with_trace<W: Write + Send, T: Write + Send>(
+        &self,
+        sink: &mut W,
+        trace: &mut T,
+        progress: impl Fn(u64, u64) + Sync,
+    ) -> std::io::Result<CampaignResult> {
+        self.execute(Some(sink), Some(trace), None, &progress)
     }
 
     /// Opt-in collection for tests and small runs: like [`Campaign::run`]
@@ -193,7 +286,7 @@ impl Campaign {
     pub fn run_collect_with_progress(&self, progress: impl Fn(u64, u64) + Sync) -> CollectedResult {
         let mut records = Vec::new();
         let result = self
-            .execute::<std::io::Sink>(None, Some(&mut records), &progress)
+            .execute::<std::io::Sink, std::io::Sink>(None, None, Some(&mut records), &progress)
             .expect("collect-only runs perform no I/O");
         CollectedResult {
             records,
@@ -210,9 +303,10 @@ impl Campaign {
     /// order.  A worker more than the window size ahead of the release
     /// cursor parks on a condvar until the stream catches up, bounding
     /// pending memory at `O(threads)`.
-    fn execute<W: Write + Send>(
+    fn execute<W: Write + Send, T: Write + Send>(
         &self,
         sink: Option<&mut W>,
+        trace_sink: Option<&mut T>,
         collect: Option<&mut Vec<TrialRecord>>,
         progress: &(dyn Fn(u64, u64) + Sync),
     ) -> std::io::Result<CampaignResult> {
@@ -238,17 +332,22 @@ impl Campaign {
         .min(shard_total.max(1) as usize);
 
         let serialize = sink.is_some();
+        let tracing = trace_sink.is_some();
         let collecting = collect.is_some();
         // Aggregate-only runs have no ordered side effects, so they skip
         // the reorder window entirely.
-        let ordered = serialize || collecting;
+        let ordered = serialize || tracing || collecting;
         let window = threads * REORDER_WINDOW_PER_THREAD;
+        let obs = self.observe.as_deref().map(PipelineObs::new);
+        let obs = obs.as_ref();
 
         let reorder = Mutex::new(Reorder {
             next: 0,
             pending: BTreeMap::new(),
             sink: sink.map(|w| w as &mut (dyn Write + Send)),
+            trace_sink: trace_sink.map(|w| w as &mut (dyn Write + Send)),
             collect,
+            obs,
             error: None,
         });
         let space = Condvar::new();
@@ -276,8 +375,21 @@ impl Campaign {
                         let scenario_idx = offsets.partition_point(|&o| o <= global) - 1;
                         let trial = global - offsets[scenario_idx];
                         let scenario = &self.scenarios[scenario_idx];
-                        let record =
-                            run_trial(scenario, trial, self.seed_for(hashes[scenario_idx], trial));
+                        let seed = self.seed_for(hashes[scenario_idx], trial);
+                        let sampled = obs.is_some() && local.is_multiple_of(OBS_SAMPLE);
+                        let t0 = sampled.then(Instant::now);
+                        let (record, events) = if tracing {
+                            let (record, events) = run_trial_traced(scenario, trial, seed);
+                            (record, Some(events))
+                        } else {
+                            (run_trial(scenario, trial, seed), None)
+                        };
+                        if let (Some(obs), Some(t0)) = (obs, t0) {
+                            obs.trial_run.record(t0.elapsed());
+                        }
+                        if let Some(obs) = obs {
+                            obs.observe_record(&record);
+                        }
 
                         aggregator.observe(&record);
 
@@ -285,6 +397,7 @@ impl Campaign {
                             // The spill buffer: the record leaves the worker
                             // as bytes (and/or the collected struct), never
                             // as shared mutable state.
+                            let t0 = sampled.then(Instant::now);
                             let bytes = if serialize {
                                 match record.to_jsonl_line() {
                                     Ok(bytes) => Some(bytes),
@@ -299,19 +412,48 @@ impl Campaign {
                             } else {
                                 None
                             };
+                            let trace = match events.as_deref().map(trace_block) {
+                                Some(Ok(bytes)) => Some(bytes),
+                                Some(Err(e)) => {
+                                    let mut state = reorder.lock().expect("reorder lock");
+                                    state.error.get_or_insert(e);
+                                    abort.store(true, Ordering::Relaxed);
+                                    space.notify_all();
+                                    break;
+                                }
+                                None => None,
+                            };
+                            if let (Some(obs), Some(t0)) = (obs, t0) {
+                                obs.serialize.record(t0.elapsed());
+                            }
                             let slot = Slot {
                                 bytes,
+                                trace,
                                 record: collecting.then_some(record),
                             };
                             let mut state = reorder.lock().expect("reorder lock");
-                            while local >= state.next + window as u64 && state.error.is_none() {
-                                state = space.wait(state).expect("reorder condvar");
+                            if local >= state.next + window as u64 && state.error.is_none() {
+                                // The window is full: the sink has fallen
+                                // behind this worker.
+                                let t0 = obs.map(|_| Instant::now());
+                                if let Some(obs) = obs {
+                                    obs.sink_stalls.incr();
+                                }
+                                while local >= state.next + window as u64 && state.error.is_none() {
+                                    state = space.wait(state).expect("reorder condvar");
+                                }
+                                if let (Some(obs), Some(t0)) = (obs, t0) {
+                                    obs.reorder_wait.record(t0.elapsed());
+                                }
                             }
                             if state.error.is_some() {
                                 abort.store(true, Ordering::Relaxed);
                                 break;
                             }
                             state.pending.insert(local, slot);
+                            if let Some(obs) = obs {
+                                obs.reorder_depth.record(state.pending.len() as u64);
+                            }
                             if state.release().is_err() {
                                 abort.store(true, Ordering::Relaxed);
                                 drop(state);
@@ -343,11 +485,25 @@ impl Campaign {
     }
 }
 
+/// Serializes one trial's event block as JSONL bytes, one event per line,
+/// ending with the `trial-end` line the shard merge delimits blocks by.
+fn trace_block(events: &[TraceEvent]) -> std::io::Result<Vec<u8>> {
+    let mut block = Vec::new();
+    for event in events {
+        let line = serde_json::to_string(event)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        block.extend_from_slice(line.as_bytes());
+        block.push(b'\n');
+    }
+    Ok(block)
+}
+
 /// One finished trial in flight between a worker and the ordered release:
-/// its serialized JSONL line (when streaming) and/or the record itself
-/// (when collecting).
+/// its serialized JSONL line (when streaming), its serialized event block
+/// (when tracing) and/or the record itself (when collecting).
 struct Slot {
     bytes: Option<Vec<u8>>,
+    trace: Option<Vec<u8>>,
     record: Option<TrialRecord>,
 }
 
@@ -359,7 +515,9 @@ struct Reorder<'a> {
     /// Finished jobs ahead of `next`, bounded by the window size.
     pending: BTreeMap<u64, Slot>,
     sink: Option<&'a mut (dyn Write + Send)>,
+    trace_sink: Option<&'a mut (dyn Write + Send)>,
     collect: Option<&'a mut Vec<TrialRecord>>,
+    obs: Option<&'a PipelineObs>,
     error: Option<std::io::Error>,
 }
 
@@ -373,11 +531,23 @@ impl<'a> Reorder<'a> {
             let Some(slot) = self.pending.remove(&next) else {
                 return Ok(());
             };
+            let t0 = (self.obs.is_some() && next.is_multiple_of(OBS_SAMPLE)).then(Instant::now);
+            if let (Some(sink), Some(bytes)) =
+                (self.trace_sink.as_deref_mut(), slot.trace.as_deref())
+            {
+                if let Err(e) = sink.write_all(bytes) {
+                    self.error = Some(e);
+                    return Err(());
+                }
+            }
             if let (Some(sink), Some(bytes)) = (self.sink.as_deref_mut(), slot.bytes.as_deref()) {
                 if let Err(e) = sink.write_all(bytes) {
                     self.error = Some(e);
                     return Err(());
                 }
+            }
+            if let (Some(obs), Some(t0)) = (self.obs, t0) {
+                obs.sink_write.record(t0.elapsed());
             }
             if let (Some(collected), Some(record)) = (self.collect.as_deref_mut(), slot.record) {
                 collected.push(record);
@@ -391,9 +561,10 @@ impl<'a> Reorder<'a> {
 ///
 /// [`Campaign::run_with_progress`] fires its callback once per finished
 /// trial; printing every call would serialize a million-trial campaign on
-/// stderr.  `ProgressThrottle::ready` returns `true` for at most one
-/// caller per interval (the first call always passes), so the callback
-/// stays cheap for everyone else:
+/// stderr.  [`ProgressThrottle::report`] returns `true` for at most one
+/// caller per interval — except for the final `done >= total` update,
+/// which *always* passes (exactly once), so a run never finishes with its
+/// progress line stuck short of 100%:
 ///
 /// ```
 /// use selfsim_campaign::ProgressThrottle;
@@ -401,11 +572,12 @@ impl<'a> Reorder<'a> {
 ///
 /// let throttle = ProgressThrottle::every(Duration::from_millis(100));
 /// let progress = |done: u64, total: u64| {
-///     if done == total || throttle.ready() {
+///     if throttle.report(done, total) {
 ///         eprintln!("  {done}/{total} trials");
 ///     }
 /// };
 /// progress(1, 2);
+/// progress(2, 2); // the 100% line is never throttled away
 /// ```
 pub struct ProgressThrottle {
     start: Instant,
@@ -413,6 +585,10 @@ pub struct ProgressThrottle {
     /// Milliseconds (since `start`) of the last update that passed;
     /// `u64::MAX` until the first.
     last: AtomicU64,
+    /// One past the highest `done` that has been reported; a later update
+    /// that ties a stale worker's count never passes, and the final update
+    /// passes exactly once however many workers race on it.
+    emitted: AtomicU64,
 }
 
 impl ProgressThrottle {
@@ -423,7 +599,26 @@ impl ProgressThrottle {
             start: Instant::now(),
             interval_ms: (interval.as_millis() as u64).max(1),
             last: AtomicU64::new(u64::MAX),
+            emitted: AtomicU64::new(0),
         }
+    }
+
+    /// `true` when the caller should print this `(done, total)` update:
+    /// rate-limited to one per interval in the steady state, but the final
+    /// update (`done >= total`) always passes, exactly once.
+    pub fn report(&self, done: u64, total: u64) -> bool {
+        if self.emitted.load(Ordering::Relaxed) > done {
+            // A higher count was already reported; this stale update
+            // would move the progress line backwards.
+            return false;
+        }
+        if done >= total || self.ready() {
+            // `fetch_max` arbitrates racing reporters: exactly one caller
+            // per `done` value observes `prev <= done` and wins.
+            let prev = self.emitted.fetch_max(done + 1, Ordering::Relaxed);
+            return prev <= done;
+        }
+        false
     }
 
     /// `true` when the caller won the right to report progress now.
@@ -633,6 +828,80 @@ mod tests {
         assert_eq!(max_done.load(Ordering::Relaxed), campaign.trial_count());
         assert_eq!(result.summaries.len(), campaign.scenarios().len());
         assert_eq!(result.trials, campaign.trial_count());
+    }
+
+    #[test]
+    fn trace_stream_is_thread_count_invariant() {
+        let campaign = small_campaign();
+        let mut records1 = Vec::new();
+        let mut trace1 = Vec::new();
+        campaign
+            .clone()
+            .threads(1)
+            .stream_with_trace(&mut records1, &mut trace1, |_, _| {})
+            .expect("traced stream");
+        let mut records4 = Vec::new();
+        let mut trace4 = Vec::new();
+        campaign
+            .clone()
+            .threads(4)
+            .stream_with_trace(&mut records4, &mut trace4, |_, _| {})
+            .expect("traced stream");
+        assert_eq!(trace1, trace4, "trace bytes must not depend on threads");
+        assert_eq!(records1, records4);
+
+        // Tracing must not perturb the record stream itself.
+        let mut plain = Vec::new();
+        campaign.stream_to(&mut plain).expect("plain stream");
+        assert_eq!(records1, plain);
+
+        // One block per trial: trial-start and trial-end lines pair up.
+        let text = String::from_utf8(trace1).expect("utf8 trace");
+        let starts = text
+            .lines()
+            .filter(|l| l.starts_with("{\"event\":\"trial-start\""))
+            .count();
+        let ends = text
+            .lines()
+            .filter(|l| l.starts_with("{\"event\":\"trial-end\""))
+            .count();
+        assert_eq!(starts as u64, campaign.trial_count());
+        assert_eq!(ends as u64, campaign.trial_count());
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_run() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut observed = Vec::new();
+        let result = small_campaign()
+            .threads(4)
+            .observe(Arc::clone(&registry))
+            .stream_to(&mut observed)
+            .expect("stream");
+        let mut plain = Vec::new();
+        small_campaign()
+            .threads(4)
+            .stream_to(&mut plain)
+            .expect("stream");
+        assert_eq!(observed, plain, "metrics must never perturb the bytes");
+
+        let snapshot = registry.snapshot_json();
+        assert!(snapshot.contains("\"campaign/trials\""));
+        assert!(snapshot.contains("\"pipeline/trial-run\""));
+        let trials = registry.counter("campaign/trials");
+        assert_eq!(trials.get(), result.trials);
+    }
+
+    #[test]
+    fn progress_report_always_emits_final_line() {
+        // An hour-long interval: nothing but the first and final updates
+        // may pass, and the final one passes exactly once.
+        let throttle = ProgressThrottle::every(Duration::from_secs(3600));
+        assert!(throttle.report(1, 3), "first update always passes");
+        assert!(!throttle.report(2, 3), "throttled inside the interval");
+        assert!(throttle.report(3, 3), "final update must not be throttled");
+        assert!(!throttle.report(3, 3), "final update passes only once");
+        assert!(!throttle.report(2, 3), "stale updates never pass");
     }
 
     #[test]

@@ -173,6 +173,88 @@ pub fn merge_shards<R: std::io::BufRead>(
     Ok(merged)
 }
 
+/// Round-robin merges stride-sharded *trace* streams (`--trace` event
+/// JSONL) back into the exact byte stream an unsharded traced run would
+/// have emitted.
+///
+/// Where [`merge_shards`] interleaves per *line* (one record per trial),
+/// a trace stream carries one *block* of lines per trial — from its
+/// `trial-start` event through its `trial-end` event — so the merge
+/// interleaves per block: round `r` emits shard `0`'s `r`-th trial block,
+/// then shard `1`'s, and so on.  Blocks are delimited structurally by the
+/// stable `{"event":"trial-end"` line prefix every trace serializer
+/// emits, so no line is ever parsed.
+///
+/// Returns the number of merged trial blocks.  Errors mirror
+/// [`merge_shards`]: unreadable streams, a later shard yielding a block
+/// after an earlier one ran dry, block counts spreading by more than one,
+/// or a stream ending mid-block (a truncated shard file).
+pub fn merge_trace_shards<R: std::io::BufRead>(
+    shards: &mut [R],
+    mut emit: impl FnMut(&[u8]) -> Result<(), String>,
+) -> Result<u64, String> {
+    const END_PREFIX: &str = "{\"event\":\"trial-end\"";
+    let mut merged = 0u64;
+    let mut counts = vec![0u64; shards.len()];
+    let mut line = String::new();
+    loop {
+        let mut exhausted_this_round: Option<usize> = None;
+        let mut progressed = false;
+        for (i, shard) in shards.iter_mut().enumerate() {
+            line.clear();
+            let read = shard
+                .read_line(&mut line)
+                .map_err(|e| format!("cannot read trace shard file {i}: {e}"))?;
+            if read == 0 {
+                exhausted_this_round.get_or_insert(i);
+                continue;
+            }
+            if let Some(j) = exhausted_this_round {
+                return Err(format!(
+                    "trace shard file {i} still has trial blocks after trace shard file {j} \
+                     ran dry; stride-sharded traces must be passed in `--shard` index order \
+                     (`0/k`, `1/k`, ...) with no shard missing"
+                ));
+            }
+            loop {
+                if !line.ends_with('\n') {
+                    line.push('\n');
+                }
+                let block_done = line.starts_with(END_PREFIX);
+                emit(line.as_bytes())?;
+                if block_done {
+                    break;
+                }
+                line.clear();
+                let read = shard
+                    .read_line(&mut line)
+                    .map_err(|e| format!("cannot read trace shard file {i}: {e}"))?;
+                if read == 0 {
+                    return Err(format!(
+                        "trace shard file {i} ends mid-trial (no `trial-end` event closes \
+                         the final block); was the file truncated?"
+                    ));
+                }
+            }
+            counts[i] += 1;
+            merged += 1;
+            progressed = true;
+        }
+        if !progressed {
+            break;
+        }
+    }
+    let max = counts.iter().copied().max().unwrap_or(0);
+    let min = counts.iter().copied().min().unwrap_or(0);
+    if max > min + 1 {
+        return Err(format!(
+            "trace shard trial-block counts {counts:?} are not a stride partition \
+             (they may differ by at most one); was a shard file omitted?"
+        ));
+    }
+    Ok(merged)
+}
+
 /// Verifies that a merged record stream is in unsharded job *shape* —
 /// scenario-major (each scenario's records contiguous), trial-minor
 /// (trials `0, 1, 2, …` within the scenario) — without knowing the grid.
@@ -345,6 +427,68 @@ mod tests {
     }
 
     #[test]
+    fn trace_merge_interleaves_whole_trial_blocks() {
+        let block = |trial: u64, lines_between: usize| {
+            let mut block = format!("{{\"event\":\"trial-start\",\"trial\":{trial}}}\n");
+            for tick in 0..lines_between {
+                block.push_str(&format!("{{\"event\":\"group-step\",\"tick\":{tick}}}\n"));
+            }
+            block.push_str(&format!("{{\"event\":\"trial-end\",\"trial\":{trial}}}\n"));
+            block
+        };
+        // Stride split of trials 0..5 over 2 shards, with block lengths
+        // deliberately uneven so line-wise interleaving would garble them.
+        let shard0 = [block(0, 3), block(2, 0), block(4, 1)].concat();
+        let shard1 = [block(1, 1), block(3, 2)].concat();
+        let mut shards = vec![
+            Cursor::new(shard0.clone().into_bytes()),
+            Cursor::new(shard1.clone().into_bytes()),
+        ];
+        let mut out = Vec::new();
+        let merged = merge_trace_shards(&mut shards, |line| {
+            out.extend_from_slice(line);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(merged, 5);
+        let expected = [
+            block(0, 3),
+            block(1, 1),
+            block(2, 0),
+            block(3, 2),
+            block(4, 1),
+        ]
+        .concat();
+        assert_eq!(String::from_utf8(out).unwrap(), expected);
+    }
+
+    #[test]
+    fn trace_merge_rejects_truncated_blocks() {
+        let whole =
+            "{\"event\":\"trial-start\",\"trial\":0}\n{\"event\":\"trial-end\",\"trial\":0}\n";
+        let truncated = "{\"event\":\"trial-start\",\"trial\":1}\n";
+        let mut shards = vec![
+            Cursor::new(whole.as_bytes().to_vec()),
+            Cursor::new(truncated.as_bytes().to_vec()),
+        ];
+        let err = merge_trace_shards(&mut shards, |_| Ok(())).unwrap_err();
+        assert!(err.contains("mid-trial"), "{err}");
+    }
+
+    #[test]
+    fn trace_merge_rejects_out_of_order_shards() {
+        let block = |trial: u64| {
+            format!("{{\"event\":\"trial-start\",\"trial\":{trial}}}\n{{\"event\":\"trial-end\",\"trial\":{trial}}}\n")
+        };
+        let mut shards = vec![
+            Cursor::new(block(1).into_bytes()),
+            Cursor::new([block(0), block(2)].concat().into_bytes()),
+        ];
+        let err = merge_trace_shards(&mut shards, |_| Ok(())).unwrap_err();
+        assert!(err.contains("`--shard` index order"), "{err}");
+    }
+
+    #[test]
     fn merge_propagates_emit_errors() {
         let mut shards = vec![lines(&["a\n"])];
         let err = merge_shards(&mut shards, |_| Err("sink full".into())).unwrap_err();
@@ -371,6 +515,7 @@ mod tests {
             effective_group_steps: 3,
             messages: 24,
             messages_dropped: 0,
+            messages_requeued: 0,
             initial_objective: 10.0,
             final_objective: 0.0,
             objective_monotone: true,

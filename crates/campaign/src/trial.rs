@@ -2,9 +2,9 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
-use selfsim_trace::RunMetrics;
+use selfsim_trace::{RunMetrics, TraceEvent};
 
 use crate::algorithm::TrialSetup;
 use crate::scenario::Scenario;
@@ -15,7 +15,7 @@ use crate::scenario::Scenario;
 /// This is [`RunMetrics`] minus the per-round objective trajectory (which
 /// grows with the round budget and would defeat streaming aggregation), plus
 /// the scenario coordinates and two scalar digests of the trajectory.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TrialRecord {
     /// The scenario cell this trial belongs to ([`Scenario::name`]).
     pub scenario: String,
@@ -58,6 +58,12 @@ pub struct TrialRecord {
     /// Messages lost in flight to the drop roll (zero whenever the cell's
     /// `drop_rate` is zero, and always zero for sync cells).
     pub messages_dropped: usize,
+    /// Delivery-rule re-queue decisions (one per due-but-blocked message per
+    /// tick): non-zero only under `any-overlap` grace windows, structurally
+    /// zero for `valid-at-delivery`, `valid-at-send` and every sync cell.
+    /// Omitted from the JSONL encoding when zero, so requeue-free campaigns
+    /// stay byte-identical to pre-observability outputs.
+    pub messages_requeued: usize,
     /// `h(S(0))`.
     pub initial_objective: f64,
     /// `h` of the final state.
@@ -65,6 +71,99 @@ pub struct TrialRecord {
     /// Whether the objective trajectory never increased (the global
     /// manifestation of every group step being an improvement).
     pub objective_monotone: bool,
+}
+
+// Manual (rather than derived) impls so `messages_requeued` can be skipped
+// when zero: the derive emits every field unconditionally and errors on
+// missing fields, either of which would break the byte-identity contract
+// against records produced before the column existed.
+impl Serialize for TrialRecord {
+    fn to_value(&self) -> Value {
+        let mut fields: Vec<(String, Value)> = vec![
+            ("scenario".into(), self.scenario.to_value()),
+            ("algorithm".into(), self.algorithm.to_value()),
+            ("topology".into(), self.topology.to_value()),
+            ("environment".into(), self.environment.to_value()),
+            ("mode".into(), self.mode.to_value()),
+            ("delivery".into(), self.delivery.to_value()),
+            ("agents".into(), self.agents.to_value()),
+            ("trial".into(), self.trial.to_value()),
+            ("seed".into(), self.seed.to_value()),
+            ("converged".into(), self.converged.to_value()),
+            ("expected".into(), self.expected.to_value()),
+            (
+                "meets_expectation".into(),
+                self.meets_expectation.to_value(),
+            ),
+            (
+                "rounds_to_convergence".into(),
+                self.rounds_to_convergence.to_value(),
+            ),
+            ("rounds_executed".into(), self.rounds_executed.to_value()),
+            ("group_steps".into(), self.group_steps.to_value()),
+            (
+                "effective_group_steps".into(),
+                self.effective_group_steps.to_value(),
+            ),
+            ("messages".into(), self.messages.to_value()),
+            ("messages_dropped".into(), self.messages_dropped.to_value()),
+        ];
+        if self.messages_requeued != 0 {
+            fields.push((
+                "messages_requeued".into(),
+                self.messages_requeued.to_value(),
+            ));
+        }
+        fields.push((
+            "initial_objective".into(),
+            self.initial_objective.to_value(),
+        ));
+        fields.push(("final_objective".into(), self.final_objective.to_value()));
+        fields.push((
+            "objective_monotone".into(),
+            self.objective_monotone.to_value(),
+        ));
+        Value::Object(fields)
+    }
+}
+
+fn required<T: Deserialize>(v: &Value, name: &str) -> Result<T, serde::Error> {
+    T::from_value(
+        v.get_field(name)
+            .ok_or_else(|| serde::Error(format!("missing field {name}")))?,
+    )
+}
+
+impl Deserialize for TrialRecord {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        Ok(TrialRecord {
+            scenario: required(v, "scenario")?,
+            algorithm: required(v, "algorithm")?,
+            topology: required(v, "topology")?,
+            environment: required(v, "environment")?,
+            mode: required(v, "mode")?,
+            delivery: required(v, "delivery")?,
+            agents: required(v, "agents")?,
+            trial: required(v, "trial")?,
+            seed: required(v, "seed")?,
+            converged: required(v, "converged")?,
+            expected: required(v, "expected")?,
+            meets_expectation: required(v, "meets_expectation")?,
+            rounds_to_convergence: required(v, "rounds_to_convergence")?,
+            rounds_executed: required(v, "rounds_executed")?,
+            group_steps: required(v, "group_steps")?,
+            effective_group_steps: required(v, "effective_group_steps")?,
+            messages: required(v, "messages")?,
+            messages_dropped: required(v, "messages_dropped")?,
+            messages_requeued: match v.get_field("messages_requeued") {
+                Some(x) => usize::from_value(x)?,
+                None => 0,
+            },
+            initial_objective: required(v, "initial_objective")?,
+            final_objective: required(v, "final_objective")?,
+            objective_monotone: required(v, "objective_monotone")?,
+        })
+    }
 }
 
 impl TrialRecord {
@@ -112,6 +211,7 @@ impl TrialRecord {
             effective_group_steps: m.effective_group_steps,
             messages: m.messages,
             messages_dropped: m.messages_dropped,
+            messages_requeued: m.messages_requeued,
             initial_objective: m.initial_objective().unwrap_or(0.0),
             final_objective: m.final_objective().unwrap_or(0.0),
             objective_monotone: m.objective_is_monotone(1e-9),
@@ -126,6 +226,47 @@ impl TrialRecord {
 /// group steps — is derived from `seed` alone, so a trial is reproducible
 /// in isolation regardless of which thread runs it or what ran before.
 pub fn run_trial(scenario: &Scenario, trial: u64, seed: u64) -> TrialRecord {
+    run_trial_impl(scenario, trial, seed, None)
+}
+
+/// Runs one trial like [`run_trial`] while recording its structured event
+/// stream, framed by `trial-start` (carrying the full replay coordinates:
+/// round-trippable scenario labels plus the derived seed) and `trial-end`
+/// events so each trial's block is self-contained.
+///
+/// The record is identical to the untraced run's — recording reads the
+/// simulation, it never perturbs it.
+pub fn run_trial_traced(
+    scenario: &Scenario,
+    trial: u64,
+    seed: u64,
+) -> (TrialRecord, Vec<TraceEvent>) {
+    let mut events = vec![TraceEvent::TrialStart {
+        scenario: scenario.name(),
+        algorithm: scenario.algorithm.label().to_string(),
+        topology: scenario.topology.label(),
+        environment: scenario.env.label(),
+        mode: scenario.mode.label(),
+        delivery: scenario.mode.delivery_label(),
+        agents: scenario.n,
+        trial,
+        seed,
+    }];
+    let record = run_trial_impl(scenario, trial, seed, Some(&mut events));
+    events.push(TraceEvent::TrialEnd {
+        trial,
+        converged: record.converged,
+        ticks: record.rounds_executed as u64,
+    });
+    (record, events)
+}
+
+fn run_trial_impl(
+    scenario: &Scenario,
+    trial: u64,
+    seed: u64,
+    events: Option<&mut Vec<TraceEvent>>,
+) -> TrialRecord {
     // Setup (random topologies, then initial values) draws from its own
     // stream so that the simulation stream matches a direct simulator run
     // with the same seed.
@@ -139,6 +280,7 @@ pub fn run_trial(scenario: &Scenario, trial: u64, seed: u64) -> TrialRecord {
         max_rounds: scenario.max_rounds,
         seed,
         rng: &mut setup_rng,
+        events,
     };
     let metrics = scenario.algorithm.run(&mut setup, env.as_mut());
     TrialRecord::from_metrics(scenario, trial, seed, &metrics)

@@ -8,9 +8,9 @@ use rand::{Rng, SeedableRng};
 use selfsim_core::SelfSimilarSystem;
 use selfsim_env::{AgentId, Environment};
 use selfsim_temporal::Trace;
-use selfsim_trace::RunMetrics;
+use selfsim_trace::{EventLog, RunMetrics, TraceEvent};
 
-use crate::{DeliveryDecision, DeliveryRule, SimulationReport};
+use crate::{usable_edges, DeliveryDecision, DeliveryRule, SimulationReport};
 
 /// Configuration of an [`AsyncSimulator`] run.
 #[derive(Clone, Debug)]
@@ -29,6 +29,11 @@ pub struct AsyncConfig {
     pub seed: u64,
     /// Record the full state trace in the report.
     pub record_traces: bool,
+    /// When `true`, the run records a structured [`TraceEvent`] stream
+    /// (env transitions, the full message lifecycle, convergence) in the
+    /// report.  When `false` (the default) event recording is a single
+    /// branch per would-be event and allocates nothing.
+    pub record_events: bool,
 }
 
 impl Default for AsyncConfig {
@@ -41,6 +46,7 @@ impl Default for AsyncConfig {
             delivery: DeliveryRule::default(),
             seed: 0,
             record_traces: false,
+            record_events: false,
         }
     }
 }
@@ -195,12 +201,21 @@ impl AsyncSimulator {
         let mut pending: BinaryHeap<PendingInteraction> = BinaryHeap::new();
         let mut sequence = 0usize;
         let mut converged_at = None;
+        let mut events = if self.config.record_events {
+            EventLog::enabled()
+        } else {
+            EventLog::disabled()
+        };
 
         for tick in 0..self.config.max_ticks {
             let env_state = environment.step(&mut rng);
             if self.config.record_traces {
                 env_trace.push(env_state.clone());
             }
+            events.emit(|| TraceEvent::EnvTransition {
+                tick: (tick + 1) as u64,
+                edges: usable_edges(&env_state),
+            });
 
             // New rendezvous requests from currently usable edges.
             for edge in env_state.enabled_edges() {
@@ -213,10 +228,21 @@ impl AsyncSimulator {
                 metrics.messages += 1;
                 if rng.gen_bool(self.config.drop_rate) {
                     metrics.messages_dropped += 1;
+                    events.emit(|| TraceEvent::MessageDropped {
+                        tick: tick as u64,
+                        from: edge.lo().index(),
+                        to: edge.hi().index(),
+                    });
                     continue; // lost in flight
                 }
                 let latency = rng.gen_range(1..=self.config.max_latency);
                 let deliver_at = tick + latency;
+                events.emit(|| TraceEvent::MessageSent {
+                    tick: tick as u64,
+                    from: edge.lo().index(),
+                    to: edge.hi().index(),
+                    deliver_at: deliver_at as u64,
+                });
                 pending.push(PendingInteraction {
                     deliver_at,
                     expires_at: self.config.delivery.expiry(deliver_at),
@@ -238,8 +264,21 @@ impl AsyncSimulator {
                     .delivery
                     .decide(usable_now, true, tick, p.expires_at)
                 {
-                    DeliveryDecision::Discard => continue,
+                    DeliveryDecision::Discard => {
+                        events.emit(|| TraceEvent::MessageDiscarded {
+                            tick: tick as u64,
+                            from: p.initiator.index(),
+                            to: p.responder.index(),
+                        });
+                        continue;
+                    }
                     DeliveryDecision::Requeue => {
+                        metrics.messages_requeued += 1;
+                        events.emit(|| TraceEvent::MessageRequeued {
+                            tick: tick as u64,
+                            from: p.initiator.index(),
+                            to: p.responder.index(),
+                        });
                         // Same sequence number: the retry keeps its place
                         // in the deterministic tie-break order.
                         pending.push(PendingInteraction {
@@ -251,10 +290,21 @@ impl AsyncSimulator {
                     DeliveryDecision::Deliver => {}
                 }
                 metrics.group_steps += 1;
+                events.emit(|| TraceEvent::MessageDelivered {
+                    tick: tick as u64,
+                    from: p.initiator.index(),
+                    to: p.responder.index(),
+                });
                 let group = [p.initiator, p.responder];
-                if system.apply_group_step(&mut state, &group, &mut rng) {
+                let changed = system.apply_group_step(&mut state, &group, &mut rng);
+                if changed {
                     metrics.effective_group_steps += 1;
                 }
+                events.emit(|| TraceEvent::GroupStep {
+                    tick: (tick + 1) as u64,
+                    size: group.len(),
+                    changed,
+                });
             }
 
             metrics.rounds_executed = tick + 1;
@@ -267,6 +317,9 @@ impl AsyncSimulator {
 
             if system.is_converged(&state) {
                 converged_at = Some(tick + 1);
+                events.emit(|| TraceEvent::ConvergenceEntered {
+                    tick: (tick + 1) as u64,
+                });
                 break;
             }
         }
@@ -277,6 +330,7 @@ impl AsyncSimulator {
             final_state: state,
             env_trace,
             state_trace,
+            events: events.into_events(),
         }
     }
 }

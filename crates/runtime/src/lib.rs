@@ -46,3 +46,13 @@ pub use delivery::{DeliveryDecision, DeliveryRule, DEFAULT_GRACE};
 pub use mode::{ExecutionMode, Runtime};
 pub use report::SimulationReport;
 pub use sync::{SyncConfig, SyncSimulator};
+
+/// Edges of `state` whose endpoints can actually communicate right now —
+/// the connectivity digest recorded by `env-transition` trace events.
+pub(crate) fn usable_edges(state: &selfsim_env::EnvState) -> usize {
+    state
+        .enabled_edges()
+        .iter()
+        .filter(|edge| state.can_communicate(edge.lo(), edge.hi()))
+        .count()
+}

@@ -218,12 +218,15 @@ impl ExecutionMode {
     }
 
     /// Materialises the runtime for one trial: `budget` is rounds (sync) or
-    /// ticks (async), `seed` drives all simulator randomness.
+    /// ticks (async), `seed` drives all simulator randomness, and
+    /// `record_events` opts the run into the structured
+    /// [`selfsim_trace::TraceEvent`] stream.
     pub fn runtime<S: Ord + Clone + std::fmt::Debug>(
         &self,
         seed: u64,
         budget: usize,
         record_traces: bool,
+        record_events: bool,
     ) -> Box<dyn Runtime<S>> {
         match *self {
             ExecutionMode::Sync { cooldown } => Box::new(SyncSimulator::new(SyncConfig {
@@ -231,6 +234,7 @@ impl ExecutionMode {
                 cooldown_rounds: cooldown,
                 seed,
                 record_traces,
+                record_events,
             })),
             ExecutionMode::Async {
                 interaction_rate,
@@ -245,6 +249,7 @@ impl ExecutionMode {
                 delivery,
                 seed,
                 record_traces,
+                record_events,
             })),
         }
     }
@@ -363,7 +368,7 @@ mod tests {
     fn both_runtimes_converge_through_the_trait_object() {
         let sys = minimum::system(&[9, 4, 7, 1, 5, 8], Topology::ring(6));
         for mode in ExecutionMode::both() {
-            let runtime = mode.runtime::<i64>(3, 100_000, false);
+            let runtime = mode.runtime::<i64>(3, 100_000, false, false);
             let mut env = StaticEnv::new(Topology::ring(6));
             let report = runtime.execute(&sys, &mut env);
             assert!(report.converged(), "{}", mode.label());
@@ -386,7 +391,7 @@ mod tests {
         let via_mode = {
             let mut env = RandomChurnEnv::new(Topology::ring(6), 0.5, 1.0);
             ExecutionMode::sync()
-                .runtime::<i64>(11, 10_000, false)
+                .runtime::<i64>(11, 10_000, false, false)
                 .execute(&sys, &mut env)
         };
         assert_eq!(direct.metrics, via_mode.metrics);
@@ -404,7 +409,7 @@ mod tests {
         };
         let mut env = StaticEnv::new(Topology::ring(6));
         let report = mode
-            .runtime::<i64>(5, 50_000, false)
+            .runtime::<i64>(5, 50_000, false, false)
             .execute(&sys, &mut env);
         assert!(report.converged());
         assert_eq!(report.metrics.environment, "async/static");

@@ -3,7 +3,7 @@
 use selfsim_env::EnvState;
 use selfsim_multiset::Multiset;
 use selfsim_temporal::Trace;
-use selfsim_trace::RunMetrics;
+use selfsim_trace::{RunMetrics, TraceEvent};
 
 /// Everything a simulator records about one run: the measurements, the final
 /// positional state, and (when tracing is enabled) the full environment and
@@ -20,6 +20,9 @@ pub struct SimulationReport<S: Ord + Clone> {
     /// The multiset of agent states after every round, starting with the
     /// initial state (empty unless tracing was requested).
     pub state_trace: Vec<Multiset<S>>,
+    /// The structured event stream of the run (empty unless event
+    /// recording was requested via the simulator config).
+    pub events: Vec<TraceEvent>,
 }
 
 impl<S: Ord + Clone> SimulationReport<S> {

@@ -6,9 +6,9 @@ use rand::SeedableRng;
 use selfsim_core::SelfSimilarSystem;
 use selfsim_env::Environment;
 use selfsim_temporal::Trace;
-use selfsim_trace::RunMetrics;
+use selfsim_trace::{EventLog, RunMetrics, TraceEvent};
 
-use crate::SimulationReport;
+use crate::{usable_edges, SimulationReport};
 
 /// Configuration of a [`SyncSimulator`] run.
 #[derive(Clone, Debug)]
@@ -25,6 +25,11 @@ pub struct SyncConfig {
     /// When `true`, the full environment and agent-state traces are kept in
     /// the report (needed by the auditing tests; costs memory on long runs).
     pub record_traces: bool,
+    /// When `true`, the run records a structured [`TraceEvent`] stream
+    /// (env transitions, group steps, convergence changes) in the report.
+    /// When `false` (the default) event recording is a single branch per
+    /// would-be event and allocates nothing.
+    pub record_events: bool,
 }
 
 impl Default for SyncConfig {
@@ -34,6 +39,7 @@ impl Default for SyncConfig {
             cooldown_rounds: 0,
             seed: 0,
             record_traces: false,
+            record_events: false,
         }
     }
 }
@@ -46,6 +52,7 @@ impl SyncConfig {
             cooldown_rounds: 0,
             seed,
             record_traces: true,
+            record_events: false,
         }
     }
 }
@@ -111,6 +118,11 @@ impl SyncSimulator {
 
         let mut converged_at: Option<usize> = None;
         let mut cooldown_left = self.config.cooldown_rounds;
+        let mut events = if self.config.record_events {
+            EventLog::enabled()
+        } else {
+            EventLog::disabled()
+        };
         // Connected components only change when the enabled sets change, so
         // the partition from the previous round is reused whenever the
         // environment repeats itself (always under `StaticEnv`, most rounds
@@ -122,6 +134,10 @@ impl SyncSimulator {
             if self.config.record_traces {
                 env_trace.push(env_state.clone());
             }
+            events.emit(|| TraceEvent::EnvTransition {
+                tick: (round + 1) as u64,
+                edges: usable_edges(&env_state),
+            });
             let reusable = groups_memo
                 .as_ref()
                 .is_some_and(|(prev, _)| prev.same_connectivity(&env_state));
@@ -138,9 +154,15 @@ impl SyncSimulator {
                 // A k-agent collaborative step costs k messages in this
                 // accounting (each member contributes its state once).
                 round_messages += group.len();
-                if system.apply_group_step(&mut state, group, &mut rng) {
+                let changed = system.apply_group_step(&mut state, group, &mut rng);
+                if changed {
                     changed_groups += 1;
                 }
+                events.emit(|| TraceEvent::GroupStep {
+                    tick: (round + 1) as u64,
+                    size: group.len(),
+                    changed,
+                });
             }
             metrics.effective_group_steps += changed_groups;
             metrics.messages += round_messages;
@@ -155,12 +177,20 @@ impl SyncSimulator {
             if system.is_converged(&state) {
                 if converged_at.is_none() {
                     converged_at = Some(round + 1);
+                    events.emit(|| TraceEvent::ConvergenceEntered {
+                        tick: (round + 1) as u64,
+                    });
                 }
                 if cooldown_left == 0 {
                     break;
                 }
                 cooldown_left -= 1;
             } else {
+                if converged_at.is_some() {
+                    events.emit(|| TraceEvent::ConvergenceLeft {
+                        tick: (round + 1) as u64,
+                    });
+                }
                 // If a later round leaves the target state the algorithm is
                 // broken; reset so the reported number is honest.
                 converged_at = None;
@@ -174,6 +204,7 @@ impl SyncSimulator {
             final_state: state,
             env_trace,
             state_trace,
+            events: events.into_events(),
         }
     }
 

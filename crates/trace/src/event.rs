@@ -1,0 +1,476 @@
+//! Structured per-trial trace events.
+//!
+//! A traced run emits a deterministic sequence of [`TraceEvent`]s: every
+//! environment transition, group step, message lifecycle decision and
+//! convergence change, framed by trial start/end markers that carry the
+//! full replay coordinates (round-trippable labels plus the derived
+//! seed).  The events are plain data — ordering, framing and shard
+//! merging are the campaign runner's job — and serialize to stable JSON
+//! objects whose first field is the `event` tag.
+//!
+//! Recording goes through [`EventLog`], whose disabled form is a single
+//! branch per would-be event: the closure handed to [`EventLog::emit`] is
+//! never run and nothing allocates, which is what keeps the trace layer
+//! zero-cost when off.
+
+use serde::{Deserialize, Error, Serialize, Value};
+
+/// One observable step of a traced trial.
+///
+/// Tick fields count the simulator's own clock: rounds for the
+/// synchronous runtime, ticks for the asynchronous one.  Message events
+/// name the edge endpoints by agent index.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// The trial frame opens: every coordinate needed to replay the trial
+    /// (labels round-trip through the registry parsers, `seed` is the
+    /// derived per-trial seed).
+    TrialStart {
+        /// Full scenario name.
+        scenario: String,
+        /// Algorithm label.
+        algorithm: String,
+        /// Topology label.
+        topology: String,
+        /// Environment label.
+        environment: String,
+        /// Execution-mode label.
+        mode: String,
+        /// Delivery-rule label (`-` for sync).
+        delivery: String,
+        /// Number of agents.
+        agents: usize,
+        /// Trial index within the scenario.
+        trial: u64,
+        /// The derived per-trial seed.
+        seed: u64,
+    },
+    /// The environment stepped; `edges` counts the currently usable
+    /// communication edges.
+    EnvTransition {
+        /// Simulator clock after the step.
+        tick: u64,
+        /// Usable edges in the new environment state.
+        edges: usize,
+    },
+    /// A group transition was attempted.
+    GroupStep {
+        /// Simulator clock.
+        tick: u64,
+        /// Number of agents in the group.
+        size: usize,
+        /// Whether the step changed any agent's state.
+        changed: bool,
+    },
+    /// A message entered flight.
+    MessageSent {
+        /// Send tick.
+        tick: u64,
+        /// Initiating agent.
+        from: usize,
+        /// Responding agent.
+        to: usize,
+        /// Tick the message comes due.
+        deliver_at: u64,
+    },
+    /// An in-flight message was lost to the drop roll.
+    MessageDropped {
+        /// Send tick (the loss is decided at send).
+        tick: u64,
+        /// Initiating agent.
+        from: usize,
+        /// Responding agent.
+        to: usize,
+    },
+    /// A due message was delivered and drove a group step.
+    MessageDelivered {
+        /// Delivery tick.
+        tick: u64,
+        /// Initiating agent.
+        from: usize,
+        /// Responding agent.
+        to: usize,
+    },
+    /// A due message was discarded by the delivery rule.
+    MessageDiscarded {
+        /// The tick the message came due.
+        tick: u64,
+        /// Initiating agent.
+        from: usize,
+        /// Responding agent.
+        to: usize,
+    },
+    /// A due but blocked message was re-queued by the delivery rule
+    /// (`any-overlap` within its grace window).
+    MessageRequeued {
+        /// The tick the message came due.
+        tick: u64,
+        /// Initiating agent.
+        from: usize,
+        /// Responding agent.
+        to: usize,
+    },
+    /// The system first reached (or re-entered) the target state.
+    ConvergenceEntered {
+        /// Simulator clock.
+        tick: u64,
+    },
+    /// The system left the target state again (churn undid convergence
+    /// before the cooldown audit finished).
+    ConvergenceLeft {
+        /// Simulator clock.
+        tick: u64,
+    },
+    /// The trial frame closes.
+    TrialEnd {
+        /// Trial index, repeated for self-contained frames.
+        trial: u64,
+        /// Whether the trial converged within its budget.
+        converged: bool,
+        /// Final simulator clock value.
+        ticks: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The stable `event` tag this variant serializes under.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            TraceEvent::TrialStart { .. } => "trial-start",
+            TraceEvent::EnvTransition { .. } => "env-transition",
+            TraceEvent::GroupStep { .. } => "group-step",
+            TraceEvent::MessageSent { .. } => "message-sent",
+            TraceEvent::MessageDropped { .. } => "message-dropped",
+            TraceEvent::MessageDelivered { .. } => "message-delivered",
+            TraceEvent::MessageDiscarded { .. } => "message-discarded",
+            TraceEvent::MessageRequeued { .. } => "message-requeued",
+            TraceEvent::ConvergenceEntered { .. } => "convergence-entered",
+            TraceEvent::ConvergenceLeft { .. } => "convergence-left",
+            TraceEvent::TrialEnd { .. } => "trial-end",
+        }
+    }
+}
+
+fn obj(tag: &str, fields: Vec<(&str, Value)>) -> Value {
+    let mut entries = Vec::with_capacity(fields.len() + 1);
+    entries.push(("event".to_string(), Value::Str(tag.to_string())));
+    entries.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
+    Value::Object(entries)
+}
+
+// The vendored serde derive only handles structs, so the enum gets a
+// hand-written tagged-object encoding: `{"event": TAG, ...fields}` with
+// fields in declaration order.
+impl Serialize for TraceEvent {
+    fn to_value(&self) -> Value {
+        match self {
+            TraceEvent::TrialStart {
+                scenario,
+                algorithm,
+                topology,
+                environment,
+                mode,
+                delivery,
+                agents,
+                trial,
+                seed,
+            } => obj(
+                self.tag(),
+                vec![
+                    ("scenario", scenario.to_value()),
+                    ("algorithm", algorithm.to_value()),
+                    ("topology", topology.to_value()),
+                    ("environment", environment.to_value()),
+                    ("mode", mode.to_value()),
+                    ("delivery", delivery.to_value()),
+                    ("agents", agents.to_value()),
+                    ("trial", trial.to_value()),
+                    ("seed", seed.to_value()),
+                ],
+            ),
+            TraceEvent::EnvTransition { tick, edges } => obj(
+                self.tag(),
+                vec![("tick", tick.to_value()), ("edges", edges.to_value())],
+            ),
+            TraceEvent::GroupStep {
+                tick,
+                size,
+                changed,
+            } => obj(
+                self.tag(),
+                vec![
+                    ("tick", tick.to_value()),
+                    ("size", size.to_value()),
+                    ("changed", changed.to_value()),
+                ],
+            ),
+            TraceEvent::MessageSent {
+                tick,
+                from,
+                to,
+                deliver_at,
+            } => obj(
+                self.tag(),
+                vec![
+                    ("tick", tick.to_value()),
+                    ("from", from.to_value()),
+                    ("to", to.to_value()),
+                    ("deliver_at", deliver_at.to_value()),
+                ],
+            ),
+            TraceEvent::MessageDropped { tick, from, to }
+            | TraceEvent::MessageDelivered { tick, from, to }
+            | TraceEvent::MessageDiscarded { tick, from, to }
+            | TraceEvent::MessageRequeued { tick, from, to } => obj(
+                self.tag(),
+                vec![
+                    ("tick", tick.to_value()),
+                    ("from", from.to_value()),
+                    ("to", to.to_value()),
+                ],
+            ),
+            TraceEvent::ConvergenceEntered { tick } | TraceEvent::ConvergenceLeft { tick } => {
+                obj(self.tag(), vec![("tick", tick.to_value())])
+            }
+            TraceEvent::TrialEnd {
+                trial,
+                converged,
+                ticks,
+            } => obj(
+                self.tag(),
+                vec![
+                    ("trial", trial.to_value()),
+                    ("converged", converged.to_value()),
+                    ("ticks", ticks.to_value()),
+                ],
+            ),
+        }
+    }
+}
+
+fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
+    T::from_value(
+        v.get_field(name)
+            .ok_or_else(|| Error(format!("missing field `{name}`")))?,
+    )
+}
+
+impl Deserialize for TraceEvent {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let tag: String = field(v, "event")?;
+        match tag.as_str() {
+            "trial-start" => Ok(TraceEvent::TrialStart {
+                scenario: field(v, "scenario")?,
+                algorithm: field(v, "algorithm")?,
+                topology: field(v, "topology")?,
+                environment: field(v, "environment")?,
+                mode: field(v, "mode")?,
+                delivery: field(v, "delivery")?,
+                agents: field(v, "agents")?,
+                trial: field(v, "trial")?,
+                seed: field(v, "seed")?,
+            }),
+            "env-transition" => Ok(TraceEvent::EnvTransition {
+                tick: field(v, "tick")?,
+                edges: field(v, "edges")?,
+            }),
+            "group-step" => Ok(TraceEvent::GroupStep {
+                tick: field(v, "tick")?,
+                size: field(v, "size")?,
+                changed: field(v, "changed")?,
+            }),
+            "message-sent" => Ok(TraceEvent::MessageSent {
+                tick: field(v, "tick")?,
+                from: field(v, "from")?,
+                to: field(v, "to")?,
+                deliver_at: field(v, "deliver_at")?,
+            }),
+            "message-dropped" => Ok(TraceEvent::MessageDropped {
+                tick: field(v, "tick")?,
+                from: field(v, "from")?,
+                to: field(v, "to")?,
+            }),
+            "message-delivered" => Ok(TraceEvent::MessageDelivered {
+                tick: field(v, "tick")?,
+                from: field(v, "from")?,
+                to: field(v, "to")?,
+            }),
+            "message-discarded" => Ok(TraceEvent::MessageDiscarded {
+                tick: field(v, "tick")?,
+                from: field(v, "from")?,
+                to: field(v, "to")?,
+            }),
+            "message-requeued" => Ok(TraceEvent::MessageRequeued {
+                tick: field(v, "tick")?,
+                from: field(v, "from")?,
+                to: field(v, "to")?,
+            }),
+            "convergence-entered" => Ok(TraceEvent::ConvergenceEntered {
+                tick: field(v, "tick")?,
+            }),
+            "convergence-left" => Ok(TraceEvent::ConvergenceLeft {
+                tick: field(v, "tick")?,
+            }),
+            "trial-end" => Ok(TraceEvent::TrialEnd {
+                trial: field(v, "trial")?,
+                converged: field(v, "converged")?,
+                ticks: field(v, "ticks")?,
+            }),
+            other => Err(Error(format!("unknown trace event tag `{other}`"))),
+        }
+    }
+}
+
+/// A recorder that is a no-op unless explicitly enabled.
+///
+/// Simulators and baselines thread an `&mut EventLog` through their hot
+/// loops; when disabled, [`EventLog::emit`] is one branch — the
+/// event-constructing closure never runs and nothing allocates.
+#[derive(Debug, Default)]
+pub struct EventLog {
+    events: Option<Vec<TraceEvent>>,
+}
+
+impl EventLog {
+    /// A recorder that drops everything at zero cost (the default).
+    pub fn disabled() -> Self {
+        EventLog { events: None }
+    }
+
+    /// A recorder that keeps every emitted event in order.
+    pub fn enabled() -> Self {
+        EventLog {
+            events: Some(Vec::new()),
+        }
+    }
+
+    /// Whether events are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.events.is_some()
+    }
+
+    /// Records the event `make` builds — but only when enabled; the
+    /// closure is never evaluated on the off path.
+    #[inline]
+    pub fn emit(&mut self, make: impl FnOnce() -> TraceEvent) {
+        if let Some(events) = &mut self.events {
+            events.push(make());
+        }
+    }
+
+    /// Consumes the log, returning the recorded events (empty when
+    /// disabled).
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events.unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::TrialStart {
+                scenario: "minimum/ring/static/n=6/sync".into(),
+                algorithm: "minimum".into(),
+                topology: "ring".into(),
+                environment: "static".into(),
+                mode: "sync".into(),
+                delivery: "-".into(),
+                agents: 6,
+                trial: 2,
+                seed: 0xDEAD_BEEF,
+            },
+            TraceEvent::EnvTransition { tick: 1, edges: 6 },
+            TraceEvent::GroupStep {
+                tick: 1,
+                size: 3,
+                changed: true,
+            },
+            TraceEvent::MessageSent {
+                tick: 4,
+                from: 0,
+                to: 5,
+                deliver_at: 6,
+            },
+            TraceEvent::MessageDropped {
+                tick: 4,
+                from: 1,
+                to: 2,
+            },
+            TraceEvent::MessageDelivered {
+                tick: 6,
+                from: 0,
+                to: 5,
+            },
+            TraceEvent::MessageDiscarded {
+                tick: 7,
+                from: 3,
+                to: 4,
+            },
+            TraceEvent::MessageRequeued {
+                tick: 7,
+                from: 2,
+                to: 3,
+            },
+            TraceEvent::ConvergenceEntered { tick: 9 },
+            TraceEvent::ConvergenceLeft { tick: 11 },
+            TraceEvent::TrialEnd {
+                trial: 2,
+                converged: false,
+                ticks: 20,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        for event in samples() {
+            let back = TraceEvent::from_value(&event.to_value()).expect("round trip");
+            assert_eq!(back, event);
+        }
+    }
+
+    #[test]
+    fn serialized_objects_lead_with_the_event_tag() {
+        for event in samples() {
+            match event.to_value() {
+                Value::Object(fields) => {
+                    assert_eq!(fields[0].0, "event");
+                    assert_eq!(fields[0].1, Value::Str(event.tag().to_string()));
+                }
+                other => panic!("expected object, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        let v = Value::Object(vec![("event".into(), Value::Str("warp".into()))]);
+        assert!(TraceEvent::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn disabled_log_records_nothing_and_skips_the_closure() {
+        let mut log = EventLog::disabled();
+        assert!(!log.is_enabled());
+        log.emit(|| panic!("closure must not run when disabled"));
+        assert!(log.into_events().is_empty());
+    }
+
+    #[test]
+    fn enabled_log_keeps_events_in_order() {
+        let mut log = EventLog::enabled();
+        assert!(log.is_enabled());
+        log.emit(|| TraceEvent::ConvergenceEntered { tick: 1 });
+        log.emit(|| TraceEvent::ConvergenceLeft { tick: 2 });
+        assert_eq!(
+            log.into_events(),
+            vec![
+                TraceEvent::ConvergenceEntered { tick: 1 },
+                TraceEvent::ConvergenceLeft { tick: 2 },
+            ]
+        );
+    }
+}

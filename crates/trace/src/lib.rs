@@ -12,10 +12,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod event;
 mod metrics;
+mod obs;
 mod stats;
 mod table;
 
+pub use event::{EventLog, TraceEvent};
 pub use metrics::RunMetrics;
+pub use obs::{Counter, Histogram, MetricsRegistry, StageTimer};
 pub use stats::Summary;
 pub use table::Table;

@@ -32,6 +32,11 @@ pub struct RunMetrics {
     /// always zero when the run's `drop_rate` is zero, and zero for
     /// synchronous runtimes, which have no messages in flight).
     pub messages_dropped: usize,
+    /// Delivery-rule re-queue decisions: one per due-but-blocked message
+    /// per tick the `any-overlap` rule sent it around again.  Structurally
+    /// zero under `valid-at-delivery` and `valid-at-send` (those rules
+    /// never requeue) and for synchronous runtimes.
+    pub messages_requeued: usize,
     /// The global objective value `h(S)` after every round (index 0 is the
     /// initial value).
     pub objective_trajectory: Vec<f64>,
@@ -54,6 +59,7 @@ impl RunMetrics {
             effective_group_steps: 0,
             messages: 0,
             messages_dropped: 0,
+            messages_requeued: 0,
             objective_trajectory: Vec::new(),
         }
     }
@@ -107,6 +113,7 @@ mod tests {
             effective_group_steps: 4,
             messages: 24,
             messages_dropped: 2,
+            messages_requeued: 1,
             objective_trajectory: vec![40.0, 22.0, 10.0, 8.0, 8.0, 8.0],
         }
     }

@@ -46,6 +46,7 @@ fn main() {
         cooldown_rounds: 25,
         seed: 7,
         record_traces: true,
+        record_events: false,
     };
     let report = SyncSimulator::new(config).run(&system, &mut environment);
 

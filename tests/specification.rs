@@ -25,6 +25,7 @@ fn recorded_runs_satisfy_the_ltl_specification() {
         cooldown_rounds: 30,
         seed: 1,
         record_traces: true,
+        record_events: false,
     })
     .run(&system, &mut env);
     assert!(report.converged());
@@ -114,6 +115,7 @@ fn sorting_trace_invariants_hold_under_partitions() {
         max_rounds: 100_000,
         seed: 8,
         record_traces: true,
+        record_events: false,
         ..SyncConfig::default()
     })
     .run(&system, &mut env);
