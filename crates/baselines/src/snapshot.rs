@@ -111,6 +111,9 @@ impl SnapshotAggregator {
     ///
     /// (The parameter list deliberately mirrors `AsyncConfig`'s knobs so
     /// the campaign dispatch stays a positional passthrough.)
+    // the knob list deliberately mirrors `AsyncConfig` so campaign dispatch
+    // stays a positional passthrough; a config struct here would just move
+    // the arity one call deeper
     #[allow(clippy::too_many_arguments)]
     pub fn run_async<E: Environment + ?Sized>(
         &self,
@@ -136,6 +139,9 @@ impl SnapshotAggregator {
 
     /// Like [`SnapshotAggregator::run_async`], emitting trace events into
     /// `events` (a disabled log costs one branch per would-be event).
+    // the knob list deliberately mirrors `AsyncConfig` so campaign dispatch
+    // stays a positional passthrough; a config struct here would just move
+    // the arity one call deeper
     #[allow(clippy::too_many_arguments)]
     pub fn run_async_observed<E: Environment + ?Sized>(
         &self,

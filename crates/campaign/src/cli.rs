@@ -36,6 +36,7 @@
 //! exact.  Records stream to `--out` as trials finish (memory stays
 //! `O(threads)`); per-scenario summaries aggregate incrementally.
 
+// detlint::allow-file(stray-print, reason = "this module IS the CLI surface: usage, progress, summaries and errors on stdio are its contract; record bytes still flow only through the sink")
 use std::io::{BufReader, Write};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -649,6 +650,8 @@ fn run_sweep(args: &Args) -> Result<(), String> {
         }
     };
 
+    // detlint::allow(wall-clock, reason = "elapsed-time line on stderr after the run; never serialized into records")
+    #[allow(clippy::disallowed_methods)] // sanctioned: see pragma above
     let started = std::time::Instant::now();
     // (`Stdout`, not `StdoutLock` — the sink crosses into the runner's
     // worker scope and must be `Send`.  With `--out -` the records own

@@ -716,6 +716,8 @@ macro_rules! fixed_topology {
                 $family.into()
             }
             fn build(&self, n: usize, _rng: &mut dyn RngCore) -> Topology {
+                // `$build` may be any callable expression; invoking through
+                // the macro parameter keeps the expansion hygienic
                 #[allow(clippy::redundant_closure_call)]
                 ($build)(n)
             }

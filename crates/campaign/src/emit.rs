@@ -132,11 +132,11 @@ mod tests {
     #[test]
     fn jsonl_round_trips_records() {
         let mut buffer = Vec::new();
-        write_jsonl(&mut buffer, &[sample_record(), sample_record()]).unwrap();
-        let text = String::from_utf8(buffer).unwrap();
+        write_jsonl(&mut buffer, &[sample_record(), sample_record()]).expect("in-memory write");
+        let text = String::from_utf8(buffer).expect("JSONL is UTF-8");
         assert_eq!(text.lines().count(), 2);
         for line in text.lines() {
-            let back: TrialRecord = serde_json::from_str(line).unwrap();
+            let back: TrialRecord = serde_json::from_str(line).expect("line parses back");
             assert_eq!(back, sample_record());
         }
     }
@@ -146,16 +146,16 @@ mod tests {
         let records = [sample_record()];
         let mut a = Vec::new();
         let mut b = Vec::new();
-        write_jsonl(&mut a, &records).unwrap();
-        write_jsonl(&mut b, &records).unwrap();
+        write_jsonl(&mut a, &records).expect("in-memory write");
+        write_jsonl(&mut b, &records).expect("in-memory write");
         assert_eq!(a, b);
     }
 
     #[test]
     fn summary_jsonl_round_trips() {
         let mut buffer = Vec::new();
-        write_summary_jsonl(&mut buffer, &[sample_summary("a", 5)]).unwrap();
-        let text = String::from_utf8(buffer).unwrap();
+        write_summary_jsonl(&mut buffer, &[sample_summary("a", 5)]).expect("in-memory write");
+        let text = String::from_utf8(buffer).expect("JSONL is UTF-8");
         let back: ScenarioSummary = serde_json::from_str(text.trim()).unwrap();
         assert_eq!(back, sample_summary("a", 5));
     }

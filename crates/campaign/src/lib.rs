@@ -46,9 +46,9 @@
 //! let registry = Registry::builtin();
 //! let scenarios = ScenarioGrid::new()
 //!     .algorithms([
-//!         registry.resolve("minimum").unwrap(),
-//!         registry.resolve("snapshot").unwrap(),
-//!         registry.resolve("flooding").unwrap(),
+//!         registry.resolve("minimum").expect("builtin label"),
+//!         registry.resolve("snapshot").expect("builtin label"),
+//!         registry.resolve("flooding").expect("builtin label"),
 //!     ])
 //!     .topologies([TopologyFamily::Complete])
 //!     .envs([EnvModel::RandomChurn { p_edge: 0.5, p_agent: 0.9 }])

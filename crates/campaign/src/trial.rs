@@ -417,7 +417,7 @@ mod tests {
         let scenario = Scenario::builder(
             Registry::builtin()
                 .resolve("circumscribing-circle")
-                .unwrap(),
+                .expect("builtin registry label"),
         )
         .topology(TopologyFamily::Ring)
         .env(EnvModel::PeriodicPartition {
@@ -435,12 +435,16 @@ mod tests {
 
     #[test]
     fn baseline_record_reports_snapshot_stall_under_adversary() {
-        let scenario = Scenario::builder(Registry::builtin().resolve("snapshot").unwrap())
-            .topology(TopologyFamily::Complete)
-            .env(EnvModel::Adversarial { silence: 0 })
-            .agents(6)
-            .max_rounds(3_000)
-            .build();
+        let scenario = Scenario::builder(
+            Registry::builtin()
+                .resolve("snapshot")
+                .expect("builtin registry label"),
+        )
+        .topology(TopologyFamily::Complete)
+        .env(EnvModel::Adversarial { silence: 0 })
+        .agents(6)
+        .max_rounds(3_000)
+        .build();
         let record = run_trial(&scenario, 0, 9);
         assert!(!record.converged, "one edge at a time: no global snapshot");
         assert!(!record.meets_expectation, "baseline expected to converge");
@@ -450,13 +454,16 @@ mod tests {
     fn jsonl_line_round_trips() {
         let scenario = tiny(AlgorithmKind::Minimum, EnvModel::Static);
         let record = run_trial(&scenario, 2, 77);
-        let line = record.to_jsonl_line().unwrap();
+        let line = record.to_jsonl_line().expect("record serializes");
         assert_eq!(line.last(), Some(&b'\n'));
-        let text = String::from_utf8(line).unwrap();
-        assert_eq!(TrialRecord::from_jsonl_line(&text).unwrap(), record);
+        let text = String::from_utf8(line).expect("JSONL is UTF-8");
+        assert_eq!(
+            TrialRecord::from_jsonl_line(&text).expect("line parses back"),
+            record
+        );
         // Without the trailing newline too (a shard file's final line).
         assert_eq!(
-            TrialRecord::from_jsonl_line(text.trim_end()).unwrap(),
+            TrialRecord::from_jsonl_line(text.trim_end()).expect("parses without newline"),
             record
         );
         assert!(TrialRecord::from_jsonl_line("{not json")

@@ -95,6 +95,7 @@ mod tests {
     use super::*;
     use crate::{ConsensusFunction, SummationObjective};
 
+    // spelling the full generic relation type out is the point of this helper
     #[allow(clippy::type_complexity)]
     fn min_relation() -> RelationD<
         ConsensusFunction<i64, impl Fn(&Multiset<i64>) -> i64>,

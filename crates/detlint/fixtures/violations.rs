@@ -1,0 +1,43 @@
+//! The committed *violation* fixture: one seeded instance of every
+//! file-scoped rule, plus the three ways a pragma can be malformed.
+//!
+//! This file is never compiled — it exists so the CI `static-analysis`
+//! job can prove the lint still *fails* (`selfsim-detlint
+//! crates/detlint/fixtures/violations.rs` must exit nonzero) and so
+//! `tests/detlint.rs` can pin the exact `--format json` report.
+//! Keep edits in sync with the golden report there.
+
+use std::collections::HashMap; // unordered-iter: the import alone is flagged
+use std::time::{Instant, SystemTime};
+
+pub fn wall_clock() -> u128 {
+    let t0 = Instant::now(); // wall-clock
+    let _wall = SystemTime::now(); // wall-clock (second source)
+    t0.elapsed().as_nanos()
+}
+
+pub fn sanctioned_wall_clock() -> std::time::Instant {
+    // detlint::allow(wall-clock, reason = "fixture: proves a well-formed pragma suppresses the finding")
+    Instant::now()
+}
+
+pub fn ambient_rng() -> u64 {
+    let mut rng = rand::thread_rng(); // ambient-rng
+    rand::random::<u64>() // ambient-rng (path form)
+}
+
+pub fn addr_as_key(values: &[u64]) -> usize {
+    values.as_ptr() as usize // addr-as-key
+}
+
+pub fn stray_print(map: HashMap<u32, u32>) {
+    println!("inserted {} entries", map.len()); // stray-print
+}
+
+#[allow(dead_code)]
+pub fn bare_allow() {} // the attribute above has no justification comment
+
+// detlint::allow(wall-clock)
+// detlint::allow(stray-print, reason = "")
+// detlint::allow(not-a-rule, reason = "unknown rules are rejected")
+pub fn invalid_pragmas() {}

@@ -1,0 +1,44 @@
+//! `selfsim-detlint` — a workspace lint that statically enforces the
+//! determinism contract.
+//!
+//! Every scale mechanism in this workspace (thread pools, `--shard`
+//! splitting, resumable merges) rests on one invariant: **campaign output
+//! is byte-identical across `--threads` and `--shard` splits**.  The
+//! dynamic gates (CI `cmp` jobs, the `obs_offpath` fixture) catch a
+//! violation after it runs; this crate catches the *source patterns that
+//! cause them* before any trial executes:
+//!
+//! * [`rules`] — the catalogue: `wall-clock`, `ambient-rng`,
+//!   `unordered-iter`, `addr-as-key`, `stray-print`,
+//!   `forbid-unsafe-header`, `bare-allow`, `unwrap-ratchet`,
+//!   `invalid-pragma` (see the table in the module docs);
+//! * [`lexer`] — the hand-rolled, comment/string/raw-string-aware token
+//!   scanner the rules match over (resolution-free: there is no `syn` in
+//!   `vendor/`, and none is needed);
+//! * [`pragma`] — in-place exemptions:
+//!   `// detlint::allow(rule, reason = "…")` with a *required* non-empty
+//!   reason (`detlint::allow-file` for whole-file sanctions);
+//! * [`config`] — the committed `detlint.toml`: `wall-clock` crate
+//!   exemptions, `unordered-iter` scope, and per-crate `.unwrap()`
+//!   budgets that may only go down;
+//! * [`workspace`] — the `--workspace` walker and explicit-file driver;
+//! * [`report`] — byte-stable human and `--format json` reports.
+//!
+//! The binary exits `0` on a clean tree, `1` on findings, `2` on usage
+//! or I/O errors — CI runs it as the `static-analysis` job next to a
+//! `clippy.toml` `disallowed-methods` layer for the rules clippy can
+//! resolve.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod lexer;
+pub mod pragma;
+pub mod report;
+pub mod rules;
+pub mod workspace;
+
+pub use config::Config;
+pub use report::{Finding, Report, UnwrapTally};
+pub use rules::{check_file, FileContext, Rule};
+pub use workspace::{lint_files, lint_workspace};

@@ -1,0 +1,131 @@
+//! The `selfsim-detlint` CLI.
+//!
+//! ```text
+//! cargo run -p selfsim-detlint -- --workspace            # lint the tree
+//! cargo run -p selfsim-detlint -- --format json FILE…    # lint files
+//! cargo run -p selfsim-detlint -- --rules                # rule catalogue
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage/configuration error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use selfsim_detlint::{lint_files, lint_workspace, Rule};
+
+const USAGE: &str = "\
+selfsim-detlint — static determinism-contract lint
+
+USAGE:
+    selfsim-detlint --workspace [--root DIR] [--format human|json]
+    selfsim-detlint [--format human|json] FILE.rs…
+    selfsim-detlint --rules
+
+OPTIONS:
+    --workspace        lint the workspace (root src/ + every crates/*/src/),
+                       applying detlint.toml scoping and unwrap budgets
+    --root DIR         workspace root (default: current directory)
+    --format FMT       `human` (default) or `json`
+    --rules            print the rule catalogue and exit
+    -h, --help         this help
+
+Exit codes: 0 clean, 1 findings, 2 usage/configuration error.
+";
+
+struct Args {
+    workspace: bool,
+    root: PathBuf,
+    json: bool,
+    rules: bool,
+    files: Vec<PathBuf>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        workspace: false,
+        root: PathBuf::from("."),
+        json: false,
+        rules: false,
+        files: Vec::new(),
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => args.workspace = true,
+            "--rules" => args.rules = true,
+            "--root" => {
+                args.root = PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--root needs a directory".to_string())?,
+                );
+            }
+            "--format" => {
+                match it
+                    .next()
+                    .ok_or_else(|| "--format needs `human` or `json`".to_string())?
+                    .as_str()
+                {
+                    "human" => args.json = false,
+                    "json" => args.json = true,
+                    other => return Err(format!("unknown format `{other}`")),
+                }
+            }
+            "-h" | "--help" => return Err(String::new()),
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            file => args.files.push(PathBuf::from(file)),
+        }
+    }
+    if !args.rules && !args.workspace && args.files.is_empty() {
+        return Err("nothing to lint: pass --workspace or file paths".to_string());
+    }
+    if args.workspace && !args.files.is_empty() {
+        return Err("--workspace and explicit files are mutually exclusive".to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(message) if message.is_empty() => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            eprintln!("error: {message}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.rules {
+        for rule in Rule::ALL {
+            println!("{:<22} {}", rule.id(), rule.describe());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let result = if args.workspace {
+        lint_workspace(&args.root)
+    } else {
+        lint_files(&args.files)
+    };
+    let report = match result {
+        Ok(report) => report,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,617 @@
+//! The determinism-contract rule catalogue.
+//!
+//! Every rule is a resolution-free token-sequence pattern over the
+//! [`crate::lexer`] output — exact about comments and string literals,
+//! deliberately naive about name resolution (there is no `syn` in
+//! `vendor/`, and the patterns below don't need it).
+//!
+//! | rule | what it catches | why it breaks determinism |
+//! |------|-----------------|---------------------------|
+//! | `wall-clock` | `Instant::now` / `SystemTime::now` | clock reads vary run to run; only the sampled `PipelineObs` path and the bench harness may time things |
+//! | `ambient-rng` | `thread_rng`, `from_entropy`, `rand::random`, `OsRng`, `getrandom` | all randomness must derive from per-trial seeds, never ambient entropy |
+//! | `unordered-iter` | `HashMap` / `HashSet` in crates that feed `TrialRecord`/JSONL | hash iteration order is nondeterministic across runs and platforms; use `BTreeMap`/`BTreeSet` or sorted `Vec`s |
+//! | `addr-as-key` | pointer-to-`usize` casts (`as *const _ as usize`, `.as_ptr() as usize`) | addresses change per run; ordering or keying by them leaks ASLR into output |
+//! | `stray-print` | `println!`/`eprintln!`/`print!`/`eprint!`/`dbg!` in library code | the sink and `ProgressThrottle` are the only sanctioned outputs; stray prints interleave nondeterministically under threads |
+//! | `forbid-unsafe-header` | a crate root without `#![forbid(unsafe_code)]` | `unsafe` is where data races (and thus nondeterminism) enter |
+//! | `bare-allow` | `#[allow(…)]` with no justification comment | every suppressed diagnostic needs a reviewable reason |
+//! | `unwrap-ratchet` | per-crate `.unwrap()` counts above the committed budget | budgets in `detlint.toml` may only go down; new code uses `.expect("…")` |
+//! | `invalid-pragma` | malformed `detlint::allow` pragmas | an exemption with no reason is a silent hole in the contract |
+
+use crate::lexer::{lex, Comment, Tok};
+use crate::pragma::{parse_pragmas, Pragma};
+use crate::report::Finding;
+
+/// Identifies one rule of the catalogue (see the module docs for the
+/// full table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    WallClock,
+    AmbientRng,
+    UnorderedIter,
+    AddrAsKey,
+    StrayPrint,
+    ForbidUnsafeHeader,
+    BareAllow,
+    UnwrapRatchet,
+    InvalidPragma,
+}
+
+impl Rule {
+    /// Every rule, in catalogue order.
+    pub const ALL: [Rule; 9] = [
+        Rule::WallClock,
+        Rule::AmbientRng,
+        Rule::UnorderedIter,
+        Rule::AddrAsKey,
+        Rule::StrayPrint,
+        Rule::ForbidUnsafeHeader,
+        Rule::BareAllow,
+        Rule::UnwrapRatchet,
+        Rule::InvalidPragma,
+    ];
+
+    /// The kebab-case id used in reports and pragmas.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::WallClock => "wall-clock",
+            Rule::AmbientRng => "ambient-rng",
+            Rule::UnorderedIter => "unordered-iter",
+            Rule::AddrAsKey => "addr-as-key",
+            Rule::StrayPrint => "stray-print",
+            Rule::ForbidUnsafeHeader => "forbid-unsafe-header",
+            Rule::BareAllow => "bare-allow",
+            Rule::UnwrapRatchet => "unwrap-ratchet",
+            Rule::InvalidPragma => "invalid-pragma",
+        }
+    }
+
+    /// Resolves a pragma/report id back to the rule.
+    pub fn from_id(id: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.id() == id)
+    }
+
+    /// One-line description for `--rules`.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Rule::WallClock => {
+                "`Instant::now`/`SystemTime::now` outside the sampled observability path"
+            }
+            Rule::AmbientRng => {
+                "ambient entropy (`thread_rng`, `from_entropy`, `rand::random`, `OsRng`)"
+            }
+            Rule::UnorderedIter => "`HashMap`/`HashSet` in a crate that feeds record serialization",
+            Rule::AddrAsKey => "pointer-to-`usize` cast usable as an ordering key",
+            Rule::StrayPrint => "`println!`-family output from library code",
+            Rule::ForbidUnsafeHeader => "crate root missing `#![forbid(unsafe_code)]`",
+            Rule::BareAllow => "`#[allow(…)]` without a justification comment",
+            Rule::UnwrapRatchet => ".unwrap() count above the crate's committed budget",
+            Rule::InvalidPragma => "malformed `detlint::allow` pragma",
+        }
+    }
+}
+
+/// Where a file sits in the workspace — determines which rules apply.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FileContext {
+    /// The crate root (`src/lib.rs`): must carry `#![forbid(unsafe_code)]`.
+    pub is_lib_rs: bool,
+    /// `src/main.rs` or `src/bin/**`: a binary entry point, where
+    /// `stray-print` does not apply (stdout/stderr are its contract).
+    pub is_binary_root: bool,
+    /// Crate-level exemption from `wall-clock` (the bench harness).
+    pub wall_clock_exempt: bool,
+    /// Whether this file's crate is in the `unordered-iter` scope.
+    pub unordered_iter_scoped: bool,
+}
+
+/// Everything one file contributes: findings plus its `.unwrap()` count
+/// (folded per crate by the workspace driver for `unwrap-ratchet`).
+#[derive(Debug, Default)]
+pub struct FileReport {
+    pub findings: Vec<Finding>,
+    pub unwrap_count: u64,
+}
+
+/// Lints one file's source text.
+pub fn check_file(file: &str, src: &str, ctx: &FileContext) -> FileReport {
+    let lexed = lex(src);
+    let toks = &lexed.toks;
+    let (pragmas, pragma_errors) = parse_pragmas(&lexed.comments);
+    let mut report = FileReport::default();
+
+    for error in &pragma_errors {
+        report.findings.push(Finding {
+            rule: Rule::InvalidPragma,
+            file: file.to_string(),
+            line: error.line,
+            col: 1,
+            message: error.message.clone(),
+        });
+    }
+
+    let mut raw = Vec::new();
+    scan_wall_clock(file, toks, ctx, &mut raw);
+    scan_ambient_rng(file, toks, &mut raw);
+    scan_unordered_iter(file, toks, ctx, &mut raw);
+    scan_addr_as_key(file, toks, &mut raw);
+    scan_stray_print(file, toks, ctx, &mut raw);
+    scan_bare_allow(file, toks, &lexed.comments, &mut raw);
+    if ctx.is_lib_rs && !has_forbid_unsafe_header(toks) {
+        raw.push(Finding {
+            rule: Rule::ForbidUnsafeHeader,
+            file: file.to_string(),
+            line: 1,
+            col: 1,
+            message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        });
+    }
+    report.unwrap_count = count_unwraps(toks);
+
+    // Pragma suppression: exact (rule, reach) matches only.
+    let reaches: Vec<(Pragma, (u32, u32))> = pragmas
+        .iter()
+        .map(|p| (p.clone(), pragma_reach(p, toks)))
+        .collect();
+    report.findings.extend(raw.into_iter().filter(|finding| {
+        !reaches.iter().any(|(pragma, (lo, hi))| {
+            pragma.rule == finding.rule && (pragma.file_wide || (*lo..=*hi).contains(&finding.line))
+        })
+    }));
+    report
+}
+
+/// The lines a pragma exempts: its own line when trailing code, else the
+/// run down to the first following code line that is not attribute-only —
+/// so a pragma above `#[allow(clippy::…)]` reaches the statement below
+/// the attribute, not just the attribute.
+fn pragma_reach(pragma: &Pragma, toks: &[Tok]) -> (u32, u32) {
+    let mut lines: Vec<(u32, bool)> = Vec::new(); // (line, starts_with_attr)
+    for tok in toks {
+        match lines.last_mut() {
+            Some((line, _)) if *line == tok.line => {}
+            _ => lines.push((tok.line, tok.is_punct('#'))),
+        }
+    }
+    if lines.iter().any(|&(line, _)| line == pragma.line) {
+        return (pragma.line, pragma.line); // trailing pragma
+    }
+    let target = lines
+        .iter()
+        .find(|&&(line, attr)| line > pragma.line && !attr)
+        .map(|&(line, _)| line)
+        .unwrap_or(pragma.line);
+    (pragma.line, target)
+}
+
+fn ident_at(toks: &[Tok], i: usize) -> Option<&str> {
+    toks.get(i).and_then(Tok::ident)
+}
+
+fn punct_at(toks: &[Tok], i: usize, c: char) -> bool {
+    toks.get(i).is_some_and(|t| t.is_punct(c))
+}
+
+/// `<Name> :: now` for `Name` in {`Instant`, `SystemTime`}.
+fn scan_wall_clock(file: &str, toks: &[Tok], ctx: &FileContext, out: &mut Vec<Finding>) {
+    if ctx.wall_clock_exempt {
+        return;
+    }
+    for i in 0..toks.len() {
+        let Some(name @ ("Instant" | "SystemTime")) = ident_at(toks, i) else {
+            continue;
+        };
+        if punct_at(toks, i + 1, ':')
+            && punct_at(toks, i + 2, ':')
+            && ident_at(toks, i + 3) == Some("now")
+        {
+            out.push(Finding {
+                rule: Rule::WallClock,
+                file: file.to_string(),
+                line: toks[i].line,
+                col: toks[i].col,
+                message: format!(
+                    "`{name}::now` reads the wall clock — derive timing from trial state, or \
+                     pragma-allow a sanctioned observability site with a reason"
+                ),
+            });
+        }
+    }
+}
+
+/// Ambient entropy sources — everything that isn't a derived per-trial seed.
+fn scan_ambient_rng(file: &str, toks: &[Tok], out: &mut Vec<Finding>) {
+    for i in 0..toks.len() {
+        let Some(name) = ident_at(toks, i) else {
+            continue;
+        };
+        let hit = match name {
+            "thread_rng" | "from_entropy" | "OsRng" | "getrandom" => true,
+            "random" => {
+                i >= 3
+                    && ident_at(toks, i - 3) == Some("rand")
+                    && punct_at(toks, i - 2, ':')
+                    && punct_at(toks, i - 1, ':')
+            }
+            _ => false,
+        };
+        if hit {
+            out.push(Finding {
+                rule: Rule::AmbientRng,
+                file: file.to_string(),
+                line: toks[i].line,
+                col: toks[i].col,
+                message: format!(
+                    "`{name}` draws ambient entropy — all randomness must derive from the \
+                     per-trial seed (SplitMix64 over campaign seed, scenario and trial index)"
+                ),
+            });
+        }
+    }
+}
+
+/// Any `HashMap`/`HashSet` mention in a serialization-feeding crate.  The
+/// tree is hash-free today; the cheapest sound check keeps it that way.
+fn scan_unordered_iter(file: &str, toks: &[Tok], ctx: &FileContext, out: &mut Vec<Finding>) {
+    if !ctx.unordered_iter_scoped {
+        return;
+    }
+    for tok in toks {
+        let Some(name @ ("HashMap" | "HashSet")) = tok.ident() else {
+            continue;
+        };
+        out.push(Finding {
+            rule: Rule::UnorderedIter,
+            file: file.to_string(),
+            line: tok.line,
+            col: tok.col,
+            message: format!(
+                "`{name}` in a crate that feeds record serialization — iteration order is \
+                 nondeterministic; use `BTreeMap`/`BTreeSet` or a sorted `Vec`"
+            ),
+        });
+    }
+}
+
+/// `… as usize` with a pointer source in the lookback window:
+/// `&x as *const _ as usize` or `v.as_ptr() as usize`.
+fn scan_addr_as_key(file: &str, toks: &[Tok], out: &mut Vec<Finding>) {
+    for i in 0..toks.len() {
+        if ident_at(toks, i) != Some("as") || ident_at(toks, i + 1) != Some("usize") {
+            continue;
+        }
+        let window = &toks[i.saturating_sub(8)..i];
+        let pointerish = window.iter().enumerate().any(|(k, tok)| {
+            tok.ident() == Some("as_ptr")
+                || (tok.is_punct('*')
+                    && matches!(
+                        window.get(k + 1).and_then(Tok::ident),
+                        Some("const" | "mut")
+                    ))
+        });
+        if pointerish {
+            out.push(Finding {
+                rule: Rule::AddrAsKey,
+                file: file.to_string(),
+                line: toks[i].line,
+                col: toks[i].col,
+                message: "pointer cast to `usize` — addresses vary per run (ASLR); never key or \
+                          order by them"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// `println!`-family macros outside binary roots and `#[cfg(test)]` mods.
+fn scan_stray_print(file: &str, toks: &[Tok], ctx: &FileContext, out: &mut Vec<Finding>) {
+    if ctx.is_binary_root {
+        return;
+    }
+    let test_ranges = test_mod_ranges(toks);
+    for i in 0..toks.len() {
+        let Some(name @ ("println" | "eprintln" | "print" | "eprint" | "dbg")) = ident_at(toks, i)
+        else {
+            continue;
+        };
+        if !punct_at(toks, i + 1, '!') {
+            continue;
+        }
+        let line = toks[i].line;
+        if test_ranges
+            .iter()
+            .any(|&(lo, hi)| (lo..=hi).contains(&line))
+        {
+            continue;
+        }
+        out.push(Finding {
+            rule: Rule::StrayPrint,
+            file: file.to_string(),
+            line,
+            col: toks[i].col,
+            message: format!(
+                "`{name}!` in library code — the record sink and `ProgressThrottle` are the \
+                 only sanctioned outputs"
+            ),
+        });
+    }
+}
+
+/// `#[allow(…)]` / `#![allow(…)]` without a justification: a non-doc
+/// comment on the same line or ending on the line directly above.
+fn scan_bare_allow(file: &str, toks: &[Tok], comments: &[Comment], out: &mut Vec<Finding>) {
+    for i in 0..toks.len() {
+        if !punct_at(toks, i, '#') {
+            continue;
+        }
+        let j = if punct_at(toks, i + 1, '!') {
+            i + 2
+        } else {
+            i + 1
+        };
+        if !punct_at(toks, j, '[') || ident_at(toks, j + 1) != Some("allow") {
+            continue;
+        }
+        let line = toks[i].line;
+        let justified = comments.iter().any(|c| {
+            !c.doc
+                && (c.line == line || c.end_line + 1 == line)
+                && !c
+                    .text
+                    .trim_start_matches(['/', '*', ' ', '\t'])
+                    .trim()
+                    .is_empty()
+        });
+        if !justified {
+            out.push(Finding {
+                rule: Rule::BareAllow,
+                file: file.to_string(),
+                line,
+                col: toks[i].col,
+                message: "`#[allow(…)]` without a justification — add a `// why` comment on the \
+                          same line or the line above"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// `#![forbid(unsafe_code)]` anywhere in the token stream (it must be a
+/// crate-root inner attribute to compile, so presence is enough).
+fn has_forbid_unsafe_header(toks: &[Tok]) -> bool {
+    (0..toks.len()).any(|i| {
+        punct_at(toks, i, '#')
+            && punct_at(toks, i + 1, '!')
+            && punct_at(toks, i + 2, '[')
+            && ident_at(toks, i + 3) == Some("forbid")
+            && punct_at(toks, i + 4, '(')
+            && ident_at(toks, i + 5) == Some("unsafe_code")
+    })
+}
+
+/// Counts `.unwrap()` call sites (test modules included — the ratchet
+/// covers the whole crate).
+fn count_unwraps(toks: &[Tok]) -> u64 {
+    (0..toks.len())
+        .filter(|&i| {
+            punct_at(toks, i, '.')
+                && ident_at(toks, i + 1) == Some("unwrap")
+                && punct_at(toks, i + 2, '(')
+                && punct_at(toks, i + 3, ')')
+        })
+        .count() as u64
+}
+
+/// Line ranges of `#[cfg(test)] mod … { … }` blocks (attributes between
+/// the cfg and the `mod`, and a `pub` qualifier, are skipped).
+fn test_mod_ranges(toks: &[Tok]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    for i in 0..toks.len() {
+        if !(punct_at(toks, i, '#')
+            && punct_at(toks, i + 1, '[')
+            && ident_at(toks, i + 2) == Some("cfg")
+            && punct_at(toks, i + 3, '(')
+            && ident_at(toks, i + 4) == Some("test")
+            && punct_at(toks, i + 5, ')')
+            && punct_at(toks, i + 6, ']'))
+        {
+            continue;
+        }
+        let mut j = i + 7;
+        // Skip further attributes and visibility before the `mod`.
+        while punct_at(toks, j, '#') && punct_at(toks, j + 1, '[') {
+            let mut depth = 0usize;
+            j += 1;
+            loop {
+                if punct_at(toks, j, '[') {
+                    depth += 1;
+                } else if punct_at(toks, j, ']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                } else if j >= toks.len() {
+                    return ranges;
+                }
+                j += 1;
+            }
+        }
+        if ident_at(toks, j) == Some("pub") {
+            j += 1;
+        }
+        if ident_at(toks, j) != Some("mod") {
+            continue;
+        }
+        // Find the opening brace (a `mod name;` has none).
+        let Some(open) = (j..toks.len().min(j + 4)).find(|&k| punct_at(toks, k, '{')) else {
+            continue;
+        };
+        let mut depth = 0usize;
+        for k in open..toks.len() {
+            if punct_at(toks, k, '{') {
+                depth += 1;
+            } else if punct_at(toks, k, '}') {
+                depth -= 1;
+                if depth == 0 {
+                    ranges.push((toks[open].line, toks[k].line));
+                    break;
+                }
+            }
+        }
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str, ctx: &FileContext) -> Vec<(Rule, u32)> {
+        check_file("test.rs", src, ctx)
+            .findings
+            .iter()
+            .map(|f| (f.rule, f.line))
+            .collect()
+    }
+
+    #[test]
+    fn wall_clock_fires_and_respects_exemption() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        assert_eq!(
+            findings(src, &FileContext::default()),
+            [(Rule::WallClock, 1)]
+        );
+        let exempt = FileContext {
+            wall_clock_exempt: true,
+            ..FileContext::default()
+        };
+        assert!(findings(src, &exempt).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_pragma_reaches_past_attributes() {
+        let src = "fn f() {\n\
+                   // detlint::allow(wall-clock, reason = \"sampled stage timer\")\n\
+                   #[allow(clippy::disallowed_methods)] // sanctioned above\n\
+                   let t0 = Instant::now();\n\
+                   }\n";
+        assert!(findings(src, &FileContext::default()).is_empty());
+    }
+
+    #[test]
+    fn trailing_pragma_covers_its_own_line_only() {
+        let src = "fn f() {\n\
+                   let a = Instant::now(); // detlint::allow(wall-clock, reason = \"CLI elapsed\")\n\
+                   let b = Instant::now();\n\
+                   }\n";
+        assert_eq!(
+            findings(src, &FileContext::default()),
+            [(Rule::WallClock, 3)]
+        );
+    }
+
+    #[test]
+    fn ambient_rng_catches_the_catalogue() {
+        let src = "fn f() { let r = rand::thread_rng(); let x = rand::random::<u64>(); }\n";
+        let got = findings(src, &FileContext::default());
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().all(|&(rule, _)| rule == Rule::AmbientRng));
+        // `random` as a plain method name is not ambient.
+        assert!(findings("fn f(g: &G) { g.random(); }\n", &FileContext::default()).is_empty());
+    }
+
+    #[test]
+    fn unordered_iter_is_scope_gated() {
+        let src = "use std::collections::HashMap;\n";
+        let scoped = FileContext {
+            unordered_iter_scoped: true,
+            ..FileContext::default()
+        };
+        assert_eq!(findings(src, &scoped), [(Rule::UnorderedIter, 1)]);
+        assert!(findings(src, &FileContext::default()).is_empty());
+    }
+
+    #[test]
+    fn addr_as_key_needs_a_pointer_source() {
+        let scoped = FileContext::default();
+        assert_eq!(
+            findings(
+                "fn f(x: &u8) -> usize { &x as *const _ as usize }\n",
+                &scoped
+            ),
+            [(Rule::AddrAsKey, 1)]
+        );
+        assert_eq!(
+            findings("fn f(v: &[u8]) -> usize { v.as_ptr() as usize }\n", &scoped),
+            [(Rule::AddrAsKey, 1)]
+        );
+        // An innocent integer cast is not a pointer key.
+        assert!(findings("fn f(n: u32) -> usize { n as usize }\n", &scoped).is_empty());
+    }
+
+    #[test]
+    fn stray_print_skips_tests_and_binary_roots() {
+        let src = "fn f() { println!(\"x\"); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   fn t() { println!(\"fine in tests\"); }\n\
+                   }\n";
+        assert_eq!(
+            findings(src, &FileContext::default()),
+            [(Rule::StrayPrint, 1)]
+        );
+        let binary = FileContext {
+            is_binary_root: true,
+            ..FileContext::default()
+        };
+        assert!(findings(src, &binary).is_empty());
+    }
+
+    #[test]
+    fn forbid_unsafe_header_only_on_lib_roots() {
+        let ctx = FileContext {
+            is_lib_rs: true,
+            ..FileContext::default()
+        };
+        assert_eq!(
+            findings("pub fn f() {}\n", &ctx),
+            [(Rule::ForbidUnsafeHeader, 1)]
+        );
+        assert!(findings("#![forbid(unsafe_code)]\npub fn f() {}\n", &ctx).is_empty());
+        assert!(findings("pub fn f() {}\n", &FileContext::default()).is_empty());
+    }
+
+    #[test]
+    fn bare_allow_accepts_same_line_or_line_above() {
+        let ctx = FileContext::default();
+        assert_eq!(
+            findings("#[allow(dead_code)]\nfn f() {}\n", &ctx),
+            [(Rule::BareAllow, 1)]
+        );
+        assert!(findings(
+            "#[allow(dead_code)] // scaffolding for PR 8\nfn f() {}\n",
+            &ctx
+        )
+        .is_empty());
+        assert!(findings(
+            "// the builder keeps this arity\n#[allow(dead_code)]\nfn f() {}\n",
+            &ctx
+        )
+        .is_empty());
+        // A doc comment is documentation, not a justification.
+        assert_eq!(
+            findings("/// docs\n#[allow(dead_code)]\nfn f() {}\n", &ctx),
+            [(Rule::BareAllow, 2)]
+        );
+    }
+
+    #[test]
+    fn unwrap_counting_is_token_exact() {
+        let report = check_file(
+            "t.rs",
+            "fn f() { a.unwrap(); /* .unwrap() */ let s = \".unwrap()\"; b.unwrap ( ) ; }\n",
+            &FileContext::default(),
+        );
+        assert_eq!(report.unwrap_count, 2);
+    }
+}

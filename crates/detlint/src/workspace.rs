@@ -1,0 +1,246 @@
+//! Workspace discovery and the two lint drivers.
+//!
+//! `--workspace` walks the root package's `src/` plus every
+//! `crates/*/src/` tree (sorted, so reports are byte-stable), applies the
+//! per-crate scoping from `detlint.toml`, and folds `.unwrap()` counts
+//! into the `unwrap-ratchet` budgets.  Explicit-file mode lints the
+//! arguments with every line rule and no crate attribution — that is
+//! what the CI negative self-test runs over the committed violation
+//! fixture.
+//!
+//! Scope notes: `tests/`, `examples/`, `benches/` and `vendor/` are not
+//! walked — the contract binds the *library and binary* code that
+//! produces record bytes.  `src/main.rs` and `src/bin/**` are scanned,
+//! but `stray-print` does not apply there (a binary owns its stdio).
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use crate::config::Config;
+use crate::report::{Finding, Report, UnwrapTally};
+use crate::rules::{check_file, FileContext, Rule};
+
+/// Lints the whole workspace rooted at `root` (the directory holding
+/// `Cargo.toml`, `detlint.toml` and `crates/`).
+pub fn lint_workspace(root: &Path) -> Result<Report, String> {
+    let config_path = root.join("detlint.toml");
+    let config = if config_path.is_file() {
+        let text = std::fs::read_to_string(&config_path)
+            .map_err(|e| format!("cannot read {}: {e}", config_path.display()))?;
+        Config::parse(&text)?
+    } else {
+        Config::default()
+    };
+
+    let mut report = Report::default();
+    let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+
+    for (krate, src_dir) in discover_crates(root)? {
+        let mut files = Vec::new();
+        collect_rs_files(&src_dir, &mut files)
+            .map_err(|e| format!("walking {}: {e}", src_dir.display()))?;
+        files.sort();
+        let crate_count = counts.entry(krate.clone()).or_insert(0);
+        for path in files {
+            let src = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let label = rel_label(root, &path);
+            let ctx = FileContext {
+                is_lib_rs: path == src_dir.join("lib.rs"),
+                is_binary_root: is_binary_root(&src_dir, &path),
+                wall_clock_exempt: config.wall_clock_exempt_crates.contains(&krate),
+                unordered_iter_scoped: config.unordered_iter_crates.contains(&krate),
+            };
+            let file_report = check_file(&label, &src, &ctx);
+            report.findings.extend(file_report.findings);
+            *crate_count += file_report.unwrap_count;
+            report.files_scanned += 1;
+        }
+    }
+
+    ratchet(&config, &counts, &mut report);
+    report.sort();
+    Ok(report)
+}
+
+/// Lints explicit file paths (no config, no crate attribution).
+pub fn lint_files(paths: &[PathBuf]) -> Result<Report, String> {
+    let mut report = Report::default();
+    for path in paths {
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let name = path.to_string_lossy().replace('\\', "/");
+        let ctx = FileContext {
+            is_lib_rs: name.ends_with("src/lib.rs"),
+            is_binary_root: name.ends_with("src/main.rs") || name.contains("/bin/"),
+            wall_clock_exempt: false,
+            unordered_iter_scoped: true,
+        };
+        let file_report = check_file(&name, &src, &ctx);
+        report.findings.extend(file_report.findings);
+        report.files_scanned += 1;
+    }
+    report.sort();
+    Ok(report)
+}
+
+/// Applies the `unwrap-ratchet` budgets: over budget or unbudgeted-with-
+/// unwraps is a finding; headroom is a note inviting a ratchet-down.
+fn ratchet(config: &Config, counts: &BTreeMap<String, u64>, report: &mut Report) {
+    for (krate, &count) in counts {
+        let budget = config.unwrap_budget.get(krate).copied();
+        report
+            .unwrap_tallies
+            .insert(krate.clone(), UnwrapTally { count, budget });
+        let anchor = if krate == "self_similar" {
+            "src".to_string()
+        } else {
+            format!("crates/{krate}")
+        };
+        match budget {
+            Some(budget) if count > budget => report.findings.push(Finding {
+                rule: Rule::UnwrapRatchet,
+                file: anchor,
+                line: 0,
+                col: 0,
+                message: format!(
+                    "{count} `.unwrap()` calls, budget {budget} — convert to `.expect(\"…\")` \
+                     with a message; budgets only go down"
+                ),
+            }),
+            Some(budget) if count < budget => report.notes.push(format!(
+                "crate `{krate}` has {count} `.unwrap()` calls, {} under its budget of {budget} \
+                 — ratchet `[unwrap_budget]` in detlint.toml down",
+                budget - count
+            )),
+            Some(_) => {}
+            None if count > 0 => report.findings.push(Finding {
+                rule: Rule::UnwrapRatchet,
+                file: anchor,
+                line: 0,
+                col: 0,
+                message: format!(
+                    "{count} `.unwrap()` calls but no `[unwrap_budget]` entry for `{krate}` in \
+                     detlint.toml"
+                ),
+            }),
+            None => {}
+        }
+    }
+    // A stale budget (crate renamed or removed) would silently stop
+    // ratcheting; surface it.
+    for krate in config.unwrap_budget.keys() {
+        if !counts.contains_key(krate) {
+            report.findings.push(Finding {
+                rule: Rule::UnwrapRatchet,
+                file: "detlint.toml".to_string(),
+                line: 0,
+                col: 0,
+                message: format!("budget for `{krate}` names no crate in this workspace"),
+            });
+        }
+    }
+}
+
+/// `(crate name, src dir)` for the root package and every `crates/*`
+/// member, sorted by name.  Crate names are the directory names —
+/// `crates/campaign`, not `selfsim-campaign` — matching `detlint.toml`.
+fn discover_crates(root: &Path) -> Result<Vec<(String, PathBuf)>, String> {
+    let mut out = Vec::new();
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        out.push(("self_similar".to_string(), root_src));
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&crates)
+            .map_err(|e| format!("reading {}: {e}", crates.display()))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for dir in entries {
+            let src = dir.join("src");
+            if src.is_dir() {
+                let name = dir
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .ok_or_else(|| format!("unnameable crate dir {}", dir.display()))?;
+                out.push((name, src));
+            }
+        }
+    }
+    if out.is_empty() {
+        return Err(format!(
+            "no crates found under {} — is this the workspace root?",
+            root.display()
+        ));
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn is_binary_root(src_dir: &Path, path: &Path) -> bool {
+    path == src_dir.join("main.rs") || path.starts_with(src_dir.join("bin"))
+}
+
+fn rel_label(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn over_budget_and_unbudgeted_crates_are_findings() {
+        let config = Config::parse("[unwrap_budget]\na = 1\nstale = 5\n").expect("config");
+        let counts = BTreeMap::from([
+            ("a".to_string(), 3u64),
+            ("b".to_string(), 2),
+            ("c".to_string(), 0),
+        ]);
+        let mut report = Report::default();
+        ratchet(&config, &counts, &mut report);
+        report.sort();
+        let anchors: Vec<(&str, Rule)> = report
+            .findings
+            .iter()
+            .map(|f| (f.file.as_str(), f.rule))
+            .collect();
+        assert_eq!(
+            anchors,
+            [
+                ("crates/a", Rule::UnwrapRatchet),     // 3 > 1
+                ("crates/b", Rule::UnwrapRatchet),     // no budget
+                ("detlint.toml", Rule::UnwrapRatchet)  // stale entry
+            ]
+        );
+        assert_eq!(report.unwrap_tallies.len(), 3);
+    }
+
+    #[test]
+    fn headroom_is_a_note_not_a_finding() {
+        let config = Config::parse("[unwrap_budget]\na = 9\n").expect("config");
+        let counts = BTreeMap::from([("a".to_string(), 4u64)]);
+        let mut report = Report::default();
+        ratchet(&config, &counts, &mut report);
+        assert!(report.findings.is_empty());
+        assert_eq!(report.notes.len(), 1);
+        assert!(report.notes[0].contains("ratchet"));
+    }
+}
