@@ -103,6 +103,29 @@ fn hotpath(c: &mut Criterion) {
     group.finish();
 }
 
+/// E15 — event-runtime scaling kernels at criterion-friendly sizes.
+///
+/// The kernels live in [`selfsim_bench::escale`] so the `escale` binary
+/// (which emits `BENCH_8.json` in CI, sweeping up to a million agents)
+/// times exactly this code.
+fn escale(c: &mut Criterion) {
+    use selfsim_bench::escale as kernels;
+
+    let mut group = c.benchmark_group("escale");
+    for kind in [
+        kernels::EscaleTopology::CompleteStatic,
+        kernels::EscaleTopology::PartitionedRing,
+    ] {
+        for &n in &[1_000usize, 10_000] {
+            group.bench_with_input(BenchmarkId::new(kind.label(), n), &n, |b, &n| {
+                let kernel = kernels::EscaleRun::new(kind, n);
+                b.iter(|| black_box(kernel.run()))
+            });
+        }
+    }
+    group.finish();
+}
+
 /// E9 — sorting runs on a churning line, by size.
 fn e9_sorting(c: &mut Criterion) {
     let mut group = c.benchmark_group("e9/sorting-churning-line");
@@ -128,6 +151,6 @@ fn e9_sorting(c: &mut Criterion) {
 criterion_group! {
     name = experiments;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = e4_scaling, e5_churn, e7_baselines, e9_sorting, hotpath
+    targets = e4_scaling, e5_churn, e7_baselines, e9_sorting, hotpath, escale
 }
 criterion_main!(experiments);

@@ -1,0 +1,236 @@
+//! `escale` — the E-series event-runtime scaling gate CI runs on every push.
+//!
+//! Sweeps the [`selfsim_bench::escale`] kernels (the same code
+//! `cargo bench -- escale` measures at reduced sizes) over
+//! n ∈ {10³, 10⁴, 10⁵, 10⁶} on both E-series topologies, samples peak RSS
+//! from `/proc/self/status` (`VmHWM`), and writes the curve as
+//! `BENCH_8.json` — one point of the repo's bench trajectory.
+//!
+//! ```text
+//! cargo run --release -p selfsim-bench --bin escale -- \
+//!     --assert-min-events-per-sec 50 --assert-peak-rss-mb 2048
+//! ```
+//!
+//! The assertions are the gate: dropping below the events/sec floor on any
+//! cell (the event loop slowing down) or exceeding the peak-RSS bound (the
+//! million-agent cells materialising dense state again) fails the process,
+//! and with it the CI job.
+
+// the bench harness exists to read the wall clock; detlint.toml exempts
+// the whole `bench` crate from `wall-clock` for the same reason
+#![allow(clippy::disallowed_methods)]
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use selfsim_bench::escale::{EscaleRun, EscaleTopology};
+
+struct Args {
+    sizes: Vec<usize>,
+    out: String,
+    assert_min_events_per_sec: Option<f64>,
+    assert_peak_rss_mb: Option<u64>,
+}
+
+const USAGE: &str = "\
+escale — E-series event-runtime scaling curve (events/sec + peak RSS), as JSON
+
+OPTIONS
+    --sizes N,N,...             agent counts to sweep
+                                (default 1000,10000,100000,1000000)
+    --out PATH                  where to write the bench JSON (default BENCH_8.json)
+    --assert-min-events-per-sec R  fail if any cell's throughput drops below R
+                                (the speed gate)
+    --assert-peak-rss-mb M      fail if peak RSS exceeds M MiB (the memory gate)
+    --help                      this text
+";
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        sizes: vec![1_000, 10_000, 100_000, 1_000_000],
+        out: "BENCH_8.json".into(),
+        assert_min_events_per_sec: None,
+        assert_peak_rss_mb: None,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} expects a value"))
+        };
+        match flag.as_str() {
+            "--sizes" => {
+                args.sizes = value("--sizes")?
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|e| format!("bad --sizes: {e}")))
+                    .collect::<Result<_, _>>()?;
+                if args.sizes.is_empty() {
+                    return Err("--sizes must name at least one size".into());
+                }
+            }
+            "--out" => args.out = value("--out")?,
+            "--assert-min-events-per-sec" => {
+                args.assert_min_events_per_sec = Some(
+                    value("--assert-min-events-per-sec")?
+                        .parse()
+                        .map_err(|e| format!("bad --assert-min-events-per-sec: {e}"))?,
+                );
+            }
+            "--assert-peak-rss-mb" => {
+                args.assert_peak_rss_mb = Some(
+                    value("--assert-peak-rss-mb")?
+                        .parse()
+                        .map_err(|e| format!("bad --assert-peak-rss-mb: {e}"))?,
+                );
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// Peak resident set size in KiB from `/proc/self/status` (`VmHWM`);
+/// `None` off Linux.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// One emitted row of the scaling curve.
+struct Row {
+    topology: &'static str,
+    n: usize,
+    events_processed: usize,
+    peak_queue_depth: usize,
+    rounds: usize,
+    converged: bool,
+    wall_seconds: f64,
+    events_per_sec: f64,
+    peak_rss_kb: Option<u64>,
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(message) => {
+            if message.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {message}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut rows = Vec::new();
+    for topology in [
+        EscaleTopology::CompleteStatic,
+        EscaleTopology::PartitionedRing,
+    ] {
+        for &n in &args.sizes {
+            let kernel = EscaleRun::new(topology, n);
+            // Small cells take best-of-3 (first rep doubles as warmup);
+            // the large cells are long enough to time once.
+            let reps = if n <= 10_000 { 3 } else { 1 };
+            let mut best_wall = f64::INFINITY;
+            let mut outcome = None;
+            for _ in 0..reps {
+                let start = Instant::now();
+                let result = kernel.run();
+                best_wall = best_wall.min(start.elapsed().as_secs_f64());
+                outcome = Some(result);
+            }
+            let outcome = outcome.expect("at least one rep ran");
+            let events_per_sec = outcome.events_processed as f64 / best_wall.max(f64::EPSILON);
+            let rss = peak_rss_kb();
+            eprintln!(
+                "escale: {}/n={n}: {} events in {best_wall:.4}s = {events_per_sec:.0} events/s, \
+                 {} rounds, converged={}, peak RSS {}",
+                topology.label(),
+                outcome.events_processed,
+                outcome.rounds_executed,
+                outcome.converged,
+                rss.map_or("unavailable".into(), |kb| format!("{kb} KiB")),
+            );
+            rows.push(Row {
+                topology: topology.label(),
+                n,
+                events_processed: outcome.events_processed,
+                peak_queue_depth: outcome.peak_queue_depth,
+                rounds: outcome.rounds_executed,
+                converged: outcome.converged,
+                wall_seconds: best_wall,
+                events_per_sec,
+                peak_rss_kb: rss,
+            });
+        }
+    }
+
+    // --- BENCH_8.json (stable key order, hand-formatted so the vendored
+    // serde_json subset stays out of the measurement path) ---
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"BENCH_8\",\n  \"escale\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"topology\": \"{}\",\n", row.topology));
+        json.push_str(&format!("      \"n\": {},\n", row.n));
+        json.push_str(&format!(
+            "      \"events_processed\": {},\n",
+            row.events_processed
+        ));
+        json.push_str(&format!(
+            "      \"peak_queue_depth\": {},\n",
+            row.peak_queue_depth
+        ));
+        json.push_str(&format!("      \"rounds\": {},\n", row.rounds));
+        json.push_str(&format!("      \"converged\": {},\n", row.converged));
+        json.push_str(&format!(
+            "      \"wall_seconds\": {:.6},\n",
+            row.wall_seconds
+        ));
+        json.push_str(&format!(
+            "      \"events_per_sec\": {:.1},\n",
+            row.events_per_sec
+        ));
+        json.push_str(&format!(
+            "      \"peak_rss_kb\": {}\n",
+            row.peak_rss_kb.map_or("null".into(), |kb| kb.to_string())
+        ));
+        json.push_str(&format!("    }}{comma}\n"));
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("error: cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!("escale: wrote {}", args.out);
+
+    // --- the regression gates ---
+    if let Some(floor) = args.assert_min_events_per_sec {
+        for row in &rows {
+            if row.events_per_sec < floor {
+                eprintln!(
+                    "error: {}/n={} ran at {:.0} events/s, below the {floor:.0} events/s \
+                     floor — the event loop has slowed down",
+                    row.topology, row.n, row.events_per_sec
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let (Some(bound), Some(kb)) = (args.assert_peak_rss_mb, peak_rss_kb()) {
+        if kb > bound * 1024 {
+            eprintln!(
+                "error: peak RSS {kb} KiB exceeds the {bound} MiB bound — \
+                 the large cells are materialising dense per-agent or edge state again"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

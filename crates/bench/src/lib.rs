@@ -116,14 +116,150 @@ pub mod hotpath {
     }
 }
 
+/// The E-series event-runtime scaling kernels: full [`EventSimulator`]
+/// runs at large `n`, shared between the criterion benches
+/// (`benches/experiments.rs`, reduced sizes) and the `escale` binary that
+/// emits `BENCH_8.json` in CI (up to a million agents).  Construction
+/// (`new`) is setup and excluded from timing; `run` is one measured
+/// iteration.
+///
+/// [`EventSimulator`]: selfsim_runtime::EventSimulator
+pub mod escale {
+    use selfsim_algorithms::minimum;
+    use selfsim_core::SelfSimilarSystem;
+    use selfsim_env::{Environment, PeriodicPartitionEnv, StaticEnv, Topology};
+    use selfsim_runtime::{EventConfig, EventSimulator};
+
+    use super::hotpath::values_for;
+
+    /// Which cell of the E-series curve a kernel instance measures.
+    #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+    pub enum EscaleTopology {
+        /// Min-consensus on a symbolic complete graph under a static
+        /// environment with a 256-round cooldown: converges in one round,
+        /// after which every idle round costs two events regardless of
+        /// `n` — the sparse-scheduling claim, measured.
+        CompleteStatic,
+        /// Min-consensus by random partial descent on a ring that a
+        /// two-block periodic partition keeps splitting and healing:
+        /// every phase flip is an incremental connectivity delta plus a
+        /// group recomputation, every round re-draws one random value per
+        /// unconverged agent, so each event's cost grows with `n`.
+        PartitionedRing,
+    }
+
+    impl EscaleTopology {
+        /// The label used in `BENCH_8.json` and the criterion group.
+        pub fn label(self) -> &'static str {
+            match self {
+                EscaleTopology::CompleteStatic => "complete-static",
+                EscaleTopology::PartitionedRing => "partitioned-ring",
+            }
+        }
+    }
+
+    /// What one measured run produced, for the events/sec computation and
+    /// the emitted scaling row.
+    #[derive(Clone, Copy, Debug)]
+    pub struct EscaleOutcome {
+        /// Events popped off the queue over the whole run.
+        pub events_processed: usize,
+        /// High-water mark of the event queue.
+        pub peak_queue_depth: usize,
+        /// Rounds the run executed.
+        pub rounds_executed: usize,
+        /// Whether the run reached (and held) the target multiset.
+        pub converged: bool,
+    }
+
+    /// One cell of the E-series sweep: an event-driven run of
+    /// min-consensus at size `n` on the chosen topology/environment pair.
+    pub struct EscaleRun {
+        system: SelfSimilarSystem<i64>,
+        topology: EscaleTopology,
+        n: usize,
+    }
+
+    impl EscaleRun {
+        /// Builds the system (values, topology, cached target) for size
+        /// `n`; nothing here is timed.
+        pub fn new(topology: EscaleTopology, n: usize) -> Self {
+            // Adopt-min converges in one round on a connected group, which
+            // is exactly the sparse-cooldown story the complete cell
+            // measures; the ring cell wants sustained per-round work, so
+            // it descends by random partial steps instead.
+            let system = match topology {
+                EscaleTopology::CompleteStatic => {
+                    minimum::system(&values_for(n), Topology::complete(n))
+                }
+                EscaleTopology::PartitionedRing => minimum::system_with_step(
+                    &values_for(n),
+                    Topology::ring(n),
+                    minimum::partial_descent_step(),
+                ),
+            };
+            EscaleRun {
+                system,
+                topology,
+                n,
+            }
+        }
+
+        /// One measured iteration: a full event-driven run.
+        pub fn run(&self) -> EscaleOutcome {
+            let (config, mut env): (EventConfig, Box<dyn Environment>) = match self.topology {
+                EscaleTopology::CompleteStatic => (
+                    EventConfig {
+                        max_rounds: 300,
+                        cooldown_rounds: 256,
+                        seed: 9,
+                        ..EventConfig::default()
+                    },
+                    Box::new(StaticEnv::new(Topology::complete(self.n))),
+                ),
+                EscaleTopology::PartitionedRing => (
+                    EventConfig {
+                        max_rounds: 64,
+                        cooldown_rounds: 0,
+                        seed: 9,
+                        ..EventConfig::default()
+                    },
+                    Box::new(PeriodicPartitionEnv::new(Topology::ring(self.n), 2, 8)),
+                ),
+            };
+            let report = EventSimulator::new(config).run(&self.system, env.as_mut());
+            EscaleOutcome {
+                events_processed: report.metrics.events_processed,
+                peak_queue_depth: report.metrics.peak_queue_depth,
+                rounds_executed: report.metrics.rounds_executed,
+                converged: report.converged(),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::hotpath;
+    use super::{escale, hotpath};
 
     #[test]
     fn kernels_converge() {
         assert!(hotpath::IsConverged::new(64).run());
         assert!(hotpath::StaticCooldown::new().run());
         assert!(hotpath::AdversaryRun::new().run());
+    }
+
+    #[test]
+    fn escale_kernels_run() {
+        let complete = escale::EscaleRun::new(escale::EscaleTopology::CompleteStatic, 64).run();
+        assert!(complete.converged);
+        // One convergence round plus the 256-round cooldown.
+        assert_eq!(complete.rounds_executed, 257);
+        // Idle rounds cost two events each, independent of n.
+        assert!(complete.events_processed < 2 * 257 + 8);
+        let ring = escale::EscaleRun::new(escale::EscaleTopology::PartitionedRing, 64).run();
+        // Random partial descent is sustained multi-round work.
+        assert!(ring.rounds_executed > 4, "{}", ring.rounds_executed);
+        assert!(ring.events_processed > ring.rounds_executed);
     }
 }

@@ -288,6 +288,8 @@ mod tests {
             messages,
             messages_dropped: messages / 10,
             messages_requeued: 0,
+            events_processed: 0,
+            peak_queue_depth: 0,
             initial_objective: 100.0,
             final_objective: 10.0,
             objective_monotone: true,

@@ -298,12 +298,17 @@ impl Registry {
 
 /// Positive, pairwise-distinct integer initial values (the sum example
 /// requires non-negative values, sorting requires distinct ones).
+///
+/// Cells up to 4096 agents draw from the historical `1..=9999` pool so
+/// their RNG streams (and hence every committed record) are byte-stable;
+/// larger cells — the event-runtime scaling curves go to 10⁶ agents —
+/// widen the pool to keep rejection sampling cheap.
 pub(crate) fn int_values(n: usize, rng: &mut impl Rng) -> Vec<i64> {
-    assert!(n <= 4096, "value pool supports up to 4096 agents");
+    let pool_max: i64 = if n <= 4096 { 9999 } else { n as i64 * 4 };
     let mut seen = std::collections::BTreeSet::new();
     let mut out = Vec::with_capacity(n);
     while out.len() < n {
-        let v = rng.gen_range(1..=9999);
+        let v = rng.gen_range(1..=pool_max);
         if seen.insert(v) {
             out.push(v);
         }
@@ -575,7 +580,10 @@ fn dispatch_baseline<R>(
     asynchronous: impl FnOnce(&mut dyn Environment, f64, usize, f64, DeliveryRule, &mut EventLog) -> R,
 ) -> R {
     match mode {
-        ExecutionMode::Sync { .. } => sync(env, events),
+        // The baselines terminate on their own; the event-driven runtime's
+        // queue is an execution strategy for the synchronous round
+        // semantics, so event cells run the same round-based entry point.
+        ExecutionMode::Sync { .. } | ExecutionMode::Event { .. } => sync(env, events),
         ExecutionMode::Async {
             interaction_rate,
             max_latency,

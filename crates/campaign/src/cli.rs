@@ -172,7 +172,8 @@ OPTIONS
                           markov|partition(b=3,t=8)|crash|adversary|churn+crash
     --modes m,..          execution modes to sweep (default sync); bare or
                           parameterised, round-tripping the mode column:
-                          sync|sync(cd=N)|async|async(i=P,l=N,d=P,dv=RULE)
+                          sync|sync(cd=N)|event|event(cd=N)|
+                          async|async(i=P,l=N,d=P,dv=RULE)
     --mode m              alias for --modes with a single value
     --async-rate P        async: per-tick interaction probability (default 0.5)
     --async-latency N     async: latency drawn from 1..=N ticks (default 3)

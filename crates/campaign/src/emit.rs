@@ -123,6 +123,8 @@ mod tests {
             messages: 32,
             messages_dropped: 0,
             messages_requeued: 0,
+            events_processed: 0,
+            peak_queue_depth: 0,
             initial_objective: 100.0,
             final_objective: 8.0,
             objective_monotone: true,

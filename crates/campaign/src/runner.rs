@@ -207,11 +207,14 @@ impl Campaign {
 
     /// The seed trial `trial` of `scenario` will run with.
     ///
-    /// Mixes the campaign seed, a hash of the scenario name and the trial
-    /// index through SplitMix64, so every trial in the campaign gets an
-    /// independent, schedule- and shard-free seed.
+    /// Mixes the campaign seed, a hash of the scenario's *seed name*
+    /// ([`Scenario::seed_name`] — the cell name for sync/async cells, the
+    /// matching sync cell's name for event cells) and the trial index
+    /// through SplitMix64, so every trial in the campaign gets an
+    /// independent, schedule- and shard-free seed, and semantically
+    /// equivalent cells across runtimes draw identical streams.
     pub fn trial_seed(&self, scenario: &Scenario, trial: u64) -> u64 {
-        self.seed_for(fnv1a(scenario.name().as_bytes()), trial)
+        self.seed_for(fnv1a(scenario.seed_name().as_bytes()), trial)
     }
 
     fn seed_for(&self, scenario_hash: u64, trial: u64) -> u64 {
@@ -318,7 +321,7 @@ impl Campaign {
         let mut total = 0u64;
         for scenario in &self.scenarios {
             offsets.push(total);
-            hashes.push(fnv1a(scenario.name().as_bytes()));
+            hashes.push(fnv1a(scenario.seed_name().as_bytes()));
             total += scenario.trials;
         }
         let shard = self.config.shard;

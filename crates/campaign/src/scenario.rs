@@ -484,6 +484,24 @@ impl Scenario {
         )
     }
 
+    /// The name used for per-trial seed derivation: [`Scenario::name`] with
+    /// the mode segment replaced by
+    /// [`ExecutionMode::seed_label`](selfsim_runtime::ExecutionMode::seed_label).
+    /// For sync and async cells this *is* the cell name (their seeds are
+    /// anchored to themselves, so every historical record is unchanged);
+    /// event cells share the seed stream of the matching-cooldown sync
+    /// cell, which is what lets CI compare their records byte for byte.
+    pub fn seed_name(&self) -> String {
+        format!(
+            "{}/{}/{}/n={}/{}",
+            self.algorithm.label(),
+            self.topology.label(),
+            self.env.label(),
+            self.n,
+            self.mode.seed_label(),
+        )
+    }
+
     /// `true` when this cell's execution can take a collaborative group
     /// step on a *proper* subset of the agents: a fragmenting environment
     /// or the pairwise asynchronous mode.  At `n = 2` nothing ever

@@ -516,6 +516,8 @@ mod tests {
             messages: 24,
             messages_dropped: 0,
             messages_requeued: 0,
+            events_processed: 0,
+            peak_queue_depth: 0,
             initial_objective: 10.0,
             final_objective: 0.0,
             objective_monotone: true,

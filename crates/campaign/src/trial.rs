@@ -64,6 +64,14 @@ pub struct TrialRecord {
     /// Omitted from the JSONL encoding when zero, so requeue-free campaigns
     /// stay byte-identical to pre-observability outputs.
     pub messages_requeued: usize,
+    /// Events popped off the event-driven runtime's queue; structurally
+    /// zero for sync and async cells, which have no event queue.  Omitted
+    /// from the JSONL encoding when zero, so sync/async campaigns stay
+    /// byte-identical to pre-event-runtime outputs.
+    pub events_processed: usize,
+    /// High-water mark of the event queue's depth; zero (and omitted from
+    /// the JSONL encoding) for runtimes without an event queue.
+    pub peak_queue_depth: usize,
     /// `h(S(0))`.
     pub initial_objective: f64,
     /// `h` of the final state.
@@ -73,10 +81,11 @@ pub struct TrialRecord {
     pub objective_monotone: bool,
 }
 
-// Manual (rather than derived) impls so `messages_requeued` can be skipped
-// when zero: the derive emits every field unconditionally and errors on
-// missing fields, either of which would break the byte-identity contract
-// against records produced before the column existed.
+// Manual (rather than derived) impls so `messages_requeued`,
+// `events_processed` and `peak_queue_depth` can be skipped when zero: the
+// derive emits every field unconditionally and errors on missing fields,
+// either of which would break the byte-identity contract against records
+// produced before the columns existed.
 impl Serialize for TrialRecord {
     fn to_value(&self) -> Value {
         let mut fields: Vec<(String, Value)> = vec![
@@ -113,6 +122,12 @@ impl Serialize for TrialRecord {
                 "messages_requeued".into(),
                 self.messages_requeued.to_value(),
             ));
+        }
+        if self.events_processed != 0 {
+            fields.push(("events_processed".into(), self.events_processed.to_value()));
+        }
+        if self.peak_queue_depth != 0 {
+            fields.push(("peak_queue_depth".into(), self.peak_queue_depth.to_value()));
         }
         fields.push((
             "initial_objective".into(),
@@ -156,6 +171,14 @@ impl Deserialize for TrialRecord {
             messages: required(v, "messages")?,
             messages_dropped: required(v, "messages_dropped")?,
             messages_requeued: match v.get_field("messages_requeued") {
+                Some(x) => usize::from_value(x)?,
+                None => 0,
+            },
+            events_processed: match v.get_field("events_processed") {
+                Some(x) => usize::from_value(x)?,
+                None => 0,
+            },
+            peak_queue_depth: match v.get_field("peak_queue_depth") {
                 Some(x) => usize::from_value(x)?,
                 None => 0,
             },
@@ -212,6 +235,8 @@ impl TrialRecord {
             messages: m.messages,
             messages_dropped: m.messages_dropped,
             messages_requeued: m.messages_requeued,
+            events_processed: m.events_processed,
+            peak_queue_depth: m.peak_queue_depth,
             initial_objective: m.initial_objective().unwrap_or(0.0),
             final_objective: m.final_objective().unwrap_or(0.0),
             objective_monotone: m.objective_is_monotone(1e-9),

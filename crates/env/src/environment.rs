@@ -13,6 +13,52 @@ use rand::Rng;
 
 use crate::{AgentId, Edge, EnvState, Topology};
 
+/// An incremental connectivity update: the edges and agents whose enabled
+/// status flipped since the previous environment state.
+///
+/// Produced by [`Environment::step_delta`] and consumed by
+/// [`EnvState::apply_changes`]; the lists are disjoint (an edge is either
+/// up or down, never both) and may be in any order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EnvChanges {
+    /// Edges that became available.
+    pub edges_up: Vec<Edge>,
+    /// Edges that became unavailable.
+    pub edges_down: Vec<Edge>,
+    /// Agents that became enabled.
+    pub agents_up: Vec<AgentId>,
+    /// Agents that became disabled.
+    pub agents_down: Vec<AgentId>,
+}
+
+impl EnvChanges {
+    /// `true` when no edge or agent flipped.
+    pub fn is_empty(&self) -> bool {
+        self.edges_up.is_empty()
+            && self.edges_down.is_empty()
+            && self.agents_up.is_empty()
+            && self.agents_down.is_empty()
+    }
+}
+
+/// One environment transition expressed incrementally, for consumers (the
+/// event-driven runtime) that maintain connectivity state across rounds
+/// instead of rescanning a full [`EnvState`] every tick.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EnvDelta {
+    /// Connectivity is identical to the previous step.
+    Unchanged,
+    /// Every topology edge is available and every agent enabled — the
+    /// benign state, expressed without materialising the edge set (which
+    /// matters for symbolic cliques).
+    AllEnabled,
+    /// The listed edges/agents flipped relative to the previous step.
+    Changes(EnvChanges),
+    /// A full rescan: the complete next state, with no relation to the
+    /// previous one.  This is the universal fallback.
+    Full(EnvState),
+}
+
 /// An environment process: at every system step it produces the next
 /// environment state `G`.
 ///
@@ -26,6 +72,25 @@ pub trait Environment {
 
     /// Produces the environment state for the next step.
     fn step(&mut self, rng: &mut dyn rand::RngCore) -> EnvState;
+
+    /// Produces the next transition as an [`EnvDelta`] relative to the
+    /// state this method last produced (the first call is absolute).
+    ///
+    /// **Contract:** a run must use either `step` or `step_delta`
+    /// exclusively, and the two must consume *identical* RNG streams and
+    /// describe identical state sequences — folding the deltas with
+    /// [`EnvState::apply_changes`] reproduces `step`'s states byte for
+    /// byte.  That equivalence is what lets the event-driven runtime match
+    /// the synchronous runtime's records exactly, and the
+    /// `delta_equivalence` proptests pin it for every builtin.
+    ///
+    /// The default implementation falls back to a full rescan, so existing
+    /// `Environment` impls are delta-capable for free; environments whose
+    /// transitions are naturally sparse (Markov links, periodic
+    /// partitions) override it with genuinely incremental updates.
+    fn step_delta(&mut self, rng: &mut dyn rand::RngCore) -> EnvDelta {
+        EnvDelta::Full(self.step(rng))
+    }
 
     /// A short human-readable name used in experiment reports.
     fn name(&self) -> &'static str {
@@ -58,6 +123,12 @@ impl Environment for StaticEnv {
 
     fn step(&mut self, _rng: &mut dyn rand::RngCore) -> EnvState {
         EnvState::fully_enabled(&self.topology)
+    }
+
+    fn step_delta(&mut self, _rng: &mut dyn rand::RngCore) -> EnvDelta {
+        // Symbolic, like `step` (which consumes no RNG either): the benign
+        // state never needs the edge set expanded.
+        EnvDelta::AllEnabled
     }
 
     fn name(&self) -> &'static str {
@@ -151,6 +222,9 @@ pub struct MarkovLinkEnv {
     p_up: f64,
     p_down: f64,
     up: BTreeSet<Edge>,
+    // `step_delta` emits its first transition absolutely (deltas need a
+    // base state); true once that base has been produced.
+    delta_primed: bool,
 }
 
 impl MarkovLinkEnv {
@@ -174,6 +248,7 @@ impl MarkovLinkEnv {
             p_up: crate::validate_probability("p_up", p_up)?,
             p_down: crate::validate_probability("p_down", p_down)?,
             up,
+            delta_primed: false,
         })
     }
 
@@ -210,6 +285,47 @@ impl Environment for MarkovLinkEnv {
             self.up.iter().copied(),
             self.topology.agents(),
         )
+    }
+
+    fn step_delta(&mut self, rng: &mut dyn rand::RngCore) -> EnvDelta {
+        if !self.delta_primed {
+            self.delta_primed = true;
+            return EnvDelta::Full(self.step(rng));
+        }
+        // Exactly one Bernoulli draw per topology edge, in edge order —
+        // the same stream `step` consumes — recording only the flips.
+        let mut went_up = Vec::new();
+        let mut went_down = Vec::new();
+        for e in self.topology.edges() {
+            let currently_up = self.up.contains(e);
+            let up_next = if currently_up {
+                !rng.gen_bool(self.p_down)
+            } else {
+                rng.gen_bool(self.p_up)
+            };
+            if up_next != currently_up {
+                if up_next {
+                    went_up.push(*e);
+                } else {
+                    went_down.push(*e);
+                }
+            }
+        }
+        for e in &went_up {
+            self.up.insert(*e);
+        }
+        for e in &went_down {
+            self.up.remove(e);
+        }
+        if went_up.is_empty() && went_down.is_empty() {
+            EnvDelta::Unchanged
+        } else {
+            EnvDelta::Changes(EnvChanges {
+                edges_up: went_up,
+                edges_down: went_down,
+                ..EnvChanges::default()
+            })
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -275,6 +391,20 @@ impl Environment for PeriodicPartitionEnv {
                 .collect()
         };
         EnvState::new(self.topology.agent_count(), edges, self.topology.agents())
+    }
+
+    fn step_delta(&mut self, rng: &mut dyn rand::RngCore) -> EnvDelta {
+        // The state is a pure function of the phase (partitioned vs
+        // merged); within a phase nothing changes.  `step` consumes no
+        // RNG, so delegating at phase boundaries keeps the streams equal.
+        let prev_merge = self.tick > 0 && (self.tick - 1) % self.period == self.period - 1;
+        let next_merge = self.tick % self.period == self.period - 1;
+        if self.tick == 0 || prev_merge != next_merge {
+            EnvDelta::Full(self.step(rng))
+        } else {
+            self.tick += 1;
+            EnvDelta::Unchanged
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -646,5 +776,82 @@ mod tests {
         let a = StaticEnv::new(Topology::line(3));
         let b = StaticEnv::new(Topology::line(4));
         let _ = ComposedEnv::new(a, b);
+    }
+
+    // Folds one delta into the tracked state the way a delta consumer
+    // (the event-driven runtime) does.
+    fn apply_delta(current: &mut Option<EnvState>, delta: EnvDelta, topo: &Topology) {
+        match delta {
+            EnvDelta::Unchanged => {
+                assert!(current.is_some(), "Unchanged before any base state");
+            }
+            EnvDelta::AllEnabled => *current = Some(EnvState::fully_enabled(topo)),
+            EnvDelta::Full(s) => *current = Some(s),
+            EnvDelta::Changes(c) => current
+                .as_mut()
+                .expect("Changes before any base state")
+                .apply_changes(&c),
+        }
+    }
+
+    #[test]
+    fn static_delta_is_symbolically_all_enabled() {
+        let mut env = StaticEnv::new(Topology::ring(5));
+        let mut r = rng();
+        for _ in 0..3 {
+            assert_eq!(env.step_delta(&mut r), EnvDelta::AllEnabled);
+        }
+    }
+
+    #[test]
+    fn markov_deltas_match_full_rescans() {
+        let topo = Topology::ring(8);
+        let mut by_step = MarkovLinkEnv::new(topo.clone(), 0.4, 0.4);
+        let mut by_delta = by_step.clone();
+        let (mut r1, mut r2) = (rng(), rng());
+        let mut current: Option<EnvState> = None;
+        let mut saw_changes = false;
+        for _ in 0..30 {
+            let expected = by_step.step(&mut r1);
+            let delta = by_delta.step_delta(&mut r2);
+            saw_changes |= matches!(delta, EnvDelta::Changes(_));
+            apply_delta(&mut current, delta, &topo);
+            assert_eq!(current.as_ref(), Some(&expected));
+        }
+        assert!(saw_changes, "p=0.4 churn over 30 rounds must flip an edge");
+    }
+
+    #[test]
+    fn partition_deltas_are_unchanged_within_phases() {
+        let topo = Topology::complete(6);
+        let mut by_step = PeriodicPartitionEnv::new(topo.clone(), 2, 4);
+        let mut by_delta = PeriodicPartitionEnv::new(topo.clone(), 2, 4);
+        let (mut r1, mut r2) = (rng(), rng());
+        let mut current: Option<EnvState> = None;
+        let mut unchanged = 0;
+        for _ in 0..12 {
+            let expected = by_step.step(&mut r1);
+            let delta = by_delta.step_delta(&mut r2);
+            if delta == EnvDelta::Unchanged {
+                unchanged += 1;
+            }
+            apply_delta(&mut current, delta, &topo);
+            assert_eq!(current.as_ref(), Some(&expected));
+        }
+        // 12 rounds at period 4: only the merge rounds and the returns to
+        // partition force a rescan; the rest are free.
+        assert_eq!(unchanged, 6);
+    }
+
+    #[test]
+    fn default_step_delta_falls_back_to_full_rescan() {
+        let topo = Topology::complete(5);
+        let mut by_step = CrashRestartEnv::new(topo.clone(), 0.3, 0.5);
+        let mut by_delta = by_step.clone();
+        let (mut r1, mut r2) = (rng(), rng());
+        for _ in 0..10 {
+            let expected = by_step.step(&mut r1);
+            assert_eq!(by_delta.step_delta(&mut r2), EnvDelta::Full(expected));
+        }
     }
 }

@@ -14,6 +14,7 @@ use std::collections::BTreeSet;
 
 use selfsim_temporal::{Formula, Trace, Verdict};
 
+use crate::topology::EdgeSet;
 use crate::{AgentId, Edge, EnvState, Topology};
 
 /// A fairness specification `Q_E`: one recurrence predicate per edge of a
@@ -26,16 +27,20 @@ use crate::{AgentId, Edge, EnvState, Topology};
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FairnessSpec {
     agent_count: usize,
-    edges: BTreeSet<Edge>,
+    // Shared representation with `Topology`: a clique spec stays symbolic,
+    // so `FairnessSpec::complete(100000)` is O(1) like the topology it
+    // mirrors.
+    edges: EdgeSet,
     require_agents_enabled: bool,
 }
 
 impl FairnessSpec {
-    /// The fairness set `Q_E` for every edge of `graph`.
+    /// The fairness set `Q_E` for every edge of `graph`.  The edge set is
+    /// shared structurally, so this is cheap even for symbolic cliques.
     pub fn for_graph(graph: &Topology) -> Self {
         FairnessSpec {
             agent_count: graph.agent_count(),
-            edges: graph.edges().clone(),
+            edges: graph.edge_set().clone(),
             require_agents_enabled: true,
         }
     }
@@ -45,7 +50,7 @@ impl FairnessSpec {
     pub fn for_edges(agent_count: usize, edges: impl IntoIterator<Item = Edge>) -> Self {
         FairnessSpec {
             agent_count,
-            edges: edges.into_iter().collect(),
+            edges: EdgeSet::Explicit(edges.into_iter().collect()),
             require_agents_enabled: true,
         }
     }
@@ -75,9 +80,12 @@ impl FairnessSpec {
         self.agent_count
     }
 
-    /// The edges whose availability must recur.
+    /// The edges whose availability must recur.  A symbolic clique is
+    /// materialised (once) on first access; the structural helpers below
+    /// ([`FairnessSpec::is_complete`], [`FairnessSpec::is_connected`],
+    /// [`FairnessSpec::covered_agents`]) never expand it.
     pub fn edges(&self) -> &BTreeSet<Edge> {
-        &self.edges
+        self.edges.materialized()
     }
 
     /// Returns `true` if the single predicate `Q_e` holds in `state`.
@@ -92,7 +100,10 @@ impl FairnessSpec {
     /// Returns `true` if *every* predicate of the spec holds simultaneously
     /// in `state` (a "merge" state in which the whole fairness graph is up).
     pub fn all_satisfied(&self, state: &EnvState) -> bool {
-        self.edges.iter().all(|e| self.edge_satisfied(*e, state))
+        self.edges
+            .materialized()
+            .iter()
+            .all(|e| self.edge_satisfied(*e, state))
     }
 
     /// Checks `□◇Q_e` for every edge `e` of the spec over a recorded
@@ -104,7 +115,7 @@ impl FairnessSpec {
     /// fairness assumption (2).
     pub fn check_trace(&self, trace: &Trace<EnvState>, tolerance: usize) -> Vec<(Edge, Verdict)> {
         let mut violations = Vec::new();
-        for &edge in &self.edges {
+        for &edge in self.edges.materialized() {
             let spec = self.clone();
             let formula = Formula::always_eventually(
                 Formula::atom(format!("Q_{edge}"), move |s: &EnvState| {
@@ -131,6 +142,7 @@ impl FairnessSpec {
     /// was (used by the adaptivity experiments).
     pub fn satisfaction_counts(&self, trace: &Trace<EnvState>) -> Vec<(Edge, usize)> {
         self.edges
+            .materialized()
             .iter()
             .map(|&e| {
                 let count = trace.iter().filter(|s| self.edge_satisfied(e, s)).count();
@@ -146,8 +158,13 @@ impl FairnessSpec {
     /// sum example requires the complete graph.  This helper lets algorithm
     /// constructors validate the spec they are given.
     pub fn is_connected(&self) -> bool {
+        if let EdgeSet::Complete { n, .. } = &self.edges {
+            // The clique connects its members; any agent beyond it is an
+            // isolated vertex.
+            return *n == self.agent_count || self.agent_count <= 1;
+        }
         let mut topo = Topology::empty(self.agent_count);
-        for e in &self.edges {
+        for e in self.edges.materialized() {
             topo.add_edge(e.lo(), e.hi());
         }
         topo.is_connected()
@@ -162,12 +179,20 @@ impl FairnessSpec {
 
     /// The set of agents mentioned by at least one fairness edge.
     pub fn covered_agents(&self) -> BTreeSet<AgentId> {
-        let mut agents = BTreeSet::new();
-        for e in &self.edges {
-            agents.insert(e.lo());
-            agents.insert(e.hi());
+        match &self.edges {
+            EdgeSet::Explicit(edges) => {
+                let mut agents = BTreeSet::new();
+                for e in edges {
+                    agents.insert(e.lo());
+                    agents.insert(e.hi());
+                }
+                agents
+            }
+            // A clique on fewer than two agents has no edges, hence covers
+            // nobody.
+            EdgeSet::Complete { n: 0 | 1, .. } => BTreeSet::new(),
+            EdgeSet::Complete { n, .. } => (0..*n).map(AgentId).collect(),
         }
-        agents
     }
 }
 
@@ -265,6 +290,23 @@ mod tests {
         ]);
         let counts = spec.satisfaction_counts(&trace);
         assert_eq!(counts, vec![(e01, 2), (e12, 1)]);
+    }
+
+    #[test]
+    fn symbolic_complete_spec_is_cheap_and_equal_to_explicit() {
+        // No call below may expand the 100k-agent clique.
+        let spec = FairnessSpec::complete(100_000);
+        assert!(spec.is_complete());
+        assert!(spec.is_connected());
+        assert_eq!(spec.covered_agents().len(), 100_000);
+        // Semantic equality across representations at a checkable size.
+        let small = FairnessSpec::complete(5);
+        let explicit = FairnessSpec::for_edges(
+            5,
+            (0..5).flat_map(|i| ((i + 1)..5).map(move |j| Edge::new(AgentId(i), AgentId(j)))),
+        );
+        assert_eq!(small, explicit);
+        assert_eq!(small.edges(), explicit.edges());
     }
 
     #[test]

@@ -49,8 +49,8 @@ mod state;
 mod topology;
 
 pub use environment::{
-    AdversarialEnv, ComposedEnv, CrashRestartEnv, Environment, MarkovLinkEnv, PeriodicPartitionEnv,
-    RandomChurnEnv, StaticEnv,
+    AdversarialEnv, ComposedEnv, CrashRestartEnv, EnvChanges, EnvDelta, Environment, MarkovLinkEnv,
+    PeriodicPartitionEnv, RandomChurnEnv, StaticEnv,
 };
 pub use fairness::FairnessSpec;
 pub use params::{parse_label, split_top_level, validate_probability, Params};

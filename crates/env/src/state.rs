@@ -5,7 +5,7 @@ use std::collections::BTreeSet;
 use serde::{Deserialize, Serialize};
 
 use crate::topology::connected_components;
-use crate::{AgentId, Edge, Topology};
+use crate::{AgentId, Edge, EnvChanges, Topology};
 
 /// One state `G` of the environment: which edges are currently available
 /// for communication and which agents are currently enabled.
@@ -137,6 +137,42 @@ impl EnvState {
     pub fn is_fully_connected(&self) -> bool {
         let groups = self.groups();
         groups.len() == 1 && groups[0].len() == self.agent_count
+    }
+
+    /// Applies an incremental connectivity update in place: downed edges
+    /// and agents are removed, upped ones inserted.  The result must equal
+    /// the state a full rescan would have produced — that is the
+    /// [`Environment::step_delta`](crate::Environment::step_delta)
+    /// contract, and the delta-equivalence proptests enforce it for every
+    /// builtin environment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an upped edge or agent is out of range (the same guard as
+    /// [`EnvState::new`]).
+    pub fn apply_changes(&mut self, changes: &EnvChanges) {
+        for e in &changes.edges_down {
+            self.enabled_edges.remove(e);
+        }
+        for e in &changes.edges_up {
+            assert!(
+                e.hi().index() < self.agent_count,
+                "edge {e} out of range for {} agents",
+                self.agent_count
+            );
+            self.enabled_edges.insert(*e);
+        }
+        for a in &changes.agents_down {
+            self.enabled_agents.remove(a);
+        }
+        for a in &changes.agents_up {
+            assert!(
+                a.index() < self.agent_count,
+                "agent {a} out of range for {} agents",
+                self.agent_count
+            );
+            self.enabled_agents.insert(*a);
+        }
     }
 
     /// Intersection of two states over the same agent set: an edge or agent

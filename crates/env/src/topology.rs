@@ -2,9 +2,10 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
+use std::sync::OnceLock;
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// Identifier of an agent (process) in the fixed agent set `A`.
 ///
@@ -92,6 +93,113 @@ impl fmt::Display for Edge {
     }
 }
 
+/// Edge storage shared by [`Topology`] and
+/// [`FairnessSpec`](crate::FairnessSpec): either an explicit sorted set, or
+/// the complete graph on `n` agents held *symbolically* so that
+/// `complete(100000)` costs O(1) instead of materialising ~5·10⁹ edges.
+///
+/// All queries (`len`, `contains`, neighbours, components) have closed
+/// forms for the complete case; [`EdgeSet::materialized`] lazily expands
+/// the set once for the few callers that genuinely need every edge
+/// (serialization, per-edge environment churn), and caches the expansion.
+///
+/// Equality is *semantic* — a symbolic complete graph equals the explicit
+/// set of the same edges — so representation changes never change cell
+/// identity.
+#[derive(Debug)]
+pub(crate) enum EdgeSet {
+    /// An explicit edge set.
+    Explicit(BTreeSet<Edge>),
+    /// The complete graph on agents `0..n`, expanded on demand.
+    Complete {
+        /// Number of agents the clique spans.
+        n: usize,
+        /// Lazily materialised edge set (for `edges()`/serialization).
+        cache: OnceLock<BTreeSet<Edge>>,
+    },
+}
+
+impl EdgeSet {
+    fn complete_len(n: usize) -> usize {
+        n * n.saturating_sub(1) / 2
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            EdgeSet::Explicit(edges) => edges.len(),
+            EdgeSet::Complete { n, .. } => EdgeSet::complete_len(*n),
+        }
+    }
+
+    pub(crate) fn contains(&self, edge: &Edge) -> bool {
+        match self {
+            EdgeSet::Explicit(edges) => edges.contains(edge),
+            // Edges are normalised (lo < hi), so `hi < n` implies both
+            // endpoints are in the clique.
+            EdgeSet::Complete { n, .. } => edge.hi().index() < *n,
+        }
+    }
+
+    /// The explicit edge set, expanding (and caching) a symbolic clique.
+    pub(crate) fn materialized(&self) -> &BTreeSet<Edge> {
+        match self {
+            EdgeSet::Explicit(edges) => edges,
+            EdgeSet::Complete { n, cache } => cache.get_or_init(|| {
+                let mut edges = BTreeSet::new();
+                for i in 0..*n {
+                    for j in (i + 1)..*n {
+                        edges.insert(Edge::new(AgentId(i), AgentId(j)));
+                    }
+                }
+                edges
+            }),
+        }
+    }
+
+    /// Collapses the symbolic form into an owned explicit set.
+    fn into_explicit(self) -> BTreeSet<Edge> {
+        match self {
+            EdgeSet::Explicit(edges) => edges,
+            complete @ EdgeSet::Complete { .. } => complete.materialized().clone(),
+        }
+    }
+}
+
+impl Clone for EdgeSet {
+    fn clone(&self) -> Self {
+        match self {
+            EdgeSet::Explicit(edges) => EdgeSet::Explicit(edges.clone()),
+            // The cache is per-instance scratch; clones start cold.
+            EdgeSet::Complete { n, .. } => EdgeSet::Complete {
+                n: *n,
+                cache: OnceLock::new(),
+            },
+        }
+    }
+}
+
+impl PartialEq for EdgeSet {
+    fn eq(&self, other: &Self) -> bool {
+        // A set of C(n,2) distinct normalised edges with every endpoint
+        // below n *is* the clique on n, so count + range check is exact.
+        let matches_complete = |edges: &BTreeSet<Edge>, n: usize| {
+            edges.len() == EdgeSet::complete_len(n) && edges.iter().all(|e| e.hi().index() < n)
+        };
+        match (self, other) {
+            (EdgeSet::Explicit(a), EdgeSet::Explicit(b)) => a == b,
+            (EdgeSet::Complete { n: a, .. }, EdgeSet::Complete { n: b, .. }) => {
+                EdgeSet::complete_len(*a) == EdgeSet::complete_len(*b)
+            }
+            (EdgeSet::Explicit(edges), EdgeSet::Complete { n, .. })
+            | (EdgeSet::Complete { n, .. }, EdgeSet::Explicit(edges)) => {
+                matches_complete(edges, *n)
+            }
+        }
+    }
+}
+
+impl Eq for EdgeSet {}
+
 /// The communication graph `(A, E)`: a fixed set of `n` agents
 /// (`AgentId(0) .. AgentId(n-1)`) and a set of undirected edges.
 ///
@@ -99,10 +207,39 @@ impl fmt::Display for Edge {
 /// environment enables some subset of its edges (see
 /// [`EnvState`](crate::EnvState)).  The fairness sets `Q_E` of the paper's
 /// examples are defined over topology edges.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+///
+/// Complete graphs are held symbolically (see [`EdgeSet`]), so
+/// [`Topology::complete`] is O(1) and clique queries never expand the edge
+/// set; only [`Topology::edges`] does, lazily.
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Topology {
     n: usize,
-    edges: BTreeSet<Edge>,
+    edges: EdgeSet,
+}
+
+// Hand-written serde keeping the exact `{ "n": …, "edges": [...] }` wire
+// shape the old derive produced, so records and golden files are unchanged;
+// serializing a symbolic clique materialises it.
+impl Serialize for Topology {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("n".into(), self.n.to_value()),
+            ("edges".into(), self.edges.materialized().to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Topology {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let field = |name: &str| {
+            v.get_field(name)
+                .ok_or_else(|| serde::Error(format!("Topology missing field `{name}`")))
+        };
+        Ok(Topology {
+            n: usize::from_value(field("n")?)?,
+            edges: EdgeSet::Explicit(BTreeSet::from_value(field("edges")?)?),
+        })
+    }
 }
 
 impl Topology {
@@ -110,7 +247,7 @@ impl Topology {
     pub fn empty(n: usize) -> Self {
         Topology {
             n,
-            edges: BTreeSet::new(),
+            edges: EdgeSet::Explicit(BTreeSet::new()),
         }
     }
 
@@ -130,14 +267,17 @@ impl Topology {
     /// The complete graph on `n` agents (every pair may communicate).
     ///
     /// This is the fairness graph required by the *sum* example (§4.2).
+    /// The clique is held symbolically — construction is O(1) and clique
+    /// queries have closed forms — so `complete(100000)` is a sweepable
+    /// cell rather than a 5-billion-edge allocation.
     pub fn complete(n: usize) -> Self {
-        let mut topo = Topology::empty(n);
-        for i in 0..n {
-            for j in (i + 1)..n {
-                topo.add_edge(AgentId(i), AgentId(j));
-            }
+        Topology {
+            n,
+            edges: EdgeSet::Complete {
+                n,
+                cache: OnceLock::new(),
+            },
         }
-        topo
     }
 
     /// The line (path) graph `0 — 1 — … — n-1`.
@@ -227,17 +367,26 @@ impl Topology {
         (0..self.n).map(AgentId)
     }
 
-    /// The edge set.
+    /// The edge set.  A symbolic complete graph is materialised (once) on
+    /// first access; prefer the closed-form queries ([`Topology::has_edge`],
+    /// [`Topology::edge_count`], [`Topology::components`]) on huge cliques.
     pub fn edges(&self) -> &BTreeSet<Edge> {
+        self.edges.materialized()
+    }
+
+    /// The internal edge representation, shared with
+    /// [`FairnessSpec`](crate::FairnessSpec) so clique specs stay symbolic.
+    pub(crate) fn edge_set(&self) -> &EdgeSet {
         &self.edges
     }
 
-    /// Number of edges.
+    /// Number of edges (closed form for symbolic cliques).
     pub fn edge_count(&self) -> usize {
         self.edges.len()
     }
 
-    /// Adds an (undirected) edge.
+    /// Adds an (undirected) edge.  A symbolic clique is expanded first —
+    /// mutation forfeits the compact representation.
     ///
     /// # Panics
     ///
@@ -248,27 +397,62 @@ impl Topology {
             "edge endpoint out of range: {a}, {b} with n = {}",
             self.n
         );
-        self.edges.insert(Edge::new(a, b));
+        if let EdgeSet::Complete { .. } = self.edges {
+            let explicit = std::mem::replace(&mut self.edges, EdgeSet::Explicit(BTreeSet::new()));
+            self.edges = EdgeSet::Explicit(explicit.into_explicit());
+        }
+        match &mut self.edges {
+            EdgeSet::Explicit(edges) => {
+                edges.insert(Edge::new(a, b));
+            }
+            EdgeSet::Complete { .. } => unreachable!("clique expanded above"),
+        }
     }
 
     /// Returns `true` if the edge `{a, b}` is in the topology.
     pub fn has_edge(&self, a: AgentId, b: AgentId) -> bool {
-        a != b && self.edges.contains(&Edge::new(a, b))
+        // The clique's closed form needs the explicit range check the
+        // set-containment path got for free.
+        a != b && a.0 < self.n && b.0 < self.n && self.edges.contains(&Edge::new(a, b))
     }
 
-    /// The neighbours of `agent` in the topology.
+    /// The neighbours of `agent` in the topology, in ascending id order.
     pub fn neighbors(&self, agent: AgentId) -> Vec<AgentId> {
-        self.edges.iter().filter_map(|e| e.other(agent)).collect()
+        match &self.edges {
+            EdgeSet::Explicit(edges) => edges.iter().filter_map(|e| e.other(agent)).collect(),
+            EdgeSet::Complete { n, .. } => {
+                if agent.0 >= *n {
+                    return Vec::new();
+                }
+                (0..*n).map(AgentId).filter(|&a| a != agent).collect()
+            }
+        }
     }
 
     /// Returns `true` if the graph is connected (or has at most one agent).
     pub fn is_connected(&self) -> bool {
-        connected_components(self.n, &self.edges, |_| true).len() <= 1
+        self.components().len() <= 1
     }
 
     /// The connected components of the topology.
     pub fn components(&self) -> Vec<Vec<AgentId>> {
-        connected_components(self.n, &self.edges, |_| true)
+        match &self.edges {
+            EdgeSet::Explicit(edges) => connected_components(self.n, edges, |_| true),
+            EdgeSet::Complete { n, .. } => {
+                // Agents inside the clique form one component; agents
+                // beyond it (possible only via deserialized data) would be
+                // isolated, but `complete(n)` always has `n == self.n`.
+                let clique: Vec<AgentId> = (0..*n.min(&self.n)).map(AgentId).collect();
+                let mut components = Vec::new();
+                if !clique.is_empty() {
+                    components.push(clique);
+                }
+                for i in *n..self.n {
+                    components.push(vec![AgentId(i)]);
+                }
+                components
+            }
+        }
     }
 }
 
@@ -432,5 +616,60 @@ mod tests {
     fn display_formats() {
         assert_eq!(AgentId(3).to_string(), "a3");
         assert_eq!(Edge::new(AgentId(1), AgentId(0)).to_string(), "a0—a1");
+    }
+
+    #[test]
+    fn symbolic_complete_matches_explicit_clique() {
+        let symbolic = Topology::complete(6);
+        let mut explicit = Topology::empty(6);
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                explicit.add_edge(AgentId(i), AgentId(j));
+            }
+        }
+        assert_eq!(symbolic, explicit);
+        assert_eq!(explicit, symbolic);
+        assert_eq!(symbolic.edges(), explicit.edges());
+        assert_eq!(
+            symbolic.neighbors(AgentId(2)),
+            explicit.neighbors(AgentId(2))
+        );
+        assert_eq!(symbolic.components(), explicit.components());
+        assert_eq!(symbolic.clone(), symbolic);
+        assert_ne!(symbolic, Topology::ring(6));
+    }
+
+    #[test]
+    fn huge_complete_graph_is_cheap_without_materialising() {
+        // 100k agents ⇒ ~5·10⁹ edges if expanded; every query below must
+        // use the closed forms.
+        let t = Topology::complete(100_000);
+        assert_eq!(t.edge_count(), 100_000 * 99_999 / 2);
+        assert!(t.has_edge(AgentId(0), AgentId(99_999)));
+        assert!(!t.has_edge(AgentId(0), AgentId(0)));
+        assert!(!t.has_edge(AgentId(0), AgentId(100_000)));
+        assert!(t.is_connected());
+        assert_eq!(t.components().len(), 1);
+        assert_eq!(t.neighbors(AgentId(5)).len(), 99_999);
+        assert!(t.neighbors(AgentId(100_000)).is_empty());
+        let _ = t.clone(); // clones stay symbolic (and cheap)
+    }
+
+    #[test]
+    fn complete_graph_mutation_expands_the_clique() {
+        let mut t = Topology::complete(3);
+        t.add_edge(AgentId(0), AgentId(1)); // already present
+        assert_eq!(t.edge_count(), 3);
+        assert_eq!(t, Topology::complete(3));
+    }
+
+    #[test]
+    fn topology_wire_shape_is_representation_independent() {
+        let symbolic = Topology::complete(3);
+        let explicit = Topology::from_edges(3, [(0, 1), (0, 2), (1, 2)]);
+        assert_eq!(symbolic.to_value(), explicit.to_value());
+        let back = Topology::from_value(&symbolic.to_value()).expect("round-trips");
+        assert_eq!(back, symbolic);
+        assert!(Topology::from_value(&Value::Null).is_err());
     }
 }

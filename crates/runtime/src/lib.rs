@@ -2,7 +2,7 @@
 //!
 //! The transition system of Chandy & Charpentier (ICDCS 2007) alternates
 //! environment transitions (arbitrary) with agent transitions (every group
-//! of a partition takes one collaborative step).  This crate provides two
+//! of a partition takes one collaborative step).  This crate provides three
 //! executable realisations of that system:
 //!
 //! * [`SyncSimulator`] — the direct, round-based realisation: at every round
@@ -21,14 +21,21 @@
 //!   due, which over environments with connectivity windows shorter than
 //!   the message latency decides convergence itself (see the
 //!   `delivery` module docs and experiment E14).
+//! * [`EventSimulator`] — the synchronous semantics driven from a
+//!   deterministic priority queue of environment and interaction events,
+//!   with delta-based connectivity updates
+//!   ([`selfsim_env::Environment::step_delta`]) and sparse interaction
+//!   scheduling, so idle agents cost nothing and million-agent systems stay
+//!   tractable.  On every cell it measures exactly what [`SyncSimulator`]
+//!   measures (the `event` module docs state the guarantee precisely).
 //!
-//! Both simulators are deterministic given a seed, record
+//! All simulators are deterministic given a seed, record
 //! [`selfsim_trace::RunMetrics`], optionally keep the full environment and
 //! agent-state traces for auditing (conservation law, `□◇Q`, LTL specs),
 //! and detect convergence (the state reaching — and then staying at — the
 //! target `f(S(0))`).
 //!
-//! The two simulators share an object-safe face, [`Runtime`], and a
+//! The simulators share an object-safe face, [`Runtime`], and a
 //! declarative selector, [`ExecutionMode`], so that experiment drivers can
 //! sweep the *execution model* as just another scenario dimension.
 
@@ -37,12 +44,14 @@
 
 mod async_sim;
 mod delivery;
+mod event;
 mod mode;
 mod report;
 mod sync;
 
 pub use async_sim::{validate_async_knobs, AsyncConfig, AsyncSimulator};
 pub use delivery::{DeliveryDecision, DeliveryRule, DEFAULT_GRACE};
+pub use event::{EventConfig, EventSimulator};
 pub use mode::{ExecutionMode, Runtime};
 pub use report::SimulationReport;
 pub use sync::{SyncConfig, SyncSimulator};

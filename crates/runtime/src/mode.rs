@@ -1,18 +1,19 @@
-//! The execution-mode dimension: one scenario, two runtimes.
+//! The execution-mode dimension: one scenario, three runtimes.
 //!
 //! The paper's thesis is that one self-similar design runs unchanged across
-//! execution models — synchronous rounds and asynchronous message passing.
-//! [`ExecutionMode`] makes that a first-class, sweepable parameter: it names
-//! a runtime plus its mode-specific knobs, and [`ExecutionMode::runtime`]
-//! materialises the corresponding simulator behind the object-safe
-//! [`Runtime`] trait so drivers (the campaign engine, the experiment
-//! binaries) never match on the mode themselves.
+//! execution models — synchronous rounds, asynchronous message passing, and
+//! event-driven scheduling.  [`ExecutionMode`] makes that a first-class,
+//! sweepable parameter: it names a runtime plus its mode-specific knobs, and
+//! [`ExecutionMode::runtime`] materialises the corresponding simulator
+//! behind the object-safe [`Runtime`] trait so drivers (the campaign engine,
+//! the experiment binaries) never match on the mode themselves.
 
 use selfsim_core::SelfSimilarSystem;
 use selfsim_env::Environment;
 
 use crate::{
-    AsyncConfig, AsyncSimulator, DeliveryRule, SimulationReport, SyncConfig, SyncSimulator,
+    AsyncConfig, AsyncSimulator, DeliveryRule, EventConfig, EventSimulator, SimulationReport,
+    SyncConfig, SyncSimulator,
 };
 
 /// A runtime that can execute a self-similar system under an environment —
@@ -61,6 +62,20 @@ impl<S: Ord + Clone + std::fmt::Debug> Runtime<S> for AsyncSimulator {
     }
 }
 
+impl<S: Ord + Clone + std::fmt::Debug> Runtime<S> for EventSimulator {
+    fn mode_name(&self) -> &'static str {
+        "event"
+    }
+
+    fn execute(
+        &self,
+        system: &SelfSimilarSystem<S>,
+        environment: &mut dyn Environment,
+    ) -> SimulationReport<S> {
+        self.run(system, environment)
+    }
+}
+
 /// Which runtime a scenario cell runs on, with the runtime-specific knobs
 /// that are part of the cell's identity (the budget and seed are per-trial
 /// and passed to [`ExecutionMode::runtime`] instead).
@@ -72,6 +87,15 @@ pub enum ExecutionMode {
         /// stability audit of `stable (S = f(S))`).  Only meaningful for
         /// self-similar systems; drivers of terminating protocols (e.g. the
         /// campaign's baseline adapters) ignore it.
+        cooldown: usize,
+    },
+    /// Event-driven execution on [`EventSimulator`]: the same round
+    /// semantics as [`ExecutionMode::Sync`], driven from a deterministic
+    /// priority queue with delta-based connectivity and sparse interaction
+    /// scheduling, so idle agents cost nothing.
+    Event {
+        /// Extra rounds to run *after* convergence is first detected; the
+        /// same knob (and the same semantics) as the sync cooldown.
         cooldown: usize,
     },
     /// Discrete-event message passing on [`AsyncSimulator`]: pairwise
@@ -92,6 +116,11 @@ impl ExecutionMode {
     /// The default synchronous mode (no cooldown).
     pub fn sync() -> Self {
         ExecutionMode::Sync { cooldown: 0 }
+    }
+
+    /// The default event-driven mode (no cooldown).
+    pub fn event() -> Self {
+        ExecutionMode::Event { cooldown: 0 }
     }
 
     /// The default asynchronous mode (the [`AsyncConfig`] defaults).
@@ -121,7 +150,7 @@ impl ExecutionMode {
     /// rounds have no messages in flight).
     pub fn delivery(&self) -> Option<DeliveryRule> {
         match *self {
-            ExecutionMode::Sync { .. } => None,
+            ExecutionMode::Sync { .. } | ExecutionMode::Event { .. } => None,
             ExecutionMode::Async { delivery, .. } => Some(delivery),
         }
     }
@@ -150,6 +179,8 @@ impl ExecutionMode {
         match *self {
             ExecutionMode::Sync { cooldown: 0 } => "sync".into(),
             ExecutionMode::Sync { cooldown } => format!("sync(cd={cooldown})"),
+            ExecutionMode::Event { cooldown: 0 } => "event".into(),
+            ExecutionMode::Event { cooldown } => format!("event(cd={cooldown})"),
             ExecutionMode::Async {
                 interaction_rate,
                 max_latency,
@@ -170,9 +201,24 @@ impl ExecutionMode {
         }
     }
 
-    /// Parses a mode label: the bare names (`sync` / `async`, their
-    /// default parameterisations) and every label [`ExecutionMode::label`]
-    /// emits.
+    /// The label of the mode whose runs this mode must measure identically
+    /// to, used for trial-seed derivation: the event-driven runtime is an
+    /// execution strategy for the synchronous semantics, so `event(cd=N)`
+    /// cells draw the same per-trial seeds as `sync(cd=N)` cells — that
+    /// shared stream is what lets the CI equivalence gate compare their
+    /// records byte for byte.  Sync and async modes are their own seed
+    /// anchor (their labels are returned unchanged, keeping every
+    /// historical seed stable).
+    pub fn seed_label(&self) -> String {
+        match *self {
+            ExecutionMode::Event { cooldown } => ExecutionMode::Sync { cooldown }.label(),
+            _ => self.label(),
+        }
+    }
+
+    /// Parses a mode label: the bare names (`sync` / `async` / `event`,
+    /// their default parameterisations) and every label
+    /// [`ExecutionMode::label`] emits.
     pub fn parse(s: &str) -> Option<Self> {
         Self::parse_label(s).ok()
     }
@@ -189,6 +235,11 @@ impl ExecutionMode {
                 let cooldown = params.take::<usize>("cd")?.unwrap_or(0);
                 params.finish(&["cd"])?;
                 Ok(ExecutionMode::Sync { cooldown })
+            }
+            "event" => {
+                let cooldown = params.take::<usize>("cd")?.unwrap_or(0);
+                params.finish(&["cd"])?;
+                Ok(ExecutionMode::Event { cooldown })
             }
             "async" => {
                 let defaults = AsyncConfig::default();
@@ -211,8 +262,8 @@ impl ExecutionMode {
                 })
             }
             other => Err(format!(
-                "unknown mode `{other}` (expected sync, sync(cd=N), async, or \
-                 async(i=RATE,l=LATENCY,d=DROP,dv=RULE))"
+                "unknown mode `{other}` (expected sync, sync(cd=N), event, event(cd=N), \
+                 async, or async(i=RATE,l=LATENCY,d=DROP,dv=RULE))"
             )),
         }
     }
@@ -230,6 +281,13 @@ impl ExecutionMode {
     ) -> Box<dyn Runtime<S>> {
         match *self {
             ExecutionMode::Sync { cooldown } => Box::new(SyncSimulator::new(SyncConfig {
+                max_rounds: budget,
+                cooldown_rounds: cooldown,
+                seed,
+                record_traces,
+                record_events,
+            })),
+            ExecutionMode::Event { cooldown } => Box::new(EventSimulator::new(EventConfig {
                 max_rounds: budget,
                 cooldown_rounds: cooldown,
                 seed,
@@ -267,6 +325,9 @@ mod tests {
             assert_eq!(ExecutionMode::parse(&mode.label()), Some(mode));
         }
         assert_eq!(ExecutionMode::Sync { cooldown: 7 }.label(), "sync(cd=7)");
+        assert_eq!(ExecutionMode::event().label(), "event");
+        assert_eq!(ExecutionMode::parse("event"), Some(ExecutionMode::event()));
+        assert_eq!(ExecutionMode::Event { cooldown: 7 }.label(), "event(cd=7)");
         assert_eq!(
             ExecutionMode::Async {
                 interaction_rate: 0.25,
@@ -286,6 +347,7 @@ mod tests {
         // to the identical cell, including nested delivery-rule labels.
         for mode in [
             ExecutionMode::Sync { cooldown: 7 },
+            ExecutionMode::Event { cooldown: 7 },
             ExecutionMode::Async {
                 interaction_rate: 0.25,
                 max_latency: 5,
@@ -365,15 +427,48 @@ mod tests {
     }
 
     #[test]
-    fn both_runtimes_converge_through_the_trait_object() {
+    fn all_runtimes_converge_through_the_trait_object() {
         let sys = minimum::system(&[9, 4, 7, 1, 5, 8], Topology::ring(6));
-        for mode in ExecutionMode::both() {
+        let [sync, asynchronous] = ExecutionMode::both();
+        for mode in [sync, asynchronous, ExecutionMode::event()] {
             let runtime = mode.runtime::<i64>(3, 100_000, false, false);
             let mut env = StaticEnv::new(Topology::ring(6));
             let report = runtime.execute(&sys, &mut env);
             assert!(report.converged(), "{}", mode.label());
             assert_eq!(report.final_state, vec![1; 6], "{}", mode.label());
         }
+    }
+
+    #[test]
+    fn event_mode_seeds_anchor_to_the_matching_sync_cell() {
+        assert_eq!(ExecutionMode::event().seed_label(), "sync");
+        assert_eq!(
+            ExecutionMode::Event { cooldown: 5 }.seed_label(),
+            "sync(cd=5)"
+        );
+        // The existing modes are their own anchor — historical seeds (and
+        // hence every committed fixture) are untouched.
+        assert_eq!(ExecutionMode::sync().seed_label(), "sync");
+        assert_eq!(
+            ExecutionMode::Sync { cooldown: 5 }.seed_label(),
+            "sync(cd=5)"
+        );
+        assert_eq!(ExecutionMode::asynchronous().seed_label(), "async");
+    }
+
+    #[test]
+    fn event_mode_carries_its_cooldown_into_the_runtime() {
+        let sys = minimum::system(&[9, 2, 7], Topology::complete(3));
+        let mut env = StaticEnv::new(Topology::complete(3));
+        let report = ExecutionMode::Event { cooldown: 6 }
+            .runtime::<i64>(5, 50_000, false, false)
+            .execute(&sys, &mut env);
+        assert!(report.converged());
+        assert_eq!(report.metrics.environment, "event/static");
+        assert_eq!(
+            report.metrics.rounds_executed,
+            report.rounds_to_convergence().expect("converged") + 6
+        );
     }
 
     #[test]

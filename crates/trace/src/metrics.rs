@@ -37,6 +37,14 @@ pub struct RunMetrics {
     /// zero under `valid-at-delivery` and `valid-at-send` (those rules
     /// never requeue) and for synchronous runtimes.
     pub messages_requeued: usize,
+    /// Events popped off the event queue by the event-driven runtime (one
+    /// per environment transition, scheduled group interaction and
+    /// round-boundary marker).  Zero for the round-based and message-passing
+    /// runtimes, which have no event queue.
+    pub events_processed: usize,
+    /// High-water mark of the event queue's depth over the run.  Zero for
+    /// runtimes without an event queue.
+    pub peak_queue_depth: usize,
     /// The global objective value `h(S)` after every round (index 0 is the
     /// initial value).
     pub objective_trajectory: Vec<f64>,
@@ -60,6 +68,8 @@ impl RunMetrics {
             messages: 0,
             messages_dropped: 0,
             messages_requeued: 0,
+            events_processed: 0,
+            peak_queue_depth: 0,
             objective_trajectory: Vec::new(),
         }
     }
@@ -114,6 +124,8 @@ mod tests {
             messages: 24,
             messages_dropped: 2,
             messages_requeued: 1,
+            events_processed: 17,
+            peak_queue_depth: 4,
             objective_trajectory: vec![40.0, 22.0, 10.0, 8.0, 8.0, 8.0],
         }
     }
