@@ -53,10 +53,79 @@ pub fn expect_not_unwrap(v: Option<u32>) -> u32 {
     v.expect("fixture value is always Some")
 }
 
+pub fn derived_rng(seed: u64) -> rand::rngs::StdRng {
+    // seed-provenance: a seed-bearing parameter is the sanctioned chain,
+    // even mixed through a local.
+    let stream_seed = seed ^ 0x9E37_79B9;
+    rand::rngs::StdRng::seed_from_u64(stream_seed)
+}
+
+pub fn guarded_wait(lock: &std::sync::Mutex<bool>, cv: &std::sync::Condvar) {
+    let mut ready = lock.lock().expect("poisoned");
+    // condvar-wait-loop: the `while` re-check makes spurious wakeups
+    // harmless.
+    while !*ready {
+        ready = cv.wait(ready).expect("poisoned");
+    }
+    *ready = false;
+}
+
+// registry-label-drift: every variant appears in both halves, so the
+// grammar round-trips.
+pub enum Phase {
+    Warm,
+    Cold,
+}
+
+impl Phase {
+    pub fn label(&self) -> &'static str {
+        match *self {
+            Phase::Warm => "warm",
+            Phase::Cold => "cold",
+        }
+    }
+
+    pub fn parse_label(label: &str) -> Option<Phase> {
+        match label {
+            "warm" => Some(Phase::Warm),
+            "cold" => Some(Phase::Cold),
+            _ => None,
+        }
+    }
+}
+
+pub struct PairedLocks {
+    first: std::sync::Mutex<u64>,
+    second: std::sync::Mutex<u64>,
+}
+
+// lock-order: both fns agree on first → second, so no cycle exists.
+pub fn sum_locks(s: &PairedLocks) -> u64 {
+    let a = s.first.lock().expect("first");
+    let b = s.second.lock().expect("second");
+    *a + *b
+}
+
+pub fn diff_locks(s: &PairedLocks) -> u64 {
+    let a = s.first.lock().expect("first");
+    let b = s.second.lock().expect("second");
+    *a - *b
+}
+
 #[cfg(test)]
 mod tests {
-    // println! in a #[cfg(test)] mod is not a stray print.
+    // println! in a #[cfg(test)] mod is not a stray print, a fixed seed
+    // is exactly what a test wants, and test-mod indexing is not
+    // panic surface.
     pub fn print_in_tests() {
         println!("test-scoped output is sanctioned");
+    }
+
+    pub fn seeded_in_tests() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(7)
+    }
+
+    pub fn index_in_tests(v: &[u8]) -> u8 {
+        v[0]
     }
 }

@@ -31,6 +31,9 @@ pub struct Config {
     pub unordered_iter_crates: Vec<String>,
     /// Per-crate `.unwrap()` ceilings for `unwrap-ratchet`.
     pub unwrap_budget: BTreeMap<String, u64>,
+    /// Per-crate `panic!`/`unreachable!`/`[idx]` ceilings for
+    /// `panic-ratchet`.
+    pub panic_budget: BTreeMap<String, u64>,
 }
 
 impl Config {
@@ -46,7 +49,7 @@ impl Config {
             if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
                 section = name.trim().to_string();
                 match section.as_str() {
-                    "wall_clock" | "unordered_iter" | "unwrap_budget" => {}
+                    "wall_clock" | "unordered_iter" | "unwrap_budget" | "panic_budget" => {}
                     other => {
                         return Err(format!("detlint.toml:{}: unknown section [{other}]", n + 1))
                     }
@@ -64,18 +67,19 @@ impl Config {
                 ("unordered_iter", "crates") => {
                     config.unordered_iter_crates = parse_string_array(value, n + 1)?;
                 }
-                ("unwrap_budget", crate_name) => {
+                (section @ ("unwrap_budget" | "panic_budget"), crate_name) => {
                     let budget = value.parse::<u64>().map_err(|_| {
                         format!(
                             "detlint.toml:{}: budget for `{crate_name}` is not an integer: `{value}`",
                             n + 1
                         )
                     })?;
-                    if config
-                        .unwrap_budget
-                        .insert(crate_name.to_string(), budget)
-                        .is_some()
-                    {
+                    let map = if section == "unwrap_budget" {
+                        &mut config.unwrap_budget
+                    } else {
+                        &mut config.panic_budget
+                    };
+                    if map.insert(crate_name.to_string(), budget).is_some() {
                         return Err(format!(
                             "detlint.toml:{}: duplicate budget for `{crate_name}`",
                             n + 1
@@ -141,6 +145,17 @@ mod tests {
         assert_eq!(config.unordered_iter_crates, ["campaign", "trace"]);
         assert_eq!(config.unwrap_budget.get("campaign"), Some(&35));
         assert_eq!(config.unwrap_budget.get("trace"), Some(&3));
+    }
+
+    #[test]
+    fn panic_budget_parses_like_unwrap_budget() {
+        let config = Config::parse("[panic_budget]\nruntime = 4\n\n[unwrap_budget]\nruntime = 7\n")
+            .expect("valid config");
+        assert_eq!(config.panic_budget.get("runtime"), Some(&4));
+        assert_eq!(config.unwrap_budget.get("runtime"), Some(&7));
+        assert!(Config::parse("[panic_budget]\na = 1\na = 2\n")
+            .expect_err("dup")
+            .contains("duplicate budget"));
     }
 
     #[test]

@@ -1,0 +1,527 @@
+//! The workspace symbol graph behind the cross-file rules.
+//!
+//! [`extract`] distills one file's [`crate::parser::ItemTree`] into a
+//! [`FileSymbols`] fragment — the enums, `label()`/`parse_label()` body
+//! idents, `*Factory` impls, registrar bodies and per-fn lock sequences
+//! the graph rules need, plus the pragma suppressions that apply to
+//! them.  A [`Graph`] merges the fragments for one scope (a crate in
+//! `--workspace` mode, a single file in explicit-file mode) and emits:
+//!
+//! * `registry-label-drift` — an enum with a `label()`/`parse_label()`
+//!   pair must mention every variant in *both* bodies (the compiler only
+//!   enforces the emit half; the parse half has a catch-all arm), and
+//!   every `*Factory` impl must appear in a `builtin()`/`builtin_ref()`
+//!   registration body when the scope has one;
+//! * `lock-order` — two fns that acquire the same two locks in opposite
+//!   orders are a deadlock waiting for the right interleaving.
+//!
+//! The checks are name-based, like everything in this lint: two Mutexes
+//! that share a field name across files in one crate are treated as the
+//! same lock, which is exactly the conservatism a deadlock lint wants.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::Tok;
+use crate::parser::ItemTree;
+use crate::report::Finding;
+use crate::rules::{FileContext, Rule};
+
+/// A pragma's reach, carried out of `check_file` so graph findings can
+/// honour `detlint::allow` like file-scoped findings do.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    pub rule: Rule,
+    pub file_wide: bool,
+    /// Inclusive line range (ignored when `file_wide`).
+    pub lo: u32,
+    pub hi: u32,
+}
+
+/// One enum declaration visible to the drift rule.
+#[derive(Debug, Clone)]
+pub struct EnumSym {
+    pub name: String,
+    /// `(variant, line)` in declaration order.
+    pub variants: Vec<(String, u32)>,
+    pub file: String,
+}
+
+/// One `impl SomethingFactory for Type` site.
+#[derive(Debug, Clone)]
+pub struct FactoryImpl {
+    pub type_name: String,
+    pub trait_name: String,
+    pub file: String,
+    pub line: u32,
+}
+
+/// One fn's lock-acquisition order (distinct lock names, first touch).
+#[derive(Debug, Clone)]
+pub struct FnLocks {
+    pub fn_name: String,
+    pub file: String,
+    pub line: u32,
+    /// `(lock name, line of first acquisition)` in source order.
+    pub seq: Vec<(String, u32)>,
+}
+
+/// Everything one file contributes to the graph scope.
+#[derive(Debug, Default)]
+pub struct FileSymbols {
+    pub file: String,
+    pub enums: Vec<EnumSym>,
+    /// Enum/type name → idents appearing in its `label()` body.
+    pub label_idents: BTreeMap<String, BTreeSet<String>>,
+    /// Enum/type name → idents appearing in its `parse_label()` body.
+    pub parse_idents: BTreeMap<String, BTreeSet<String>>,
+    pub factory_impls: Vec<FactoryImpl>,
+    /// Idents inside `builtin()` / `builtin_ref()` fn bodies.
+    pub registrar_idents: BTreeSet<String>,
+    /// Whether this file declares a registrar fn at all.
+    pub has_registrar: bool,
+    pub fn_locks: Vec<FnLocks>,
+    pub suppressions: Vec<Suppression>,
+}
+
+/// Keywords that can directly precede a `.lock()` receiver position but
+/// never name a lock.
+const NON_LOCK_IDENTS: &[&str] = &["self", "return", "await", "else", "match", "in"];
+
+/// Distills the graph-relevant symbols out of one parsed file.
+pub fn extract(
+    file: &str,
+    toks: &[Tok],
+    tree: &ItemTree,
+    ctx: &FileContext,
+    suppressions: Vec<Suppression>,
+) -> FileSymbols {
+    let mut sym = FileSymbols {
+        file: file.to_string(),
+        suppressions,
+        ..FileSymbols::default()
+    };
+    if ctx.is_test_code {
+        // Integration tests and examples re-implement traits freely;
+        // their symbols must not pollute the library graph.
+        return sym;
+    }
+
+    for e in &tree.enums {
+        if !e.in_test {
+            sym.enums.push(EnumSym {
+                name: e.name.clone(),
+                variants: e.variants.clone(),
+                file: file.to_string(),
+            });
+        }
+    }
+
+    for f in &tree.fns {
+        if f.in_test {
+            continue;
+        }
+        let Some((lo, hi)) = f.body else { continue };
+        let body_idents = || -> BTreeSet<String> {
+            toks[lo..hi]
+                .iter()
+                .filter_map(|t| t.ident().map(str::to_string))
+                .collect()
+        };
+        match (f.name.as_str(), &f.impl_type) {
+            ("label", Some(ty)) => {
+                sym.label_idents
+                    .entry(ty.clone())
+                    .or_default()
+                    .extend(body_idents());
+            }
+            ("parse_label", Some(ty)) => {
+                sym.parse_idents
+                    .entry(ty.clone())
+                    .or_default()
+                    .extend(body_idents());
+            }
+            ("builtin" | "builtin_ref", _) => {
+                sym.has_registrar = true;
+                sym.registrar_idents.extend(body_idents());
+            }
+            _ => {}
+        }
+        if let Some(locks) = lock_sequence(toks, (lo, hi)) {
+            sym.fn_locks.push(FnLocks {
+                fn_name: f.name.clone(),
+                file: file.to_string(),
+                line: f.line,
+                seq: locks,
+            });
+        }
+    }
+
+    for im in &tree.impls {
+        if im.in_test {
+            continue;
+        }
+        if let Some(tr) = &im.trait_name {
+            if tr.ends_with("Factory") {
+                sym.factory_impls.push(FactoryImpl {
+                    type_name: im.type_name.clone(),
+                    trait_name: tr.clone(),
+                    file: file.to_string(),
+                    line: im.line,
+                });
+            }
+        }
+    }
+    sym
+}
+
+/// The distinct-lock acquisition order of one fn body: every
+/// `name.lock()` / `name.lock().expect(…)` site, first touch only.
+/// Returns `None` unless at least two distinct locks are acquired —
+/// single-lock fns cannot contribute to an ordering cycle.
+fn lock_sequence(toks: &[Tok], (lo, hi): (usize, usize)) -> Option<Vec<(String, u32)>> {
+    let mut seq: Vec<(String, u32)> = Vec::new();
+    for i in lo..hi.min(toks.len()) {
+        if toks[i].ident() != Some("lock")
+            || !toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            || !toks.get(i + 2).is_some_and(|t| t.is_punct(')'))
+            || i == 0
+            || !toks[i - 1].is_punct('.')
+        {
+            continue;
+        }
+        let Some(name) = i.checked_sub(2).and_then(|k| toks[k].ident()) else {
+            continue; // `stdout().lock()` and friends: receiver isn't a field
+        };
+        if NON_LOCK_IDENTS.contains(&name) {
+            continue;
+        }
+        if !seq.iter().any(|(n, _)| n == name) {
+            seq.push((name.to_string(), toks[i].line));
+        }
+    }
+    (seq.len() >= 2).then_some(seq)
+}
+
+/// The merged symbol graph for one lint scope.
+#[derive(Debug, Default)]
+pub struct Graph {
+    files: Vec<FileSymbols>,
+}
+
+impl Graph {
+    pub fn add(&mut self, sym: FileSymbols) {
+        self.files.push(sym);
+    }
+
+    /// Runs the cross-file rules over the merged scope.  Findings are
+    /// already pragma-filtered; the caller only sorts.
+    pub fn findings(&self) -> Vec<Finding> {
+        let mut out = Vec::new();
+        self.drift_findings(&mut out);
+        self.lock_order_findings(&mut out);
+        out.retain(|f| !self.suppressed(f));
+        out
+    }
+
+    fn suppressed(&self, finding: &Finding) -> bool {
+        self.files.iter().any(|sym| {
+            sym.file == finding.file
+                && sym.suppressions.iter().any(|s| {
+                    s.rule == finding.rule && (s.file_wide || (s.lo..=s.hi).contains(&finding.line))
+                })
+        })
+    }
+
+    fn drift_findings(&self, out: &mut Vec<Finding>) {
+        // Merge the label/parse bodies across the scope (an impl may
+        // live in a different file than its enum).
+        let mut label: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+        let mut parse: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+        for sym in &self.files {
+            for (ty, idents) in &sym.label_idents {
+                label
+                    .entry(ty)
+                    .or_default()
+                    .extend(idents.iter().map(String::as_str));
+            }
+            for (ty, idents) in &sym.parse_idents {
+                parse
+                    .entry(ty)
+                    .or_default()
+                    .extend(idents.iter().map(String::as_str));
+            }
+        }
+        for sym in &self.files {
+            for e in &sym.enums {
+                // Only enums with the full round-trip pair are bound by
+                // the grammar contract.
+                let (Some(emit), Some(accept)) =
+                    (label.get(e.name.as_str()), parse.get(e.name.as_str()))
+                else {
+                    continue;
+                };
+                for (variant, line) in &e.variants {
+                    if !emit.contains(variant.as_str()) {
+                        out.push(Finding {
+                            rule: Rule::RegistryLabelDrift,
+                            file: e.file.clone(),
+                            line: *line,
+                            col: 1,
+                            message: format!(
+                                "`{}::{variant}` never appears in `label()` — the variant \
+                                 cannot emit a round-trippable label",
+                                e.name
+                            ),
+                        });
+                    }
+                    if !accept.contains(variant.as_str()) {
+                        out.push(Finding {
+                            rule: Rule::RegistryLabelDrift,
+                            file: e.file.clone(),
+                            line: *line,
+                            col: 1,
+                            message: format!(
+                                "`{}::{variant}` never appears in `parse_label()` — its label \
+                                 hits the catch-all arm and will not round-trip",
+                                e.name
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+
+        // Factory registration: only binding when the scope registers
+        // builtins at all (an example implementing a custom factory has
+        // no registrar and owes nothing).
+        if self.files.iter().any(|s| s.has_registrar) {
+            let registered: BTreeSet<&str> = self
+                .files
+                .iter()
+                .flat_map(|s| s.registrar_idents.iter().map(String::as_str))
+                .collect();
+            for sym in &self.files {
+                for fi in &sym.factory_impls {
+                    if !registered.contains(fi.type_name.as_str()) {
+                        out.push(Finding {
+                            rule: Rule::RegistryLabelDrift,
+                            file: fi.file.clone(),
+                            line: fi.line,
+                            col: 1,
+                            message: format!(
+                                "`{}` implements `{}` but is not registered in any \
+                                 `builtin()`/`builtin_ref()` list — its label cannot parse",
+                                fi.type_name, fi.trait_name
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    fn lock_order_findings(&self, out: &mut Vec<Finding>) {
+        // All (a, b) orderings observed, with the first fn exhibiting
+        // each — deterministic because files and fns arrive sorted.
+        let mut first: BTreeMap<(&str, &str), &FnLocks> = BTreeMap::new();
+        for sym in &self.files {
+            for fl in &sym.fn_locks {
+                for (i, (a, _)) in fl.seq.iter().enumerate() {
+                    for (b, _) in &fl.seq[i + 1..] {
+                        first.entry((a, b)).or_insert(fl);
+                    }
+                }
+            }
+        }
+        let mut reported: BTreeSet<(&str, &str)> = BTreeSet::new();
+        for (&(a, b), &fl) in &first {
+            if a >= b || reported.contains(&(a, b)) {
+                continue;
+            }
+            let Some(&rev) = first.get(&(b, a)) else {
+                continue;
+            };
+            reported.insert((a, b));
+            // Anchor at the later of the two fns in report order, the
+            // one that "disagrees" with the first occurrence.
+            let (anchor, other) = if (&fl.file, fl.line) <= (&rev.file, rev.line) {
+                (rev, fl)
+            } else {
+                (fl, rev)
+            };
+            let (anchor_first, anchor_second) = if anchor.seq.iter().position(|(n, _)| n == a)
+                < anchor.seq.iter().position(|(n, _)| n == b)
+            {
+                (a, b)
+            } else {
+                (b, a)
+            };
+            out.push(Finding {
+                rule: Rule::LockOrder,
+                file: anchor.file.clone(),
+                line: anchor.line,
+                col: 1,
+                message: format!(
+                    "`{}` acquires `{anchor_first}` then `{anchor_second}`, but `{}` ({}:{}) \
+                     acquires them in the opposite order — a deadlock under the right \
+                     interleaving; pick one order",
+                    anchor.fn_name, other.fn_name, other.file, other.line
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn symbols(file: &str, src: &str) -> FileSymbols {
+        let lexed = lex(src);
+        let tree = ItemTree::parse(&lexed.toks);
+        extract(
+            file,
+            &lexed.toks,
+            &tree,
+            &FileContext::default(),
+            Vec::new(),
+        )
+    }
+
+    fn graph_of(srcs: &[(&str, &str)]) -> Vec<Finding> {
+        let mut g = Graph::default();
+        for (file, src) in srcs {
+            g.add(symbols(file, src));
+        }
+        g.findings()
+    }
+
+    const DRIFTED_ENUM: &str = "pub enum Speed { Slow, Fast, Turbo }\n\
+         impl Speed {\n\
+           pub fn label(&self) -> String { match *self { Speed::Slow => s(), Speed::Fast => f(), Speed::Turbo => t() } }\n\
+           pub fn parse_label(s: &str) -> Option<Speed> {\n\
+             match s { \"slow\" => Some(Speed::Slow), \"fast\" => Some(Speed::Fast), _ => None }\n\
+           }\n\
+         }\n";
+
+    #[test]
+    fn missing_parse_arm_is_drift() {
+        let findings = graph_of(&[("speed.rs", DRIFTED_ENUM)]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, Rule::RegistryLabelDrift);
+        assert_eq!(findings[0].line, 1); // Turbo's declaration line
+        assert!(findings[0].message.contains("Turbo"));
+        assert!(findings[0].message.contains("parse_label"));
+    }
+
+    #[test]
+    fn enums_without_the_label_pair_owe_nothing() {
+        let findings = graph_of(&[(
+            "plain.rs",
+            "pub enum State { Idle, Busy }\n\
+             impl State { pub fn label(&self) -> &str { \"idle\" } }\n",
+        )]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn enum_and_impl_may_live_in_different_files() {
+        let findings = graph_of(&[
+            ("def.rs", "pub enum Speed { Slow, Fast, Turbo }\n"),
+            (
+                "imp.rs",
+                "impl Speed {\n\
+                   pub fn label(&self) -> String { match *self { Speed::Slow => a(), Speed::Fast => b(), Speed::Turbo => c() } }\n\
+                   pub fn parse_label(s: &str) -> Option<Speed> { match s { \"slow\" => Some(Speed::Slow), \"fast\" => Some(Speed::Fast), _ => None } }\n\
+                 }\n",
+            ),
+        ]);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].file, "def.rs");
+    }
+
+    #[test]
+    fn unregistered_factory_is_drift_only_when_a_registrar_exists() {
+        let factory = "pub struct LoneFactory;\n\
+                       impl EnvFactory for LoneFactory { fn family(&self) -> &str { \"lone\" } }\n";
+        // No registrar in scope: an example owes nothing.
+        assert!(graph_of(&[("example.rs", factory)]).is_empty());
+        // With a registrar that forgot it: drift.
+        let registrar =
+            "pub fn builtin_ref() -> Vec<Box<dyn EnvFactory>> { vec![Box::new(OtherFactory)] }\n";
+        let findings = graph_of(&[("f.rs", factory), ("reg.rs", registrar)]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("LoneFactory"));
+        assert_eq!(findings[0].line, 2);
+    }
+
+    #[test]
+    fn macro_generated_factories_do_not_owe_registration() {
+        let findings = graph_of(&[(
+            "dim.rs",
+            "macro_rules! gen { ($n:ident) => { impl TopologyFactory for $n { } }; }\n\
+             pub fn builtin() -> Vec<Box<dyn TopologyFactory>> { vec![] }\n",
+        )]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn opposite_lock_orders_across_fns_are_flagged() {
+        let findings = graph_of(&[(
+            "locks.rs",
+            "fn ab(s: &S) { let _a = s.alpha.lock().expect(\"a\"); let _b = s.beta.lock().expect(\"b\"); }\n\
+             fn ba(s: &S) { let _b = s.beta.lock().expect(\"b\"); let _a = s.alpha.lock().expect(\"a\"); }\n",
+        )]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, Rule::LockOrder);
+        assert_eq!(findings[0].line, 2); // `ba`, the later fn
+        assert!(findings[0].message.contains("alpha"));
+        assert!(findings[0].message.contains("beta"));
+    }
+
+    #[test]
+    fn consistent_lock_order_is_clean() {
+        let findings = graph_of(&[(
+            "locks.rs",
+            "fn one(s: &S) { s.alpha.lock().expect(\"a\"); s.beta.lock().expect(\"b\"); }\n\
+             fn two(s: &S) { s.alpha.lock().expect(\"a\"); s.beta.lock().expect(\"b\"); }\n\
+             fn solo(s: &S) { s.beta.lock().expect(\"b\"); }\n",
+        )]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn suppressions_reach_graph_findings() {
+        let lexed = lex(DRIFTED_ENUM);
+        let tree = ItemTree::parse(&lexed.toks);
+        let sym = extract(
+            "speed.rs",
+            &lexed.toks,
+            &tree,
+            &FileContext::default(),
+            vec![Suppression {
+                rule: Rule::RegistryLabelDrift,
+                file_wide: true,
+                lo: 0,
+                hi: 0,
+            }],
+        );
+        let mut g = Graph::default();
+        g.add(sym);
+        assert!(g.findings().is_empty());
+    }
+
+    #[test]
+    fn test_code_contributes_no_symbols() {
+        let lexed = lex(DRIFTED_ENUM);
+        let tree = ItemTree::parse(&lexed.toks);
+        let ctx = FileContext {
+            is_test_code: true,
+            ..FileContext::default()
+        };
+        let sym = extract("t.rs", &lexed.toks, &tree, &ctx, Vec::new());
+        assert!(sym.enums.is_empty());
+        assert!(sym.label_idents.is_empty());
+    }
+}

@@ -11,10 +11,18 @@
 //! * [`rules`] — the catalogue: `wall-clock`, `ambient-rng`,
 //!   `unordered-iter`, `addr-as-key`, `stray-print`,
 //!   `forbid-unsafe-header`, `bare-allow`, `unwrap-ratchet`,
-//!   `invalid-pragma` (see the table in the module docs);
+//!   `invalid-pragma`, `seed-provenance`, `registry-label-drift`,
+//!   `condvar-wait-loop`, `lock-order`, `panic-ratchet` (see the table
+//!   in the module docs);
 //! * [`lexer`] — the hand-rolled, comment/string/raw-string-aware token
 //!   scanner the rules match over (resolution-free: there is no `syn` in
 //!   `vendor/`, and none is needed);
+//! * [`parser`] — the item-tree layer over the lexer: fns with
+//!   parameters and body spans, enums with variants, impls, match arms,
+//!   `#[cfg(test)]` mod ranges — structure for the rules that need it;
+//! * [`graph`] — per-file symbol fragments merged into a per-scope
+//!   graph for the cross-file rules (`registry-label-drift`,
+//!   `lock-order`);
 //! * [`pragma`] — in-place exemptions:
 //!   `// detlint::allow(rule, reason = "…")` with a *required* non-empty
 //!   reason (`detlint::allow-file` for whole-file sanctions);
@@ -32,13 +40,17 @@
 #![forbid(unsafe_code)]
 
 pub mod config;
+pub mod graph;
 pub mod lexer;
+pub mod parser;
 pub mod pragma;
 pub mod report;
 pub mod rules;
 pub mod workspace;
 
 pub use config::Config;
+pub use graph::{FileSymbols, Graph};
+pub use parser::ItemTree;
 pub use report::{Finding, Report, UnwrapTally};
 pub use rules::{check_file, FileContext, Rule};
-pub use workspace::{lint_files, lint_workspace};
+pub use workspace::{lint_files, lint_named_sources, lint_workspace};

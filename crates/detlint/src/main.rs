@@ -8,10 +8,10 @@
 //!
 //! Exit codes: `0` clean, `1` findings, `2` usage/configuration error.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use selfsim_detlint::{lint_files, lint_workspace, Rule};
+use selfsim_detlint::{lint_files, lint_named_sources, lint_workspace, Rule};
 
 const USAGE: &str = "\
 selfsim-detlint — static determinism-contract lint
@@ -19,24 +19,32 @@ selfsim-detlint — static determinism-contract lint
 USAGE:
     selfsim-detlint --workspace [--root DIR] [--format human|json]
     selfsim-detlint [--format human|json] FILE.rs…
+    selfsim-detlint --bless [--root DIR]
     selfsim-detlint --rules
 
 OPTIONS:
     --workspace        lint the workspace (root src/ + every crates/*/src/),
-                       applying detlint.toml scoping and unwrap budgets
+                       applying detlint.toml scoping and the unwrap/panic budgets
     --root DIR         workspace root (default: current directory)
     --format FMT       `human` (default) or `json`
+    --bless            re-lint fixtures/violations.rs and rewrite the golden
+                       JSON at crates/detlint/tests/golden_violations.json
     --rules            print the rule catalogue and exit
     -h, --help         this help
 
 Exit codes: 0 clean, 1 findings, 2 usage/configuration error.
 ";
 
+/// Root-relative fixture/golden paths `--bless` reads and writes.
+const FIXTURE: &str = "crates/detlint/fixtures/violations.rs";
+const GOLDEN: &str = "crates/detlint/tests/golden_violations.json";
+
 struct Args {
     workspace: bool,
     root: PathBuf,
     json: bool,
     rules: bool,
+    bless: bool,
     files: Vec<PathBuf>,
 }
 
@@ -46,6 +54,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         root: PathBuf::from("."),
         json: false,
         rules: false,
+        bless: false,
         files: Vec::new(),
     };
     let mut it = argv.iter();
@@ -53,6 +62,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         match arg.as_str() {
             "--workspace" => args.workspace = true,
             "--rules" => args.rules = true,
+            "--bless" => args.bless = true,
             "--root" => {
                 args.root = PathBuf::from(
                     it.next()
@@ -75,13 +85,38 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             file => args.files.push(PathBuf::from(file)),
         }
     }
-    if !args.rules && !args.workspace && args.files.is_empty() {
-        return Err("nothing to lint: pass --workspace or file paths".to_string());
+    if !args.rules && !args.workspace && !args.bless && args.files.is_empty() {
+        return Err("nothing to lint: pass --workspace, --bless or file paths".to_string());
     }
     if args.workspace && !args.files.is_empty() {
         return Err("--workspace and explicit files are mutually exclusive".to_string());
     }
+    if args.bless && (args.workspace || !args.files.is_empty()) {
+        return Err("--bless takes no other lint targets".to_string());
+    }
     Ok(args)
+}
+
+/// Re-blesses the golden JSON: lints the violation fixture exactly the
+/// way explicit-file mode does (root-relative label, so the report is
+/// position-independent) and rewrites the committed golden file.
+fn bless(root: &Path) -> Result<(), String> {
+    let fixture_path = root.join(FIXTURE);
+    let src = std::fs::read_to_string(&fixture_path)
+        .map_err(|e| format!("cannot read {}: {e}", fixture_path.display()))?;
+    let report = lint_named_sources(&[(FIXTURE.to_string(), src)]);
+    let golden_path = root.join(GOLDEN);
+    let mut json = report.render_json();
+    json.push('\n');
+    std::fs::write(&golden_path, &json)
+        .map_err(|e| format!("cannot write {}: {e}", golden_path.display()))?;
+    println!(
+        "blessed {} ({} findings from {})",
+        GOLDEN,
+        report.findings.len(),
+        FIXTURE
+    );
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -103,6 +138,16 @@ fn main() -> ExitCode {
             println!("{:<22} {}", rule.id(), rule.describe());
         }
         return ExitCode::SUCCESS;
+    }
+
+    if args.bless {
+        return match bless(&args.root) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("error: {message}");
+                ExitCode::from(2)
+            }
+        };
     }
 
     let result = if args.workspace {

@@ -1,0 +1,964 @@
+//! A lightweight item-tree parser over the [`crate::lexer`] token stream.
+//!
+//! The v1 rules were pure token-sequence patterns; the item-graph rules
+//! (`seed-provenance`, `registry-label-drift`, `condvar-wait-loop`,
+//! `lock-order`, `panic-ratchet`) need *structure*: which fn a token
+//! belongs to, what that fn's parameters are named, whether an item sits
+//! inside a `#[cfg(test)]` mod, which variants an enum declares, and
+//! which type an `impl` block attaches its methods to.
+//!
+//! This is deliberately not a Rust parser.  It is a single forward scan
+//! with brace matching that recognises exactly the item heads the rules
+//! care about (`fn`, `struct`, `enum`, `impl`, `mod`, `trait`,
+//! `macro_rules!`) and records token-index spans into the flat [`Tok`]
+//! slice — resolution-free, error-tolerant (unknown constructs are
+//! skipped token by token), and guaranteed to terminate: the cursor only
+//! moves forward.  `macro_rules!` bodies are treated as opaque (the `$x`
+//! metavariables inside are not real items), and fn bodies are not
+//! descended into for *items* (a nested helper fn is rare enough that the
+//! rules treat its tokens as part of the enclosing fn's body).
+//!
+//! The invariant the property tests pin: parsing never panics, every
+//! recorded span lies within the token stream, spans nest properly, and
+//! [`ItemTree::token_count`] always agrees with the lexer's count.
+
+use crate::lexer::Tok;
+
+/// A half-open token-index range `[lo, hi)` into the lexed stream.
+pub type TokSpan = (usize, usize);
+
+/// One `fn` item: the signature facts the rules need plus its body span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnItem {
+    pub name: String,
+    /// Binding names from the parameter list (`self` included when
+    /// present; destructuring patterns contribute every bound ident).
+    pub params: Vec<String>,
+    /// Token span of the body including its braces; `None` for a
+    /// body-less declaration (`fn f();` in a trait).
+    pub body: Option<TokSpan>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Inside a `#[cfg(test)]` mod.
+    pub in_test: bool,
+    /// Name of the `impl` type this fn belongs to, if any.
+    pub impl_type: Option<String>,
+}
+
+/// One `enum` item with its variant names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnumItem {
+    pub name: String,
+    /// `(variant name, 1-based line)` in declaration order.
+    pub variants: Vec<(String, u32)>,
+    pub line: u32,
+    pub in_test: bool,
+}
+
+/// One `struct` item with its named fields (empty for tuple/unit structs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructItem {
+    pub name: String,
+    pub fields: Vec<String>,
+    pub line: u32,
+    pub in_test: bool,
+}
+
+/// One `impl` block head: `impl Trait for Type` or an inherent
+/// `impl Type`.  Its methods land in [`ItemTree::fns`] with
+/// [`FnItem::impl_type`] set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImplItem {
+    /// Last path segment of the implemented-on type.
+    pub type_name: String,
+    /// Last path segment of the trait, for `impl Trait for Type`.
+    pub trait_name: Option<String>,
+    pub line: u32,
+    pub in_test: bool,
+}
+
+/// One `match` expression inside a fn body, with its arm spans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchExpr {
+    /// Span of the whole `match` block body (inside the braces).
+    pub body: TokSpan,
+    pub arms: Vec<MatchArm>,
+}
+
+/// One `pattern => expression` arm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchArm {
+    /// Span of the pattern (up to, not including, the `=>`).
+    pub pat: TokSpan,
+    /// Span of the arm expression (after the `=>`, up to the separating
+    /// top-level comma or the arm's closing brace).
+    pub expr: TokSpan,
+    pub line: u32,
+}
+
+/// The per-file item tree.
+#[derive(Debug, Default)]
+pub struct ItemTree {
+    pub fns: Vec<FnItem>,
+    pub enums: Vec<EnumItem>,
+    pub structs: Vec<StructItem>,
+    pub impls: Vec<ImplItem>,
+    /// Line ranges of `#[cfg(test)] mod … { … }` blocks.
+    pub test_ranges: Vec<(u32, u32)>,
+    token_count: usize,
+}
+
+impl ItemTree {
+    /// Parses the item tree from a lexed token stream.
+    pub fn parse(toks: &[Tok]) -> ItemTree {
+        let mut tree = ItemTree {
+            token_count: toks.len(),
+            ..ItemTree::default()
+        };
+        let mut p = Parser { toks, i: 0 };
+        p.items(&mut tree, false, None);
+        tree
+    }
+
+    /// The number of tokens the tree was parsed from — by construction
+    /// equal to the lexer's token count (the property tests assert it).
+    pub fn token_count(&self) -> usize {
+        self.token_count
+    }
+
+    /// Whether a 1-based line falls inside a `#[cfg(test)]` mod.
+    pub fn line_in_test(&self, line: u32) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(lo, hi)| (lo..=hi).contains(&line))
+    }
+
+    /// The innermost fn whose body span contains token index `i`.
+    pub fn fn_at(&self, i: usize) -> Option<&FnItem> {
+        self.fns
+            .iter()
+            .filter(|f| f.body.is_some_and(|(lo, hi)| (lo..hi).contains(&i)))
+            .min_by_key(|f| f.body.map_or(usize::MAX, |(lo, hi)| hi - lo))
+    }
+}
+
+/// Extracts every `match` expression (with arm spans) inside `span`.
+/// Scrutinees are scanned with bracket tracking, so `match (a, b) {` and
+/// `match *self {` find their arm block; a struct literal in a scrutinee
+/// (pathological without parens) ends the search for that `match`.
+pub fn find_matches(toks: &[Tok], span: TokSpan) -> Vec<MatchExpr> {
+    let mut out = Vec::new();
+    let (lo, hi) = span;
+    let mut i = lo;
+    while i < hi.min(toks.len()) {
+        if toks[i].ident() == Some("match") {
+            if let Some(m) = parse_match(toks, i, hi) {
+                i = m.body.1; // continue after this match block
+                out.push(m);
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+fn parse_match(toks: &[Tok], at: usize, hi: usize) -> Option<MatchExpr> {
+    // Scrutinee: forward from `match` to the first `{` at bracket depth 0.
+    let mut i = at + 1;
+    let mut depth = 0i32;
+    let open = loop {
+        if i >= hi {
+            return None;
+        }
+        match &toks[i].kind {
+            k if *k == crate::lexer::TokKind::Punct('(')
+                || *k == crate::lexer::TokKind::Punct('[') =>
+            {
+                depth += 1
+            }
+            k if *k == crate::lexer::TokKind::Punct(')')
+                || *k == crate::lexer::TokKind::Punct(']') =>
+            {
+                depth -= 1
+            }
+            k if *k == crate::lexer::TokKind::Punct('{') && depth == 0 => break i,
+            _ => {}
+        }
+        i += 1;
+    };
+    let close = matching_brace(toks, open, hi)?;
+    let mut arms = Vec::new();
+    let mut arm_start = open + 1;
+    let mut j = open + 1;
+    // Split arms: `pat => expr,` at depth 1 (braced arm bodies need no
+    // comma; the brace matcher skips them whole).
+    while j < close {
+        if toks[j].is_punct('=') && j + 1 < close && toks[j + 1].is_punct('>') {
+            let pat = (arm_start, j);
+            let expr_start = j + 2;
+            let mut k = expr_start;
+            let mut d = 0i32;
+            let mut end = close;
+            while k < close {
+                match brack(&toks[k]) {
+                    1 => d += 1,
+                    -1 => {
+                        d -= 1;
+                        if d < 0 {
+                            end = k;
+                            break;
+                        }
+                        if d == 0 && toks[k].is_punct('}') {
+                            // A block-bodied arm needs no separating
+                            // comma: the arm ends at its closing brace.
+                            end = k + 1;
+                            break;
+                        }
+                    }
+                    _ if d == 0 && toks[k].is_punct(',') => {
+                        end = k;
+                        break;
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            arms.push(MatchArm {
+                pat,
+                expr: (expr_start, end.min(close)),
+                line: toks.get(arm_start).map_or(0, |t| t.line),
+            });
+            j = end.max(expr_start);
+            if j < close && toks[j].is_punct(',') {
+                j += 1;
+            }
+            arm_start = j;
+        } else {
+            j += 1;
+        }
+    }
+    Some(MatchExpr {
+        body: (open + 1, close),
+        arms,
+    })
+}
+
+/// `+1` for any opening bracket, `-1` for any closing one, else `0`.
+fn brack(tok: &Tok) -> i32 {
+    for c in ['(', '[', '{'] {
+        if tok.is_punct(c) {
+            return 1;
+        }
+    }
+    for c in [')', ']', '}'] {
+        if tok.is_punct(c) {
+            return -1;
+        }
+    }
+    0
+}
+
+/// Index of the `}` matching the `{` at `open`, bounded by `hi`.
+fn matching_brace(toks: &[Tok], open: usize, hi: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, tok) in toks.iter().enumerate().take(hi.min(toks.len())).skip(open) {
+        if tok.is_punct('{') {
+            depth += 1;
+        } else if tok.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn ident(&self, k: usize) -> Option<&'a str> {
+        self.toks.get(self.i + k).and_then(Tok::ident)
+    }
+
+    fn punct(&self, k: usize, c: char) -> bool {
+        self.toks.get(self.i + k).is_some_and(|t| t.is_punct(c))
+    }
+
+    fn line(&self) -> u32 {
+        self.toks.get(self.i).map_or(0, |t| t.line)
+    }
+
+    fn done(&self) -> bool {
+        self.i >= self.toks.len()
+    }
+
+    /// Parses the items of one block scope.  `in_test` marks everything
+    /// inside a `#[cfg(test)]` mod; `impl_type` attributes contained fns.
+    /// Returns when the scope's closing `}` is consumed (or at EOF).
+    fn items(&mut self, tree: &mut ItemTree, in_test: bool, impl_type: Option<&str>) {
+        while !self.done() {
+            if self.punct(0, '}') {
+                self.i += 1;
+                return;
+            }
+            // Attributes: consume, remembering whether one was `cfg(test)`.
+            let mut cfg_test = false;
+            while self.punct(0, '#') {
+                let bang = usize::from(self.punct(1, '!'));
+                if !self.punct(1 + bang, '[') {
+                    self.i += 1;
+                    continue;
+                }
+                if self.ident(2 + bang) == Some("cfg")
+                    && self.punct(3 + bang, '(')
+                    && self.ident(4 + bang) == Some("test")
+                {
+                    cfg_test = true;
+                }
+                self.i += 1 + bang; // at the `[`
+                self.skip_balanced('[', ']');
+            }
+            let Some(word) = self.ident(0) else {
+                // A brace group no item handler owns (a `use …::{…};`
+                // list, a const block): opaque, or its `}` would read as
+                // the end of this scope.
+                if self.punct(0, '{') {
+                    self.skip_balanced('{', '}');
+                } else {
+                    self.i += 1;
+                }
+                continue;
+            };
+            match word {
+                "pub" => {
+                    self.i += 1;
+                    // `pub(crate)` etc.
+                    if self.punct(0, '(') {
+                        self.skip_balanced('(', ')');
+                    }
+                    // Re-loop with any cfg(test) already consumed: a
+                    // `#[cfg(test)] pub mod` is rare; the mod handler
+                    // below re-reads attributes only at item heads, so
+                    // fold the flag by handling the item now.
+                    self.item_head(tree, in_test, cfg_test, impl_type);
+                }
+                _ => self.item_head_word(word, tree, in_test, cfg_test, impl_type),
+            }
+        }
+    }
+
+    /// Dispatches the item head at the cursor (after visibility).
+    fn item_head(
+        &mut self,
+        tree: &mut ItemTree,
+        in_test: bool,
+        cfg_test: bool,
+        impl_type: Option<&str>,
+    ) {
+        let Some(word) = self.ident(0) else {
+            return;
+        };
+        self.item_head_word(word, tree, in_test, cfg_test, impl_type);
+    }
+
+    fn item_head_word(
+        &mut self,
+        word: &str,
+        tree: &mut ItemTree,
+        in_test: bool,
+        cfg_test: bool,
+        impl_type: Option<&str>,
+    ) {
+        match word {
+            "fn" => self.fn_item(tree, in_test, impl_type),
+            "struct" => self.struct_item(tree, in_test),
+            "enum" => self.enum_item(tree, in_test),
+            "impl" => self.impl_item(tree, in_test),
+            "mod" => self.mod_item(tree, in_test || cfg_test, cfg_test),
+            "trait" => self.trait_item(tree, in_test),
+            "macro_rules" => {
+                // `macro_rules! name { … }` — the body is not item code.
+                self.i += 1;
+                self.skip_to_block_or_semi();
+                self.skip_balanced('{', '}');
+            }
+            "unsafe" | "async" | "const" | "extern" | "default" => {
+                // Qualifiers that may precede `fn`/`impl`/`trait`: step
+                // over and let the next loop iteration see the keyword.
+                // (`const NAME: … = …;` falls to the `;`-skip below on the
+                // next iteration because NAME is not an item keyword.)
+                self.i += 1;
+            }
+            _ => {
+                // `use`, `static`, `type`, expression statements, … —
+                // advance one token; brace blocks are consumed by the
+                // scope loop's `}` handling only when they close a scope
+                // we opened, so skip balanced braces opened here.
+                if self.punct(0, '{') {
+                    self.skip_balanced('{', '}');
+                } else {
+                    self.i += 1;
+                }
+            }
+        }
+    }
+
+    fn fn_item(&mut self, tree: &mut ItemTree, in_test: bool, impl_type: Option<&str>) {
+        let line = self.line();
+        self.i += 1; // `fn`
+        let name = self.ident(0).unwrap_or("").to_string();
+        if !name.is_empty() {
+            self.i += 1;
+        }
+        // Generics: `<…>` with arrow-aware angle matching.
+        if self.punct(0, '<') {
+            self.skip_generics();
+        }
+        // Parameters.
+        let mut params = Vec::new();
+        if self.punct(0, '(') {
+            let open = self.i;
+            self.skip_balanced('(', ')');
+            params = param_names(&self.toks[open + 1..self.i.saturating_sub(1)]);
+        }
+        // Return type / where clause: scan to the body `{` or a `;` at
+        // bracket depth 0.
+        let mut depth = 0i32;
+        let mut body = None;
+        while !self.done() {
+            let t = &self.toks[self.i];
+            if depth == 0 && t.is_punct(';') {
+                self.i += 1;
+                break;
+            }
+            if depth == 0 && t.is_punct('{') {
+                let open = self.i;
+                self.skip_balanced('{', '}');
+                body = Some((open, self.i));
+                break;
+            }
+            match brack(t) {
+                1 => depth += 1,
+                -1 => {
+                    if depth == 0 {
+                        break; // stray close: end of enclosing scope
+                    }
+                    depth -= 1;
+                }
+                _ => {}
+            }
+            self.i += 1;
+        }
+        tree.fns.push(FnItem {
+            name,
+            params,
+            body,
+            line,
+            in_test,
+            impl_type: impl_type.map(str::to_string),
+        });
+    }
+
+    fn struct_item(&mut self, tree: &mut ItemTree, in_test: bool) {
+        let line = self.line();
+        self.i += 1; // `struct`
+        let name = self.ident(0).unwrap_or("").to_string();
+        if !name.is_empty() {
+            self.i += 1;
+        }
+        if self.punct(0, '<') {
+            self.skip_generics();
+        }
+        let mut fields = Vec::new();
+        if self.punct(0, '(') {
+            // Tuple struct: no named fields.
+            self.skip_balanced('(', ')');
+            if self.punct(0, ';') {
+                self.i += 1;
+            }
+        } else if self.punct(0, '{') {
+            let open = self.i;
+            self.skip_balanced('{', '}');
+            fields = field_names(&self.toks[open + 1..self.i.saturating_sub(1)]);
+        } else {
+            // Unit struct or `where` clause then body.
+            self.skip_to_block_or_semi();
+            if self.punct(0, '{') {
+                let open = self.i;
+                self.skip_balanced('{', '}');
+                fields = field_names(&self.toks[open + 1..self.i.saturating_sub(1)]);
+            } else if self.punct(0, ';') {
+                self.i += 1;
+            }
+        }
+        tree.structs.push(StructItem {
+            name,
+            fields,
+            line,
+            in_test,
+        });
+    }
+
+    fn enum_item(&mut self, tree: &mut ItemTree, in_test: bool) {
+        let line = self.line();
+        self.i += 1; // `enum`
+        let name = self.ident(0).unwrap_or("").to_string();
+        if !name.is_empty() {
+            self.i += 1;
+        }
+        if self.punct(0, '<') {
+            self.skip_generics();
+        }
+        self.skip_to_block_or_semi();
+        let mut variants = Vec::new();
+        if self.punct(0, '{') {
+            let open = self.i;
+            self.skip_balanced('{', '}');
+            let body = &self.toks[open + 1..self.i.saturating_sub(1)];
+            // Variant names: the first ident of each depth-0 segment
+            // (segments split on depth-0 commas; `#[…]` attributes and
+            // payloads `{…}` / `(…)` are bracket-skipped).
+            let mut expecting = true;
+            let mut depth = 0i32;
+            let mut k = 0;
+            while k < body.len() {
+                let t = &body[k];
+                match brack(t) {
+                    1 => depth += 1,
+                    -1 => depth -= 1,
+                    _ => {}
+                }
+                if depth == 0 && t.is_punct(',') {
+                    expecting = true;
+                } else if depth == 0 && expecting {
+                    if t.is_punct('#') {
+                        // Attribute before the variant: skip its `[…]`.
+                        let mut d = 0i32;
+                        k += 1;
+                        while k < body.len() {
+                            match brack(&body[k]) {
+                                1 => d += 1,
+                                -1 => {
+                                    d -= 1;
+                                    if d == 0 {
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                            k += 1;
+                        }
+                    } else if let Some(v) = t.ident() {
+                        variants.push((v.to_string(), t.line));
+                        expecting = false;
+                    }
+                }
+                k += 1;
+            }
+        }
+        tree.enums.push(EnumItem {
+            name,
+            variants,
+            line,
+            in_test,
+        });
+    }
+
+    fn impl_item(&mut self, tree: &mut ItemTree, in_test: bool) {
+        let line = self.line();
+        self.i += 1; // `impl`
+        if self.punct(0, '<') {
+            self.skip_generics();
+        }
+        let first = self.path_head();
+        let second = if self.ident(0) == Some("for") {
+            self.i += 1;
+            Some(self.path_head())
+        } else {
+            None
+        };
+        let (type_name, trait_name) = match second {
+            Some(ty) => (ty, first.filter(|t| !t.is_empty())),
+            None => (first, None),
+        };
+        self.skip_to_block_or_semi();
+        if self.punct(0, '{') {
+            let type_name = type_name.clone().unwrap_or_default();
+            self.i += 1; // enter the impl body
+            self.items(tree, in_test, Some(&type_name));
+            tree.impls.push(ImplItem {
+                type_name,
+                trait_name,
+                line,
+                in_test,
+            });
+        } else if self.punct(0, ';') {
+            self.i += 1;
+        }
+    }
+
+    fn mod_item(&mut self, tree: &mut ItemTree, in_test: bool, cfg_test: bool) {
+        self.i += 1; // `mod`
+        if self.ident(0).is_some() {
+            self.i += 1;
+        }
+        if self.punct(0, ';') {
+            self.i += 1;
+            return;
+        }
+        if self.punct(0, '{') {
+            let open_line = self.toks[self.i].line;
+            let open = self.i;
+            self.i += 1;
+            self.items(tree, in_test, None);
+            if cfg_test {
+                let close_line = self
+                    .toks
+                    .get(self.i.saturating_sub(1))
+                    .map_or(open_line, |t| t.line);
+                tree.test_ranges.push((open_line, close_line));
+            }
+            let _ = open;
+        }
+    }
+
+    fn trait_item(&mut self, tree: &mut ItemTree, in_test: bool) {
+        self.i += 1; // `trait`
+        let name = self.ident(0).unwrap_or("").to_string();
+        if !name.is_empty() {
+            self.i += 1;
+        }
+        if self.punct(0, '<') {
+            self.skip_generics();
+        }
+        self.skip_to_block_or_semi();
+        if self.punct(0, '{') {
+            // Default method bodies are real code — parse them as fns
+            // attributed to the trait name.
+            self.i += 1;
+            self.items(tree, in_test, Some(&name));
+        } else if self.punct(0, ';') {
+            self.i += 1;
+        }
+    }
+
+    /// Reads a type path head (`a::b::Name<…>`), returning the last
+    /// segment's ident.  Consumes trailing generic args.
+    fn path_head(&mut self) -> Option<String> {
+        let mut last = None;
+        loop {
+            // `&`, `'a`, `mut`, `dyn` prefixes.
+            while self.punct(0, '&') {
+                self.i += 1;
+            }
+            while matches!(self.ident(0), Some("mut" | "dyn")) {
+                self.i += 1;
+            }
+            let Some(name) = self.ident(0) else { break };
+            if name == "for" {
+                break;
+            }
+            last = Some(name.to_string());
+            self.i += 1;
+            if self.punct(0, '<') {
+                self.skip_generics();
+            }
+            if self.punct(0, ':') && self.punct(1, ':') {
+                self.i += 2;
+                continue;
+            }
+            break;
+        }
+        last
+    }
+
+    /// Skips a balanced bracket pair starting at the cursor (which must
+    /// sit on the opening bracket); lands one past the close.
+    fn skip_balanced(&mut self, open: char, close: char) {
+        let mut depth = 0usize;
+        while !self.done() {
+            let t = &self.toks[self.i];
+            if t.is_punct(open) {
+                depth += 1;
+            } else if t.is_punct(close) {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    self.i += 1;
+                    return;
+                }
+            }
+            self.i += 1;
+        }
+    }
+
+    /// Skips generic params/args `<…>`, treating `->` arrows as opaque
+    /// (so `fn f<F: Fn() -> u64>` does not close the angle early).
+    fn skip_generics(&mut self) {
+        let mut depth = 0i32;
+        while !self.done() {
+            let t = &self.toks[self.i];
+            if t.is_punct('-') && self.punct(1, '>') {
+                self.i += 2;
+                continue;
+            }
+            if t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct('>') {
+                depth -= 1;
+                if depth <= 0 {
+                    self.i += 1;
+                    return;
+                }
+            }
+            self.i += 1;
+        }
+    }
+
+    /// Advances to the next `{` or `;` at bracket depth 0 (consuming
+    /// neither).
+    fn skip_to_block_or_semi(&mut self) {
+        let mut depth = 0i32;
+        while !self.done() {
+            let t = &self.toks[self.i];
+            if depth == 0 && (t.is_punct('{') || t.is_punct(';')) {
+                return;
+            }
+            match brack(t) {
+                1 => depth += 1,
+                -1 => {
+                    if depth == 0 {
+                        return;
+                    }
+                    depth -= 1;
+                }
+                _ => {}
+            }
+            self.i += 1;
+        }
+    }
+}
+
+/// Binding names from a parameter-list token slice: for each depth-0
+/// comma-separated segment, every ident before the top-level `:` (so
+/// destructuring patterns contribute all their bindings), or `self`.
+fn param_names(toks: &[Tok]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut seen_colon = false;
+    for (k, t) in toks.iter().enumerate() {
+        match brack(t) {
+            1 => depth += 1,
+            -1 => depth -= 1,
+            _ => {}
+        }
+        if depth == 0 && t.is_punct(',') {
+            seen_colon = false;
+            continue;
+        }
+        if depth == 0
+            && t.is_punct(':')
+            && !toks.get(k + 1).is_some_and(|n| n.is_punct(':'))
+            && !k.checked_sub(1).is_some_and(|p| toks[p].is_punct(':'))
+        {
+            seen_colon = true;
+            continue;
+        }
+        if seen_colon {
+            continue;
+        }
+        if let Some(name) = t.ident() {
+            if !matches!(name, "mut" | "ref" | "dyn" | "impl") {
+                out.push(name.to_string());
+            }
+        }
+    }
+    out
+}
+
+/// Named-field names from a struct-body token slice: idents at depth 0
+/// immediately followed by a single `:`.
+fn field_names(toks: &[Tok]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate() {
+        match brack(t) {
+            1 => depth += 1,
+            -1 => depth -= 1,
+            _ => {}
+        }
+        if depth != 0 {
+            continue;
+        }
+        let Some(name) = t.ident() else { continue };
+        if toks.get(k + 1).is_some_and(|n| n.is_punct(':'))
+            && !toks.get(k + 2).is_some_and(|n| n.is_punct(':'))
+        {
+            out.push(name.to_string());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn tree(src: &str) -> ItemTree {
+        ItemTree::parse(&lex(src).toks)
+    }
+
+    #[test]
+    fn fns_params_and_bodies() {
+        let t = tree(
+            "fn plain(a: u32, mut b: &str) -> u32 { a }\n\
+             pub fn generic<F: Fn() -> u64>(cb: F) { cb(); }\n\
+             fn sig_only(x: u8);\n",
+        );
+        assert_eq!(t.fns.len(), 3);
+        assert_eq!(t.fns[0].name, "plain");
+        assert_eq!(t.fns[0].params, ["a", "b"]);
+        assert!(t.fns[0].body.is_some());
+        assert_eq!(t.fns[1].params, ["cb"]);
+        assert_eq!(t.fns[2].name, "sig_only");
+        assert!(t.fns[2].body.is_none());
+    }
+
+    #[test]
+    fn self_and_destructured_params() {
+        let t = tree("impl T { fn m(&mut self, (a, b): (u32, u32)) {} }\n");
+        assert_eq!(t.fns[0].params, ["self", "a", "b"]);
+        assert_eq!(t.fns[0].impl_type.as_deref(), Some("T"));
+    }
+
+    #[test]
+    fn enums_record_variants_with_payloads() {
+        let t = tree(
+            "pub enum Mode {\n\
+               Sync { cooldown: usize },\n\
+               #[doc = \"x\"]\n\
+               Event { cooldown: usize },\n\
+               Async(f64, usize),\n\
+               Bare,\n\
+             }\n",
+        );
+        let names: Vec<&str> = t.enums[0]
+            .variants
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect();
+        assert_eq!(names, ["Sync", "Event", "Async", "Bare"]);
+        assert_eq!(t.enums[0].variants[1].1, 4); // line of Event
+    }
+
+    #[test]
+    fn impls_attribute_their_fns() {
+        let t = tree(
+            "impl<S: Ord + Clone> Runtime<S> for SyncSimulator {\n\
+               fn mode_name(&self) -> &'static str { \"sync\" }\n\
+             }\n\
+             impl ExecutionMode { fn label(&self) -> String { x() } }\n",
+        );
+        assert_eq!(t.impls.len(), 2);
+        assert_eq!(t.impls[0].type_name, "SyncSimulator");
+        assert_eq!(t.impls[0].trait_name.as_deref(), Some("Runtime"));
+        assert_eq!(t.impls[1].type_name, "ExecutionMode");
+        assert_eq!(t.impls[1].trait_name, None);
+        assert_eq!(t.fns[0].impl_type.as_deref(), Some("SyncSimulator"));
+        assert_eq!(t.fns[1].impl_type.as_deref(), Some("ExecutionMode"));
+    }
+
+    #[test]
+    fn cfg_test_mods_mark_items_and_ranges() {
+        let t = tree(
+            "fn lib_code() {}\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+               fn helper() {}\n\
+             }\n",
+        );
+        assert!(!t.fns[0].in_test);
+        assert!(t.fns[1].in_test);
+        assert_eq!(t.test_ranges, [(3, 5)]);
+        assert!(t.line_in_test(4));
+        assert!(!t.line_in_test(1));
+    }
+
+    #[test]
+    fn macro_rules_bodies_are_opaque() {
+        let t = tree(
+            "macro_rules! gen {\n\
+               ($name:ident) => {\n\
+                 impl Factory for $name { fn family(&self) -> &str { \"x\" } }\n\
+               };\n\
+             }\n\
+             fn after() {}\n",
+        );
+        assert!(t.impls.is_empty(), "{:?}", t.impls);
+        assert_eq!(t.fns.len(), 1);
+        assert_eq!(t.fns[0].name, "after");
+    }
+
+    #[test]
+    fn match_arms_are_extracted() {
+        let src = "fn f(m: M) -> u32 {\n\
+                     match m {\n\
+                       M::A => 1,\n\
+                       M::B { x } => { x + 1 }\n\
+                       other => 0,\n\
+                     }\n\
+                   }\n";
+        let lexed = lex(src);
+        let t = ItemTree::parse(&lexed.toks);
+        let body = t.fns[0].body.expect("body");
+        let matches = find_matches(&lexed.toks, body);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].arms.len(), 3);
+        let pat0 = matches[0].arms[0].pat;
+        let pat_idents: Vec<&str> = lexed.toks[pat0.0..pat0.1]
+            .iter()
+            .filter_map(Tok::ident)
+            .collect();
+        assert_eq!(pat_idents, ["M", "A"]);
+        assert_eq!(matches[0].arms[1].line, 4);
+    }
+
+    #[test]
+    fn fn_at_finds_the_innermost_enclosing_fn() {
+        let src = "fn outer() { x(); }\nfn second() { y(); }\n";
+        let lexed = lex(src);
+        let t = ItemTree::parse(&lexed.toks);
+        let y_ix = lexed
+            .toks
+            .iter()
+            .position(|tok| tok.ident() == Some("y"))
+            .expect("y token");
+        assert_eq!(t.fn_at(y_ix).map(|f| f.name.as_str()), Some("second"));
+    }
+
+    #[test]
+    fn use_tree_braces_do_not_end_the_scope() {
+        // `use a::{B, C};` carries a brace group no item owns; if the
+        // parser steps into it, the `}` reads as end-of-file and every
+        // later item vanishes.
+        let src = "use std::time::{Instant, SystemTime};\nfn after() {}\n";
+        let lexed = lex(src);
+        let t = ItemTree::parse(&lexed.toks);
+        assert_eq!(t.fns.len(), 1);
+        assert_eq!(t.fns[0].name, "after");
+    }
+
+    #[test]
+    fn token_count_matches_the_lexer() {
+        let src = "struct S { a: u32 }\nenum E { V }\nfn f() {}\n";
+        let lexed = lex(src);
+        let t = ItemTree::parse(&lexed.toks);
+        assert_eq!(t.token_count(), lexed.toks.len());
+        assert_eq!(t.structs[0].fields, ["a"]);
+    }
+}

@@ -21,11 +21,12 @@ pub struct Finding {
     pub message: String,
 }
 
-/// A crate's `.unwrap()` tally against its committed budget.
+/// A crate's tally against a committed budget (`.unwrap()` sites for
+/// `unwrap-ratchet`, panic-surface sites for `panic-ratchet`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct UnwrapTally {
     pub count: u64,
-    /// `None`: no `[unwrap_budget]` entry for this crate.
+    /// `None`: no budget entry for this crate.
     pub budget: Option<u64>,
 }
 
@@ -37,6 +38,9 @@ pub struct Report {
     /// Per-crate tallies — empty in explicit-file mode, where crate
     /// attribution (and thus the ratchet) doesn't apply.
     pub unwrap_tallies: BTreeMap<String, UnwrapTally>,
+    /// Per-crate `panic!`/`unreachable!`/`[idx]` tallies against
+    /// `[panic_budget]` — empty in explicit-file mode.
+    pub panic_tallies: BTreeMap<String, UnwrapTally>,
     /// Non-failing observations (e.g. ratchet headroom).
     pub notes: Vec<String>,
 }
@@ -72,9 +76,15 @@ impl Report {
                 );
             }
         }
-        if !self.unwrap_tallies.is_empty() {
-            let _ = writeln!(out, "unwrap budgets:");
-            for (krate, tally) in &self.unwrap_tallies {
+        for (title, tallies) in [
+            ("unwrap budgets:", &self.unwrap_tallies),
+            ("panic budgets:", &self.panic_tallies),
+        ] {
+            if tallies.is_empty() {
+                continue;
+            }
+            let _ = writeln!(out, "{title}");
+            for (krate, tally) in tallies {
                 match tally.budget {
                     Some(budget) => {
                         let _ = writeln!(out, "  {krate}: {}/{budget}", tally.count);
@@ -117,18 +127,24 @@ impl Report {
             );
         }
         let _ = write!(out, "],\"files_scanned\":{}", self.files_scanned);
-        out.push_str(",\"unwrap_budgets\":{");
-        for (i, (krate, tally)) in self.unwrap_tallies.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            let _ = write!(out, "{}:{{\"count\":{}", json_string(krate), tally.count);
-            if let Some(budget) = tally.budget {
-                let _ = write!(out, ",\"budget\":{budget}");
+        for (key, tallies) in [
+            ("unwrap_budgets", &self.unwrap_tallies),
+            ("panic_budgets", &self.panic_tallies),
+        ] {
+            let _ = write!(out, ",\"{key}\":{{");
+            for (i, (krate, tally)) in tallies.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{}:{{\"count\":{}", json_string(krate), tally.count);
+                if let Some(budget) = tally.budget {
+                    let _ = write!(out, ",\"budget\":{budget}");
+                }
+                out.push('}');
             }
             out.push('}');
         }
-        out.push_str("},\"notes\":[");
+        out.push_str(",\"notes\":[");
         for (i, note) in self.notes.iter().enumerate() {
             if i > 0 {
                 out.push(',');

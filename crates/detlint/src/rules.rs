@@ -16,8 +16,18 @@
 //! | `bare-allow` | `#[allow(…)]` with no justification comment | every suppressed diagnostic needs a reviewable reason |
 //! | `unwrap-ratchet` | per-crate `.unwrap()` counts above the committed budget | budgets in `detlint.toml` may only go down; new code uses `.expect("…")` |
 //! | `invalid-pragma` | malformed `detlint::allow` pragmas | an exemption with no reason is a silent hole in the contract |
+//! | `seed-provenance` | `seed_from_u64`/`from_seed` fed a literal in library code | a hard-coded seed silently decouples an RNG from the per-trial seed chain |
+//! | `registry-label-drift` | a label-grammar enum variant or `*Factory` impl missing its emit or parse half | a new variant that doesn't round-trip makes its cells irreproducible |
+//! | `condvar-wait-loop` | `Condvar::wait` not re-checked in a `while` loop | spurious wakeups make the reorder window emit records early |
+//! | `lock-order` | two fns acquiring the same Mutexes in opposite orders | a deadlock under the right thread interleaving |
+//! | `panic-ratchet` | per-crate `panic!`/`unreachable!`/`[idx]` counts above the committed budget | a panic in a worker thread kills determinism *and* the trial |
+//!
+//! The first nine are token-sequence patterns; the last five ride the
+//! [`crate::parser`] item tree and the [`crate::graph`] symbol graph.
 
+use crate::graph::{self, FileSymbols, Suppression};
 use crate::lexer::{lex, Comment, Tok};
+use crate::parser::ItemTree;
 use crate::pragma::{parse_pragmas, Pragma};
 use crate::report::Finding;
 
@@ -34,11 +44,16 @@ pub enum Rule {
     BareAllow,
     UnwrapRatchet,
     InvalidPragma,
+    SeedProvenance,
+    RegistryLabelDrift,
+    CondvarWaitLoop,
+    LockOrder,
+    PanicRatchet,
 }
 
 impl Rule {
     /// Every rule, in catalogue order.
-    pub const ALL: [Rule; 9] = [
+    pub const ALL: [Rule; 14] = [
         Rule::WallClock,
         Rule::AmbientRng,
         Rule::UnorderedIter,
@@ -48,6 +63,11 @@ impl Rule {
         Rule::BareAllow,
         Rule::UnwrapRatchet,
         Rule::InvalidPragma,
+        Rule::SeedProvenance,
+        Rule::RegistryLabelDrift,
+        Rule::CondvarWaitLoop,
+        Rule::LockOrder,
+        Rule::PanicRatchet,
     ];
 
     /// The kebab-case id used in reports and pragmas.
@@ -62,6 +82,11 @@ impl Rule {
             Rule::BareAllow => "bare-allow",
             Rule::UnwrapRatchet => "unwrap-ratchet",
             Rule::InvalidPragma => "invalid-pragma",
+            Rule::SeedProvenance => "seed-provenance",
+            Rule::RegistryLabelDrift => "registry-label-drift",
+            Rule::CondvarWaitLoop => "condvar-wait-loop",
+            Rule::LockOrder => "lock-order",
+            Rule::PanicRatchet => "panic-ratchet",
         }
     }
 
@@ -86,6 +111,15 @@ impl Rule {
             Rule::BareAllow => "`#[allow(…)]` without a justification comment",
             Rule::UnwrapRatchet => ".unwrap() count above the crate's committed budget",
             Rule::InvalidPragma => "malformed `detlint::allow` pragma",
+            Rule::SeedProvenance => "RNG seeded from a literal instead of the per-trial seed chain",
+            Rule::RegistryLabelDrift => {
+                "label-grammar enum variant or `*Factory` impl missing its emit/parse half"
+            }
+            Rule::CondvarWaitLoop => "`Condvar::wait` not guarded by a `while` re-check",
+            Rule::LockOrder => "two Mutexes acquired in opposite orders across fns",
+            Rule::PanicRatchet => {
+                "panic!/unreachable!/[idx] count above the crate's committed budget"
+            }
         }
     }
 }
@@ -102,20 +136,28 @@ pub struct FileContext {
     pub wall_clock_exempt: bool,
     /// Whether this file's crate is in the `unordered-iter` scope.
     pub unordered_iter_scoped: bool,
+    /// An integration-test or example file (root `tests/`, `examples/`):
+    /// prints are its own business, its symbols stay out of the graph,
+    /// and the panic/seed rules don't bind.
+    pub is_test_code: bool,
 }
 
-/// Everything one file contributes: findings plus its `.unwrap()` count
-/// (folded per crate by the workspace driver for `unwrap-ratchet`).
+/// Everything one file contributes: findings plus its `.unwrap()` and
+/// panic-surface counts (folded per crate by the workspace driver for
+/// the two ratchets) and its symbol fragment for the graph rules.
 #[derive(Debug, Default)]
 pub struct FileReport {
     pub findings: Vec<Finding>,
     pub unwrap_count: u64,
+    pub panic_count: u64,
+    pub symbols: FileSymbols,
 }
 
 /// Lints one file's source text.
 pub fn check_file(file: &str, src: &str, ctx: &FileContext) -> FileReport {
     let lexed = lex(src);
     let toks = &lexed.toks;
+    let tree = ItemTree::parse(toks);
     let (pragmas, pragma_errors) = parse_pragmas(&lexed.comments);
     let mut report = FileReport::default();
 
@@ -136,6 +178,8 @@ pub fn check_file(file: &str, src: &str, ctx: &FileContext) -> FileReport {
     scan_addr_as_key(file, toks, &mut raw);
     scan_stray_print(file, toks, ctx, &mut raw);
     scan_bare_allow(file, toks, &lexed.comments, &mut raw);
+    scan_seed_provenance(file, toks, &tree, ctx, &mut raw);
+    scan_condvar_wait(file, toks, &tree, &mut raw);
     if ctx.is_lib_rs && !has_forbid_unsafe_header(toks) {
         raw.push(Finding {
             rule: Rule::ForbidUnsafeHeader,
@@ -146,6 +190,7 @@ pub fn check_file(file: &str, src: &str, ctx: &FileContext) -> FileReport {
         });
     }
     report.unwrap_count = count_unwraps(toks);
+    report.panic_count = count_panic_surface(toks, &tree, ctx);
 
     // Pragma suppression: exact (rule, reach) matches only.
     let reaches: Vec<(Pragma, (u32, u32))> = pragmas
@@ -157,6 +202,18 @@ pub fn check_file(file: &str, src: &str, ctx: &FileContext) -> FileReport {
             pragma.rule == finding.rule && (pragma.file_wide || (*lo..=*hi).contains(&finding.line))
         })
     }));
+    // The graph rules fire later, scope-wide; hand them the suppressions
+    // so pragmas keep working for findings emitted there.
+    let suppressions = reaches
+        .iter()
+        .map(|(pragma, (lo, hi))| Suppression {
+            rule: pragma.rule,
+            file_wide: pragma.file_wide,
+            lo: *lo,
+            hi: *hi,
+        })
+        .collect();
+    report.symbols = graph::extract(file, toks, &tree, ctx, suppressions);
     report
 }
 
@@ -302,14 +359,16 @@ fn scan_addr_as_key(file: &str, toks: &[Tok], out: &mut Vec<Finding>) {
     }
 }
 
-/// `println!`-family macros outside binary roots and `#[cfg(test)]` mods.
+/// `println!`-family macros (and the `todo!` placeholder, which prints
+/// its way into a panic) outside binary roots and `#[cfg(test)]` mods.
 fn scan_stray_print(file: &str, toks: &[Tok], ctx: &FileContext, out: &mut Vec<Finding>) {
-    if ctx.is_binary_root {
+    if ctx.is_binary_root || ctx.is_test_code {
         return;
     }
     let test_ranges = test_mod_ranges(toks);
     for i in 0..toks.len() {
-        let Some(name @ ("println" | "eprintln" | "print" | "eprint" | "dbg")) = ident_at(toks, i)
+        let Some(name @ ("println" | "eprintln" | "print" | "eprint" | "dbg" | "todo")) =
+            ident_at(toks, i)
         else {
             continue;
         };
@@ -323,17 +382,266 @@ fn scan_stray_print(file: &str, toks: &[Tok], ctx: &FileContext, out: &mut Vec<F
         {
             continue;
         }
+        let message = if name == "todo" {
+            "`todo!` in library code — unfinished code panics at runtime; finish it or \
+             return an error"
+                .to_string()
+        } else {
+            format!(
+                "`{name}!` in library code — the record sink and `ProgressThrottle` are the \
+                 only sanctioned outputs"
+            )
+        };
         out.push(Finding {
             rule: Rule::StrayPrint,
             file: file.to_string(),
             line,
             col: toks[i].col,
-            message: format!(
-                "`{name}!` in library code — the record sink and `ProgressThrottle` are the \
-                 only sanctioned outputs"
-            ),
+            message,
         });
     }
+}
+
+/// `seed_from_u64`/`from_seed` whose argument cannot be traced to a
+/// seed-bearing name: a fn parameter, `self` (config fields), any ident
+/// containing `seed`, or a local `let` bound from one of those.  Test
+/// code is exempt — a fixed seed is exactly what a test wants.
+fn scan_seed_provenance(
+    file: &str,
+    toks: &[Tok],
+    tree: &ItemTree,
+    ctx: &FileContext,
+    out: &mut Vec<Finding>,
+) {
+    // Binaries are entry points: a fixed demo seed at the top of `main`
+    // IS the provenance.  The rule polices library code, where a literal
+    // silently forks the per-trial seed chain.
+    if ctx.is_test_code || ctx.is_binary_root {
+        return;
+    }
+    for i in 0..toks.len() {
+        let Some(name @ ("seed_from_u64" | "from_seed")) = ident_at(toks, i) else {
+            continue;
+        };
+        if !punct_at(toks, i + 1, '(') || tree.line_in_test(toks[i].line) {
+            continue;
+        }
+        let Some(f) = tree.fn_at(i) else {
+            continue; // not inside a fn body (a doc-test snippet, say)
+        };
+        if f.in_test {
+            continue;
+        }
+        let Some((blo, bhi)) = f.body else { continue };
+        let safe = safe_seed_names(&toks[blo..bhi], &f.params);
+        // Argument span of the call.
+        let mut depth = 0i32;
+        let mut close = i + 1;
+        for (k, t) in toks.iter().enumerate().take(bhi).skip(i + 1) {
+            if t.is_punct('(') {
+                depth += 1;
+            } else if t.is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    close = k;
+                    break;
+                }
+            }
+        }
+        let arg_traced = toks[i + 2..close]
+            .iter()
+            .filter_map(Tok::ident)
+            .any(|id| is_seedish(id) || safe.contains(&id.to_string()));
+        if !arg_traced {
+            out.push(Finding {
+                rule: Rule::SeedProvenance,
+                file: file.to_string(),
+                line: toks[i].line,
+                col: toks[i].col,
+                message: format!(
+                    "`{name}` argument does not trace to a seed-bearing parameter or config \
+                     field — a literal seed decouples this RNG from the per-trial seed chain"
+                ),
+            });
+        }
+    }
+}
+
+/// Whether an identifier is seed-bearing by name.
+fn is_seedish(name: &str) -> bool {
+    name.to_ascii_lowercase().contains("seed") || name == "self" || name == "config"
+}
+
+/// The set of names a seed argument may mention: the fn's parameters
+/// plus locals transitively `let`-bound from a safe name (fixpoint over
+/// the body's `let x = …;` statements).
+fn safe_seed_names(body: &[Tok], params: &[String]) -> Vec<String> {
+    let mut safe: Vec<String> = params.to_vec();
+    loop {
+        let mut grew = false;
+        let mut i = 0;
+        while i < body.len() {
+            if ident_at(body, i) != Some("let") {
+                i += 1;
+                continue;
+            }
+            // Binding name: first non-`mut` ident after `let`.
+            let mut j = i + 1;
+            while ident_at(body, j) == Some("mut") {
+                j += 1;
+            }
+            let Some(bound) = ident_at(body, j) else {
+                i = j + 1;
+                continue;
+            };
+            // RHS: from the `=` to the statement's `;` at bracket depth 0.
+            let Some(eq) = (j..body.len().min(j + 8))
+                .find(|&k| punct_at(body, k, '=') && !punct_at(body, k + 1, '='))
+            else {
+                i = j + 1;
+                continue;
+            };
+            let mut depth = 0i32;
+            let mut k = eq + 1;
+            let mut traced = false;
+            while k < body.len() {
+                let t = &body[k];
+                if depth == 0 && t.is_punct(';') {
+                    break;
+                }
+                match &t.kind {
+                    _ if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') => depth += 1,
+                    _ if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') => depth -= 1,
+                    _ => {}
+                }
+                if let Some(id) = t.ident() {
+                    if is_seedish(id) || safe.iter().any(|s| s == id) {
+                        traced = true;
+                    }
+                }
+                k += 1;
+            }
+            if traced && !safe.iter().any(|s| s == bound) {
+                safe.push(bound.to_string());
+                grew = true;
+            }
+            i = k + 1;
+        }
+        if !grew {
+            return safe;
+        }
+    }
+}
+
+/// `guard.wait(…)`-style Condvar waits (an argument distinguishes them
+/// from `Child::wait()`-likes) that are not re-checked inside a `while`
+/// loop: a spurious wakeup then proceeds on a stale condition.
+fn scan_condvar_wait(file: &str, toks: &[Tok], tree: &ItemTree, out: &mut Vec<Finding>) {
+    for i in 0..toks.len() {
+        if ident_at(toks, i) != Some("wait")
+            || !punct_at(toks, i + 1, '(')
+            || punct_at(toks, i + 2, ')')
+            || i == 0
+            || !toks[i - 1].is_punct('.')
+        {
+            continue;
+        }
+        let Some(f) = tree.fn_at(i) else { continue };
+        let Some((blo, bhi)) = f.body else { continue };
+        let guarded = (blo..i).any(|j| {
+            matches!(ident_at(toks, j), Some("while" | "loop"))
+                && while_block_contains(toks, j, bhi, i)
+        });
+        if !guarded {
+            out.push(Finding {
+                rule: Rule::CondvarWaitLoop,
+                file: file.to_string(),
+                line: toks[i].line,
+                col: toks[i].col,
+                message: "`Condvar::wait` outside a `while` re-check loop — spurious wakeups \
+                          will proceed on a stale condition; wrap the wait in \
+                          `while !condition { guard = cv.wait(guard)…; }`"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Whether the loop body of the `while`/`loop` keyword at `j` contains
+/// token index `target` (scans the head for its `{` at bracket depth 0,
+/// then brace-matches).
+fn while_block_contains(toks: &[Tok], j: usize, hi: usize, target: usize) -> bool {
+    let mut depth = 0i32;
+    let mut k = j + 1;
+    let open = loop {
+        if k >= hi.min(toks.len()) {
+            return false;
+        }
+        let t = &toks[k];
+        if depth == 0 && t.is_punct('{') {
+            break k;
+        }
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        }
+        k += 1;
+    };
+    let mut braces = 0usize;
+    for (k, t) in toks.iter().enumerate().take(hi.min(toks.len())).skip(open) {
+        if t.is_punct('{') {
+            braces += 1;
+        } else if t.is_punct('}') {
+            braces -= 1;
+            if braces == 0 {
+                return (open..k).contains(&target);
+            }
+        }
+    }
+    false
+}
+
+/// Keywords that precede a `[` without making it an indexing site.
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "mut", "dyn", "ref", "in", "as", "return", "break", "else", "move", "static", "const", "impl",
+    "where", "let", "if", "while", "for", "loop", "unsafe", "pub", "use", "match",
+];
+
+/// Counts the panic surface of library code: `panic!`/`unreachable!`
+/// sites plus `[idx]` indexing expressions (a `[` whose previous token
+/// is a value — an ident, `)`, `]` or a literal), outside `#[cfg(test)]`
+/// mods.  Binary roots and test files are a binary's/test's own
+/// business.
+fn count_panic_surface(toks: &[Tok], tree: &ItemTree, ctx: &FileContext) -> u64 {
+    if ctx.is_binary_root || ctx.is_test_code {
+        return 0;
+    }
+    let mut count = 0u64;
+    for i in 0..toks.len() {
+        if tree.line_in_test(toks[i].line) {
+            continue;
+        }
+        if matches!(ident_at(toks, i), Some("panic" | "unreachable")) && punct_at(toks, i + 1, '!')
+        {
+            count += 1;
+            continue;
+        }
+        if !punct_at(toks, i, '[') || i == 0 {
+            continue;
+        }
+        let prev = &toks[i - 1];
+        let is_value = match prev.ident() {
+            Some(name) => !NON_INDEX_KEYWORDS.contains(&name),
+            None => {
+                prev.is_punct(')') || prev.is_punct(']') || prev.kind == crate::lexer::TokKind::Lit
+            }
+        };
+        if is_value {
+            count += 1;
+        }
+    }
+    count
 }
 
 /// `#[allow(…)]` / `#![allow(…)]` without a justification: a non-doc
@@ -603,6 +911,103 @@ mod tests {
             findings("/// docs\n#[allow(dead_code)]\nfn f() {}\n", &ctx),
             [(Rule::BareAllow, 2)]
         );
+    }
+
+    #[test]
+    fn todo_is_a_stray_print() {
+        let src = "fn f() { todo!() }\n";
+        assert_eq!(
+            findings(src, &FileContext::default()),
+            [(Rule::StrayPrint, 1)]
+        );
+    }
+
+    #[test]
+    fn seed_provenance_flags_literals_and_traces_names() {
+        let ctx = FileContext::default();
+        // A literal seed in library code is the violation.
+        assert_eq!(
+            findings("fn f() -> StdRng { StdRng::seed_from_u64(42) }\n", &ctx),
+            [(Rule::SeedProvenance, 1)]
+        );
+        // A seed-bearing parameter is provenance.
+        assert!(findings(
+            "fn f(seed: u64) -> StdRng { StdRng::seed_from_u64(seed) }\n",
+            &ctx
+        )
+        .is_empty());
+        // Any parameter reaching the argument is provenance, whatever
+        // its name.
+        assert!(findings(
+            "fn f(s: u64) -> StdRng { StdRng::seed_from_u64(s ^ 0xD1FF) }\n",
+            &ctx
+        )
+        .is_empty());
+        // Config fields via `self` are provenance.
+        assert!(findings(
+            "impl S { fn f(&self) -> StdRng { StdRng::seed_from_u64(self.config.seed) } }\n",
+            &ctx
+        )
+        .is_empty());
+        // A local bound from a parameter keeps its provenance (one-hop
+        // `let` fixpoint).
+        assert!(findings(
+            "fn f(s: u64) -> StdRng { let mixed = s ^ 0xABCD; StdRng::seed_from_u64(mixed) }\n",
+            &ctx
+        )
+        .is_empty());
+        // Test code picks its seeds freely.
+        assert!(findings(
+            "#[cfg(test)]\nmod tests {\n fn f() -> StdRng { StdRng::seed_from_u64(7) }\n}\n",
+            &ctx
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn condvar_wait_needs_a_while_guard() {
+        let ctx = FileContext::default();
+        let bad = "fn f(cv: &Condvar, m: &Mutex<bool>) {\n\
+                   let mut g = m.lock().expect(\"m\");\n\
+                   if !*g { g = cv.wait(g).expect(\"cv\"); }\n\
+                   }\n";
+        assert_eq!(findings(bad, &ctx), [(Rule::CondvarWaitLoop, 3)]);
+        let good = "fn f(cv: &Condvar, m: &Mutex<bool>) {\n\
+                    let mut g = m.lock().expect(\"m\");\n\
+                    while !*g { g = cv.wait(g).expect(\"cv\"); }\n\
+                    }\n";
+        assert!(findings(good, &ctx).is_empty());
+        // `Child::wait()` takes no guard argument and is not a condvar.
+        assert!(findings(
+            "fn f(c: &mut Child) { c.wait().expect(\"child\"); }\n",
+            &ctx
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn panic_surface_counts_panics_and_indexing_only() {
+        let ctx = FileContext::default();
+        let src = "fn f(v: &[u8], i: usize) -> u8 {\n\
+                   if i > v.len() { panic!(\"oob\") }\n\
+                   let x: [u8; 2] = [1, 2];\n\
+                   let m = vec![1, 2];\n\
+                   #[derive(Clone)]\n\
+                   struct T;\n\
+                   match i { 0 => unreachable!(), _ => v[i] + x[0] + m[0] }\n\
+                   }\n\
+                   #[cfg(test)]\nmod tests { fn t(v: &[u8]) -> u8 { v[0] } }\n";
+        let report = check_file("t.rs", src, &ctx);
+        // panic! + unreachable! + v[i] + x[0] + m[0]; the array type,
+        // the array literal, vec![…], #[derive] and the test-mod index
+        // do not count.
+        assert_eq!(report.panic_count, 5);
+        // Binary roots own their panics.
+        let binary = FileContext {
+            is_binary_root: true,
+            ..FileContext::default()
+        };
+        assert_eq!(check_file("t.rs", src, &binary).panic_count, 0);
     }
 
     #[test]

@@ -1,32 +1,23 @@
 //! Self-tests over the committed fixtures, plus the test that gives the
 //! whole lint its teeth: the real workspace must be clean.
 //!
-//! The golden `--format json` report below is part of the tool's
-//! contract — downstream automation parses it — so editing
+//! The golden `--format json` report in `golden_violations.json` is part
+//! of the tool's contract — downstream automation parses it — so editing
 //! `fixtures/violations.rs`, a rule message or the serialization
-//! requires re-blessing the string here, deliberately.
+//! requires re-blessing it, deliberately, with `selfsim-detlint --bless`.
 
 use std::path::Path;
 
-use selfsim_detlint::{check_file, lint_workspace, FileContext, Report, Rule};
+use selfsim_detlint::{lint_named_sources, lint_workspace, Report, Rule};
 
 const VIOLATIONS: &str = include_str!("../fixtures/violations.rs");
 const CLEAN: &str = include_str!("../fixtures/clean.rs");
+const GOLDEN: &str = include_str!("golden_violations.json");
 
-/// Lints a fixture exactly the way explicit-file mode does.
+/// Lints a fixture exactly the way explicit-file mode (and `--bless`)
+/// does.
 fn lint_fixture(label: &str, src: &str) -> Report {
-    let ctx = FileContext {
-        is_lib_rs: false,
-        is_binary_root: false,
-        wall_clock_exempt: false,
-        unordered_iter_scoped: true,
-    };
-    let mut report = Report::default();
-    let file = check_file(label, src, &ctx);
-    report.findings.extend(file.findings);
-    report.files_scanned = 1;
-    report.sort();
-    report
+    lint_named_sources(&[(label.to_string(), src.to_string())])
 }
 
 #[test]
@@ -40,7 +31,7 @@ fn clean_fixture_produces_zero_findings() {
 }
 
 #[test]
-fn violation_fixture_trips_every_file_scoped_rule() {
+fn violation_fixture_trips_every_applicable_rule() {
     let report = lint_fixture("crates/detlint/fixtures/violations.rs", VIOLATIONS);
     let fired: Vec<Rule> = report.findings.iter().map(|f| f.rule).collect();
     for rule in [
@@ -51,6 +42,11 @@ fn violation_fixture_trips_every_file_scoped_rule() {
         Rule::StrayPrint,
         Rule::BareAllow,
         Rule::InvalidPragma,
+        Rule::SeedProvenance,
+        Rule::RegistryLabelDrift,
+        Rule::CondvarWaitLoop,
+        Rule::LockOrder,
+        Rule::PanicRatchet,
     ] {
         assert!(fired.contains(&rule), "{} did not fire", rule.id());
     }
@@ -61,28 +57,38 @@ fn violation_fixture_trips_every_file_scoped_rule() {
         2,
         "the pragma-sanctioned site must not be reported"
     );
+    // The print family: println!, print!, eprint!, eprintln!, todo!.
+    assert_eq!(
+        fired.iter().filter(|&&r| r == Rule::StrayPrint).count(),
+        5,
+        "all five print-family seeds must fire"
+    );
 }
 
 #[test]
 fn golden_json_report_over_the_violation_fixture() {
     let report = lint_fixture("crates/detlint/fixtures/violations.rs", VIOLATIONS);
-    let expected = concat!(
-        r#"{"findings":["#,
-        r#"{"rule":"unordered-iter","file":"crates/detlint/fixtures/violations.rs","line":10,"col":23,"message":"`HashMap` in a crate that feeds record serialization — iteration order is nondeterministic; use `BTreeMap`/`BTreeSet` or a sorted `Vec`"},"#,
-        r#"{"rule":"wall-clock","file":"crates/detlint/fixtures/violations.rs","line":14,"col":14,"message":"`Instant::now` reads the wall clock — derive timing from trial state, or pragma-allow a sanctioned observability site with a reason"},"#,
-        r#"{"rule":"wall-clock","file":"crates/detlint/fixtures/violations.rs","line":15,"col":17,"message":"`SystemTime::now` reads the wall clock — derive timing from trial state, or pragma-allow a sanctioned observability site with a reason"},"#,
-        r#"{"rule":"ambient-rng","file":"crates/detlint/fixtures/violations.rs","line":25,"col":25,"message":"`thread_rng` draws ambient entropy — all randomness must derive from the per-trial seed (SplitMix64 over campaign seed, scenario and trial index)"},"#,
-        r#"{"rule":"ambient-rng","file":"crates/detlint/fixtures/violations.rs","line":26,"col":11,"message":"`random` draws ambient entropy — all randomness must derive from the per-trial seed (SplitMix64 over campaign seed, scenario and trial index)"},"#,
-        r#"{"rule":"addr-as-key","file":"crates/detlint/fixtures/violations.rs","line":30,"col":21,"message":"pointer cast to `usize` — addresses vary per run (ASLR); never key or order by them"},"#,
-        r#"{"rule":"unordered-iter","file":"crates/detlint/fixtures/violations.rs","line":33,"col":25,"message":"`HashMap` in a crate that feeds record serialization — iteration order is nondeterministic; use `BTreeMap`/`BTreeSet` or a sorted `Vec`"},"#,
-        r#"{"rule":"stray-print","file":"crates/detlint/fixtures/violations.rs","line":34,"col":5,"message":"`println!` in library code — the record sink and `ProgressThrottle` are the only sanctioned outputs"},"#,
-        r#"{"rule":"bare-allow","file":"crates/detlint/fixtures/violations.rs","line":37,"col":1,"message":"`#[allow(…)]` without a justification — add a `// why` comment on the same line or the line above"},"#,
-        r#"{"rule":"invalid-pragma","file":"crates/detlint/fixtures/violations.rs","line":40,"col":1,"message":"pragma for `wall-clock` is missing the required `reason = \"…\"`"},"#,
-        r#"{"rule":"invalid-pragma","file":"crates/detlint/fixtures/violations.rs","line":41,"col":1,"message":"pragma for `stray-print` has an empty reason — say why the site is sanctioned"},"#,
-        r#"{"rule":"invalid-pragma","file":"crates/detlint/fixtures/violations.rs","line":42,"col":1,"message":"unknown rule `not-a-rule` (see `selfsim-detlint --rules` for the catalogue)"}"#,
-        r#"],"files_scanned":1,"unwrap_budgets":{},"notes":[]}"#,
+    assert_eq!(
+        format!("{}\n", report.render_json()),
+        GOLDEN,
+        "golden drift — if the change is intentional, re-bless with \
+         `cargo run -p selfsim-detlint -- --bless --root <workspace-root>`"
     );
-    assert_eq!(report.render_json(), expected);
+}
+
+#[test]
+fn every_new_rule_tag_is_pinned_in_the_golden() {
+    // Belt and braces: the golden itself must mention each item-graph
+    // rule, so a silently-dead rule cannot hide behind a re-bless.
+    for tag in [
+        "\"seed-provenance\"",
+        "\"registry-label-drift\"",
+        "\"condvar-wait-loop\"",
+        "\"lock-order\"",
+        "\"panic-ratchet\"",
+    ] {
+        assert!(GOLDEN.contains(tag), "golden lost the {tag} finding");
+    }
 }
 
 #[test]
@@ -94,6 +100,8 @@ fn lexer_edge_cases_in_the_clean_fixture_are_the_hard_ones() {
         "/* nested once */",
         "Instant::now() and HashMap::new() in a cooked string",
         "/// Doc comments are not code: `Instant::now()`",
+        "while !*ready",
+        "seed_from_u64(stream_seed)",
     ] {
         assert!(CLEAN.contains(trap), "fixture lost its `{trap}` trap");
     }
@@ -102,8 +110,8 @@ fn lexer_edge_cases_in_the_clean_fixture_are_the_hard_ones() {
 #[test]
 fn the_workspace_itself_is_clean() {
     // `cargo test` enforces the contract, not just CI: the real tree —
-    // with its committed detlint.toml scoping and unwrap budgets — must
-    // produce zero findings.
+    // with its committed detlint.toml scoping and the unwrap/panic
+    // budgets — must produce zero findings.
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))
         .parent()
         .and_then(Path::parent)
@@ -119,11 +127,26 @@ fn the_workspace_itself_is_clean() {
         "suspiciously few files scanned ({}) — did discovery break?",
         report.files_scanned
     );
-    // Every crate with unwraps is budgeted (the ratchet can only bind if
-    // the budget exists).
+    // Every crate with unwraps or panic surface is budgeted (a ratchet
+    // can only bind if the budget exists).
     for (krate, tally) in &report.unwrap_tallies {
         if tally.count > 0 {
-            assert!(tally.budget.is_some(), "crate `{krate}` has no budget");
+            assert!(
+                tally.budget.is_some(),
+                "crate `{krate}` has no unwrap budget"
+            );
         }
     }
+    for (krate, tally) in &report.panic_tallies {
+        if tally.count > 0 {
+            assert!(
+                tally.budget.is_some(),
+                "crate `{krate}` has no panic budget"
+            );
+        }
+    }
+    assert!(
+        !report.panic_tallies.is_empty(),
+        "panic tallies missing — did the panic ratchet stop running?"
+    );
 }

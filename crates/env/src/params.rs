@@ -48,10 +48,10 @@ pub struct Params {
 /// ```
 /// use selfsim_env::params::parse_label;
 ///
-/// let (name, params) = parse_label("churn(e=0.5,a=0.9)").unwrap();
+/// let (name, params) = parse_label("churn(e=0.5,a=0.9)").expect("well-formed label");
 /// assert_eq!(name, "churn");
 /// assert!(!params.is_empty());
-/// let (name, params) = parse_label("static").unwrap();
+/// let (name, params) = parse_label("static").expect("well-formed label");
 /// assert_eq!(name, "static");
 /// assert!(params.is_empty());
 /// ```
@@ -239,30 +239,39 @@ mod tests {
 
     #[test]
     fn bare_labels_have_no_params() {
-        let (name, params) = parse_label("static").unwrap();
+        let (name, params) = parse_label("static").expect("bare label parses");
         assert_eq!(name, "static");
         assert!(params.is_empty());
-        params.finish(&[]).unwrap();
+        params.finish(&[]).expect("no params to reject");
     }
 
     #[test]
     fn parameterised_labels_split_into_pairs() {
-        let (name, mut params) = parse_label("churn(e=0.5,a=0.9)").unwrap();
+        let (name, mut params) = parse_label("churn(e=0.5,a=0.9)").expect("well-formed label");
         assert_eq!(name, "churn");
-        assert_eq!(params.take_probability("e").unwrap(), Some(0.5));
-        assert_eq!(params.take_probability("a").unwrap(), Some(0.9));
-        params.finish(&["e", "a"]).unwrap();
+        assert_eq!(
+            params.take_probability("e").expect("0.5 is a probability"),
+            Some(0.5)
+        );
+        assert_eq!(
+            params.take_probability("a").expect("0.9 is a probability"),
+            Some(0.9)
+        );
+        params.finish(&["e", "a"]).expect("both keys were taken");
     }
 
     #[test]
     fn nested_labels_stay_whole() {
-        let (name, mut params) = parse_label("async(i=0.5,l=3,d=0,dv=any-overlap(g=4))").unwrap();
+        let (name, mut params) =
+            parse_label("async(i=0.5,l=3,d=0,dv=any-overlap(g=4))").expect("well-formed label");
         assert_eq!(name, "async");
-        assert_eq!(params.take::<f64>("i").unwrap(), Some(0.5));
-        assert_eq!(params.take::<usize>("l").unwrap(), Some(3));
-        assert_eq!(params.take::<f64>("d").unwrap(), Some(0.0));
+        assert_eq!(params.take::<f64>("i").expect("0.5 is an f64"), Some(0.5));
+        assert_eq!(params.take::<usize>("l").expect("3 is a usize"), Some(3));
+        assert_eq!(params.take::<f64>("d").expect("0 is an f64"), Some(0.0));
         assert_eq!(params.take_str("dv"), Some("any-overlap(g=4)".into()));
-        params.finish(&["i", "l", "d", "dv"]).unwrap();
+        params
+            .finish(&["i", "l", "d", "dv"])
+            .expect("all keys were taken");
     }
 
     #[test]
@@ -285,26 +294,28 @@ mod tests {
 
     #[test]
     fn take_names_the_field_on_bad_values() {
-        let (_, mut params) = parse_label("churn(e=banana)").unwrap();
+        let (_, mut params) =
+            parse_label("churn(e=banana)").expect("the label itself is well-formed");
         let err = params.take_probability("e").unwrap_err();
         assert!(err.contains("`churn`"), "{err}");
         assert!(err.contains("`e`"), "{err}");
         assert!(err.contains("banana"), "{err}");
 
-        let (_, mut params) = parse_label("churn(e=1.5)").unwrap();
+        let (_, mut params) = parse_label("churn(e=1.5)").expect("the label itself is well-formed");
         let err = params.take_probability("e").unwrap_err();
         assert!(err.contains("probability in [0, 1]"), "{err}");
         assert!(err.contains("1.5"), "{err}");
 
-        let (_, mut params) = parse_label("partition(b=0)").unwrap();
+        let (_, mut params) =
+            parse_label("partition(b=0)").expect("the label itself is well-formed");
         let err = params.take_positive("b").unwrap_err();
         assert!(err.contains("`b` must be at least 1"), "{err}");
     }
 
     #[test]
     fn finish_rejects_unknown_keys_and_lists_the_known_ones() {
-        let (_, mut params) = parse_label("churn(e=0.5,q=1)").unwrap();
-        let _ = params.take_probability("e").unwrap();
+        let (_, mut params) = parse_label("churn(e=0.5,q=1)").expect("well-formed label");
+        let _ = params.take_probability("e").expect("0.5 is a probability");
         let err = params.finish(&["e", "a"]).unwrap_err();
         assert!(err.contains("unknown parameter q"), "{err}");
         assert!(err.contains("expected e, a"), "{err}");
@@ -324,8 +335,12 @@ mod tests {
         // label round-trip law hold for probability parameters.
         for p in [0.0, 0.1, 0.3, 1.0, 0.123_456_789, f64::MIN_POSITIVE] {
             let label = format!("churn(e={p})");
-            let (_, mut params) = parse_label(&label).unwrap();
-            assert_eq!(params.take::<f64>("e").unwrap(), Some(p), "{label}");
+            let (_, mut params) = parse_label(&label).expect("formatted label parses");
+            assert_eq!(
+                params.take::<f64>("e").expect("round-trip f64"),
+                Some(p),
+                "{label}"
+            );
         }
     }
 }

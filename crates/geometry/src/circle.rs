@@ -91,6 +91,7 @@ pub fn smallest_enclosing_circle(points: &[Point]) -> Circle {
     if pts.is_empty() {
         return Circle::point(Point::origin());
     }
+    // detlint::allow(seed-provenance, reason = "fixed shuffle seed gives Welzl its expected-linear time; any permutation yields the same circle, so the output is seed-independent")
     let mut rng = rand::rngs::StdRng::seed_from_u64(0x5e1f_51a1);
     pts.shuffle(&mut rng);
     welzl(&pts)
