@@ -7,7 +7,9 @@ use std::hint::black_box;
 
 use selfsim_algorithms::{minimum, sorting};
 use selfsim_baselines::{FloodingAggregator, SnapshotAggregator};
-use selfsim_env::{RandomChurnEnv, StaticEnv, Topology};
+use selfsim_env::{
+    AgentId, Edge, EnvChanges, EnvState, GroupIndex, RandomChurnEnv, StaticEnv, Topology,
+};
 use selfsim_runtime::{SyncConfig, SyncSimulator};
 
 fn values_for(n: usize) -> Vec<i64> {
@@ -106,7 +108,7 @@ fn hotpath(c: &mut Criterion) {
 /// E15 — event-runtime scaling kernels at criterion-friendly sizes.
 ///
 /// The kernels live in [`selfsim_bench::escale`] so the `escale` binary
-/// (which emits `BENCH_8.json` in CI, sweeping up to a million agents)
+/// (which emits `BENCH_10.json` in CI, sweeping up to a million agents)
 /// times exactly this code.
 fn escale(c: &mut Criterion) {
     use selfsim_bench::escale as kernels;
@@ -115,6 +117,7 @@ fn escale(c: &mut Criterion) {
     for kind in [
         kernels::EscaleTopology::CompleteStatic,
         kernels::EscaleTopology::PartitionedRing,
+        kernels::EscaleTopology::RandomChurn,
     ] {
         for &n in &[1_000usize, 10_000] {
             group.bench_with_input(BenchmarkId::new(kind.label(), n), &n, |b, &n| {
@@ -122,6 +125,77 @@ fn escale(c: &mut Criterion) {
                 b.iter(|| black_box(kernel.run()))
             });
         }
+    }
+    group.finish();
+}
+
+/// The flat connectivity core's group-maintenance kernels, isolated from
+/// the simulators: full rescans (`reset_from_state`), the bounded
+/// edge-down re-split plus edge-up merge round-trip, and a scattered
+/// churn-style batch.  Each round-trip restores the index, so iterations
+/// are independent without cloning it.
+fn connectivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("connectivity");
+    for &n in &[10_000usize, 100_000] {
+        let ring = Topology::ring(n);
+        // The two-block partition state: every edge except the two cross
+        // edges, all agents.
+        let cross = [
+            Edge::new(AgentId(0), AgentId(n - 1)),
+            Edge::new(AgentId(n / 2 - 1), AgentId(n / 2)),
+        ];
+        let partitioned = EnvState::new(
+            n,
+            ring.edges().iter().copied().filter(|e| !cross.contains(e)),
+            ring.agents(),
+        );
+        group.bench_with_input(BenchmarkId::new("reset-from-state", n), &n, |b, _| {
+            let mut index = GroupIndex::new(&ring);
+            b.iter(|| {
+                index.reset_from_state(&partitioned);
+                black_box(index.group_count())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("split-heal-roundtrip", n), &n, |b, _| {
+            let mut index = GroupIndex::new(&ring);
+            index.reset_all_enabled();
+            let split = EnvChanges {
+                edges_down: cross.to_vec(),
+                ..EnvChanges::default()
+            };
+            let heal = EnvChanges {
+                edges_up: cross.to_vec(),
+                ..EnvChanges::default()
+            };
+            b.iter(|| {
+                index.apply_changes(&split);
+                index.apply_changes(&heal);
+                black_box(index.group_count())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("churn-batch-64", n), &n, |b, _| {
+            let mut index = GroupIndex::new(&ring);
+            index.reset_all_enabled();
+            let scattered: Vec<Edge> = (0..64)
+                .map(|k| {
+                    let i = k * (n / 64);
+                    Edge::new(AgentId(i), AgentId((i + 1) % n))
+                })
+                .collect();
+            let down = EnvChanges {
+                edges_down: scattered.clone(),
+                ..EnvChanges::default()
+            };
+            let up = EnvChanges {
+                edges_up: scattered,
+                ..EnvChanges::default()
+            };
+            b.iter(|| {
+                index.apply_changes(&down);
+                index.apply_changes(&up);
+                black_box(index.group_count())
+            })
+        });
     }
     group.finish();
 }
@@ -151,6 +225,6 @@ fn e9_sorting(c: &mut Criterion) {
 criterion_group! {
     name = experiments;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = e4_scaling, e5_churn, e7_baselines, e9_sorting, hotpath, escale
+    targets = e4_scaling, e5_churn, e7_baselines, e9_sorting, hotpath, escale, connectivity
 }
 criterion_main!(experiments);

@@ -119,15 +119,16 @@ pub mod hotpath {
 /// The E-series event-runtime scaling kernels: full [`EventSimulator`]
 /// runs at large `n`, shared between the criterion benches
 /// (`benches/experiments.rs`, reduced sizes) and the `escale` binary that
-/// emits `BENCH_8.json` in CI (up to a million agents).  Construction
+/// emits `BENCH_10.json` in CI (up to a million agents).  Construction
 /// (`new`) is setup and excluded from timing; `run` is one measured
 /// iteration.
 ///
 /// [`EventSimulator`]: selfsim_runtime::EventSimulator
 pub mod escale {
+    use rand::SeedableRng;
     use selfsim_algorithms::minimum;
     use selfsim_core::SelfSimilarSystem;
-    use selfsim_env::{Environment, PeriodicPartitionEnv, StaticEnv, Topology};
+    use selfsim_env::{Environment, PeriodicPartitionEnv, RandomChurnEnv, StaticEnv, Topology};
     use selfsim_runtime::{EventConfig, EventSimulator};
 
     use super::hotpath::values_for;
@@ -146,14 +147,43 @@ pub mod escale {
         /// group recomputation, every round re-draws one random value per
         /// unconverged agent, so each event's cost grows with `n`.
         PartitionedRing,
+        /// Min-consensus on a sparse random connected graph (expected
+        /// degree 16) under per-round Bernoulli churn that flips ~0.1% of
+        /// the edges each round: every round is an `EnvDelta::Changes`
+        /// batch of scattered edge-down/edge-up events, the incremental
+        /// group-maintenance path the periodic partition never exercises.
+        /// Meaningful up to n = 10^5 (see [`EscaleTopology::max_n`]).
+        RandomChurn,
     }
 
     impl EscaleTopology {
-        /// The label used in `BENCH_8.json` and the criterion group.
+        /// The label used in `BENCH_10.json` and the criterion group.
         pub fn label(self) -> &'static str {
             match self {
                 EscaleTopology::CompleteStatic => "complete-static",
                 EscaleTopology::PartitionedRing => "partitioned-ring",
+                EscaleTopology::RandomChurn => "random-churn",
+            }
+        }
+
+        /// The inverse of [`Self::label`], for the `escale --cell` child
+        /// process protocol.
+        pub fn from_label(label: &str) -> Option<Self> {
+            match label {
+                "complete-static" => Some(EscaleTopology::CompleteStatic),
+                "partitioned-ring" => Some(EscaleTopology::PartitionedRing),
+                "random-churn" => Some(EscaleTopology::RandomChurn),
+                _ => None,
+            }
+        }
+
+        /// Largest size this cell is swept at.  The churn cell stops at
+        /// 10^5: generating and churning a random sparse graph at 10^6
+        /// measures the RNG more than the connectivity core.
+        pub fn max_n(self) -> usize {
+            match self {
+                EscaleTopology::CompleteStatic | EscaleTopology::PartitionedRing => 1_000_000,
+                EscaleTopology::RandomChurn => 100_000,
             }
         }
     }
@@ -172,62 +202,100 @@ pub mod escale {
         pub converged: bool,
     }
 
+    /// The pre-built environment a run is cloned from.  Cloning is O(1):
+    /// topologies share their edge set and CSR adjacency copy-on-write,
+    /// and `PeriodicPartitionEnv`'s phase states are `Arc`-backed.
+    enum PrototypeEnv {
+        Static(StaticEnv),
+        Periodic(PeriodicPartitionEnv),
+        Churn(RandomChurnEnv),
+    }
+
     /// One cell of the E-series sweep: an event-driven run of
     /// min-consensus at size `n` on the chosen topology/environment pair.
     pub struct EscaleRun {
         system: SelfSimilarSystem<i64>,
-        topology: EscaleTopology,
-        n: usize,
+        config: EventConfig,
+        env: PrototypeEnv,
     }
 
     impl EscaleRun {
-        /// Builds the system (values, topology, cached target) for size
-        /// `n`; nothing here is timed.
+        /// Builds the system (values, topology, cached target) and the
+        /// prototype environment for size `n`; nothing here is timed.
+        /// Following the kernel protocol (construction is setup), the ring
+        /// topology's CSR adjacency and the partition env's phase states
+        /// are built here once — `run` clones them in O(1).
         pub fn new(topology: EscaleTopology, n: usize) -> Self {
             // Adopt-min converges in one round on a connected group, which
             // is exactly the sparse-cooldown story the complete cell
             // measures; the ring cell wants sustained per-round work, so
             // it descends by random partial steps instead.
-            let system = match topology {
-                EscaleTopology::CompleteStatic => {
-                    minimum::system(&values_for(n), Topology::complete(n))
-                }
-                EscaleTopology::PartitionedRing => minimum::system_with_step(
-                    &values_for(n),
-                    Topology::ring(n),
-                    minimum::partial_descent_step(),
-                ),
-            };
-            EscaleRun {
-                system,
-                topology,
-                n,
-            }
-        }
-
-        /// One measured iteration: a full event-driven run.
-        pub fn run(&self) -> EscaleOutcome {
-            let (config, mut env): (EventConfig, Box<dyn Environment>) = match self.topology {
+            let (system, config, env) = match topology {
                 EscaleTopology::CompleteStatic => (
+                    minimum::system(&values_for(n), Topology::complete(n)),
                     EventConfig {
                         max_rounds: 300,
                         cooldown_rounds: 256,
                         seed: 9,
                         ..EventConfig::default()
                     },
-                    Box::new(StaticEnv::new(Topology::complete(self.n))),
+                    // Symbolic: the static env never expands the clique.
+                    PrototypeEnv::Static(StaticEnv::new(Topology::complete(n))),
                 ),
-                EscaleTopology::PartitionedRing => (
-                    EventConfig {
-                        max_rounds: 64,
-                        cooldown_rounds: 0,
-                        seed: 9,
-                        ..EventConfig::default()
-                    },
-                    Box::new(PeriodicPartitionEnv::new(Topology::ring(self.n), 2, 8)),
-                ),
+                EscaleTopology::PartitionedRing => {
+                    let ring = Topology::ring(n);
+                    // Warm the flat adjacency; clones share it.
+                    let _ = ring.csr();
+                    (
+                        minimum::system_with_step(
+                            &values_for(n),
+                            ring.clone(),
+                            minimum::partial_descent_step(),
+                        ),
+                        EventConfig {
+                            max_rounds: 64,
+                            cooldown_rounds: 0,
+                            seed: 9,
+                            ..EventConfig::default()
+                        },
+                        PrototypeEnv::Periodic(PeriodicPartitionEnv::new(ring, 2, 8)),
+                    )
+                }
+                EscaleTopology::RandomChurn => {
+                    // The graph is part of the cell definition, so its seed
+                    // is fixed per size; the run seed stays 9 like the rest.
+                    let mut graph_rng = rand::rngs::StdRng::seed_from_u64(100 + n as u64);
+                    let graph = Topology::random_connected_sparse(n, 16.0, &mut graph_rng);
+                    let _ = graph.csr();
+                    (
+                        minimum::system(&values_for(n), graph.clone()),
+                        EventConfig {
+                            max_rounds: 128,
+                            cooldown_rounds: 64,
+                            seed: 9,
+                            ..EventConfig::default()
+                        },
+                        // 0.1% of ~8n edges flip per round: scattered
+                        // incremental deltas, all agents stay up.
+                        PrototypeEnv::Churn(RandomChurnEnv::new(graph, 0.999, 1.0)),
+                    )
+                }
             };
-            let report = EventSimulator::new(config).run(&self.system, env.as_mut());
+            EscaleRun {
+                system,
+                config,
+                env,
+            }
+        }
+
+        /// One measured iteration: a full event-driven run.
+        pub fn run(&self) -> EscaleOutcome {
+            let mut env: Box<dyn Environment> = match &self.env {
+                PrototypeEnv::Static(e) => Box::new(e.clone()),
+                PrototypeEnv::Periodic(e) => Box::new(e.clone()),
+                PrototypeEnv::Churn(e) => Box::new(e.clone()),
+            };
+            let report = EventSimulator::new(self.config.clone()).run(&self.system, env.as_mut());
             EscaleOutcome {
                 events_processed: report.metrics.events_processed,
                 peak_queue_depth: report.metrics.peak_queue_depth,
@@ -261,5 +329,9 @@ mod tests {
         // Random partial descent is sustained multi-round work.
         assert!(ring.rounds_executed > 4, "{}", ring.rounds_executed);
         assert!(ring.events_processed > ring.rounds_executed);
+        let churn = escale::EscaleRun::new(escale::EscaleTopology::RandomChurn, 64).run();
+        // Adopt-min converges and then holds through the 64-round cooldown.
+        assert!(churn.converged);
+        assert!(churn.rounds_executed >= 64, "{}", churn.rounds_executed);
     }
 }

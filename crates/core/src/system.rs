@@ -3,9 +3,43 @@
 use std::sync::OnceLock;
 
 use selfsim_env::{AgentId, FairnessSpec};
-use selfsim_multiset::Multiset;
+use selfsim_multiset::{Multiset, SignedCounts};
 
 use crate::{DistributedFunction, GroupStep, ObjectiveFunction, RelationD};
+
+/// Reusable scratch buffers for [`SelfSimilarSystem::apply_group_step_with`].
+///
+/// A simulator allocates one of these per run and threads it through every
+/// group step; the buffers grow to the largest group seen and are then
+/// reused, so the steady-state step loop performs no allocation for the
+/// change-detection bookkeeping.
+#[derive(Default)]
+pub struct StepScratch<S: Ord> {
+    before: Vec<S>,
+    delta: SignedCounts<S>,
+}
+
+impl<S: Ord> StepScratch<S> {
+    /// Creates empty scratch buffers.
+    pub fn new() -> Self {
+        StepScratch {
+            before: Vec::new(),
+            delta: SignedCounts::new(),
+        }
+    }
+}
+
+/// What a single group step did, as observed by
+/// [`SelfSimilarSystem::apply_group_step_with`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StepOutcome {
+    /// `true` if the group's *multiset* of states changed — the paper's
+    /// notion of a productive transition.
+    pub multiset_changed: bool,
+    /// `true` if no agent's positional state changed at all (a fixpoint of
+    /// `R` on this group; implies `!multiset_changed`).
+    pub positionally_fixed: bool,
+}
 
 /// The positional state of the whole agent set: `state[i]` is the state of
 /// `AgentId(i)`.
@@ -34,6 +68,10 @@ pub struct SelfSimilarSystem<S: Ord + Clone> {
     // per simulated round; computing it lazily once removes the dominant
     // allocation from the convergence check.
     target: OnceLock<Multiset<S>>,
+    // The multiset view of `S(0)` is also a constant, and every simulator
+    // builds it at t0 — an O(n log n) collect that dominates startup at
+    // n = 10^6.  Cached so repeated runs over one instance pay it once.
+    initial_multiset: OnceLock<Multiset<S>>,
 }
 
 impl<S: Ord + Clone + std::fmt::Debug> SelfSimilarSystem<S> {
@@ -66,6 +104,7 @@ impl<S: Ord + Clone + std::fmt::Debug> SelfSimilarSystem<S> {
             initial,
             fairness,
             target: OnceLock::new(),
+            initial_multiset: OnceLock::new(),
         }
     }
 
@@ -115,6 +154,13 @@ impl<S: Ord + Clone + std::fmt::Debug> SelfSimilarSystem<S> {
         state.iter().cloned().collect()
     }
 
+    /// Borrowed multiset view of the initial state `S(0)`; computed once
+    /// per instance and shared by every simulator's t0 setup.
+    pub fn initial_multiset(&self) -> &Multiset<S> {
+        self.initial_multiset
+            .get_or_init(|| self.multiset(&self.initial))
+    }
+
     /// The target multiset `S* = f(S(0))` — the conserved quantity of the
     /// conservation law and the state the system must reach and maintain.
     pub fn target(&self) -> Multiset<S> {
@@ -146,6 +192,25 @@ impl<S: Ord + Clone + std::fmt::Debug> SelfSimilarSystem<S> {
         self.h.eval(&self.multiset(state))
     }
 
+    /// The global objective value `h(S)` of a multiset view that the caller
+    /// already maintains (see [`Self::apply_group_step_with`]).
+    ///
+    /// Because `h` folds the multiset in ascending value order, this is
+    /// byte-identical to [`Self::global_objective`] on any positional state
+    /// with the same multiset — a simulator that maintains the multiset
+    /// incrementally reproduces the exact `f64` trajectory of one that
+    /// rebuilds it from scratch every round.
+    pub fn objective_of(&self, multiset: &Multiset<S>) -> f64 {
+        self.h.eval(multiset)
+    }
+
+    /// Convergence check against a caller-maintained multiset view:
+    /// equivalent to [`Self::is_converged`] on any positional state with the
+    /// same multiset.
+    pub fn is_converged_multiset(&self, multiset: &Multiset<S>) -> bool {
+        *multiset == *self.target_ref()
+    }
+
     /// Applies one collaborative step of `R` to the members of `group`
     /// (given as agent ids), writing the results back into `state`.
     ///
@@ -161,34 +226,96 @@ impl<S: Ord + Clone + std::fmt::Debug> SelfSimilarSystem<S> {
         group: &[AgentId],
         rng: &mut dyn rand::RngCore,
     ) -> bool {
+        let mut scratch = StepScratch::new();
+        self.apply_group_step_with(state, group, rng, &mut scratch, None)
+            .multiset_changed
+    }
+
+    /// Allocation-reusing form of [`Self::apply_group_step`].
+    ///
+    /// `scratch` provides the buffers for the before-image and for signed
+    /// change counting; they keep their capacity across calls.  If `global`
+    /// is given, it must be the multiset view of `state` *before* the step
+    /// and is updated in place to the view after the step, letting a
+    /// simulator maintain the whole-system multiset incrementally instead of
+    /// rebuilding it (O(n log n)) every round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group step returns a different number of states than
+    /// the group has members, or if a group member index is out of range.
+    pub fn apply_group_step_with(
+        &self,
+        state: &mut SystemState<S>,
+        group: &[AgentId],
+        rng: &mut dyn rand::RngCore,
+        scratch: &mut StepScratch<S>,
+        global: Option<&mut Multiset<S>>,
+    ) -> StepOutcome {
         if group.is_empty() {
-            return false;
+            return StepOutcome {
+                multiset_changed: false,
+                positionally_fixed: true,
+            };
         }
-        let before: Vec<S> = group
-            .iter()
-            .map(|a| {
-                state
-                    .get(a.index())
-                    .unwrap_or_else(|| panic!("agent {a} out of range"))
-                    .clone()
-            })
-            .collect();
-        let after = self.step.step(&before, rng);
+        // A group of consecutive agent ids (the common case for block
+        // partitions and whole-system groups) is a contiguous slice of
+        // `state`, so the step can read it in place — no before-image copy.
+        let lo = group.first().map(AgentId::index).unwrap_or_default();
+        let contiguous = group
+            .windows(2)
+            .all(|w| w.get(1).map(|a| a.index()) == w.first().map(|a| a.index() + 1));
+        let after = match state.get(lo..lo + group.len()) {
+            Some(before) if contiguous => self.step.step(before, rng),
+            _ => {
+                scratch.before.clear();
+                scratch.before.extend(group.iter().map(|a| {
+                    state
+                        .get(a.index())
+                        .unwrap_or_else(|| panic!("agent {a} out of range"))
+                        .clone()
+                }));
+                self.step.step(&scratch.before, rng)
+            }
+        };
         assert_eq!(
-            before.len(),
+            group.len(),
             after.len(),
             "group step `{}` changed the group size",
             self.step.name()
         );
-        let changed = {
-            let before_ms: Multiset<S> = before.iter().cloned().collect();
-            let after_ms: Multiset<S> = after.iter().cloned().collect();
-            before_ms != after_ms
-        };
+        // One fused pass: positions that kept their value contribute -1 and
+        // +1 of the same value to the signed counter and need no write-back;
+        // skipping them keeps the counter small for the common mostly-idle
+        // step and touches each changed slot exactly once.  The before-value
+        // is read from the slot itself just before overwriting it.
+        scratch.delta.clear();
+        let mut positionally_fixed = true;
         for (agent, new_state) in group.iter().zip(after) {
-            state[agent.index()] = new_state;
+            let slot = state
+                .get_mut(agent.index())
+                .unwrap_or_else(|| panic!("agent {agent} out of range"));
+            if *slot != new_state {
+                positionally_fixed = false;
+                scratch.delta.add(slot.clone(), -1);
+                scratch.delta.add(new_state.clone(), 1);
+                *slot = new_state;
+            }
         }
-        changed
+        let multiset_changed = !scratch.delta.is_balanced();
+        if let Some(ms) = global {
+            for (v, c) in scratch.delta.iter_nonzero() {
+                if c > 0 {
+                    ms.insert_n(v.clone(), c as usize);
+                } else {
+                    ms.remove_n(v, c.unsigned_abs());
+                }
+            }
+        }
+        StepOutcome {
+            multiset_changed,
+            positionally_fixed,
+        }
     }
 
     /// Applies one full *agent transition* of the paper: every group of the
@@ -301,6 +428,55 @@ mod tests {
         let all = vec![vec![AgentId(0), AgentId(1), AgentId(2), AgentId(3)]];
         sys.apply_partition_step(&mut state, &all, &mut rng());
         assert!(sys.is_converged(&state));
+    }
+
+    #[test]
+    fn scratch_step_matches_allocating_step_and_maintains_multiset() {
+        let sys = min_system(vec![9, 5, 3, 7]);
+        let mut state = sys.initial_state().clone();
+        let mut global: Multiset<i64> = sys.multiset(&state);
+        let mut scratch = StepScratch::new();
+        let out = sys.apply_group_step_with(
+            &mut state,
+            &[AgentId(0), AgentId(1)],
+            &mut rng(),
+            &mut scratch,
+            Some(&mut global),
+        );
+        assert!(out.multiset_changed);
+        assert!(!out.positionally_fixed);
+        assert_eq!(state, vec![5, 5, 3, 7]);
+        assert_eq!(
+            global,
+            sys.multiset(&state),
+            "incremental view tracks state"
+        );
+        assert_eq!(sys.objective_of(&global), sys.global_objective(&state));
+        // A fixed group reports positionally_fixed and leaves the view alone.
+        let out = sys.apply_group_step_with(
+            &mut state,
+            &[AgentId(2)],
+            &mut rng(),
+            &mut scratch,
+            Some(&mut global),
+        );
+        assert!(!out.multiset_changed);
+        assert!(out.positionally_fixed);
+        assert_eq!(global, sys.multiset(&state));
+        // Converge and check the multiset-view convergence test agrees.
+        let all = vec![AgentId(0), AgentId(1), AgentId(2), AgentId(3)];
+        sys.apply_group_step_with(
+            &mut state,
+            &all,
+            &mut rng(),
+            &mut scratch,
+            Some(&mut global),
+        );
+        assert!(sys.is_converged(&state));
+        assert!(sys.is_converged_multiset(&global));
+        // Empty group short-circuits.
+        let out = sys.apply_group_step_with(&mut state, &[], &mut rng(), &mut scratch, None);
+        assert!(out.positionally_fixed && !out.multiset_changed);
     }
 
     #[test]

@@ -148,6 +148,13 @@ pub struct RandomChurnEnv {
     topology: Topology,
     p_edge: f64,
     p_agent: f64,
+    // Incremental tracking for `step_delta`: enabled flags aligned with the
+    // sorted edge / ascending agent orders (the orders both `step` and
+    // `step_delta` draw in).  Filled when the first delta primes the base
+    // state.
+    cur_edges: Vec<bool>,
+    cur_agents: Vec<bool>,
+    delta_primed: bool,
 }
 
 impl RandomChurnEnv {
@@ -172,6 +179,9 @@ impl RandomChurnEnv {
             topology,
             p_edge: crate::validate_probability("p_edge", p_edge)?,
             p_agent: crate::validate_probability("p_agent", p_agent)?,
+            cur_edges: Vec::new(),
+            cur_agents: Vec::new(),
+            delta_primed: false,
         })
     }
 
@@ -205,6 +215,57 @@ impl Environment for RandomChurnEnv {
             .filter(|_| rng.gen_bool(self.p_agent))
             .collect();
         EnvState::new(self.topology.agent_count(), edges, agents)
+    }
+
+    fn step_delta(&mut self, rng: &mut dyn rand::RngCore) -> EnvDelta {
+        if !self.delta_primed {
+            self.delta_primed = true;
+            let state = self.step(rng);
+            self.cur_edges = self
+                .topology
+                .edges()
+                .iter()
+                .map(|e| state.enabled_edges().contains(e))
+                .collect();
+            self.cur_agents = self
+                .topology
+                .agents()
+                .map(|a| state.enabled_agents().contains(&a))
+                .collect();
+            return EnvDelta::Full(state);
+        }
+        // Exactly one Bernoulli per edge (sorted order) then one per agent
+        // (ascending order) — the same stream `step` consumes — recording
+        // only the flips.  Churn is memoryless, so each draw *is* the next
+        // enabled flag; the trackers exist purely to diff against.
+        let mut changes = EnvChanges::default();
+        for (cur, e) in self.cur_edges.iter_mut().zip(self.topology.edges().iter()) {
+            let up = rng.gen_bool(self.p_edge);
+            if up != *cur {
+                *cur = up;
+                if up {
+                    changes.edges_up.push(*e);
+                } else {
+                    changes.edges_down.push(*e);
+                }
+            }
+        }
+        for (i, cur) in self.cur_agents.iter_mut().enumerate() {
+            let up = rng.gen_bool(self.p_agent);
+            if up != *cur {
+                *cur = up;
+                if up {
+                    changes.agents_up.push(AgentId(i));
+                } else {
+                    changes.agents_down.push(AgentId(i));
+                }
+            }
+        }
+        if changes.is_empty() {
+            EnvDelta::Unchanged
+        } else {
+            EnvDelta::Changes(changes)
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -343,9 +404,15 @@ impl Environment for MarkovLinkEnv {
 #[derive(Clone, Debug)]
 pub struct PeriodicPartitionEnv {
     topology: Topology,
-    blocks: usize,
     period: usize,
     tick: usize,
+    // The two phase states and the cross-block edges that flip at every
+    // phase boundary are pure functions of (topology, blocks), so they are
+    // computed once at construction (setup, not simulation time); `step`
+    // serves O(1) clones of the `Arc`-backed states from then on.
+    cross: Vec<Edge>,
+    partitioned: EnvState,
+    merged: EnvState,
 }
 
 impl PeriodicPartitionEnv {
@@ -357,18 +424,33 @@ impl PeriodicPartitionEnv {
     pub fn new(topology: Topology, blocks: usize, period: usize) -> Self {
         assert!(blocks > 0, "need at least one block");
         assert!(period > 0, "period must be positive");
+        let n = topology.agent_count();
+        let block_size = n.div_ceil(blocks).max(1);
+        let block_of = |agent: AgentId| agent.index() / block_size;
+        let cross: Vec<Edge> = topology
+            .edges()
+            .iter()
+            .copied()
+            .filter(|e| block_of(e.lo()) != block_of(e.hi()))
+            .collect();
+        let partitioned = EnvState::new(
+            n,
+            topology
+                .edges()
+                .iter()
+                .copied()
+                .filter(|e| block_of(e.lo()) == block_of(e.hi())),
+            topology.agents(),
+        );
+        let merged = EnvState::fully_enabled(&topology);
         PeriodicPartitionEnv {
             topology,
-            blocks,
             period,
             tick: 0,
+            cross,
+            partitioned,
+            merged,
         }
-    }
-
-    fn block_of(&self, agent: AgentId) -> usize {
-        let n = self.topology.agent_count();
-        let block_size = n.div_ceil(self.blocks);
-        agent.index() / block_size.max(1)
     }
 }
 
@@ -380,31 +462,40 @@ impl Environment for PeriodicPartitionEnv {
     fn step(&mut self, _rng: &mut dyn rand::RngCore) -> EnvState {
         let merge_step = self.tick % self.period == self.period - 1;
         self.tick += 1;
-        let edges: Vec<Edge> = if merge_step {
-            self.topology.edges().iter().copied().collect()
+        if merge_step {
+            self.merged.clone()
         } else {
-            self.topology
-                .edges()
-                .iter()
-                .copied()
-                .filter(|e| self.block_of(e.lo()) == self.block_of(e.hi()))
-                .collect()
-        };
-        EnvState::new(self.topology.agent_count(), edges, self.topology.agents())
+            self.partitioned.clone()
+        }
     }
 
     fn step_delta(&mut self, rng: &mut dyn rand::RngCore) -> EnvDelta {
         // The state is a pure function of the phase (partitioned vs
-        // merged); within a phase nothing changes.  `step` consumes no
-        // RNG, so delegating at phase boundaries keeps the streams equal.
+        // merged); within a phase nothing changes, and a phase boundary
+        // flips exactly the cross-block edges.  Neither `step` nor this
+        // method consumes RNG, so the streams stay equal.
         let prev_merge = self.tick > 0 && (self.tick - 1) % self.period == self.period - 1;
         let next_merge = self.tick % self.period == self.period - 1;
-        if self.tick == 0 || prev_merge != next_merge {
-            EnvDelta::Full(self.step(rng))
-        } else {
-            self.tick += 1;
-            EnvDelta::Unchanged
+        if self.tick == 0 {
+            // Deltas need an absolute base.
+            return EnvDelta::Full(self.step(rng));
         }
+        if prev_merge == next_merge {
+            self.tick += 1;
+            return EnvDelta::Unchanged;
+        }
+        self.tick += 1;
+        if self.cross.is_empty() {
+            // One block: "partitioned" and "merged" are the same state.
+            return EnvDelta::Unchanged;
+        }
+        let mut changes = EnvChanges::default();
+        if next_merge {
+            changes.edges_up = self.cross.clone();
+        } else {
+            changes.edges_down = self.cross.clone();
+        }
+        EnvDelta::Changes(changes)
     }
 
     fn name(&self) -> &'static str {

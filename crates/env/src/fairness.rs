@@ -50,7 +50,7 @@ impl FairnessSpec {
     pub fn for_edges(agent_count: usize, edges: impl IntoIterator<Item = Edge>) -> Self {
         FairnessSpec {
             agent_count,
-            edges: EdgeSet::Explicit(edges.into_iter().collect()),
+            edges: EdgeSet::Explicit(std::sync::Arc::new(edges.into_iter().collect())),
             require_agents_enabled: true,
         }
     }
@@ -182,7 +182,7 @@ impl FairnessSpec {
         match &self.edges {
             EdgeSet::Explicit(edges) => {
                 let mut agents = BTreeSet::new();
-                for e in edges {
+                for e in edges.iter() {
                     agents.insert(e.lo());
                     agents.insert(e.hi());
                 }

@@ -1,0 +1,749 @@
+//! Incremental group maintenance over the flat CSR core.
+//!
+//! A [`GroupIndex`] tracks the partition of agents into groups — connected
+//! components of the enabled subgraph restricted to enabled agents — under
+//! a stream of [`EnvChanges`] deltas, at cost proportional to the *change*
+//! rather than the graph:
+//!
+//! - **edge up** merges two groups by splicing their sorted member lists
+//!   (a flat union-find-style merge keyed by smallest member);
+//! - **edge down** runs a bidirectional BFS confined to the affected
+//!   component, with epoch-stamped `visited: Vec<u32>` scratch instead of
+//!   fresh `BTreeSet`s, and splits only if the endpoints really separated;
+//! - **agent up/down** reduce to the two cases above plus a bounded
+//!   re-label of the touched component;
+//! - [`EnvDelta::Full`](crate::EnvDelta::Full) falls back to one flat full
+//!   rescan ([`GroupIndex::reset_from_state`]).
+//!
+//! Groups are always exposed sorted internally and ordered by smallest
+//! member — exactly the order [`EnvState::groups`] produces — so records
+//! derived from either path are byte-identical.
+
+use std::sync::Arc;
+
+use crate::csr::Csr;
+use crate::topology::{at, at_mut, at_ref};
+use crate::{AgentId, Edge, EnvChanges, EnvState, Topology};
+
+const NONE: u32 = u32::MAX;
+
+/// Incrementally maintained agent partition (see module docs).
+#[derive(Debug)]
+pub struct GroupIndex {
+    csr: Arc<Csr>,
+    /// Enablement bitmask indexed by dense CSR edge id.
+    edge_enabled: Vec<bool>,
+    /// Enablement bitmask indexed by agent index.
+    agent_enabled: Vec<bool>,
+    enabled_edge_count: usize,
+    enabled_agent_count: usize,
+    /// Enabled edges whose endpoints are both enabled (the edges a group
+    /// step can actually use).
+    usable_edge_count: usize,
+    /// Agent index → slot id of its group (`NONE` for disabled agents).
+    comp_of: Vec<u32>,
+    /// Slot id → sorted member list; empty slots are on the free list.
+    slots: Vec<Vec<AgentId>>,
+    free: Vec<u32>,
+    /// Slot ids ordered by smallest member — the public group order.
+    order: Vec<u32>,
+    /// Epoch-stamped BFS scratch (no per-delta allocation).
+    visited: Vec<u32>,
+    epoch: u32,
+    queue_a: Vec<u32>,
+    queue_b: Vec<u32>,
+}
+
+impl GroupIndex {
+    /// Creates an index over `topology` with *nothing* enabled.
+    ///
+    /// Building the index materialises the topology's CSR adjacency (and
+    /// thus a symbolic clique); callers that can stay symbolic should not
+    /// construct one.
+    pub fn new(topology: &Topology) -> Self {
+        let csr = topology.csr();
+        let n = csr.agent_count();
+        let m = csr.edge_count();
+        GroupIndex {
+            edge_enabled: vec![false; m],
+            agent_enabled: vec![false; n],
+            enabled_edge_count: 0,
+            enabled_agent_count: 0,
+            usable_edge_count: 0,
+            comp_of: vec![NONE; n],
+            slots: Vec::new(),
+            free: Vec::new(),
+            order: Vec::new(),
+            visited: vec![0; n],
+            epoch: 0,
+            queue_a: Vec::new(),
+            queue_b: Vec::new(),
+            csr,
+        }
+    }
+
+    /// Number of agents.
+    pub fn agent_count(&self) -> usize {
+        self.agent_enabled.len()
+    }
+
+    /// Number of groups.
+    pub fn group_count(&self) -> usize {
+        self.order.len()
+    }
+
+    /// The `i`-th group in ascending-minimum order, sorted ascending.
+    pub fn group(&self, i: usize) -> &[AgentId] {
+        let slot: &Vec<AgentId> = at_ref(&self.slots, at(&self.order, i) as usize);
+        slot
+    }
+
+    /// All groups, in the same order and encoding as
+    /// [`EnvState::groups`].
+    pub fn groups(&self) -> Vec<Vec<AgentId>> {
+        self.order
+            .iter()
+            .map(|&s| at_ref(&self.slots, s as usize).clone())
+            .collect()
+    }
+
+    /// Enabled edges whose two endpoints are both enabled.
+    pub fn usable_edge_count(&self) -> usize {
+        self.usable_edge_count
+    }
+
+    /// Reconstructs the equivalent [`EnvState`] (for trace recording and
+    /// tests; not on the hot path).
+    pub fn to_env_state(&self) -> EnvState {
+        let edges = self
+            .csr
+            .edges()
+            .iter()
+            .zip(self.edge_enabled.iter())
+            .filter(|(_, &on)| on)
+            .map(|(e, _)| *e);
+        let agents = self
+            .agent_enabled
+            .iter()
+            .enumerate()
+            .filter(|(_, &on)| on)
+            .map(|(i, _)| AgentId(i));
+        EnvState::new(self.agent_count(), edges, agents)
+    }
+
+    /// Enables every edge and agent, then rescans.
+    pub fn reset_all_enabled(&mut self) {
+        self.edge_enabled.fill(true);
+        self.agent_enabled.fill(true);
+        self.enabled_edge_count = self.edge_enabled.len();
+        self.enabled_agent_count = self.agent_enabled.len();
+        self.usable_edge_count = self.enabled_edge_count;
+        self.rebuild_groups();
+    }
+
+    /// Full-rescan fallback: adopts `state`'s enabled sets wholesale.
+    ///
+    /// Edges outside the topology are ignored — the [`Environment`]
+    /// (crate::Environment) contract says they never occur.
+    pub fn reset_from_state(&mut self, state: &EnvState) {
+        self.edge_enabled.fill(false);
+        self.agent_enabled.fill(false);
+        self.enabled_edge_count = 0;
+        self.enabled_agent_count = 0;
+        // Two-pointer walk: both the state's edge set and the CSR edge list
+        // iterate in ascending edge order.
+        let mut ids = self.csr.edges().iter().enumerate();
+        let mut cursor = ids.next();
+        for e in state.enabled_edges() {
+            while let Some((_, ce)) = cursor {
+                if ce < e {
+                    cursor = ids.next();
+                } else {
+                    break;
+                }
+            }
+            if let Some((eid, ce)) = cursor {
+                if ce == e {
+                    *at_mut(&mut self.edge_enabled, eid) = true;
+                    self.enabled_edge_count += 1;
+                    cursor = ids.next();
+                }
+            }
+        }
+        for a in state.enabled_agents() {
+            if a.index() < self.agent_enabled.len() {
+                *at_mut(&mut self.agent_enabled, a.index()) = true;
+                self.enabled_agent_count += 1;
+            }
+        }
+        self.recount_usable();
+        self.rebuild_groups();
+    }
+
+    /// Returns `true` if this index describes exactly the connectivity of
+    /// `state` — the incremental analogue of
+    /// [`EnvState::same_connectivity`].
+    pub fn same_connectivity(&self, state: &EnvState) -> bool {
+        if state.agent_count() != self.agent_count()
+            || state.enabled_agents().len() != self.enabled_agent_count
+            || state.enabled_edges().len() != self.enabled_edge_count
+        {
+            return false;
+        }
+        for a in state.enabled_agents() {
+            if a.index() >= self.agent_enabled.len() || !at(&self.agent_enabled, a.index()) {
+                return false;
+            }
+        }
+        // Equal counts + every member present ⇒ equal sets.
+        let mut ids = self.csr.edges().iter().enumerate();
+        let mut cursor = ids.next();
+        for e in state.enabled_edges() {
+            loop {
+                match cursor {
+                    Some((eid, ce)) if ce == e => {
+                        if !at(&self.edge_enabled, eid) {
+                            return false;
+                        }
+                        cursor = ids.next();
+                        break;
+                    }
+                    Some((_, ce)) if ce < e => cursor = ids.next(),
+                    // The state enables an edge the topology lacks.
+                    _ => return false,
+                }
+            }
+        }
+        true
+    }
+
+    /// Applies one incremental connectivity update, maintaining the group
+    /// partition at cost proportional to the change.  Mirrors
+    /// [`EnvState::apply_changes`]: downed edges/agents are removed, upped
+    /// ones inserted, and redundant entries (downing a down edge, upping an
+    /// up agent) are no-ops.
+    pub fn apply_changes(&mut self, changes: &EnvChanges) {
+        // A lone downed edge gets the bounded bidirectional probe; a batch
+        // is resolved against the final masks with one re-label per affected
+        // component, so k edges leaving one component cost one sweep, not k.
+        match changes.edges_down.as_slice() {
+            [] => {}
+            [e] => self.edge_down(e),
+            batch => self.edges_down_batch(batch),
+        }
+        for e in &changes.edges_up {
+            self.edge_up(e);
+        }
+        for a in &changes.agents_down {
+            self.agent_down(*a);
+        }
+        for a in &changes.agents_up {
+            self.agent_up(*a);
+        }
+    }
+
+    fn edge_up(&mut self, e: &Edge) {
+        let Some(eid) = self.csr.edge_id(e) else {
+            return; // outside the topology: unreachable by contract
+        };
+        if at(&self.edge_enabled, eid as usize) {
+            return;
+        }
+        *at_mut(&mut self.edge_enabled, eid as usize) = true;
+        self.enabled_edge_count += 1;
+        let (a, b) = (e.lo().index(), e.hi().index());
+        if at(&self.agent_enabled, a) && at(&self.agent_enabled, b) {
+            self.usable_edge_count += 1;
+            self.merge_slots(at(&self.comp_of, a), at(&self.comp_of, b));
+        }
+    }
+
+    fn edge_down(&mut self, e: &Edge) {
+        let Some(eid) = self.csr.edge_id(e) else {
+            return;
+        };
+        if !at(&self.edge_enabled, eid as usize) {
+            return;
+        }
+        *at_mut(&mut self.edge_enabled, eid as usize) = false;
+        self.enabled_edge_count -= 1;
+        let (a, b) = (e.lo().index(), e.hi().index());
+        if at(&self.agent_enabled, a) && at(&self.agent_enabled, b) {
+            self.usable_edge_count -= 1;
+            self.resplit_after_edge_down(a as u32, b as u32);
+        }
+    }
+
+    /// Batched form of [`Self::edge_down`]: flips every mask first, then
+    /// re-labels each affected component once against the final masks.  The
+    /// result is the same partition the one-at-a-time path reaches (both are
+    /// the connected components of the final enabled subgraph, in
+    /// ascending-min order) without paying one bidirectional BFS per edge.
+    fn edges_down_batch(&mut self, edges: &[Edge]) {
+        let mut affected: Vec<u32> = Vec::new();
+        for e in edges {
+            let Some(eid) = self.csr.edge_id(e) else {
+                continue; // outside the topology: unreachable by contract
+            };
+            if !at(&self.edge_enabled, eid as usize) {
+                continue;
+            }
+            *at_mut(&mut self.edge_enabled, eid as usize) = false;
+            self.enabled_edge_count -= 1;
+            let (a, b) = (e.lo().index(), e.hi().index());
+            if at(&self.agent_enabled, a) && at(&self.agent_enabled, b) {
+                self.usable_edge_count -= 1;
+                // A usable edge joins two enabled agents, so both endpoints
+                // sit in the same (pre-batch) component.
+                affected.push(at(&self.comp_of, a));
+            }
+        }
+        affected.sort_unstable();
+        affected.dedup();
+        for slot in affected {
+            self.remove_from_order(slot);
+            let members = std::mem::take(at_mut(&mut self.slots, slot as usize));
+            self.free.push(slot);
+            for &m in &members {
+                *at_mut(&mut self.comp_of, m.index()) = NONE;
+            }
+            self.relabel_members(members.iter().copied());
+        }
+    }
+
+    fn agent_up(&mut self, a: AgentId) {
+        let i = a.index();
+        if i >= self.agent_enabled.len() || at(&self.agent_enabled, i) {
+            return;
+        }
+        *at_mut(&mut self.agent_enabled, i) = true;
+        self.enabled_agent_count += 1;
+        // New singleton group for `a`.
+        let slot = self.alloc_slot(vec![a]);
+        *at_mut(&mut self.comp_of, i) = slot;
+        self.insert_into_order(slot);
+        // Every usable incident edge now exists; merge across each.
+        let incident: Vec<(u32, u32)> = self.csr.neighbors(i).collect();
+        for (nbr, eid) in incident {
+            if at(&self.edge_enabled, eid as usize) && at(&self.agent_enabled, nbr as usize) {
+                self.usable_edge_count += 1;
+                self.merge_slots(at(&self.comp_of, i), at(&self.comp_of, nbr as usize));
+            }
+        }
+    }
+
+    fn agent_down(&mut self, a: AgentId) {
+        let i = a.index();
+        if i >= self.agent_enabled.len() || !at(&self.agent_enabled, i) {
+            return;
+        }
+        *at_mut(&mut self.agent_enabled, i) = false;
+        self.enabled_agent_count -= 1;
+        let incident: Vec<(u32, u32)> = self.csr.neighbors(i).collect();
+        for (nbr, eid) in incident {
+            if at(&self.edge_enabled, eid as usize) && at(&self.agent_enabled, nbr as usize) {
+                self.usable_edge_count -= 1;
+            }
+        }
+        let slot = at(&self.comp_of, i);
+        *at_mut(&mut self.comp_of, i) = NONE;
+        // Remove the old group from the order, drop `a` from its members,
+        // and re-label what remains (it may fall apart into several groups).
+        self.remove_from_order(slot);
+        let members = std::mem::take(at_mut(&mut self.slots, slot as usize));
+        self.free.push(slot);
+        for &m in &members {
+            *at_mut(&mut self.comp_of, m.index()) = NONE;
+        }
+        self.relabel_members(members.iter().copied().filter(|&m| m != a));
+    }
+
+    /// Re-labels a set of enabled agents whose old group assignment was
+    /// cleared: BFS from each in ascending order (so new slots appear in
+    /// ascending-min order), then rebuild the sorted member lists.
+    fn relabel_members(&mut self, members: impl Iterator<Item = AgentId> + Clone) {
+        let mut pieces: Vec<(u32, AgentId)> = Vec::new();
+        for m in members.clone() {
+            if at(&self.comp_of, m.index()) != NONE {
+                continue;
+            }
+            let slot = self.alloc_slot(Vec::new());
+            *at_mut(&mut self.comp_of, m.index()) = slot;
+            self.queue_a.clear();
+            self.queue_a.push(m.index() as u32);
+            let mut head = 0;
+            while head < self.queue_a.len() {
+                let x = at(&self.queue_a, head);
+                head += 1;
+                for (nbr, eid) in self.csr.neighbors(x as usize) {
+                    if at(&self.edge_enabled, eid as usize)
+                        && at(&self.agent_enabled, nbr as usize)
+                        && at(&self.comp_of, nbr as usize) == NONE
+                    {
+                        *at_mut(&mut self.comp_of, nbr as usize) = slot;
+                        self.queue_a.push(nbr);
+                    }
+                }
+            }
+            // `m` is the smallest member of its piece (ascending scan over a
+            // sorted member list).
+            pieces.push((slot, m));
+        }
+        // Second pass in ascending member order keeps every list sorted.
+        for m in members {
+            let slot = at(&self.comp_of, m.index());
+            at_mut(&mut self.slots, slot as usize).push(m);
+        }
+        // Order insertion last: `insert_into_order_with` inspects the other
+        // ordered slots' minima, so every piece must be populated first.
+        for (slot, min) in pieces {
+            self.insert_into_order_with(slot, min);
+        }
+    }
+
+    /// Merges the groups in slots `x` and `y` (no-op if equal).  The slot
+    /// holding the smaller minimum keeps its id — and therefore its
+    /// position in the order — while the other is freed.
+    fn merge_slots(&mut self, x: u32, y: u32) {
+        if x == y {
+            return;
+        }
+        let (keep, gone) = if self.slot_min(x) < self.slot_min(y) {
+            (x, y)
+        } else {
+            (y, x)
+        };
+        self.remove_from_order(gone);
+        let gone_members = std::mem::take(at_mut(&mut self.slots, gone as usize));
+        self.free.push(gone);
+        for m in &gone_members {
+            *at_mut(&mut self.comp_of, m.index()) = keep;
+        }
+        let keep_members = std::mem::take(at_mut(&mut self.slots, keep as usize));
+        let mut merged = Vec::with_capacity(keep_members.len() + gone_members.len());
+        let mut ka = keep_members.iter().copied().peekable();
+        let mut ga = gone_members.iter().copied().peekable();
+        loop {
+            match (ka.peek(), ga.peek()) {
+                (Some(&k), Some(&g)) => {
+                    if k < g {
+                        merged.push(k);
+                        ka.next();
+                    } else {
+                        merged.push(g);
+                        ga.next();
+                    }
+                }
+                (Some(_), None) => {
+                    merged.extend(ka.by_ref());
+                }
+                (None, Some(_)) => {
+                    merged.extend(ga.by_ref());
+                }
+                (None, None) => break,
+            }
+        }
+        *at_mut(&mut self.slots, keep as usize) = merged;
+    }
+
+    /// After disabling the usable edge `(a, b)`: decides connectivity with a
+    /// bidirectional BFS confined to the affected component and splits it if
+    /// the endpoints separated.
+    fn resplit_after_edge_down(&mut self, a: u32, b: u32) {
+        let slot = at(&self.comp_of, a as usize);
+        debug_assert_eq!(slot, at(&self.comp_of, b as usize));
+        if self.epoch >= u32::MAX - 2 {
+            self.visited.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        let ea = self.epoch;
+        self.epoch += 1;
+        let eb = self.epoch;
+        let mut qa = std::mem::take(&mut self.queue_a);
+        let mut qb = std::mem::take(&mut self.queue_b);
+        qa.clear();
+        qb.clear();
+        qa.push(a);
+        *at_mut(&mut self.visited, a as usize) = ea;
+        qb.push(b);
+        *at_mut(&mut self.visited, b as usize) = eb;
+        let (mut ha, mut hb) = (0usize, 0usize);
+        // Lockstep expansion: the exhausted side is the (smaller) split-off
+        // candidate; meeting the other side's stamp proves connectivity.
+        let split_epoch = loop {
+            match self.expand_one(&mut qa, &mut ha, ea, eb) {
+                Expand::Connected => break None,
+                Expand::Exhausted => break Some(ea),
+                Expand::Progress => {}
+            }
+            match self.expand_one(&mut qb, &mut hb, eb, ea) {
+                Expand::Connected => break None,
+                Expand::Exhausted => break Some(eb),
+                Expand::Progress => {}
+            }
+        };
+        self.queue_a = qa;
+        self.queue_b = qb;
+        let Some(side) = split_epoch else {
+            return; // still connected
+        };
+        // Partition the old sorted member list by the side stamp; both
+        // halves stay sorted.  The half holding the old minimum keeps the
+        // slot id (and its order position); the other becomes a new group.
+        let old_members = std::mem::take(at_mut(&mut self.slots, slot as usize));
+        let old_min = old_members.first().copied().expect("non-empty group");
+        let mut in_side = Vec::new();
+        let mut out_side = Vec::new();
+        for &m in &old_members {
+            if at(&self.visited, m.index()) == side {
+                in_side.push(m);
+            } else {
+                out_side.push(m);
+            }
+        }
+        let min_in_side = in_side.first().copied() == Some(old_min);
+        let (keep_list, new_list) = if min_in_side {
+            (in_side, out_side)
+        } else {
+            (out_side, in_side)
+        };
+        *at_mut(&mut self.slots, slot as usize) = keep_list;
+        let new_slot = self.alloc_slot(Vec::new());
+        for m in &new_list {
+            *at_mut(&mut self.comp_of, m.index()) = new_slot;
+        }
+        *at_mut(&mut self.slots, new_slot as usize) = new_list;
+        self.insert_into_order(new_slot);
+    }
+
+    /// Expands one node of one BFS side; see `resplit_after_edge_down`.
+    fn expand_one(&mut self, q: &mut Vec<u32>, head: &mut usize, own: u32, other: u32) -> Expand {
+        if *head == q.len() {
+            return Expand::Exhausted;
+        }
+        let x = at(q, *head);
+        *head += 1;
+        for (nbr, eid) in self.csr.neighbors(x as usize) {
+            if !at(&self.edge_enabled, eid as usize) || !at(&self.agent_enabled, nbr as usize) {
+                continue;
+            }
+            let v = at(&self.visited, nbr as usize);
+            if v == own {
+                continue;
+            }
+            if v == other {
+                return Expand::Connected;
+            }
+            *at_mut(&mut self.visited, nbr as usize) = own;
+            q.push(nbr);
+        }
+        Expand::Progress
+    }
+
+    /// Full flat rescan of the group partition from the current bitmasks.
+    fn rebuild_groups(&mut self) {
+        self.slots.clear();
+        self.free.clear();
+        self.order.clear();
+        self.comp_of.fill(NONE);
+        let n = self.agent_enabled.len();
+        let mut queue = std::mem::take(&mut self.queue_a);
+        for i in 0..n {
+            if !at(&self.agent_enabled, i) || at(&self.comp_of, i) != NONE {
+                continue;
+            }
+            let slot = self.slots.len() as u32;
+            self.slots.push(Vec::new());
+            self.order.push(slot);
+            *at_mut(&mut self.comp_of, i) = slot;
+            queue.clear();
+            queue.push(i as u32);
+            let mut head = 0;
+            while head < queue.len() {
+                let x = at(&queue, head);
+                head += 1;
+                for (nbr, eid) in self.csr.neighbors(x as usize) {
+                    if at(&self.edge_enabled, eid as usize)
+                        && at(&self.agent_enabled, nbr as usize)
+                        && at(&self.comp_of, nbr as usize) == NONE
+                    {
+                        *at_mut(&mut self.comp_of, nbr as usize) = slot;
+                        queue.push(nbr);
+                    }
+                }
+            }
+        }
+        self.queue_a = queue;
+        // Ascending emission pass: every member list comes out sorted, and
+        // slot k (== order[k]) holds the k-th smallest minimum.
+        for i in 0..n {
+            let slot = at(&self.comp_of, i);
+            if slot != NONE {
+                at_mut(&mut self.slots, slot as usize).push(AgentId(i));
+            }
+        }
+    }
+
+    fn recount_usable(&mut self) {
+        self.usable_edge_count = self
+            .csr
+            .edges()
+            .iter()
+            .zip(self.edge_enabled.iter())
+            .filter(|(e, &on)| {
+                on && at(&self.agent_enabled, e.lo().index())
+                    && at(&self.agent_enabled, e.hi().index())
+            })
+            .count();
+    }
+
+    fn slot_min(&self, slot: u32) -> AgentId {
+        at_ref(&self.slots, slot as usize)
+            .first()
+            .copied()
+            .expect("group slots in the order are non-empty")
+    }
+
+    fn alloc_slot(&mut self, members: Vec<AgentId>) -> u32 {
+        if let Some(slot) = self.free.pop() {
+            *at_mut(&mut self.slots, slot as usize) = members;
+            slot
+        } else {
+            self.slots.push(members);
+            (self.slots.len() - 1) as u32
+        }
+    }
+
+    fn insert_into_order(&mut self, slot: u32) {
+        self.insert_into_order_with(slot, self.slot_min(slot));
+    }
+
+    fn insert_into_order_with(&mut self, slot: u32, min: AgentId) {
+        let pos = self.order.partition_point(|&s| self.slot_min(s) < min);
+        self.order.insert(pos, slot);
+    }
+
+    fn remove_from_order(&mut self, slot: u32) {
+        let min = self.slot_min(slot);
+        let pos = self.order.partition_point(|&s| self.slot_min(s) < min);
+        debug_assert_eq!(self.order.get(pos).copied(), Some(slot));
+        self.order.remove(pos);
+    }
+}
+
+enum Expand {
+    /// One node expanded without meeting the other side.
+    Progress,
+    /// This side's frontier is exhausted: it is a separate component.
+    Exhausted,
+    /// This side reached a node stamped by the other side: still connected.
+    Connected,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn changes(
+        edges_down: Vec<Edge>,
+        edges_up: Vec<Edge>,
+        agents_down: Vec<AgentId>,
+        agents_up: Vec<AgentId>,
+    ) -> EnvChanges {
+        EnvChanges {
+            edges_down,
+            edges_up,
+            agents_down,
+            agents_up,
+        }
+    }
+
+    fn edge(a: usize, b: usize) -> Edge {
+        Edge::new(AgentId(a), AgentId(b))
+    }
+
+    #[test]
+    fn tracks_groups_under_edge_and_agent_flips() {
+        let topo = Topology::ring(6);
+        let mut gi = GroupIndex::new(&topo);
+        gi.reset_all_enabled();
+        let mut state = EnvState::fully_enabled(&topo);
+        assert_eq!(gi.groups(), state.groups());
+        assert_eq!(gi.usable_edge_count(), 6);
+
+        let steps = [
+            changes(vec![edge(0, 1), edge(3, 4)], vec![], vec![], vec![]),
+            changes(vec![], vec![], vec![AgentId(2)], vec![]),
+            changes(vec![], vec![edge(0, 1)], vec![], vec![]),
+            changes(vec![], vec![], vec![], vec![AgentId(2)]),
+            changes(vec![edge(5, 0)], vec![edge(3, 4)], vec![AgentId(1)], vec![]),
+            // Redundant flips are no-ops.
+            changes(
+                vec![edge(5, 0)],
+                vec![edge(3, 4)],
+                vec![AgentId(1)],
+                vec![AgentId(0)],
+            ),
+        ];
+        for (i, c) in steps.iter().enumerate() {
+            state.apply_changes(c);
+            gi.apply_changes(c);
+            assert_eq!(gi.groups(), state.groups(), "step {i}");
+            assert_eq!(gi.to_env_state(), state, "step {i}");
+            let usable = state
+                .enabled_edges()
+                .iter()
+                .filter(|e| state.can_communicate(e.lo(), e.hi()))
+                .count();
+            assert_eq!(gi.usable_edge_count(), usable, "step {i}");
+        }
+    }
+
+    #[test]
+    fn full_rescan_fallback_matches_state_groups() {
+        let topo = Topology::from_edges(7, [(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (0, 6)]);
+        let state = EnvState::new(
+            7,
+            [edge(0, 1), edge(2, 3), edge(4, 5)],
+            [0, 1, 2, 3, 4, 5].map(AgentId),
+        );
+        let mut gi = GroupIndex::new(&topo);
+        gi.reset_from_state(&state);
+        assert_eq!(gi.groups(), state.groups());
+        assert!(gi.same_connectivity(&state));
+        assert!(!gi.same_connectivity(&EnvState::fully_enabled(&topo)));
+        assert!(!gi.same_connectivity(&EnvState::fully_disabled(7)));
+        assert_eq!(gi.to_env_state(), state);
+    }
+
+    #[test]
+    fn split_keeps_ascending_min_order() {
+        // Ring 0-1-2-3-0: dropping 1-2 and 3-0 splits {0,1} / {2,3}; the
+        // slot with min 0 must stay first.
+        let topo = Topology::ring(4);
+        let mut gi = GroupIndex::new(&topo);
+        gi.reset_all_enabled();
+        gi.apply_changes(&changes(vec![edge(1, 2)], vec![], vec![], vec![]));
+        assert_eq!(gi.group_count(), 1, "still a path");
+        gi.apply_changes(&changes(vec![edge(3, 0)], vec![], vec![], vec![]));
+        assert_eq!(gi.group_count(), 2);
+        assert_eq!(gi.group(0), [AgentId(0), AgentId(1)]);
+        assert_eq!(gi.group(1), [AgentId(2), AgentId(3)]);
+    }
+
+    #[test]
+    fn agent_down_can_shatter_a_group() {
+        let topo = Topology::star(5);
+        let mut gi = GroupIndex::new(&topo);
+        gi.reset_all_enabled();
+        assert_eq!(gi.group_count(), 1);
+        gi.apply_changes(&changes(vec![], vec![], vec![AgentId(0)], vec![]));
+        assert_eq!(gi.group_count(), 4, "leaves become singletons");
+        let mut state = EnvState::fully_enabled(&topo);
+        state.apply_changes(&changes(vec![], vec![], vec![AgentId(0)], vec![]));
+        assert_eq!(gi.groups(), state.groups());
+        gi.apply_changes(&changes(vec![], vec![], vec![], vec![AgentId(0)]));
+        assert_eq!(gi.group_count(), 1, "center restores the star");
+    }
+}

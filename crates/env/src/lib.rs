@@ -42,17 +42,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod csr;
 mod environment;
 mod fairness;
+mod groups;
 pub mod params;
 mod state;
 mod topology;
 
+pub use csr::Csr;
 pub use environment::{
     AdversarialEnv, ComposedEnv, CrashRestartEnv, EnvChanges, EnvDelta, Environment, MarkovLinkEnv,
     PeriodicPartitionEnv, RandomChurnEnv, StaticEnv,
 };
 pub use fairness::FairnessSpec;
+pub use groups::GroupIndex;
 pub use params::{parse_label, split_top_level, validate_probability, Params};
 pub use state::EnvState;
 pub use topology::{AgentId, Edge, Topology};

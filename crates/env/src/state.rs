@@ -1,8 +1,9 @@
 //! Instantaneous environment states and the agent grouping they induce.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 use crate::topology::connected_components;
 use crate::{AgentId, Edge, EnvChanges, Topology};
@@ -16,11 +17,43 @@ use crate::{AgentId, Edge, EnvChanges, Topology};
 /// transition relation `R`; disabled agents are frozen (they take no step
 /// and keep their state), which realises the paper's reflexivity requirement
 /// for them.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+///
+/// The enabled sets are held behind `Arc` and mutated copy-on-write, so
+/// cloning a state — which environments and traces do per round — is O(1)
+/// and never forces a million-entry set copy.  Equality still compares the
+/// set *contents* (with a pointer-identity fast path).
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct EnvState {
     agent_count: usize,
-    enabled_edges: BTreeSet<Edge>,
-    enabled_agents: BTreeSet<AgentId>,
+    enabled_edges: Arc<BTreeSet<Edge>>,
+    enabled_agents: Arc<BTreeSet<AgentId>>,
+}
+
+// Hand-written serde keeping the exact wire shape the old by-value derive
+// produced, so records and golden traces are unchanged by the `Arc`-backed
+// representation.
+impl Serialize for EnvState {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("agent_count".into(), self.agent_count.to_value()),
+            ("enabled_edges".into(), self.enabled_edges.to_value()),
+            ("enabled_agents".into(), self.enabled_agents.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for EnvState {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let field = |name: &str| {
+            v.get_field(name)
+                .ok_or_else(|| serde::Error(format!("EnvState missing field `{name}`")))
+        };
+        Ok(EnvState {
+            agent_count: usize::from_value(field("agent_count")?)?,
+            enabled_edges: Arc::new(BTreeSet::from_value(field("enabled_edges")?)?),
+            enabled_agents: Arc::new(BTreeSet::from_value(field("enabled_agents")?)?),
+        })
+    }
 }
 
 impl EnvState {
@@ -50,19 +83,20 @@ impl EnvState {
         }
         EnvState {
             agent_count,
-            enabled_edges,
-            enabled_agents,
+            enabled_edges: Arc::new(enabled_edges),
+            enabled_agents: Arc::new(enabled_agents),
         }
     }
 
     /// A fully benign state: every edge of `topology` is available and every
-    /// agent is enabled.
+    /// agent is enabled.  The edge set is aliased from the topology (not
+    /// copied); the state is exactly equal to one built by hand.
     pub fn fully_enabled(topology: &Topology) -> Self {
-        EnvState::new(
-            topology.agent_count(),
-            topology.edges().iter().copied(),
-            topology.agents(),
-        )
+        EnvState {
+            agent_count: topology.agent_count(),
+            enabled_edges: topology.shared_edges(),
+            enabled_agents: Arc::new(topology.agents().collect()),
+        }
     }
 
     /// A fully adversarial state: no edges, no enabled agents — nothing can
@@ -109,8 +143,13 @@ impl EnvState {
     /// union-find recomputation.
     pub fn same_connectivity(&self, other: &EnvState) -> bool {
         // The enabled sets plus the agent count are the whole state, so the
-        // derived equality is exactly the connectivity fingerprint.
-        self == other
+        // derived equality is exactly the connectivity fingerprint; aliased
+        // sets short-circuit without a content comparison.
+        self.agent_count == other.agent_count
+            && (Arc::ptr_eq(&self.enabled_edges, &other.enabled_edges)
+                || self.enabled_edges == other.enabled_edges)
+            && (Arc::ptr_eq(&self.enabled_agents, &other.enabled_agents)
+                || self.enabled_agents == other.enabled_agents)
     }
 
     /// The partition `π` induced by this environment state: connected
@@ -135,8 +174,12 @@ impl EnvState {
     /// Returns `true` if every enabled agent is in a single group covering
     /// all agents of the system (i.e. the whole system can collaborate).
     pub fn is_fully_connected(&self) -> bool {
+        // One rescan, not two: compute the partition once and inspect it.
         let groups = self.groups();
-        groups.len() == 1 && groups[0].len() == self.agent_count
+        match groups.first() {
+            Some(g) => groups.len() == 1 && g.len() == self.agent_count,
+            None => false,
+        }
     }
 
     /// Applies an incremental connectivity update in place: downed edges
@@ -151,27 +194,33 @@ impl EnvState {
     /// Panics if an upped edge or agent is out of range (the same guard as
     /// [`EnvState::new`]).
     pub fn apply_changes(&mut self, changes: &EnvChanges) {
-        for e in &changes.edges_down {
-            self.enabled_edges.remove(e);
+        if !changes.edges_down.is_empty() || !changes.edges_up.is_empty() {
+            let edges = Arc::make_mut(&mut self.enabled_edges);
+            for e in &changes.edges_down {
+                edges.remove(e);
+            }
+            for e in &changes.edges_up {
+                assert!(
+                    e.hi().index() < self.agent_count,
+                    "edge {e} out of range for {} agents",
+                    self.agent_count
+                );
+                edges.insert(*e);
+            }
         }
-        for e in &changes.edges_up {
-            assert!(
-                e.hi().index() < self.agent_count,
-                "edge {e} out of range for {} agents",
-                self.agent_count
-            );
-            self.enabled_edges.insert(*e);
-        }
-        for a in &changes.agents_down {
-            self.enabled_agents.remove(a);
-        }
-        for a in &changes.agents_up {
-            assert!(
-                a.index() < self.agent_count,
-                "agent {a} out of range for {} agents",
-                self.agent_count
-            );
-            self.enabled_agents.insert(*a);
+        if !changes.agents_down.is_empty() || !changes.agents_up.is_empty() {
+            let agents = Arc::make_mut(&mut self.enabled_agents);
+            for a in &changes.agents_down {
+                agents.remove(a);
+            }
+            for a in &changes.agents_up {
+                assert!(
+                    a.index() < self.agent_count,
+                    "agent {a} out of range for {} agents",
+                    self.agent_count
+                );
+                agents.insert(*a);
+            }
         }
     }
 
@@ -185,16 +234,18 @@ impl EnvState {
         );
         EnvState {
             agent_count: self.agent_count,
-            enabled_edges: self
-                .enabled_edges
-                .intersection(&other.enabled_edges)
-                .copied()
-                .collect(),
-            enabled_agents: self
-                .enabled_agents
-                .intersection(&other.enabled_agents)
-                .copied()
-                .collect(),
+            enabled_edges: Arc::new(
+                self.enabled_edges
+                    .intersection(&other.enabled_edges)
+                    .copied()
+                    .collect(),
+            ),
+            enabled_agents: Arc::new(
+                self.enabled_agents
+                    .intersection(&other.enabled_agents)
+                    .copied()
+                    .collect(),
+            ),
         }
     }
 }

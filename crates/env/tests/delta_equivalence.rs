@@ -10,8 +10,8 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use selfsim_env::{
-    AdversarialEnv, ComposedEnv, CrashRestartEnv, EnvDelta, EnvState, Environment, MarkovLinkEnv,
-    PeriodicPartitionEnv, RandomChurnEnv, StaticEnv, Topology,
+    AdversarialEnv, ComposedEnv, CrashRestartEnv, EnvDelta, EnvState, Environment, GroupIndex,
+    MarkovLinkEnv, PeriodicPartitionEnv, RandomChurnEnv, StaticEnv, Topology,
 };
 
 fn topology(choice: u8, n: usize) -> Topology {
@@ -104,6 +104,63 @@ proptest! {
                 "{} desynced its RNG stream",
                 name
             );
+        }
+    }
+
+    /// Incremental group maintenance equals a from-scratch BFS: a
+    /// [`GroupIndex`] fed the delta stream of every builtin environment
+    /// (merges on edge-up, bounded re-splits on edge-down, agent churn)
+    /// reports exactly the groups — in exactly the ascending-min order —
+    /// that a full rescan of the folded [`EnvState`] reports.
+    #[test]
+    fn group_index_equals_bfs_recompute_over_delta_streams(
+        seed in 0u64..500,
+        choice in 0u8..8,
+        n in 3usize..10,
+        p in 0.0f64..=1.0,
+        q in 0.0f64..=1.0,
+        k in 0usize..10,
+        rounds in 1usize..30,
+    ) {
+        let topo = topology(choice, n);
+        for mut env in builtin_envs(&topo, p, q, k) {
+            let name = env.name();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut folded: Option<EnvState> = None;
+            let mut index = GroupIndex::new(&topo);
+            for round in 0..rounds {
+                let delta = env.step_delta(&mut rng);
+                // Mirror the event runtime's handling of each delta kind.
+                match &delta {
+                    EnvDelta::Unchanged => {}
+                    EnvDelta::AllEnabled => index.reset_all_enabled(),
+                    EnvDelta::Full(state) => index.reset_from_state(state),
+                    EnvDelta::Changes(changes) => index.apply_changes(changes),
+                }
+                fold(&mut folded, delta, &topo);
+                let folded = folded.as_ref().expect("absolute after first delta");
+                prop_assert!(
+                    index.groups() == folded.groups(),
+                    "{} group index diverged from BFS at round {} (seed {}): {:?} vs {:?}",
+                    name,
+                    round,
+                    seed,
+                    index.groups(),
+                    folded.groups()
+                );
+                prop_assert!(
+                    index.same_connectivity(folded),
+                    "{} same_connectivity disagreed at round {}",
+                    name,
+                    round
+                );
+                prop_assert!(
+                    index.to_env_state() == *folded,
+                    "{} to_env_state round-trip diverged at round {}",
+                    name,
+                    round
+                );
+            }
         }
     }
 }

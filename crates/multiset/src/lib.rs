@@ -32,6 +32,8 @@
 
 mod multiset;
 mod ops;
+mod signed;
 
 pub use multiset::{IntoIter, Iter, Multiset};
 pub use ops::{map, max, min, partition_by, sum_by};
+pub use signed::SignedCounts;

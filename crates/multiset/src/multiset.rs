@@ -103,6 +103,27 @@ impl<T: Ord> Multiset<T> {
         }
     }
 
+    /// Removes up to `n` occurrences of `value`, returning how many were
+    /// actually removed (saturating at the current multiplicity).
+    pub fn remove_n(&mut self, value: &T, n: usize) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        match self.counts.get_mut(value) {
+            Some(c) if *c > n => {
+                *c -= n;
+                self.len -= n;
+                n
+            }
+            Some(&mut c) => {
+                self.counts.remove(value);
+                self.len -= c;
+                c
+            }
+            None => 0,
+        }
+    }
+
     /// Removes all occurrences of `value`, returning how many were removed.
     pub fn remove_all(&mut self, value: &T) -> usize {
         match self.counts.remove(value) {
@@ -406,6 +427,18 @@ mod tests {
         assert!(m.remove(&1));
         assert_eq!(m.count(&1), 0);
         assert!(!m.remove(&1));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn remove_n_saturates_at_multiplicity() {
+        let mut m: Multiset<i32> = [4, 4, 4, 9].into();
+        assert_eq!(m.remove_n(&4, 0), 0);
+        assert_eq!(m.remove_n(&4, 2), 2);
+        assert_eq!(m.count(&4), 1);
+        assert_eq!(m.remove_n(&4, 5), 1);
+        assert!(!m.contains(&4));
+        assert_eq!(m.remove_n(&4, 1), 0);
         assert_eq!(m.len(), 1);
     }
 

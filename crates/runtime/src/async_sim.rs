@@ -5,7 +5,7 @@ use std::collections::BinaryHeap;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use selfsim_core::SelfSimilarSystem;
+use selfsim_core::{SelfSimilarSystem, StepScratch};
 use selfsim_env::{AgentId, Environment};
 use selfsim_temporal::Trace;
 use selfsim_trace::{EventLog, RunMetrics, TraceEvent};
@@ -191,11 +191,16 @@ impl AsyncSimulator {
         );
         let mut env_trace = Trace::new();
         let mut state_trace = Vec::new();
+        // Incremental multiset view of `state`; see `SyncSimulator::run`.
+        // `state` is still `S(0)` here, so the cached initial multiset is
+        // exactly the view to start from.
+        let mut global = system.initial_multiset().clone();
+        let mut scratch = StepScratch::new();
         metrics
             .objective_trajectory
-            .push(system.global_objective(&state));
+            .push(system.objective_of(&global));
         if self.config.record_traces {
-            state_trace.push(system.multiset(&state));
+            state_trace.push(global.clone());
         }
 
         let mut pending: BinaryHeap<PendingInteraction> = BinaryHeap::new();
@@ -296,7 +301,15 @@ impl AsyncSimulator {
                     to: p.responder.index(),
                 });
                 let group = [p.initiator, p.responder];
-                let changed = system.apply_group_step(&mut state, &group, &mut rng);
+                let changed = system
+                    .apply_group_step_with(
+                        &mut state,
+                        &group,
+                        &mut rng,
+                        &mut scratch,
+                        Some(&mut global),
+                    )
+                    .multiset_changed;
                 if changed {
                     metrics.effective_group_steps += 1;
                 }
@@ -310,12 +323,12 @@ impl AsyncSimulator {
             metrics.rounds_executed = tick + 1;
             metrics
                 .objective_trajectory
-                .push(system.global_objective(&state));
+                .push(system.objective_of(&global));
             if self.config.record_traces {
-                state_trace.push(system.multiset(&state));
+                state_trace.push(global.clone());
             }
 
-            if system.is_converged(&state) {
+            if system.is_converged_multiset(&global) {
                 converged_at = Some(tick + 1);
                 events.emit(|| TraceEvent::ConvergenceEntered {
                     tick: (tick + 1) as u64,

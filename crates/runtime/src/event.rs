@@ -13,12 +13,15 @@
 //!   partition order, so the RNG stream is consumed in exactly the order the
 //!   round-based simulator consumes it — that is what makes the two
 //!   runtimes' measurements identical on the cells where they must agree.
-//! * **Delta-based connectivity.**  The environment is advanced through
-//!   [`Environment::step_delta`], so environments that know how little they
-//!   changed ([`selfsim_env::EnvDelta::Unchanged`], incremental
-//!   [`selfsim_env::EnvChanges`]) avoid rebuilding — and for
-//!   [`selfsim_env::EnvDelta::AllEnabled`] avoid even *materialising* — the
-//!   full [`EnvState`].  A fully-enabled static complete graph on 10⁵ agents
+//! * **Delta-based connectivity over a flat core.**  The environment is
+//!   advanced through [`Environment::step_delta`]; incremental
+//!   [`selfsim_env::EnvChanges`] are folded into a [`GroupIndex`] — group
+//!   maintenance over the topology's CSR adjacency that merges on edge-up
+//!   and re-splits via a bounded bidirectional search on edge-down, touching
+//!   only the affected component instead of rescanning the graph.
+//!   [`selfsim_env::EnvDelta::Unchanged`] costs nothing and
+//!   [`selfsim_env::EnvDelta::AllEnabled`] avoids even *materialising* the
+//!   full [`EnvState`]: a fully-enabled static complete graph on 10⁵ agents
 //!   never allocates its ~5·10⁹ edges.
 //! * **Sparse interaction scheduling.**  A group observed to map its state
 //!   to itself *bit for bit while drawing no randomness* is a fixpoint
@@ -35,12 +38,12 @@ use std::collections::BinaryHeap;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
-use selfsim_core::SelfSimilarSystem;
-use selfsim_env::{AgentId, EnvDelta, EnvState, Environment};
+use selfsim_core::{SelfSimilarSystem, StepScratch};
+use selfsim_env::{AgentId, EnvDelta, EnvState, Environment, GroupIndex};
 use selfsim_temporal::Trace;
 use selfsim_trace::{EventLog, RunMetrics, TraceEvent};
 
-use crate::{usable_edges, SimulationReport};
+use crate::SimulationReport;
 
 /// Configuration of an [`EventSimulator`] run.
 ///
@@ -125,11 +128,21 @@ enum EventKind {
 
 /// The current connectivity, kept symbolic when the environment allows it.
 enum Connectivity {
+    /// Nothing enabled yet — the placeholder before the first absolute
+    /// delta (the `step_delta` contract makes the first delta absolute, so
+    /// this is never read as real connectivity; it just lets a
+    /// contract-violating `Unchanged` first delta degrade to an empty
+    /// partition instead of a panic).
+    Empty,
     /// Every topology edge available and every agent enabled — represented
     /// without materialising the edge set, so complete graphs stay cheap.
     Full,
-    /// An explicit environment state, updated in place from deltas.
-    Sparse(EnvState),
+    /// An incrementally maintained group index over the topology's flat CSR
+    /// adjacency: edge/agent deltas merge or re-split only the affected
+    /// components instead of rescanning the whole graph.  Boxed: the index
+    /// is ~2.5 hundred bytes of inline `Vec` headers, the other variants
+    /// are unit.
+    Tracked(Box<GroupIndex>),
 }
 
 /// An RNG adapter that counts how many core draws pass through it, so a
@@ -200,11 +213,16 @@ impl EventSimulator {
         let mut env_trace = Trace::new();
         let mut state_trace = Vec::new();
 
+        // Incremental multiset view of `state`; see `SyncSimulator::run`.
+        // `state` is still `S(0)` here, so start from the instance's cached
+        // initial multiset instead of re-collecting n states.
+        let mut global = system.initial_multiset().clone();
+        let mut scratch = StepScratch::new();
         metrics
             .objective_trajectory
-            .push(system.global_objective(&state));
+            .push(system.objective_of(&global));
         if self.config.record_traces {
-            state_trace.push(system.multiset(&state));
+            state_trace.push(global.clone());
         }
 
         let mut converged_at: Option<usize> = None;
@@ -223,11 +241,7 @@ impl EventSimulator {
             peak_queue_depth = peak_queue_depth.max(heap.len());
         }
 
-        // The step_delta contract makes the first delta absolute, so this
-        // placeholder is never read as real connectivity; it just lets a
-        // (contract-violating) `Unchanged` first delta degrade to an empty
-        // partition instead of a panic.
-        let mut connectivity = Connectivity::Sparse(EnvState::fully_disabled(n));
+        let mut connectivity = Connectivity::Empty;
         let mut groups: Vec<Vec<AgentId>> = Vec::new();
         let mut at_fixpoint: Vec<bool> = Vec::new();
 
@@ -254,59 +268,97 @@ impl EventSimulator {
                             connectivity = Connectivity::Full;
                             !was_full
                         }
-                        EnvDelta::Full(next) => {
-                            let same = match &connectivity {
-                                Connectivity::Sparse(prev) => prev.same_connectivity(&next),
-                                Connectivity::Full => {
-                                    EnvState::fully_enabled(environment.topology())
-                                        .same_connectivity(&next)
+                        EnvDelta::Full(next) => match &mut connectivity {
+                            Connectivity::Tracked(index) => {
+                                if index.same_connectivity(&next) {
+                                    false
+                                } else {
+                                    index.reset_from_state(&next);
+                                    true
                                 }
-                            };
-                            if same {
-                                false
-                            } else {
-                                connectivity = Connectivity::Sparse(next);
-                                true
                             }
-                        }
+                            Connectivity::Full => {
+                                // Cheap count rejection first: the closed
+                                // form avoids materialising a symbolic
+                                // clique unless the counts actually match.
+                                let topo = environment.topology();
+                                let same = next.enabled_agents().len() == n
+                                    && next.enabled_edges().len() == topo.edge_count()
+                                    && EnvState::fully_enabled(topo).same_connectivity(&next);
+                                if same {
+                                    false
+                                } else {
+                                    let mut index = GroupIndex::new(topo);
+                                    index.reset_from_state(&next);
+                                    connectivity = Connectivity::Tracked(Box::new(index));
+                                    true
+                                }
+                            }
+                            Connectivity::Empty => {
+                                if next.enabled_edges().is_empty()
+                                    && next.enabled_agents().is_empty()
+                                {
+                                    false
+                                } else {
+                                    let mut index = GroupIndex::new(environment.topology());
+                                    index.reset_from_state(&next);
+                                    connectivity = Connectivity::Tracked(Box::new(index));
+                                    true
+                                }
+                            }
+                        },
                         EnvDelta::Changes(changes) => {
-                            if matches!(connectivity, Connectivity::Full) {
-                                connectivity = Connectivity::Sparse(EnvState::fully_enabled(
-                                    environment.topology(),
-                                ));
+                            if !matches!(connectivity, Connectivity::Tracked(_)) {
+                                let mut index = GroupIndex::new(environment.topology());
+                                if matches!(connectivity, Connectivity::Full) {
+                                    index.reset_all_enabled();
+                                }
+                                connectivity = Connectivity::Tracked(Box::new(index));
                             }
-                            if let Connectivity::Sparse(current) = &mut connectivity {
-                                current.apply_changes(&changes);
+                            if let Connectivity::Tracked(index) = &mut connectivity {
+                                index.apply_changes(&changes);
                             }
                             !changes.is_empty()
                         }
                     };
                     if self.config.record_traces {
                         env_trace.push(match &connectivity {
+                            Connectivity::Empty => EnvState::fully_disabled(n),
                             Connectivity::Full => EnvState::fully_enabled(environment.topology()),
-                            Connectivity::Sparse(current) => current.clone(),
+                            Connectivity::Tracked(index) => index.to_env_state(),
                         });
                     }
                     events.emit(|| TraceEvent::EnvTransition {
                         tick: time,
                         edges: match &connectivity {
+                            Connectivity::Empty => 0,
                             Connectivity::Full => environment.topology().edge_count(),
-                            Connectivity::Sparse(current) => usable_edges(current),
+                            Connectivity::Tracked(index) => index.usable_edge_count(),
                         },
                     });
                     if connectivity_changed {
+                        // A tracked index exposes its groups by borrow (see
+                        // the `Group(i)` arm); only the full-connectivity
+                        // fast path still materialises a member list.
                         groups = match &connectivity {
+                            Connectivity::Empty | Connectivity::Tracked(_) => Vec::new(),
                             Connectivity::Full => environment.topology().components(),
-                            Connectivity::Sparse(current) => current.groups(),
                         };
-                        at_fixpoint = vec![false; groups.len()];
+                        let group_count = match &connectivity {
+                            Connectivity::Tracked(index) => index.group_count(),
+                            _ => groups.len(),
+                        };
+                        at_fixpoint = vec![false; group_count];
                     }
-                    for (i, group) in groups.iter().enumerate() {
-                        if at_fixpoint[i] {
+                    for (i, &done) in at_fixpoint.iter().enumerate() {
+                        let size = match &connectivity {
+                            Connectivity::Tracked(index) => index.group(i).len(),
+                            _ => groups.get(i).map(Vec::len).unwrap_or_default(),
+                        };
+                        if done {
                             // Elided interaction, round-based accounting.
                             metrics.group_steps += 1;
-                            round_messages += group.len();
-                            let size = group.len();
+                            round_messages += size;
                             events.emit(|| TraceEvent::GroupStep {
                                 tick: time,
                                 size,
@@ -324,24 +376,28 @@ impl EventSimulator {
                     peak_queue_depth = peak_queue_depth.max(heap.len());
                 }
                 EventKind::Group(i) => {
-                    let group = &groups[i];
+                    let group: &[AgentId] = match &connectivity {
+                        Connectivity::Tracked(index) => index.group(i),
+                        _ => groups.get(i).map(Vec::as_slice).unwrap_or_default(),
+                    };
                     metrics.group_steps += 1;
                     round_messages += group.len();
-                    let before: Vec<S> = group.iter().map(|a| state[a.index()].clone()).collect();
                     let mut counting = CountingRng {
                         inner: &mut rng,
                         draws: 0,
                     };
-                    let changed = system.apply_group_step(&mut state, group, &mut counting);
-                    let draws = counting.draws;
-                    let positionally_fixed = group
-                        .iter()
-                        .zip(&before)
-                        .all(|(a, b)| state[a.index()] == *b);
-                    if positionally_fixed && draws == 0 {
+                    let outcome = system.apply_group_step_with(
+                        &mut state,
+                        group,
+                        &mut counting,
+                        &mut scratch,
+                        Some(&mut global),
+                    );
+                    let changed = outcome.multiset_changed;
+                    if outcome.positionally_fixed && counting.draws == 0 {
                         at_fixpoint[i] = true;
                     }
-                    if !positionally_fixed {
+                    if !outcome.positionally_fixed {
                         state_dirty = true;
                     }
                     if changed {
@@ -359,13 +415,13 @@ impl EventSimulator {
                     metrics.messages += round_messages;
                     metrics.rounds_executed = round;
                     if state_dirty {
-                        cached_objective = system.global_objective(&state);
-                        cached_converged = system.is_converged(&state);
+                        cached_objective = system.objective_of(&global);
+                        cached_converged = system.is_converged_multiset(&global);
                         state_dirty = false;
                     }
                     metrics.objective_trajectory.push(cached_objective);
                     if self.config.record_traces {
-                        state_trace.push(system.multiset(&state));
+                        state_trace.push(global.clone());
                     }
                     if cached_converged {
                         if converged_at.is_none() {

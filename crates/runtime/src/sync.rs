@@ -3,7 +3,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use selfsim_core::SelfSimilarSystem;
+use selfsim_core::{SelfSimilarSystem, StepScratch};
 use selfsim_env::Environment;
 use selfsim_temporal::Trace;
 use selfsim_trace::{EventLog, RunMetrics, TraceEvent};
@@ -109,11 +109,19 @@ impl SyncSimulator {
         let mut env_trace = Trace::new();
         let mut state_trace = Vec::new();
 
+        // The whole-system multiset is maintained incrementally by the
+        // group steps; `h` folds it in ascending value order either way, so
+        // the objective trajectory is byte-identical to recomputing the
+        // multiset from the positional state every round.
+        // `state` is still `S(0)` here, so the cached initial multiset is
+        // exactly the view to start from.
+        let mut global = system.initial_multiset().clone();
+        let mut scratch = StepScratch::new();
         metrics
             .objective_trajectory
-            .push(system.global_objective(&state));
+            .push(system.objective_of(&global));
         if self.config.record_traces {
-            state_trace.push(system.multiset(&state));
+            state_trace.push(global.clone());
         }
 
         let mut converged_at: Option<usize> = None;
@@ -154,7 +162,15 @@ impl SyncSimulator {
                 // A k-agent collaborative step costs k messages in this
                 // accounting (each member contributes its state once).
                 round_messages += group.len();
-                let changed = system.apply_group_step(&mut state, group, &mut rng);
+                let changed = system
+                    .apply_group_step_with(
+                        &mut state,
+                        group,
+                        &mut rng,
+                        &mut scratch,
+                        Some(&mut global),
+                    )
+                    .multiset_changed;
                 if changed {
                     changed_groups += 1;
                 }
@@ -169,12 +185,12 @@ impl SyncSimulator {
             metrics.rounds_executed = round + 1;
             metrics
                 .objective_trajectory
-                .push(system.global_objective(&state));
+                .push(system.objective_of(&global));
             if self.config.record_traces {
-                state_trace.push(system.multiset(&state));
+                state_trace.push(global.clone());
             }
 
-            if system.is_converged(&state) {
+            if system.is_converged_multiset(&global) {
                 if converged_at.is_none() {
                     converged_at = Some(round + 1);
                     events.emit(|| TraceEvent::ConvergenceEntered {
